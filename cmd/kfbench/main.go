@@ -1,0 +1,48 @@
+// Command kfbench runs the paper-reproduction experiment suite (figures
+// F1-F5 and claims E1-E9 from DESIGN.md) and prints each experiment's
+// report. EXPERIMENTS.md records a reference run.
+//
+// Usage:
+//
+//	kfbench            # run everything
+//	kfbench E3 F5      # run selected experiments
+//	kfbench -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, r := range all {
+			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	want := map[string]bool{}
+	for _, arg := range flag.Args() {
+		want[strings.ToUpper(arg)] = true
+	}
+	ran := 0
+	for _, r := range all {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		fmt.Println(experiments.Render(r))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "kfbench: no experiments matched %v\n", flag.Args())
+		os.Exit(1)
+	}
+}

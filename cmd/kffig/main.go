@@ -1,0 +1,39 @@
+// Command kffig renders the paper's five figures as text: the matrix
+// structures of the substructured reduction (Figures 1-2), the dataflow
+// graph (Figure 3), the substitution accuracy (Figure 4) and the
+// shuffle/unshuffle processor mapping (Figure 5).
+//
+// Usage:
+//
+//	kffig          # all figures
+//	kffig 3 5      # selected figures
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	gens := map[string]func() experiments.Result{
+		"1": experiments.F1FirstReduction,
+		"2": experiments.F2FourRowReduction,
+		"3": experiments.F3Dataflow,
+		"4": experiments.F4Substitution,
+		"5": experiments.F5Mapping,
+	}
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"1", "2", "3", "4", "5"}
+	}
+	for _, a := range args {
+		gen, ok := gens[a]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "kffig: no figure %q (have 1-5)\n", a)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.Render(gen()))
+	}
+}

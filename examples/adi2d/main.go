@@ -1,0 +1,42 @@
+// Two-dimensional ADI (the paper's Section 4): solve -Δu = f on the unit
+// square with implicit line solves in alternating directions, comparing
+// the line-at-a-time driver (Listing 7) against the pipelined one
+// (Listing 8) on the same 2x2 processor grid.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/adi"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+func main() {
+	par := adi.Params{N: 48, A: 1, B: 1, Iters: 10}
+	f := adi.TestProblem(par.N)
+	g := topology.New(2, 2)
+
+	m1 := machine.New(4, machine.IPSC2())
+	plain, err := adi.Parallel(m1, g, par, f, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2 := machine.New(4, machine.IPSC2())
+	piped, err := adi.Parallel(m2, g, par, f, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("residual history (max norm):")
+	for k := range plain.ResNorm {
+		fmt.Printf("  iter %2d: %.3e\n", k+1, plain.ResNorm[k])
+	}
+	fmt.Printf("\nline-at-a-time ADI (Listing 7): %.4f virtual s, %d msgs\n",
+		plain.Elapsed, plain.Stats.MsgsSent)
+	fmt.Printf("pipelined MADI     (Listing 8): %.4f virtual s, %d msgs\n",
+		piped.Elapsed, piped.Stats.MsgsSent)
+	fmt.Printf("speedup from pipelining the line solves: %.2fx (claim C4)\n",
+		plain.Elapsed/piped.Elapsed)
+}

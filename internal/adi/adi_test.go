@@ -1,0 +1,175 @@
+package adi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+func TestSequentialConverges(t *testing.T) {
+	par := Params{N: 15, A: 1, B: 1, Iters: 20}
+	f := TestProblem(par.N)
+	u, hist := Sequential(par, f)
+	if len(hist) != par.Iters {
+		t.Fatalf("history length %d", len(hist))
+	}
+	// Residual must drop monotonically (PR with fixed rho contracts on
+	// the model problem) until it reaches the rounding floor.
+	const floor = 1e-10
+	for i := 1; i < len(hist); i++ {
+		if hist[i] > floor && hist[i] > hist[i-1]*1.0001 {
+			t.Errorf("residual rose at iteration %d: %v -> %v", i, hist[i-1], hist[i])
+		}
+	}
+	if hist[len(hist)-1] > hist[0]*1e-3 {
+		t.Errorf("weak convergence: %v -> %v", hist[0], hist[len(hist)-1])
+	}
+	// The discrete solution should approximate sin(pi x) sin(pi y).
+	h := 1 / float64(par.N+1)
+	worst := 0.0
+	for i := 0; i < par.N; i++ {
+		for j := 0; j < par.N; j++ {
+			x, y := float64(i+1)*h, float64(j+1)*h
+			want := math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+			if d := math.Abs(u[i][j] - want); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 0.02 {
+		t.Errorf("solution error %v vs analytic", worst)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	par := Params{N: 16, A: 1, B: 1, Iters: 5}
+	f := TestProblem(par.N)
+	want, wantHist := Sequential(par, f)
+	for _, shape := range [][2]int{{1, 1}, {2, 2}, {2, 4}} {
+		m := machine.New(shape[0]*shape[1], machine.ZeroComm())
+		g := topology.New(shape[0], shape[1])
+		res, err := Parallel(m, g, par, f, false)
+		if err != nil {
+			t.Fatalf("grid %v: %v", shape, err)
+		}
+		if res.U == nil {
+			t.Fatalf("grid %v: no gathered solution", shape)
+		}
+		worst := 0.0
+		for i := 0; i < par.N; i++ {
+			for j := 0; j < par.N; j++ {
+				if d := math.Abs(res.U[i][j] - want[i][j]); d > worst {
+					worst = d
+				}
+			}
+		}
+		if worst > 1e-8 {
+			t.Errorf("grid %v: max deviation from sequential %v", shape, worst)
+		}
+		for k := range wantHist {
+			if math.Abs(res.ResNorm[k]-wantHist[k]) > 1e-6*(1+wantHist[k]) {
+				t.Errorf("grid %v: residual history diverges at %d: %v vs %v",
+					shape, k, res.ResNorm[k], wantHist[k])
+			}
+		}
+	}
+}
+
+func TestPipelinedMatchesLineByLine(t *testing.T) {
+	par := Params{N: 16, A: 1, B: 2, Iters: 4}
+	f := TestProblem(par.N)
+	g := topology.New(2, 2)
+
+	m1 := machine.New(4, machine.ZeroComm())
+	plain, err := Parallel(m1, g, par, f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := machine.New(4, machine.ZeroComm())
+	piped, err := Parallel(m2, g, par, f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i := 0; i < par.N; i++ {
+		for j := 0; j < par.N; j++ {
+			if d := math.Abs(plain.U[i][j] - piped.U[i][j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 1e-10 {
+		t.Errorf("pipelined deviates from line-by-line by %v", worst)
+	}
+}
+
+func TestPipelinedIsFasterOnRealCosts(t *testing.T) {
+	// Claim C4 for ADI: madi beats adi in virtual time once latency
+	// matters, because each slice's lines share the tree instead of
+	// paying log2(p) latencies per line.
+	par := Params{N: 32, A: 1, B: 1, Iters: 3}
+	f := TestProblem(par.N)
+	g := topology.New(2, 2)
+
+	m1 := machine.New(4, machine.IPSC2())
+	plain, err := Parallel(m1, g, par, f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := machine.New(4, machine.IPSC2())
+	piped, err := Parallel(m2, g, par, f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if piped.Elapsed >= plain.Elapsed {
+		t.Errorf("pipelined %v >= line-by-line %v", piped.Elapsed, plain.Elapsed)
+	}
+}
+
+func TestAnisotropicProblem(t *testing.T) {
+	par := Params{N: 12, A: 5, B: 0.5, Rho: 8, Iters: 30}
+	f := TestProblem(par.N)
+	_, hist := Sequential(par, f)
+	if hist[len(hist)-1] > hist[0] {
+		t.Errorf("anisotropic run diverged: %v -> %v", hist[0], hist[len(hist)-1])
+	}
+}
+
+func TestRhoDefault(t *testing.T) {
+	if (Params{}).rho() != 2*math.Pi {
+		t.Errorf("default rho = %v", (Params{}).rho())
+	}
+	if (Params{Rho: 3}).rho() != 3 {
+		t.Errorf("explicit rho ignored")
+	}
+}
+
+func TestParallelRejectsNonPowerOfTwoSlices(t *testing.T) {
+	// The substructured line solver needs power-of-two slices; a 3-wide
+	// grid must surface an error, not hang or corrupt.
+	par := Params{N: 12, A: 1, B: 1, Iters: 1}
+	f := TestProblem(par.N)
+	m := machine.New(6, machine.ZeroComm())
+	g := topology.New(2, 3)
+	if _, err := Parallel(m, g, par, f, false); err == nil {
+		t.Fatal("3-wide grid accepted")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	par := Params{N: 16, A: 1, B: 1, Iters: 2}
+	f := TestProblem(par.N)
+	m := machine.New(4, machine.IPSC2())
+	res, err := Parallel(m, topology.New(2, 2), par, f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MsgsSent == 0 || res.Stats.Flops == 0 {
+		t.Errorf("stats not accumulated: %+v", res.Stats)
+	}
+	if res.Elapsed <= 0 {
+		t.Errorf("elapsed %v", res.Elapsed)
+	}
+}

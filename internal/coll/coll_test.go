@@ -1,0 +1,222 @@
+package coll
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+func TestSumOverGrid(t *testing.T) {
+	m := machine.New(8, machine.ZeroComm())
+	g := topology.New1D(8)
+	sc := machine.RootScope()
+	err := m.Run(func(p *machine.Proc) error {
+		got := Sum(p, g, sc, float64(p.Rank()+1))
+		if got != 36 {
+			t.Errorf("rank %d: sum = %v, want 36", p.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxOverGrid(t *testing.T) {
+	m := machine.New(5, machine.ZeroComm())
+	g := topology.New1D(5)
+	sc := machine.RootScope()
+	err := m.Run(func(p *machine.Proc) error {
+		got := Max(p, g, sc, float64((p.Rank()*3)%5))
+		if got != 4 {
+			t.Errorf("rank %d: max = %v, want 4", p.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastFromRoot(t *testing.T) {
+	m := machine.New(7, machine.ZeroComm())
+	g := topology.New1D(7)
+	sc := machine.RootScope()
+	err := m.Run(func(p *machine.Proc) error {
+		v := -1.0
+		if p.Rank() == 0 {
+			v = 42
+		}
+		if got := Broadcast(p, g, sc, v); got != 42 {
+			t.Errorf("rank %d: broadcast = %v", p.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesOnGridSlice(t *testing.T) {
+	// A collective over one row of a 2-D grid must not involve (or
+	// disturb) the other rows.
+	m := machine.New(8, machine.ZeroComm())
+	g := topology.New(2, 4)
+	sc := machine.RootScope()
+	err := m.Run(func(p *machine.Proc) error {
+		coord, ok := g.CoordOf(p.Rank())
+		if !ok {
+			t.Fatalf("rank %d not in grid", p.Rank())
+		}
+		row := g.Slice(coord[0], topology.All)
+		got := Sum(p, row, sc, 1)
+		if got != 4 {
+			t.Errorf("rank %d: row sum = %v, want 4", p.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDisjointCollectives(t *testing.T) {
+	// Two rows run different numbers of collectives with per-phase
+	// scopes; streams must not cross.
+	m := machine.New(8, machine.ZeroComm())
+	g := topology.New(2, 4)
+	err := m.Run(func(p *machine.Proc) error {
+		coord, _ := g.CoordOf(p.Rank())
+		row := g.Slice(coord[0], topology.All)
+		rounds := 1 + coord[0]*3
+		for r := 0; r < rounds; r++ {
+			sc := machine.RootScope().Child(r, coord[0])
+			got := Sum(p, row, sc, float64(r))
+			if got != float64(4*r) {
+				t.Errorf("rank %d round %d: %v", p.Rank(), r, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherSlices(t *testing.T) {
+	m := machine.New(4, machine.ZeroComm())
+	g := topology.New1D(4)
+	sc := machine.RootScope()
+	err := m.Run(func(p *machine.Proc) error {
+		data := make([]float64, p.Rank()+1) // variable lengths
+		for i := range data {
+			data[i] = float64(p.Rank()*10 + i)
+		}
+		out := GatherSlices(p, g, sc, data)
+		if p.Rank() == 0 {
+			for r := 0; r < 4; r++ {
+				if len(out[r]) != r+1 {
+					t.Errorf("len(out[%d]) = %d", r, len(out[r]))
+					continue
+				}
+				for i := range out[r] {
+					if out[r][i] != float64(r*10+i) {
+						t.Errorf("out[%d][%d] = %v", r, i, out[r][i])
+					}
+				}
+			}
+		} else if out != nil {
+			t.Errorf("rank %d: non-nil gather", p.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	m := machine.New(4, machine.Uniform())
+	g := topology.New1D(4)
+	sc := machine.RootScope()
+	err := m.Run(func(p *machine.Proc) error {
+		p.Compute(100 * (p.Rank() + 1)) // skewed clocks
+		Barrier(p, g, sc)
+		// After the barrier everyone's clock is at least the slowest
+		// processor's pre-barrier clock.
+		if p.Clock() < 400 {
+			t.Errorf("rank %d: clock %v < 400 after barrier", p.Rank(), p.Clock())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonMemberPanics(t *testing.T) {
+	m := machine.New(4, machine.ZeroComm())
+	g := topology.New1D(2) // ranks 0,1 only
+	err := m.Run(func(p *machine.Proc) error {
+		if p.Rank() >= 2 {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rank %d: no panic", p.Rank())
+				}
+			}()
+			Sum(p, g, machine.RootScope(), 1)
+			return nil
+		}
+		Sum(p, g, machine.RootScope(), 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumPropertyRandomSizes(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%9) + 1
+		m := machine.New(n, machine.ZeroComm())
+		g := topology.New1D(n)
+		sc := machine.RootScope()
+		ok := true
+		err := m.Run(func(p *machine.Proc) error {
+			got := Sum(p, g, sc, float64(p.Rank()))
+			want := float64(n*(n-1)) / 2
+			if got != want {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastSliceFromAnyRoot(t *testing.T) {
+	m := machine.New(5, machine.ZeroComm())
+	g := topology.New1D(5)
+	err := m.Run(func(p *machine.Proc) error {
+		for root := 0; root < 5; root++ {
+			var data []float64
+			if p.Rank() == root {
+				data = []float64{float64(root), float64(root * 2), -1}
+			}
+			sc := machine.RootScope().Child(root, 77)
+			got := BroadcastSlice(p, g, sc, root, data)
+			if len(got) != 3 || got[0] != float64(root) || got[1] != float64(root*2) || got[2] != -1 {
+				t.Errorf("rank %d root %d: got %v", p.Rank(), root, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

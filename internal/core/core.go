@@ -1,0 +1,72 @@
+// Package core assembles the KF1 reproduction into a single convenient
+// entry point: a simulated loosely coupled machine plus a processor grid,
+// ready to execute parallel subroutines. It is the facade the examples and
+// command-line tools use; the underlying pieces live in internal/machine
+// (the simulated multicomputer), internal/topology (processor arrays),
+// internal/dist and internal/darray (distributed data), and internal/kf
+// (the language runtime: parsubs, doall loops, on-clauses).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kf"
+	"repro/internal/machine"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// System is a simulated machine with a declared processor array — the
+// paper's "only one real processor declaration is allowed in the whole
+// program".
+type System struct {
+	// Machine is the simulated multicomputer.
+	Machine *machine.Machine
+	// Procs is the full processor array ("the real estate agent").
+	Procs *topology.Grid
+	// Trace records per-processor timelines when tracing is enabled.
+	Trace *trace.Recorder
+}
+
+// Config selects the machine size, shape and cost model.
+type Config struct {
+	// GridShape is the processor array shape, e.g. [4] or [2, 4]. The
+	// machine has exactly prod(GridShape) processors.
+	GridShape []int
+	// Cost is the virtual-time cost model; the zero value selects the
+	// iPSC/2-like preset.
+	Cost machine.CostModel
+	// EnableTrace attaches a trace recorder.
+	EnableTrace bool
+}
+
+// NewSystem builds a simulated system per the config.
+func NewSystem(cfg Config) (*System, error) {
+	if len(cfg.GridShape) == 0 {
+		return nil, fmt.Errorf("core: empty grid shape")
+	}
+	g := topology.New(cfg.GridShape...)
+	cost := cfg.Cost
+	if cost == (machine.CostModel{}) {
+		cost = machine.IPSC2()
+	}
+	m := machine.New(g.Size(), cost)
+	sys := &System{Machine: m, Procs: g}
+	if cfg.EnableTrace {
+		sys.Trace = trace.NewRecorder(g.Size())
+		m.SetSink(sys.Trace)
+	}
+	return sys, nil
+}
+
+// Run executes body as a parallel subroutine over the full processor array
+// and returns the virtual elapsed time.
+func (s *System) Run(body func(c *kf.Ctx) error) (float64, error) {
+	if err := kf.Exec(s.Machine, s.Procs, body); err != nil {
+		return 0, err
+	}
+	return s.Machine.Elapsed(), nil
+}
+
+// Stats returns the aggregate machine counters from the last Run.
+func (s *System) Stats() machine.Stats { return s.Machine.TotalStats() }

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/kf"
+	"repro/internal/machine"
+)
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := NewSystem(Config{GridShape: []int{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Machine.Size() != 6 || sys.Procs.Size() != 6 {
+		t.Errorf("sizes %d/%d", sys.Machine.Size(), sys.Procs.Size())
+	}
+	if sys.Machine.Cost() != machine.IPSC2() {
+		t.Error("default cost model should be IPSC2")
+	}
+	if sys.Trace != nil {
+		t.Error("trace should be off by default")
+	}
+}
+
+func TestNewSystemRejectsEmptyShape(t *testing.T) {
+	if _, err := NewSystem(Config{}); err == nil {
+		t.Fatal("empty shape accepted")
+	}
+}
+
+func TestRunAndStats(t *testing.T) {
+	sys, err := NewSystem(Config{GridShape: []int{4}, Cost: machine.Uniform(), EnableTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed, err := sys.Run(func(c *kf.Ctx) error {
+		a := c.NewArray(darray.Spec{Extents: []int{8}, Dists: []dist.Dist{dist.Block{}}})
+		a.Fill(func(idx []int) float64 { return 1 })
+		c.P.Compute(10)
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < 10 {
+		t.Errorf("elapsed %v", elapsed)
+	}
+	if sys.Stats().Flops != 40 {
+		t.Errorf("flops %d, want 40", sys.Stats().Flops)
+	}
+	if sys.Trace == nil || sys.Trace.BusyTime(0) == 0 {
+		t.Error("trace not recording")
+	}
+}

@@ -1,0 +1,451 @@
+// Package darray implements KF1's distributed arrays: multidimensional
+// arrays whose dimensions are mapped onto a processor grid by per-dimension
+// distribution patterns (block, cyclic, "*"), exactly as declared by the
+// paper's dist clauses, e.g.
+//
+//	real u(0:nx, 0:ny, 0:nz) dist (*, block, block)
+//
+// becomes
+//
+//	u := darray.New(p, grid, darray.Spec{
+//		Extents: []int{nx + 1, ny + 1, nz + 1},
+//		Dists:   []dist.Dist{dist.Star{}, dist.Block{}, dist.Block{}},
+//		Halo:    []int{0, 1, 1},
+//	})
+//
+// Arrays are SPMD values: every processor constructs its own descriptor (the
+// same way a compiled KF1 program would materialize one per node) holding
+// only that processor's local block, padded with halo (ghost) cells for
+// block-distributed dimensions. Remote values move only through explicit
+// collectives (ExchangeHalo, GatherTo, Redistribute, ...), each of which is
+// built on simulated message passing and therefore fully accounted in
+// virtual time.
+//
+// Sections of an array — the paper's u(*, *, k) — are taken with Section,
+// which fixes one dimension and binds the result to the matching slice of
+// the processor grid; sections of sections compose, which is what lets the
+// 3-D multigrid solver hand planes to the 2-D solver and the 2-D solver hand
+// lines to a sequential kernel.
+package darray
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+// Spec declares a distributed array: global extents, one distribution per
+// dimension, and optional halo (ghost-cell) widths for block-distributed
+// dimensions.
+type Spec struct {
+	// Extents are the global array extents per dimension.
+	Extents []int
+	// Dists give the distribution pattern per dimension. The number of
+	// non-Star entries must equal the grid's dimensionality, unless every
+	// entry is Star (a replicated array, legal on any grid).
+	Dists []dist.Dist
+	// Halo gives the ghost-cell width per dimension (nil means zero).
+	// Halo is only meaningful on Block dimensions.
+	Halo []int
+}
+
+// store holds the per-processor storage and layout of a root array.
+type store struct {
+	p        *machine.Proc
+	rootGrid *topology.Grid
+	extents  []int
+	dists    []dist.Dist
+	halo     []int
+	axisOf   []int // store dim -> root grid axis, -1 for Star dims
+	member   bool
+	coord    []int // p's coordinate in rootGrid (nil if not a member)
+
+	// Local block layout (valid only when member):
+	lsize  []int // owned extent per dim
+	lower  []int // first owned global index per dim (Block); 0 for Star
+	pad    []int // lsize + 2*halo
+	stride []int // row-major strides over pad
+	data   []float64
+	shadow []float64 // copy-in snapshot; nil when no snapshot is active
+}
+
+// Array is a distributed array or a section of one. The zero value is not
+// useful; construct root arrays with New and sections with Section.
+type Array struct {
+	st   *store
+	grid *topology.Grid // grid of this array/section
+	dims []int          // array dim -> store dim
+	pfix []int          // per store dim: fixed global index, or -1 if free
+	axes []int          // root-grid axes remaining in grid, in order
+}
+
+// New constructs a distributed array on grid g from the calling processor's
+// point of view. Every processor of the machine may call New (processors
+// outside g get an inert descriptor whose element accessors panic), and all
+// processors inside g must construct identical specs.
+func New(p *machine.Proc, g *topology.Grid, spec Spec) *Array {
+	nd := len(spec.Extents)
+	if nd == 0 || nd != len(spec.Dists) {
+		panic(fmt.Sprintf("darray: bad spec: %d extents, %d dists", nd, len(spec.Dists)))
+	}
+	halo := spec.Halo
+	if halo == nil {
+		halo = make([]int, nd)
+	}
+	if len(halo) != nd {
+		panic(fmt.Sprintf("darray: halo has %d entries for %d dims", len(halo), nd))
+	}
+	st := &store{
+		p:        p,
+		rootGrid: g,
+		extents:  append([]int(nil), spec.Extents...),
+		dists:    append([]dist.Dist(nil), spec.Dists...),
+		halo:     append([]int(nil), halo...),
+		axisOf:   make([]int, nd),
+	}
+	axis := 0
+	for d := 0; d < nd; d++ {
+		if spec.Extents[d] <= 0 {
+			panic(fmt.Sprintf("darray: extent %d of dim %d", spec.Extents[d], d))
+		}
+		if _, isStar := spec.Dists[d].(dist.Star); isStar {
+			st.axisOf[d] = -1
+			continue
+		}
+		if axis >= g.Dims() {
+			panic(fmt.Sprintf("darray: more distributed dims than grid dims (%d)", g.Dims()))
+		}
+		st.axisOf[d] = axis
+		axis++
+	}
+	if axis != 0 && axis != g.Dims() {
+		panic(fmt.Sprintf("darray: %d distributed dims must match grid dims %d (or be zero for a replicated array)", axis, g.Dims()))
+	}
+	for d := 0; d < nd; d++ {
+		if halo[d] != 0 {
+			if _, isContig := spec.Dists[d].(dist.Contiguous); !isContig {
+				panic(fmt.Sprintf("darray: halo on non-contiguous dim %d (%s)", d, spec.Dists[d].Name()))
+			}
+		}
+	}
+	coord, member := g.CoordOf(p.Rank())
+	st.member = member
+	st.coord = coord
+	if member {
+		st.allocate()
+	}
+	a := &Array{st: st, grid: g}
+	a.dims = make([]int, nd)
+	a.pfix = make([]int, nd)
+	for d := range a.dims {
+		a.dims[d] = d
+		a.pfix[d] = -1
+	}
+	a.axes = make([]int, g.Dims())
+	for i := range a.axes {
+		a.axes[i] = i
+	}
+	return a
+}
+
+// allocate computes the local block layout and allocates storage.
+func (st *store) allocate() {
+	nd := len(st.extents)
+	st.lsize = make([]int, nd)
+	st.lower = make([]int, nd)
+	st.pad = make([]int, nd)
+	st.stride = make([]int, nd)
+	total := 1
+	for d := 0; d < nd; d++ {
+		n := st.extents[d]
+		if st.axisOf[d] < 0 {
+			st.lsize[d] = n
+			st.lower[d] = 0
+		} else {
+			q := st.coord[st.axisOf[d]]
+			P := st.rootGrid.Extent(st.axisOf[d])
+			st.lsize[d] = st.dists[d].Size(q, n, P)
+			if b, ok := st.dists[d].(dist.Contiguous); ok {
+				st.lower[d] = b.Lower(q, n, P)
+			}
+		}
+		st.pad[d] = st.lsize[d] + 2*st.halo[d]
+		total *= st.pad[d]
+	}
+	stride := 1
+	for d := nd - 1; d >= 0; d-- {
+		st.stride[d] = stride
+		stride *= st.pad[d]
+	}
+	st.data = make([]float64, total)
+}
+
+// Dims returns the number of (free) dimensions of the array or section.
+func (a *Array) Dims() int {
+	n := 0
+	for _, f := range a.pfix {
+		if f < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Extent returns the global extent of free dimension d.
+func (a *Array) Extent(d int) int { return a.st.extents[a.storeDim(d)] }
+
+// Dist returns the distribution of free dimension d.
+func (a *Array) Dist(d int) dist.Dist { return a.st.dists[a.storeDim(d)] }
+
+// Grid returns the processor grid the array (or section) lives on.
+func (a *Array) Grid() *topology.Grid { return a.grid }
+
+// Proc returns the processor this descriptor belongs to.
+func (a *Array) Proc() *machine.Proc { return a.st.p }
+
+// Participates reports whether the calling processor holds a piece of this
+// array (or section): it is a member of the array's grid and, for a section,
+// owns the fixed indices.
+func (a *Array) Participates() bool {
+	if !a.st.member {
+		return false
+	}
+	for sd, f := range a.pfix {
+		if f < 0 {
+			continue
+		}
+		if !a.st.ownsStoreIndex(sd, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// ownsStoreIndex reports whether the calling processor owns global index i
+// of store dim sd (Star dims are owned by everyone).
+func (st *store) ownsStoreIndex(sd, i int) bool {
+	if st.axisOf[sd] < 0 {
+		return true
+	}
+	q := st.coord[st.axisOf[sd]]
+	P := st.rootGrid.Extent(st.axisOf[sd])
+	return st.dists[sd].Owner(i, st.extents[sd], P) == q
+}
+
+// storeDim maps a free (view) dimension index to the underlying store dim.
+func (a *Array) storeDim(d int) int {
+	seen := 0
+	for sd, f := range a.pfix {
+		if f < 0 {
+			if seen == d {
+				return sd
+			}
+			seen++
+		}
+	}
+	panic(fmt.Sprintf("darray: dimension %d out of %d", d, seen))
+}
+
+// Lower returns the first global index of free dimension d owned by the
+// calling processor — the paper's lower intrinsic. For Star dimensions it
+// returns 0. Only meaningful for Block and Star distributions.
+func (a *Array) Lower(d int) int {
+	a.mustParticipate()
+	return a.st.lower[a.storeDim(d)]
+}
+
+// Upper returns the last global index of free dimension d owned by the
+// calling processor — the paper's upper intrinsic. For Star dimensions it
+// returns the extent minus one. When the processor owns no elements,
+// Upper(d) == Lower(d)-1.
+func (a *Array) Upper(d int) int {
+	a.mustParticipate()
+	sd := a.storeDim(d)
+	return a.st.lower[sd] + a.st.lsize[sd] - 1
+}
+
+// LocalSize returns the number of elements of free dimension d owned by the
+// calling processor.
+func (a *Array) LocalSize(d int) int {
+	a.mustParticipate()
+	return a.st.lsize[a.storeDim(d)]
+}
+
+// OwnerIndex returns, for free dimension d, the grid coordinate (along the
+// dimension's grid axis) of the processor owning global index i. It panics
+// for Star dimensions, which have no owner.
+func (a *Array) OwnerIndex(d, i int) int {
+	sd := a.storeDim(d)
+	ax := a.st.axisOf[sd]
+	if ax < 0 {
+		panic("darray: OwnerIndex on an undistributed (*) dimension")
+	}
+	return a.st.dists[sd].Owner(i, a.st.extents[sd], a.st.rootGrid.Extent(ax))
+}
+
+// Owns reports whether the calling processor owns the element at the given
+// global index (of the free dimensions).
+func (a *Array) Owns(idx ...int) bool {
+	if !a.Participates() {
+		return false
+	}
+	if len(idx) != a.Dims() {
+		panic(fmt.Sprintf("darray: Owns got %d indices for %d dims", len(idx), a.Dims()))
+	}
+	k := 0
+	for sd, f := range a.pfix {
+		if f >= 0 {
+			continue
+		}
+		if !a.st.ownsStoreIndex(sd, idx[k]) {
+			return false
+		}
+		k++
+	}
+	return true
+}
+
+func (a *Array) mustParticipate() {
+	if !a.Participates() {
+		panic("darray: processor does not participate in this array/section")
+	}
+}
+
+// offset computes the position in st.data of the element at the given
+// global index of the free dims, allowing halo offsets of up to halo[d] on
+// block dims. It panics when the element is neither owned nor in the halo.
+func (a *Array) offset(idx []int) int {
+	st := a.st
+	off := 0
+	k := 0
+	for sd, f := range a.pfix {
+		g := f
+		if f < 0 {
+			g = idx[k]
+			k++
+		}
+		if g < 0 || g >= st.extents[sd] {
+			panic(fmt.Sprintf("darray: index %d out of extent %d (dim %d)", g, st.extents[sd], sd))
+		}
+		var l int
+		if st.axisOf[sd] < 0 {
+			l = g
+		} else if _, isContig := st.dists[sd].(dist.Contiguous); isContig {
+			l = g - st.lower[sd]
+			if l < -st.halo[sd] || l >= st.lsize[sd]+st.halo[sd] {
+				panic(fmt.Sprintf("darray: proc %d cannot access global index %d of dim %d (owns [%d,%d], halo %d)",
+					st.p.Rank(), g, sd, st.lower[sd], st.lower[sd]+st.lsize[sd]-1, st.halo[sd]))
+			}
+		} else {
+			q := st.coord[st.axisOf[sd]]
+			P := st.rootGrid.Extent(st.axisOf[sd])
+			if st.dists[sd].Owner(g, st.extents[sd], P) != q {
+				panic(fmt.Sprintf("darray: proc %d does not own global index %d of %s dim %d",
+					st.p.Rank(), g, st.dists[sd].Name(), sd))
+			}
+			l = st.dists[sd].ToLocal(g, st.extents[sd], P)
+		}
+		off += (l + st.halo[sd]) * st.stride[sd]
+	}
+	return off
+}
+
+// At returns the element at the given global index. The element must be
+// owned by the calling processor or lie within its halo region (after an
+// ExchangeHalo that covered it).
+func (a *Array) At(idx ...int) float64 {
+	a.mustParticipate()
+	return a.st.data[a.offset(idx)]
+}
+
+// Set stores v at the given global index, which must be owned by the
+// calling processor (writes into halo cells are rejected: ghost values are
+// read-only copies).
+func (a *Array) Set(v float64, idx ...int) {
+	a.mustParticipate()
+	st := a.st
+	k := 0
+	for sd, f := range a.pfix {
+		g := f
+		if f < 0 {
+			g = idx[k]
+			k++
+		}
+		if !st.ownsStoreIndex(sd, g) {
+			panic(fmt.Sprintf("darray: proc %d writing unowned index %d of dim %d", st.p.Rank(), g, sd))
+		}
+	}
+	st.data[a.offset(idx)] = v
+}
+
+// At1, At2, At3 are arity-specific conveniences for At.
+func (a *Array) At1(i int) float64       { return a.At(i) }
+func (a *Array) At2(i, j int) float64    { return a.At(i, j) }
+func (a *Array) At3(i, j, k int) float64 { return a.At(i, j, k) }
+
+// Set1, Set2, Set3 are arity-specific conveniences for Set.
+func (a *Array) Set1(i int, v float64)       { a.Set(v, i) }
+func (a *Array) Set2(i, j int, v float64)    { a.Set(v, i, j) }
+func (a *Array) Set3(i, j, k int, v float64) { a.Set(v, i, j, k) }
+
+// Section fixes free dimension d at global index i, returning a lower
+// dimensional section of the array — the paper's u(*, *, k) notation. If
+// dimension d is distributed, the section's grid is the slice of the
+// current grid through the owner of i, and only processors on that slice
+// participate. The section shares storage with its parent.
+func (a *Array) Section(d, i int) *Array {
+	sd := a.storeDim(d)
+	if i < 0 || i >= a.st.extents[sd] {
+		panic(fmt.Sprintf("darray: section index %d out of extent %d", i, a.st.extents[sd]))
+	}
+	sec := &Array{
+		st:   a.st,
+		grid: a.grid,
+		dims: a.dims,
+		pfix: append([]int(nil), a.pfix...),
+		axes: a.axes,
+	}
+	sec.pfix[sd] = i
+	ax := a.st.axisOf[sd]
+	if ax >= 0 {
+		// Slice the current grid through the owner of i along ax.
+		pos := -1
+		for k, rootAx := range a.axes {
+			if rootAx == ax {
+				pos = k
+				break
+			}
+		}
+		if pos < 0 {
+			panic("darray: internal error: sectioned axis not in current grid")
+		}
+		owner := a.st.dists[sd].Owner(i, a.st.extents[sd], a.st.rootGrid.Extent(ax))
+		spec := make([]int, a.grid.Dims())
+		newAxes := make([]int, 0, len(a.axes)-1)
+		for k := range spec {
+			if k == pos {
+				spec[k] = owner
+			} else {
+				spec[k] = topology.All
+				newAxes = append(newAxes, a.axes[k])
+			}
+		}
+		sec.grid = a.grid.Slice(spec...)
+		sec.axes = newAxes
+	}
+	return sec
+}
+
+// String describes the array for diagnostics.
+func (a *Array) String() string {
+	s := "darray("
+	for d := 0; d < a.Dims(); d++ {
+		if d > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%d:%s", a.Extent(d), a.Dist(d).Name())
+	}
+	return s + ") on " + a.grid.String()
+}

@@ -1,0 +1,462 @@
+package darray
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+// OwnedEach visits every element of the array (or section) owned by the
+// calling processor, in row-major global order, passing the global index of
+// the free dimensions. The index slice is reused between calls.
+func (a *Array) OwnedEach(visit func(idx []int)) {
+	a.mustParticipate()
+	st := a.st
+	var free []int
+	for sd, f := range a.pfix {
+		if f < 0 {
+			free = append(free, sd)
+		}
+	}
+	for _, sd := range free {
+		if st.lsize[sd] == 0 {
+			return // empty local block: nothing owned
+		}
+	}
+	nd := len(free)
+	if nd == 0 {
+		visit(nil) // fully fixed section: a single owned cell
+		return
+	}
+	idx := make([]int, nd)
+	locals := make([]int, nd)
+	for {
+		// Translate local positions to global indices.
+		for k, sd := range free {
+			idx[k] = a.ownedGlobal(sd, locals[k])
+		}
+		visit(idx)
+		d := nd - 1
+		for d >= 0 {
+			locals[d]++
+			if locals[d] < st.lsize[free[d]] {
+				break
+			}
+			locals[d] = 0
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// ownedGlobal returns the global index of the l-th owned element of store
+// dim sd on the calling processor.
+func (a *Array) ownedGlobal(sd, l int) int {
+	st := a.st
+	if st.axisOf[sd] < 0 {
+		return l
+	}
+	q := st.coord[st.axisOf[sd]]
+	P := st.rootGrid.Extent(st.axisOf[sd])
+	return st.dists[sd].ToGlobal(l, q, st.extents[sd], P)
+}
+
+// Fill sets every owned element to f(idx). No communication is performed;
+// for replicated (Star) dimensions every holder computes its own copy, so f
+// must be deterministic in idx.
+func (a *Array) Fill(f func(idx []int) float64) {
+	a.OwnedEach(func(idx []int) {
+		a.Set(f(idx), idx...)
+	})
+}
+
+// Zero sets every owned element (and the halo cells) to zero.
+func (a *Array) Zero() {
+	a.mustParticipate()
+	if a.isRoot() {
+		for i := range a.st.data {
+			a.st.data[i] = 0
+		}
+		return
+	}
+	a.OwnedEach(func(idx []int) { a.Set(0, idx...) })
+}
+
+func (a *Array) isRoot() bool {
+	for _, f := range a.pfix {
+		if f >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot copies the processor's local block (including halo cells) into a
+// shadow buffer readable through Old. It implements the copy-in half of the
+// doall loop's copy-in/copy-out semantics: reads during the loop see the
+// values from before the loop. Snapshots are local and cost no messages.
+//
+// Snapshot affects the whole underlying array, so a snapshot taken through a
+// section is visible through the parent and vice versa.
+func (a *Array) Snapshot() {
+	a.mustParticipate()
+	st := a.st
+	if st.shadow == nil || len(st.shadow) != len(st.data) {
+		st.shadow = make([]float64, len(st.data))
+	}
+	copy(st.shadow, st.data)
+}
+
+// Old returns the snapshotted value at the given global index; it panics if
+// no snapshot is active.
+func (a *Array) Old(idx ...int) float64 {
+	a.mustParticipate()
+	if a.st.shadow == nil {
+		panic("darray: Old without an active Snapshot")
+	}
+	return a.st.shadow[a.offset(idx)]
+}
+
+// Old1, Old2, Old3 are arity-specific conveniences for Old.
+func (a *Array) Old1(i int) float64       { return a.Old(i) }
+func (a *Array) Old2(i, j int) float64    { return a.Old(i, j) }
+func (a *Array) Old3(i, j, k int) float64 { return a.Old(i, j, k) }
+
+// ReleaseSnapshot drops the shadow buffer.
+func (a *Array) ReleaseSnapshot() { a.st.shadow = nil }
+
+// CopyOwned1 copies the calling processor's owned elements of a
+// one-dimensional array (or section) into dst, in ascending global order,
+// and returns the number of elements copied. It is how kernel routines
+// obtain a contiguous working vector from a possibly strided section.
+func (a *Array) CopyOwned1(dst []float64) int {
+	if a.Dims() != 1 {
+		panic("darray: CopyOwned1 requires a 1-D array or section")
+	}
+	n := 0
+	a.OwnedEach(func(idx []int) {
+		dst[n] = a.At(idx...)
+		n++
+	})
+	return n
+}
+
+// SetOwned1 stores src into the calling processor's owned elements of a
+// one-dimensional array (or section), in ascending global order.
+func (a *Array) SetOwned1(src []float64) {
+	if a.Dims() != 1 {
+		panic("darray: SetOwned1 requires a 1-D array or section")
+	}
+	n := 0
+	a.OwnedEach(func(idx []int) {
+		a.Set(src[n], idx...)
+		n++
+	})
+	if n != len(src) {
+		panic(fmt.Sprintf("darray: SetOwned1 wrote %d of %d values", n, len(src)))
+	}
+}
+
+// GatherTo assembles the full array (or section) on the processor at
+// row-major index rootIdx of the array's grid, returning a dense row-major
+// slice of the free dimensions there and nil on all other processors. Every
+// participant must call it with the same scope. Replicated (Star)
+// dimensions are taken from each holder; holders must agree.
+func (a *Array) GatherTo(sc machine.Scope, rootIdx int) []float64 {
+	a.mustParticipate()
+	st := a.st
+	g := a.grid
+	me, ok := g.Index(st.p.Rank())
+	if !ok {
+		panic("darray: GatherTo caller not in the array's grid")
+	}
+	rootRank := g.RankAt(rootIdx)
+
+	// Pack owned values in OwnedEach order.
+	var buf []float64
+	a.OwnedEach(func(idx []int) {
+		buf = append(buf, a.At(idx...))
+	})
+	if me != rootIdx {
+		st.p.Send(rootRank, sc.Tag(uint16(me)), buf)
+		return nil
+	}
+
+	// Root: allocate the dense result and scatter every member's pack.
+	nd := a.Dims()
+	ext := make([]int, nd)
+	size := 1
+	for d := 0; d < nd; d++ {
+		ext[d] = a.Extent(d)
+		size *= ext[d]
+	}
+	out := make([]float64, size)
+	for m := 0; m < g.Size(); m++ {
+		var pack []float64
+		if m == me {
+			pack = buf
+		} else {
+			pack = st.p.Recv(g.RankAt(m), sc.Tag(uint16(m)))
+		}
+		k := 0
+		a.memberOwnedEach(m, func(idx []int) {
+			off := 0
+			for d := 0; d < nd; d++ {
+				off = off*ext[d] + idx[d]
+			}
+			out[off] = pack[k]
+			k++
+		})
+		if k != len(pack) {
+			panic(fmt.Sprintf("darray: GatherTo: member %d sent %d values, want %d", m, len(pack), k))
+		}
+	}
+	return out
+}
+
+// memberOwnedEach visits the global indices (free dims) owned by the grid
+// member with row-major index m, in the same order that member's OwnedEach
+// would visit them.
+func (a *Array) memberOwnedEach(m int, visit func(idx []int)) {
+	st := a.st
+	rank := a.grid.RankAt(m)
+	coord, ok := st.rootGrid.CoordOf(rank)
+	if !ok {
+		panic("darray: grid member outside root grid")
+	}
+	var free []int
+	for sd, f := range a.pfix {
+		if f < 0 {
+			free = append(free, sd)
+		}
+	}
+	nd := len(free)
+	sizes := make([]int, nd)
+	for k, sd := range free {
+		if st.axisOf[sd] < 0 {
+			sizes[k] = st.extents[sd]
+		} else {
+			q := coord[st.axisOf[sd]]
+			P := st.rootGrid.Extent(st.axisOf[sd])
+			sizes[k] = st.dists[sd].Size(q, st.extents[sd], P)
+		}
+		if sizes[k] == 0 {
+			return
+		}
+	}
+	if nd == 0 {
+		return
+	}
+	locals := make([]int, nd)
+	idx := make([]int, nd)
+	for {
+		for k, sd := range free {
+			if st.axisOf[sd] < 0 {
+				idx[k] = locals[k]
+			} else {
+				q := coord[st.axisOf[sd]]
+				P := st.rootGrid.Extent(st.axisOf[sd])
+				idx[k] = st.dists[sd].ToGlobal(locals[k], q, st.extents[sd], P)
+			}
+		}
+		visit(idx)
+		d := nd - 1
+		for d >= 0 {
+			locals[d]++
+			if locals[d] < sizes[d] {
+				break
+			}
+			locals[d] = 0
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// Redistribute copies the array's contents into a new array with the given
+// grid and spec, moving every element from its current owner to its new
+// owner(s) by message passing. Every processor that participates in either
+// the source or the destination must call Redistribute with the same
+// arguments and scope; the new array is returned on all callers.
+//
+// This is the mechanism behind the paper's claim C3: changing a dist clause
+// is a one-line change, and the "compiler" (here, this routine) re-derives
+// all communication.
+func (a *Array) Redistribute(sc machine.Scope, g *topology.Grid, spec Spec) *Array {
+	b := NewOn(a.st.p, g, spec)
+	moveContents(sc, a, b)
+	return b
+}
+
+func moveContents(sc machine.Scope, src, dst *Array) {
+	if src.Dims() != dst.Dims() {
+		panic("darray: redistribute dimensionality mismatch")
+	}
+	for d := 0; d < src.Dims(); d++ {
+		if src.Extent(d) != dst.Extent(d) {
+			panic(fmt.Sprintf("darray: redistribute extent mismatch in dim %d: %d vs %d", d, src.Extent(d), dst.Extent(d)))
+		}
+	}
+	p := src.st.p
+
+	// Sender side: enumerate cells this processor canonically owns in
+	// src, group by destination rank in dst's layout. Cells staying on
+	// this processor move by local copy, not by message — a compiler
+	// would never ship local data through the network.
+	outgoing := make(map[int][]float64)
+	if src.Participates() && src.isCanonicalOwner() {
+		src.OwnedEach(func(idx []int) {
+			v := src.At(idx...)
+			for _, r := range dst.holderRanks(idx) {
+				outgoing[r] = append(outgoing[r], v)
+			}
+		})
+	}
+	// Deterministic send order: ascending destination rank.
+	self := p.Rank()
+	for r := 0; r < p.Size(); r++ {
+		if buf, ok := outgoing[r]; ok && r != self {
+			p.Send(r, sc.Tag(uint16(0)), buf)
+		}
+	}
+
+	// Receiver side: enumerate cells this processor holds in dst, find
+	// each cell's canonical source rank, and unpack per-source buffers in
+	// the sender's iteration order.
+	if !dst.Participates() {
+		return
+	}
+	type cellRef struct {
+		off int
+	}
+	incomingOrder := make(map[int][]cellRef)
+	var srcOrder []int
+	dst.OwnedEach(func(idx []int) {
+		r := src.canonicalRank(idx)
+		if _, seen := incomingOrder[r]; !seen {
+			srcOrder = append(srcOrder, r)
+		}
+		incomingOrder[r] = append(incomingOrder[r], cellRef{off: dst.offset(idx)})
+	})
+	// Receives may be completed in any order; use ascending source rank
+	// for determinism of the virtual-time trace.
+	sortInts(srcOrder)
+	for _, r := range srcOrder {
+		var buf []float64
+		if r == p.Rank() {
+			buf = outgoing[r] // local copy, no message
+		} else {
+			buf = p.Recv(r, sc.Tag(uint16(0)))
+		}
+		cells := incomingOrder[r]
+		if len(buf) != len(cells) {
+			panic(fmt.Sprintf("darray: redistribute: got %d values from rank %d, want %d", len(buf), r, len(cells)))
+		}
+		for i, c := range cells {
+			dst.st.data[c.off] = buf[i]
+		}
+	}
+}
+
+// isCanonicalOwner reports whether the calling processor is the canonical
+// owner of its owned cells: for arrays with at least one distributed
+// dimension this is every participant; for fully replicated arrays it is
+// the grid origin only.
+func (a *Array) isCanonicalOwner() bool {
+	for sd := range a.st.extents {
+		if a.st.axisOf[sd] >= 0 {
+			return true
+		}
+	}
+	return a.grid.RankAt(0) == a.st.p.Rank()
+}
+
+// canonicalRank returns the machine rank of the canonical owner of the cell
+// at global index idx (free dims).
+func (a *Array) canonicalRank(idx []int) int {
+	st := a.st
+	coord := make([]int, st.rootGrid.Dims())
+	k := 0
+	for sd, f := range a.pfix {
+		g := f
+		if f < 0 {
+			g = idx[k]
+			k++
+		}
+		if st.axisOf[sd] >= 0 {
+			coord[st.axisOf[sd]] = st.dists[sd].Owner(g, st.extents[sd], st.rootGrid.Extent(st.axisOf[sd]))
+		}
+	}
+	return st.rootGrid.Rank(coord...)
+}
+
+// holderRanks returns the machine ranks of every processor holding the cell
+// at global index idx: one rank per cell for fully distributed arrays, all
+// grid members for replicated dimensions' fan-out.
+func (a *Array) holderRanks(idx []int) []int {
+	st := a.st
+	// Determine which axes are pinned by ownership and which are free
+	// (replicated): axes not used by any dim are free.
+	used := make([]bool, st.rootGrid.Dims())
+	coord := make([]int, st.rootGrid.Dims())
+	k := 0
+	for sd, f := range a.pfix {
+		g := f
+		if f < 0 {
+			g = idx[k]
+			k++
+		}
+		if st.axisOf[sd] >= 0 {
+			used[st.axisOf[sd]] = true
+			coord[st.axisOf[sd]] = st.dists[sd].Owner(g, st.extents[sd], st.rootGrid.Extent(st.axisOf[sd]))
+		}
+	}
+	ranks := []int{}
+	var expand func(ax int)
+	expand = func(ax int) {
+		if ax == st.rootGrid.Dims() {
+			ranks = append(ranks, st.rootGrid.Rank(coord...))
+			return
+		}
+		if used[ax] {
+			expand(ax + 1)
+			return
+		}
+		for q := 0; q < st.rootGrid.Extent(ax); q++ {
+			coord[ax] = q
+			expand(ax + 1)
+		}
+		coord[ax] = 0
+	}
+	expand(0)
+	return ranks
+}
+
+// NewOn is New with an explicit grid; it exists so Redistribute can build
+// the target array. (New already takes a grid; NewOn is an alias kept for
+// call-site clarity.)
+func NewOn(p *machine.Proc, g *topology.Grid, spec Spec) *Array { return New(p, g, spec) }
+
+// ReplicatedSpec returns a Spec for a fully replicated array of the given
+// extents (every dimension Star), the analogue of an undecorated KF1 array.
+func ReplicatedSpec(extents ...int) Spec {
+	ds := make([]dist.Dist, len(extents))
+	for i := range ds {
+		ds[i] = dist.Star{}
+	}
+	return Spec{Extents: extents, Dists: ds}
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package darray
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+)
+
+// ghostRun is one contiguous run of ghost indices along a dimension,
+// together with the grid coordinate (along that dimension's axis) of the
+// processor that owns it.
+type ghostRun struct {
+	ownerCoord int
+	lo, hi     int // global index range, inclusive
+}
+
+// ghostRuns returns the contiguous per-owner runs covering the global index
+// range [lo, hi] of store dim sd (clipped to the extent). Block ownership is
+// contiguous, so each owner contributes at most one run.
+func (a *Array) ghostRuns(sd, lo, hi int) []ghostRun {
+	st := a.st
+	n := st.extents[sd]
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= n {
+		hi = n - 1
+	}
+	var runs []ghostRun
+	P := st.rootGrid.Extent(st.axisOf[sd])
+	for i := lo; i <= hi; {
+		q := st.dists[sd].Owner(i, n, P)
+		j := i
+		for j+1 <= hi && st.dists[sd].Owner(j+1, n, P) == q {
+			j++
+		}
+		runs = append(runs, ghostRun{ownerCoord: q, lo: i, hi: j})
+		i = j + 1
+	}
+	return runs
+}
+
+// rankAlongAxis returns the machine rank of the processor at the calling
+// processor's root coordinate with the coordinate along root axis ax
+// replaced by q.
+func (st *store) rankAlongAxis(ax, q int) int {
+	coord := append([]int(nil), st.coord...)
+	coord[ax] = q
+	return st.rootGrid.Rank(coord...)
+}
+
+// planeCells enumerates, in row-major order, the local offsets of the cells
+// of the hyperplane where store dim sd has local position l (halo-relative),
+// the fixed dims of the section take their fixed values, and the remaining
+// free dims range over the calling processor's owned cells. The visit
+// function receives each cell's offset into st.data.
+func (a *Array) planeCells(sd, l int, visit func(off int)) {
+	st := a.st
+	nd := len(st.extents)
+	// Build per-dim local index ranges (halo-relative positions).
+	lo := make([]int, nd)
+	hi := make([]int, nd)
+	for d := 0; d < nd; d++ {
+		switch {
+		case d == sd:
+			lo[d], hi[d] = l, l
+		case a.pfix[d] >= 0:
+			// Fixed section index: its local position.
+			lo[d] = st.localPos(d, a.pfix[d])
+			hi[d] = lo[d]
+		default:
+			lo[d] = st.halo[d]
+			hi[d] = st.halo[d] + st.lsize[d] - 1
+		}
+	}
+	for d := 0; d < nd; d++ {
+		if hi[d] < lo[d] {
+			return // an empty local extent: no cells to visit
+		}
+	}
+	idx := make([]int, nd)
+	copy(idx, lo)
+	for {
+		off := 0
+		for d := 0; d < nd; d++ {
+			off += idx[d] * st.stride[d]
+		}
+		visit(off)
+		d := nd - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] <= hi[d] {
+				break
+			}
+			idx[d] = lo[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// localPos returns the halo-relative local position of global index g in
+// store dim d on the calling processor (which must hold it).
+func (st *store) localPos(d, g int) int {
+	if st.axisOf[d] < 0 {
+		return g + st.halo[d]
+	}
+	q := st.coord[st.axisOf[d]]
+	P := st.rootGrid.Extent(st.axisOf[d])
+	if b, ok := st.dists[d].(dist.Contiguous); ok {
+		l := g - b.Lower(q, st.extents[d], P) + st.halo[d]
+		return l
+	}
+	return st.dists[d].ToLocal(g, st.extents[d], P) + st.halo[d]
+}
+
+// planeSize returns the number of cells in one hyperplane of the section
+// perpendicular to store dim sd (owned cells of free dims, single cells of
+// fixed dims).
+func (a *Array) planeSize(sd int) int {
+	st := a.st
+	n := 1
+	for d := range st.extents {
+		if d == sd || a.pfix[d] >= 0 {
+			continue
+		}
+		n *= st.lsize[d]
+	}
+	return n
+}
+
+// ExchangeHalo updates the ghost cells of the given free dimensions (all
+// block-distributed dimensions with nonzero halo when none are specified)
+// by exchanging boundary hyperplanes with the owning processors. Every
+// participant of the array (or section) must call it with the same scope;
+// non-participants must not call it.
+//
+// Corner ghost cells (diagonal neighbors) are not exchanged; the tensor
+// product algorithms in this repository use axis-aligned stencils only.
+func (a *Array) ExchangeHalo(sc machine.Scope, dims ...int) {
+	a.mustParticipate()
+	st := a.st
+	if len(dims) == 0 {
+		for d := 0; d < a.Dims(); d++ {
+			sd := a.storeDim(d)
+			if st.halo[sd] > 0 && st.axisOf[sd] >= 0 {
+				dims = append(dims, d)
+			}
+		}
+	}
+	// Post every dimension's sends before any receive, so one round of
+	// latency covers the whole exchange — the batching a compiler would
+	// generate (and what the hand message-passing baselines do).
+	for _, d := range dims {
+		sd := a.storeDim(d)
+		if st.halo[sd] == 0 {
+			panic(fmt.Sprintf("darray: ExchangeHalo on dim %d with zero halo", d))
+		}
+		a.sendHalo(sc, sd)
+	}
+	for _, d := range dims {
+		a.recvHalo(sc, a.storeDim(d))
+	}
+}
+
+// sendHalo posts the outgoing boundary hyperplanes along store dim sd.
+func (a *Array) sendHalo(sc machine.Scope, sd int) {
+	st := a.st
+	ax := st.axisOf[sd]
+	n := st.extents[sd]
+	P := st.rootGrid.Extent(ax)
+	q := st.coord[ax]
+	h := st.halo[sd]
+	myLo, myHi := st.lower[sd], st.lower[sd]+st.lsize[sd]-1
+	plane := a.planeSize(sd)
+	if plane == 0 {
+		return // some other dimension is empty: peers mirror this skip
+	}
+
+	// Send plan: for every other processor q' along the axis, the ghost
+	// indices q' needs that fall in my owned range. q''s ghost windows
+	// are [lo'-h, lo'-1] and [hi'+1, hi'+h].
+	type sendJob struct {
+		dst  int
+		part uint16
+		lo   int // first global index of the run (within my owned range)
+		len  int
+	}
+	var jobs []sendJob
+	if st.lsize[sd] > 0 {
+		b := st.dists[sd].(dist.Contiguous)
+		for qq := 0; qq < P; qq++ {
+			if qq == q {
+				continue
+			}
+			// Processors with empty blocks (deep multigrid coarse
+			// levels) still receive ghosts: their degenerate
+			// windows [lo'-h, lo'-1] and [lo', lo'+h-1] are exactly
+			// the surrounding values interpolation needs.
+			qlo, qhi := b.Lower(qq, n, P), b.Upper(qq, n, P)
+			// Low-side window of qq.
+			lo, hi := maxI(qlo-h, myLo), minI(qlo-1, myHi)
+			if lo <= hi {
+				jobs = append(jobs, sendJob{dst: st.rankAlongAxis(ax, qq), part: uint16(sd<<2 | 0), lo: lo, len: hi - lo + 1})
+			}
+			// High-side window of qq.
+			lo, hi = maxI(qhi+1, myLo), minI(qhi+h, myHi)
+			if lo <= hi {
+				jobs = append(jobs, sendJob{dst: st.rankAlongAxis(ax, qq), part: uint16(sd<<2 | 1), lo: lo, len: hi - lo + 1})
+			}
+		}
+	}
+	for _, job := range jobs {
+		buf := make([]float64, 0, job.len*plane)
+		for g := job.lo; g < job.lo+job.len; g++ {
+			a.planeCells(sd, g-st.lower[sd]+h, func(off int) {
+				buf = append(buf, st.data[off])
+			})
+		}
+		st.p.Send(job.dst, sc.Tag(job.part), buf)
+	}
+}
+
+// recvHalo completes the exchange along store dim sd: receive this
+// processor's ghost windows, grouped by owner.
+func (a *Array) recvHalo(sc machine.Scope, sd int) {
+	st := a.st
+	ax := st.axisOf[sd]
+	h := st.halo[sd]
+	// For an empty block (lower == upper+1 == L) the two windows
+	// degenerate to [L-h, L-1] and [L, L+h-1]: the values surrounding the
+	// block's position, which grid-transfer operators on deep multigrid
+	// levels still need.
+	myLo, myHi := st.lower[sd], st.lower[sd]+st.lsize[sd]-1
+	plane := a.planeSize(sd)
+	if plane == 0 {
+		return // some other dimension is empty here: no cells at all
+	}
+	recvSide := func(side int, lo, hi int) {
+		for _, run := range a.ghostRuns(sd, lo, hi) {
+			src := st.rankAlongAxis(ax, run.ownerCoord)
+			buf := st.p.Recv(src, sc.Tag(uint16(sd<<2|side)))
+			want := (run.hi - run.lo + 1) * plane
+			if len(buf) != want {
+				panic(fmt.Sprintf("darray: halo exchange dim %d: got %d values, want %d", sd, len(buf), want))
+			}
+			k := 0
+			for g := run.lo; g <= run.hi; g++ {
+				a.planeCells(sd, g-st.lower[sd]+h, func(off int) {
+					st.data[off] = buf[k]
+					k++
+				})
+			}
+		}
+	}
+	recvSide(0, myLo-h, myLo-1)
+	recvSide(1, myHi+1, myHi+h)
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

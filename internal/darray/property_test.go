@@ -1,0 +1,314 @@
+package darray
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+// denseRef is a host-side dense mirror used as the oracle for metamorphic
+// tests: whatever the distributed array does, the dense array must agree.
+type denseRef struct {
+	ext  []int
+	data []float64
+}
+
+func newDense(ext ...int) *denseRef {
+	n := 1
+	for _, e := range ext {
+		n *= e
+	}
+	return &denseRef{ext: append([]int(nil), ext...), data: make([]float64, n)}
+}
+
+func (d *denseRef) off(idx ...int) int {
+	o := 0
+	for k, e := range d.ext {
+		o = o*e + idx[k]
+	}
+	return o
+}
+
+func (d *denseRef) set(v float64, idx ...int) { d.data[d.off(idx...)] = v }
+func (d *denseRef) at(idx ...int) float64     { return d.data[d.off(idx...)] }
+
+func TestSectionsAgreeWithDenseReference(t *testing.T) {
+	// Property: for random 3-D fill values, every composable section of
+	// the distributed array reads exactly what the dense oracle holds.
+	f := func(seed int64) bool {
+		const nx, ny, nz = 5, 6, 8
+		ref := newDense(nx, ny, nz)
+		val := func(i, j, k int) float64 {
+			x := uint64(seed) + uint64(i*100+j*10+k)*2654435761
+			x ^= x >> 15
+			return float64(x % 1009)
+		}
+		for i := 0; i < nx; i++ {
+			for j := 0; j < ny; j++ {
+				for k := 0; k < nz; k++ {
+					ref.set(val(i, j, k), i, j, k)
+				}
+			}
+		}
+		ok := true
+		m := machine.New(4, machine.ZeroComm())
+		g := topology.New(2, 2)
+		err := m.Run(func(p *machine.Proc) error {
+			a := New(p, g, Spec{
+				Extents: []int{nx, ny, nz},
+				Dists:   []dist.Dist{dist.Star{}, dist.Block{}, dist.Block{}},
+			})
+			a.Fill(func(idx []int) float64 { return val(idx[0], idx[1], idx[2]) })
+			// Plane sections at every k.
+			for k := 0; k < nz; k++ {
+				plane := a.Section(2, k)
+				if !plane.Participates() {
+					continue
+				}
+				plane.OwnedEach(func(idx []int) {
+					if plane.At(idx...) != ref.at(idx[0], idx[1], k) {
+						ok = false
+					}
+				})
+				// Lines within the plane.
+				for j := 0; j < ny; j++ {
+					line := plane.Section(1, j)
+					if !line.Participates() {
+						continue
+					}
+					line.OwnedEach(func(idx []int) {
+						if line.At(idx...) != ref.at(idx[0], j, k) {
+							ok = false
+						}
+					})
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSectionWritesFlowToParent(t *testing.T) {
+	// Property: writing through a section then reading through the
+	// parent (and vice versa) is coherent, for random write sets.
+	f := func(seed int64) bool {
+		const nx, ny = 6, 8
+		ok := true
+		m := machine.New(2, machine.ZeroComm())
+		g := topology.New1D(2)
+		err := m.Run(func(p *machine.Proc) error {
+			a := New(p, g, Spec{
+				Extents: []int{nx, ny},
+				Dists:   []dist.Dist{dist.Star{}, dist.Block{}},
+			})
+			a.Zero()
+			s := uint64(seed)
+			for w := 0; w < 20; w++ {
+				s = s*6364136223846793005 + 1442695040888963407
+				i := int(s>>33) % nx
+				j := int(s>>13) % ny
+				v := float64(s % 97)
+				row := a.Section(0, i)
+				if row.Owns(j) {
+					row.Set1(j, v)
+					if a.At2(i, j) != v {
+						ok = false
+					}
+				}
+				if a.Owns(i, j) {
+					a.Set2(i, j, v+1)
+					if a.Section(0, i).At1(j) != v+1 {
+						ok = false
+					}
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeRandomHaloWidths(t *testing.T) {
+	// Property: after an exchange with halo width h, every in-range
+	// neighbor read within distance h returns the true global value.
+	f := func(hRaw, pRaw uint8) bool {
+		h := int(hRaw%3) + 1
+		procs := []int{2, 4, 8}[pRaw%3]
+		const n = 24
+		ok := true
+		m := machine.New(procs, machine.ZeroComm())
+		g := topology.New1D(procs)
+		err := m.Run(func(p *machine.Proc) error {
+			a := New(p, g, Spec{
+				Extents: []int{n},
+				Dists:   []dist.Dist{dist.Block{}},
+				Halo:    []int{h},
+			})
+			a.Fill(func(idx []int) float64 { return float64(idx[0]*idx[0] + 1) })
+			a.ExchangeHalo(machine.RootScope())
+			lo, hi := a.Lower(0), a.Upper(0)
+			for i := lo - h; i <= hi+h; i++ {
+				if i < 0 || i >= n {
+					continue
+				}
+				if a.At1(i) != float64(i*i+1) {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotThroughSection(t *testing.T) {
+	m := machine.New(2, machine.ZeroComm())
+	g := topology.New1D(2)
+	err := m.Run(func(p *machine.Proc) error {
+		a := New(p, g, Spec{
+			Extents: []int{4, 8},
+			Dists:   []dist.Dist{dist.Star{}, dist.Block{}},
+		})
+		a.Fill(func(idx []int) float64 { return float64(idx[0]*10 + idx[1]) })
+		row := a.Section(0, 2)
+		row.Snapshot() // snapshots the whole store
+		for j := row.Lower(0); j <= row.Upper(0); j++ {
+			row.Set1(j, -1)
+		}
+		for j := row.Lower(0); j <= row.Upper(0); j++ {
+			if row.Old1(j) != float64(20+j) {
+				t.Errorf("Old through section: %v", row.Old1(j))
+			}
+			if a.Old2(2, j) != float64(20+j) {
+				t.Errorf("Old through parent: %v", a.Old2(2, j))
+			}
+		}
+		a.ReleaseSnapshot()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedistributeRandomGridShapes(t *testing.T) {
+	// Property: moving a 2-D array between random grid shapes and
+	// distribution mixes preserves every element.
+	shapes := [][2]int{{1, 4}, {4, 1}, {2, 2}}
+	f := func(aRaw, bRaw, seed uint8) bool {
+		const n = 12
+		src := shapes[aRaw%3]
+		dst := shapes[bRaw%3]
+		ok := true
+		m := machine.New(4, machine.ZeroComm())
+		err := m.Run(func(p *machine.Proc) error {
+			gs := topology.New(src[0], src[1])
+			gd := topology.New(dst[0], dst[1])
+			a := New(p, gs, Spec{
+				Extents: []int{n, n},
+				Dists:   []dist.Dist{dist.Block{}, dist.Block{}},
+			})
+			a.Fill(func(idx []int) float64 {
+				return float64((idx[0]*n + idx[1]) * int(seed+1) % 251)
+			})
+			b := a.Redistribute(machine.RootScope().Child(0, int(seed)), gd, Spec{
+				Extents: []int{n, n},
+				Dists:   []dist.Dist{dist.Cyclic{}, dist.Block{}},
+			})
+			b.OwnedEach(func(idx []int) {
+				want := float64((idx[0]*n + idx[1]) * int(seed+1) % 251)
+				if b.At(idx...) != want {
+					ok = false
+				}
+			})
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedistributeToReplicated(t *testing.T) {
+	// Fan-out: block -> fully replicated; every processor ends with the
+	// whole array.
+	m := machine.New(4, machine.ZeroComm())
+	g := topology.New1D(4)
+	err := m.Run(func(p *machine.Proc) error {
+		a := New(p, g, Spec{Extents: []int{10}, Dists: []dist.Dist{dist.Block{}}})
+		a.Fill(func(idx []int) float64 { return float64(idx[0] + 100) })
+		b := a.Redistribute(machine.RootScope(), g, ReplicatedSpec(10))
+		for i := 0; i < 10; i++ {
+			if b.At1(i) != float64(i+100) {
+				t.Errorf("rank %d: b[%d] = %v", p.Rank(), i, b.At1(i))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockAlignedHaloCoversInterpolationReads(t *testing.T) {
+	// The invariant the multigrid transfers rely on: for every fine index
+	// j owned by a processor, the aligned coarse indices (j-1)/2 and
+	// (j+1)/2 are owned or within halo 1 — including processors whose
+	// coarse blocks are empty.
+	f := func(pRaw uint8) bool {
+		procs := []int{2, 4, 8}[pRaw%3]
+		const fineN = 17 // coarse 9
+		ok := true
+		m := machine.New(procs, machine.ZeroComm())
+		g := topology.New1D(procs)
+		err := m.Run(func(p *machine.Proc) error {
+			fine := New(p, g, Spec{
+				Extents: []int{fineN},
+				Dists:   []dist.Dist{dist.Block{}},
+				Halo:    []int{1},
+			})
+			coarse := New(p, g, Spec{
+				Extents: []int{9},
+				Dists:   []dist.Dist{dist.BlockAligned{RootExtent: fineN, Stride: 2}},
+				Halo:    []int{1},
+			})
+			coarse.Fill(func(idx []int) float64 { return float64(idx[0] * 3) })
+			coarse.ExchangeHalo(machine.RootScope())
+			for j := fine.Lower(0); j <= fine.Upper(0); j++ {
+				if j == 0 || j == fineN-1 {
+					continue
+				}
+				var reads []int
+				if j%2 == 0 {
+					reads = []int{j / 2}
+				} else {
+					reads = []int{(j - 1) / 2, (j + 1) / 2}
+				}
+				for _, jc := range reads {
+					if coarse.At1(jc) != float64(jc*3) {
+						ok = false
+					}
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package experiments contains one driver per reproduced artifact of the
+// paper: the five figures (F1-F5) and the measured claims (E1-E9) indexed
+// in DESIGN.md. Each driver is deterministic — it runs on the simulated
+// machine with fixed seeds — and returns both a rendered text report and a
+// map of named metrics that the test and benchmark harnesses assert on.
+// cmd/kfbench prints the reports; EXPERIMENTS.md records them.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Result is one experiment's output.
+type Result struct {
+	// ID is the experiment identifier from DESIGN.md (F1..F5, E1..E9).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Text is the rendered report (tables, series, activity diagrams).
+	Text string
+	// Metrics carries the key numbers for programmatic assertions.
+	Metrics map[string]float64
+}
+
+// All runs every experiment in index order.
+func All() []Result {
+	return []Result{
+		F1FirstReduction(),
+		F2FourRowReduction(),
+		F3Dataflow(),
+		F4Substitution(),
+		F5Mapping(),
+		E1Jacobi(),
+		E2Tri(),
+		E3Pipeline(),
+		E4ADI(),
+		E5MADI(),
+		E6Multigrid(),
+		E7Distribution(),
+		E8CodeSize(),
+		E9Inspector(),
+		A1Mapping(),
+		A2Estimator(),
+		A3Cyclic(),
+	}
+}
+
+// Render formats a result for terminal output.
+func Render(r Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	sb.WriteString(r.Text)
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("metrics:")
+		for _, k := range keys {
+			fmt.Fprintf(&sb, " %s=%.6g", k, r.Metrics[k])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// maxAbsDiff returns the largest absolute element difference.
+func maxAbsDiff(a, b []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// randTridiag builds a diagonally dominant system of size n from a seed.
+func randTridiag(seed uint64, n int) (b, a, c, f []float64) {
+	b = make([]float64, n)
+	a = make([]float64, n)
+	c = make([]float64, n)
+	f = make([]float64, n)
+	s := seed
+	next := func() float64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z%2000)/1000 - 1
+	}
+	for i := 0; i < n; i++ {
+		b[i], c[i] = next(), next()
+		a[i] = 4 + math.Abs(next())
+		f[i] = 10 * next()
+	}
+	b[0], c[n-1] = 0, 0
+	return
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/kf"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/tridiag"
+)
+
+// triOnce solves one random n-row system on p processors under the given
+// cost model and returns the virtual time and machine statistics.
+func triOnce(p, n int, cost machine.CostModel) (float64, machine.Stats) {
+	m := machine.New(p, cost)
+	g := topology.New1D(p)
+	b, a, c, f := randTridiag(31, n)
+	err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+		mk := func(v []float64) *darray.Array {
+			arr := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
+			vv := v
+			arr.Fill(func(idx []int) float64 { return vv[idx[0]] })
+			return arr
+		}
+		x := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
+		return tridiag.Tri(ctx, x, mk(f), mk(b), mk(a), mk(c))
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m.Elapsed(), m.TotalStats()
+}
+
+// E2Tri sweeps the substructured solver over processor counts on two cost
+// models: communication-dominated (iPSC/2) and balanced. The shape the
+// paper implies: the algorithm scales while blocks are big, and latency
+// (log2 p tree steps) caps the win on slow networks.
+func E2Tri() Result {
+	const n = 2048
+	tbl := report.NewTable("substructured tridiagonal solve, n=2048",
+		"processors", "iPSC/2 time (s)", "iPSC/2 speedup", "balanced time (s)", "balanced speedup", "msgs")
+	var t1i, t1b float64
+	metrics := map[string]float64{}
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		ti, _ := triOnce(p, n, machine.IPSC2())
+		tb, st := triOnce(p, n, machine.Balanced())
+		if p == 1 {
+			t1i, t1b = ti, tb
+		}
+		tbl.AddRow(p, ti, t1i/ti, tb, t1b/tb, st.MsgsSent)
+		metrics[keyf("speedup_ipsc2_p%d", p)] = t1i / ti
+		metrics[keyf("speedup_balanced_p%d", p)] = t1b / tb
+	}
+	tbl.AddNote("reduction tree costs 2·log2(p) latency-bound steps; big blocks amortize them")
+	return Result{
+		ID:      "E2",
+		Title:   "parallel tridiagonal solver scaling (Listing 4)",
+		Text:    tbl.String(),
+		Metrics: metrics,
+	}
+}
+
+// E3Pipeline measures claim C4 on the tridiagonal kernel: m systems through
+// the pipelined solver versus m one-at-a-time solves, sweeping m.
+func E3Pipeline() Result {
+	const p, n = 8, 256
+	tbl := report.NewTable("pipelined vs one-at-a-time, p=8, n=256 per system (iPSC/2 costs)",
+		"systems", "one-at-a-time (s)", "pipelined (s)", "ratio", "pipe utilization")
+	metrics := map[string]float64{}
+	for _, msys := range []int{1, 2, 4, 8, 16, 32} {
+		tSeq := runMany(p, n, msys, false, nil)
+		rec := trace.NewRecorder(p)
+		tPipe := runMany(p, n, msys, true, rec)
+		util := rec.MeanUtilization(tPipe)
+		tbl.AddRow(msys, tSeq, tPipe, tSeq/tPipe, util)
+		metrics[keyf("ratio_m%d", msys)] = tSeq / tPipe
+	}
+	tbl.AddNote("the ratio grows with m as the pipeline fills (paper Figure 5 discussion)")
+	return Result{
+		ID:      "E3",
+		Title:   "pipelining multiple tridiagonal systems (Listing 6, claim C4)",
+		Text:    tbl.String(),
+		Metrics: metrics,
+	}
+}
+
+// runMany solves msys constant-coefficient systems, pipelined or not, and
+// returns the virtual time.
+func runMany(p, n, msys int, pipelined bool, rec *trace.Recorder) float64 {
+	m := machine.New(p, machine.IPSC2())
+	if rec != nil {
+		m.SetSink(rec)
+	}
+	g := topology.New1D(p)
+	err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+		xs := make([]*darray.Array, msys)
+		fs := make([]*darray.Array, msys)
+		for j := 0; j < msys; j++ {
+			jj := j
+			fa := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
+			fa.Fill(func(idx []int) float64 { return float64((idx[0]*jj)%13) - 6 })
+			xs[j] = ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
+			fs[j] = fa
+		}
+		if pipelined {
+			return tridiag.MTriC(ctx, xs, fs, -1, 4, -1)
+		}
+		for j := 0; j < msys; j++ {
+			if err := tridiag.TriC(ctx, xs[j], fs[j], -1, 4, -1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m.Elapsed()
+}
+
+func keyf(format string, args ...interface{}) string {
+	return sprintf(format, args...)
+}

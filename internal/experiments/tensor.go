@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adi"
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/kf"
+	"repro/internal/machine"
+	"repro/internal/multigrid"
+	"repro/internal/report"
+	"repro/internal/topology"
+)
+
+func sprintf(format string, args ...interface{}) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// E4ADI verifies the ADI driver (Listing 7): the parallel iterates match
+// the sequential ones and the residual history contracts.
+func E4ADI() Result {
+	par := adi.Params{N: 24, A: 1, B: 1, Iters: 8}
+	f := adi.TestProblem(par.N)
+	seqU, seqHist := adi.Sequential(par, f)
+
+	m := machine.New(4, machine.IPSC2())
+	res, err := adi.Parallel(m, topology.New(2, 2), par, f, false)
+	if err != nil {
+		panic(err)
+	}
+	worst := 0.0
+	for i := 0; i < par.N; i++ {
+		for j := 0; j < par.N; j++ {
+			d := res.U[i][j] - seqU[i][j]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	var sb string
+	sb += report.Series("sequential residual", seqHist)
+	sb += report.Series("parallel residual  ", res.ResNorm)
+	sb += sprintf("max |u_par - u_seq| = %.2e after %d iterations\n", worst, par.Iters)
+	factor := seqHist[len(seqHist)-1] / seqHist[len(seqHist)-2]
+	return Result{
+		ID:    "E4",
+		Title: "ADI iteration built from parallel tridiagonal kernels (Listing 7)",
+		Text:  sb,
+		Metrics: map[string]float64{
+			"maxdiff":      worst,
+			"final_factor": factor,
+			"final_res":    res.ResNorm[len(res.ResNorm)-1],
+		},
+	}
+}
+
+// E5MADI sweeps ADI versus pipelined MADI (Listing 8) over problem sizes
+// and grids, the claim-C4 experiment for two-dimensional tensor product
+// computations.
+func E5MADI() Result {
+	tbl := report.NewTable("ADI vs pipelined MADI, 3 iterations (iPSC/2 costs)",
+		"interior n", "grid", "adi (s)", "madi (s)", "ratio")
+	metrics := map[string]float64{}
+	for _, cfg := range []struct {
+		n, px, py int
+	}{
+		{16, 2, 2}, {32, 2, 2}, {64, 2, 2}, {32, 2, 4}, {64, 4, 4},
+	} {
+		par := adi.Params{N: cfg.n, A: 1, B: 1, Iters: 3}
+		f := adi.TestProblem(par.N)
+		g := topology.New(cfg.px, cfg.py)
+		m1 := machine.New(cfg.px*cfg.py, machine.IPSC2())
+		plain, err := adi.Parallel(m1, g, par, f, false)
+		if err != nil {
+			panic(err)
+		}
+		m2 := machine.New(cfg.px*cfg.py, machine.IPSC2())
+		piped, err := adi.Parallel(m2, g, par, f, true)
+		if err != nil {
+			panic(err)
+		}
+		ratio := plain.Elapsed / piped.Elapsed
+		tbl.AddRow(cfg.n, sprintf("%dx%d", cfg.px, cfg.py), plain.Elapsed, piped.Elapsed, ratio)
+		metrics[keyf("ratio_n%d_p%dx%d", cfg.n, cfg.px, cfg.py)] = ratio
+	}
+	tbl.AddNote("madi pipelines each slice's line solves through one tree (paper Listing 8)")
+	return Result{
+		ID:      "E5",
+		Title:   "pipelined ADI (madi) vs line-at-a-time ADI (claim C4)",
+		Text:    tbl.String(),
+		Metrics: metrics,
+	}
+}
+
+// E6Multigrid records the convergence factors of MG2 and MG3 and checks
+// parallel/sequential agreement — the qualitative content of Section 5.
+func E6Multigrid() Result {
+	var text string
+	metrics := map[string]float64{}
+
+	// MG2 on 32x32, sequential and 4 processors.
+	hist2 := runMG2(1, topology.New1D(1), 32)
+	text += report.Series("MG2 32x32 residual (1 proc)", hist2)
+	f2 := hist2[len(hist2)-1] / hist2[len(hist2)-2]
+	metrics["mg2_factor"] = f2
+
+	hist2p := runMG2(4, topology.New1D(4), 32)
+	text += report.Series("MG2 32x32 residual (4 proc)", hist2p)
+	metrics["mg2_par_vs_seq"] = relDiff(hist2, hist2p)
+
+	// MG3 on 16^3 with 1 and 2 plane cycles.
+	hist3 := runMG3(1, topology.New1D(1), 16, dist.Star{}, dist.Star{}, dist.Block{}, 1)
+	text += report.Series("MG3 16^3 residual (1 plane cycle) ", hist3)
+	metrics["mg3_factor_pc1"] = hist3[len(hist3)-1] / hist3[len(hist3)-2]
+
+	hist3b := runMG3(1, topology.New1D(1), 16, dist.Star{}, dist.Star{}, dist.Block{}, 2)
+	text += report.Series("MG3 16^3 residual (2 plane cycles)", hist3b)
+	metrics["mg3_factor_pc2"] = hist3b[len(hist3b)-1] / hist3b[len(hist3b)-2]
+
+	text += sprintf("asymptotic V-cycle factors: MG2 %.3f, MG3 %.3f (1 plane cycle), %.3f (2)\n",
+		f2, metrics["mg3_factor_pc1"], metrics["mg3_factor_pc2"])
+	return Result{
+		ID:      "E6",
+		Title:   "multigrid with zebra relaxation and semicoarsening (Listings 9-11)",
+		Text:    text,
+		Metrics: metrics,
+	}
+}
+
+func relDiff(a, b []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if a[i] != 0 {
+			d /= a[i]
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func runMG2(nprocs int, g *topology.Grid, n int) []float64 {
+	var hist []float64
+	m := machine.New(nprocs, machine.ZeroComm())
+	err := kf.Exec(m, g, func(c *kf.Ctx) error {
+		u, f := mgProblem2(c, n)
+		h := multigrid.Solve2(c, u, f, multigrid.Default2D(n, n), 8)
+		if c.P.Rank() == 0 {
+			hist = h
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return hist
+}
+
+func runMG3(nprocs int, g *topology.Grid, n int, dx, dy, dz dist.Dist, planeCycles int) []float64 {
+	var hist []float64
+	m := machine.New(nprocs, machine.ZeroComm())
+	err := kf.Exec(m, g, func(c *kf.Ctx) error {
+		u, f := mgProblem3(c, n, dx, dy, dz)
+		par := multigrid.Default3D(n, n, n)
+		par.PlaneCycles = planeCycles
+		h := multigrid.Solve3(c, u, f, par, 6)
+		if c.P.Rank() == 0 {
+			hist = h
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return hist
+}
+
+// E7Distribution is the claim-C3 ablation: MG3 under three dist clauses.
+// The code is identical; only the one-line Spec changes. The table reports
+// where the time goes under realistic costs.
+func E7Distribution() Result {
+	const n = 16
+	tbl := report.NewTable("MG3 16^3, 2 V-cycles under different dist clauses (iPSC/2 costs, 4 processors)",
+		"dist clause", "grid", "virtual time (s)", "msgs", "bytes", "final residual")
+	metrics := map[string]float64{}
+	type variant struct {
+		name       string
+		g          *topology.Grid
+		dx, dy, dz dist.Dist
+	}
+	for _, v := range []variant{
+		{"(*, block, block)", topology.New(2, 2), dist.Star{}, dist.Block{}, dist.Block{}},
+		{"(*, *, block)", topology.New1D(4), dist.Star{}, dist.Star{}, dist.Block{}},
+		{"(block, block, *)", topology.New(2, 2), dist.Block{}, dist.Block{}, dist.Star{}},
+	} {
+		m := machine.New(4, machine.IPSC2())
+		var final float64
+		err := kf.Exec(m, v.g, func(c *kf.Ctx) error {
+			u, f := mgProblem3(c, n, v.dx, v.dy, v.dz)
+			h := multigrid.Solve3(c, u, f, multigrid.Default3D(n, n, n), 2)
+			final = h[len(h)-1]
+			return nil
+		})
+		if err != nil {
+			panic(err)
+		}
+		st := m.TotalStats()
+		tbl.AddRow(v.name, v.g.String(), m.Elapsed(), st.MsgsSent, st.BytesSent, final)
+		metrics[keyf("time_%s", sanitize(v.name))] = m.Elapsed()
+	}
+	tbl.AddNote("one-line dist change moves the parallelism between levels of the nested algorithm (claim C3)")
+	return Result{
+		ID:      "E7",
+		Title:   "distribution choice ablation for MG3 (Section 5 discussion, claim C3)",
+		Text:    tbl.String(),
+		Metrics: metrics,
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '(', ')', ' ', ',':
+		case '*':
+			out = append(out, 's')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// mgProblem2 builds the standard 2-D multigrid test problem.
+func mgProblem2(c *kf.Ctx, n int) (u, f *darray.Array) {
+	spec := darray.Spec{
+		Extents: []int{n + 1, n + 1},
+		Dists:   []dist.Dist{dist.Star{}, dist.Block{}},
+		Halo:    []int{0, 1},
+	}
+	u = c.NewArray(spec)
+	f = c.NewArray(spec)
+	u.Zero()
+	f.Zero()
+	f.Fill(func(idx []int) float64 {
+		i, j := idx[0], idx[1]
+		if i == 0 || i == n || j == 0 || j == n {
+			return 0
+		}
+		return float64((i*31+j*17)%23) - 11
+	})
+	return u, f
+}
+
+// mgProblem3 builds the standard 3-D multigrid test problem under the
+// requested distributions.
+func mgProblem3(c *kf.Ctx, n int, dx, dy, dz dist.Dist) (u, f *darray.Array) {
+	halo := make([]int, 3)
+	for i, d := range []dist.Dist{dx, dy, dz} {
+		if _, isStar := d.(dist.Star); !isStar {
+			halo[i] = 1
+		}
+	}
+	spec := darray.Spec{
+		Extents: []int{n + 1, n + 1, n + 1},
+		Dists:   []dist.Dist{dx, dy, dz},
+		Halo:    halo,
+	}
+	u = c.NewArray(spec)
+	f = c.NewArray(spec)
+	u.Zero()
+	f.Zero()
+	f.Fill(func(idx []int) float64 {
+		i, j, k := idx[0], idx[1], idx[2]
+		if i == 0 || i == n || j == 0 || j == n || k == 0 || k == n {
+			return 0
+		}
+		return float64((i*7+j*5+k*3)%17) - 8
+	})
+	return u, f
+}

@@ -1,0 +1,202 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kf"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+// transform runs the distributed FFT of f on p processors and returns the
+// naturally ordered spectrum.
+func transform(t *testing.T, p, n int, f func(i int) complex128) []complex128 {
+	t.Helper()
+	m := machine.New(p, machine.ZeroComm())
+	g := topology.New1D(p)
+	var out []complex128
+	err := kf.Exec(m, g, func(c *kf.Ctx) error {
+		d := NewData(c, n, f)
+		res, err := Transform(c, d)
+		if err != nil {
+			return err
+		}
+		spec := GatherOrdered(c, res)
+		if c.GridIndex() == 0 {
+			out = spec
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func maxErr(a, b []complex128) float64 {
+	worst := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestImpulseGivesFlatSpectrum(t *testing.T) {
+	got := transform(t, 4, 32, func(i int) complex128 {
+		if i == 0 {
+			return 1
+		}
+		return 0
+	})
+	for k, v := range got {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("X[%d] = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestConstantGivesDelta(t *testing.T) {
+	const n = 32
+	got := transform(t, 4, n, func(i int) complex128 { return 1 })
+	if cmplx.Abs(got[0]-complex(float64(n), 0)) > 1e-10 {
+		t.Errorf("X[0] = %v, want %d", got[0], n)
+	}
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(got[k]) > 1e-10 {
+			t.Errorf("X[%d] = %v, want 0", k, got[k])
+		}
+	}
+}
+
+func TestSingleToneLandsInOneBin(t *testing.T) {
+	const n, tone = 64, 5
+	got := transform(t, 8, n, func(i int) complex128 {
+		return cmplx.Exp(complex(0, 2*math.Pi*tone*float64(i)/float64(n)))
+	})
+	for k := 0; k < n; k++ {
+		want := complex(0, 0)
+		if k == tone {
+			want = complex(float64(n), 0)
+		}
+		if cmplx.Abs(got[k]-want) > 1e-9 {
+			t.Errorf("X[%d] = %v, want %v", k, got[k], want)
+		}
+	}
+}
+
+func TestMatchesDFTProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 32
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s>>40)/float64(1<<24) - 0.5
+		}
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(next(), next())
+		}
+		got := transform(t, 4, n, func(i int) complex128 { return x[i] })
+		want := DFT(x)
+		return maxErr(got, want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	const n = 64
+	input := func(i int) complex128 {
+		return complex(math.Sin(float64(i)*0.3), math.Cos(float64(i)*0.17))
+	}
+	ref := transform(t, 1, n, input)
+	for _, p := range []int{2, 4, 8} {
+		got := transform(t, p, n, input)
+		if e := maxErr(got, ref); e > 1e-10 {
+			t.Errorf("p=%d: max error %v vs sequential", p, e)
+		}
+	}
+}
+
+func TestRoundTripViaConjugate(t *testing.T) {
+	// IFFT(x) = conj(FFT(conj(x)))/n: two forward transforms recover the
+	// input.
+	const n, p = 64, 4
+	input := make([]complex128, n)
+	for i := range input {
+		input[i] = complex(float64(i%7)-3, float64(i%5)-2)
+	}
+	fwd := transform(t, p, n, func(i int) complex128 { return input[i] })
+	back := transform(t, p, n, func(i int) complex128 { return cmplx.Conj(fwd[i]) })
+	worst := 0.0
+	for i := range input {
+		rec := cmplx.Conj(back[i]) / complex(float64(n), 0)
+		if d := cmplx.Abs(rec - input[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-10 {
+		t.Errorf("round trip error %v", worst)
+	}
+}
+
+func TestBitReverseIndex(t *testing.T) {
+	cases := []struct{ i, n, want int }{
+		{0, 8, 0}, {1, 8, 4}, {2, 8, 2}, {3, 8, 6},
+		{4, 8, 1}, {5, 8, 5}, {6, 8, 3}, {7, 8, 7},
+	}
+	for _, c := range cases {
+		if got := BitReverseIndex(c.i, c.n); got != c.want {
+			t.Errorf("BitReverseIndex(%d, %d) = %d, want %d", c.i, c.n, got, c.want)
+		}
+	}
+	// Involution property.
+	for i := 0; i < 64; i++ {
+		if BitReverseIndex(BitReverseIndex(i, 64), 64) != i {
+			t.Errorf("bit reversal not an involution at %d", i)
+		}
+	}
+}
+
+func TestTransformRejectsBadShapes(t *testing.T) {
+	m := machine.New(4, machine.ZeroComm())
+	g := topology.New1D(4)
+	err := kf.Exec(m, g, func(c *kf.Ctx) error {
+		// n < p^2.
+		d := NewData(c, 8, func(i int) complex128 { return 1 })
+		if _, err := Transform(c, d); err == nil {
+			t.Error("n < p^2 accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommunicationIsOneRedistribution(t *testing.T) {
+	// The transform's only interprocessor traffic is the cyclic->block
+	// redistribution: per processor, at most p-1 messages out.
+	const n, p = 64, 4
+	m := machine.New(p, machine.IPSC2())
+	g := topology.New1D(p)
+	err := kf.Exec(m, g, func(c *kf.Ctx) error {
+		d := NewData(c, n, func(i int) complex128 { return complex(float64(i), 0) })
+		_, err := Transform(c, d)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.TotalStats()
+	maxMsgs := int64(2 * p * (p - 1)) // two arrays, all-to-all each
+	if st.MsgsSent > maxMsgs {
+		t.Errorf("transform sent %d messages, want <= %d", st.MsgsSent, maxMsgs)
+	}
+}

@@ -1,0 +1,190 @@
+// Package imaging implements separable image filtering — the "picture
+// processing" application the paper's introduction lists among the uses of
+// tensor product algorithms. A separable 2-D convolution is literally a
+// tensor product of two 1-D kernels: a row pass followed by a column pass,
+// each a one-dimensional operation applied to every slice, which is
+// precisely the algorithm shape the KF1 constructs target.
+//
+// Images are block/block-distributed 2-D arrays with halo width equal to
+// the kernel radius; each pass needs one ghost exchange along its own
+// dimension. Out-of-range taps are dropped and the remaining weights are
+// renormalized (a standard edge treatment).
+package imaging
+
+import (
+	"fmt"
+
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/kf"
+)
+
+// Smooth applies the symmetric 1-D kernel (center weight kernel[0], offset
+// r weight kernel[r]) along rows and then columns of img, writing into
+// out. img and out must share extents, distribution and halo at least the
+// kernel radius; every processor of c.G participates. img's halo cells are
+// overwritten by the exchanges.
+func Smooth(c *kf.Ctx, img, out *darray.Array, kernel []float64) error {
+	if img.Dims() != 2 || out.Dims() != 2 {
+		return fmt.Errorf("imaging: Smooth needs 2-D arrays")
+	}
+	radius := len(kernel) - 1
+	if radius < 0 {
+		return fmt.Errorf("imaging: empty kernel")
+	}
+	ny, nx := img.Extent(0), img.Extent(1)
+	if out.Extent(0) != ny || out.Extent(1) != nx {
+		return fmt.Errorf("imaging: image %dx%d vs output %dx%d", ny, nx, out.Extent(0), out.Extent(1))
+	}
+
+	// Row pass: convolve along dimension 1 into a temporary.
+	tmp := darray.New(c.P, img.Grid(), darray.Spec{
+		Extents: []int{ny, nx},
+		Dists:   []dist.Dist{img.Dist(0), img.Dist(1)},
+		Halo:    []int{radius, radius},
+	})
+	if radius > 0 && distributed(img, 1) {
+		img.ExchangeHalo(c.NextScope(), 1)
+	}
+	tmp.Zero()
+	flops := 0
+	tmp.OwnedEach(func(idx []int) {
+		i, j := idx[0], idx[1]
+		acc, wsum := kernel[0]*img.At2(i, j), kernel[0]
+		for r := 1; r <= radius; r++ {
+			if j-r >= 0 {
+				acc += kernel[r] * img.At2(i, j-r)
+				wsum += kernel[r]
+			}
+			if j+r < nx {
+				acc += kernel[r] * img.At2(i, j+r)
+				wsum += kernel[r]
+			}
+		}
+		tmp.Set2(i, j, acc/wsum)
+		flops += 4*radius + 3
+	})
+	c.P.Compute(flops)
+
+	// Column pass: convolve along dimension 0 into out.
+	if radius > 0 && distributed(tmp, 0) {
+		tmp.ExchangeHalo(c.NextScope(), 0)
+	}
+	flops = 0
+	out.OwnedEach(func(idx []int) {
+		i, j := idx[0], idx[1]
+		acc, wsum := kernel[0]*tmp.At2(i, j), kernel[0]
+		for r := 1; r <= radius; r++ {
+			if i-r >= 0 {
+				acc += kernel[r] * tmp.At2(i-r, j)
+				wsum += kernel[r]
+			}
+			if i+r < ny {
+				acc += kernel[r] * tmp.At2(i+r, j)
+				wsum += kernel[r]
+			}
+		}
+		out.Set2(i, j, acc/wsum)
+		flops += 4*radius + 3
+	})
+	c.P.Compute(flops)
+	return nil
+}
+
+// distributed reports whether free dimension d of a is distributed.
+func distributed(a *darray.Array, d int) bool {
+	_, isStar := a.Dist(d).(dist.Star)
+	return !isStar
+}
+
+// SmoothSeq is the sequential reference: the same separable convolution on
+// a dense row-major image.
+func SmoothSeq(img []float64, ny, nx int, kernel []float64) []float64 {
+	radius := len(kernel) - 1
+	tmp := make([]float64, ny*nx)
+	for i := 0; i < ny; i++ {
+		for j := 0; j < nx; j++ {
+			acc, wsum := kernel[0]*img[i*nx+j], kernel[0]
+			for r := 1; r <= radius; r++ {
+				if j-r >= 0 {
+					acc += kernel[r] * img[i*nx+j-r]
+					wsum += kernel[r]
+				}
+				if j+r < nx {
+					acc += kernel[r] * img[i*nx+j+r]
+					wsum += kernel[r]
+				}
+			}
+			tmp[i*nx+j] = acc / wsum
+		}
+	}
+	out := make([]float64, ny*nx)
+	for i := 0; i < ny; i++ {
+		for j := 0; j < nx; j++ {
+			acc, wsum := kernel[0]*tmp[i*nx+j], kernel[0]
+			for r := 1; r <= radius; r++ {
+				if i-r >= 0 {
+					acc += kernel[r] * tmp[(i-r)*nx+j]
+					wsum += kernel[r]
+				}
+				if i+r < ny {
+					acc += kernel[r] * tmp[(i+r)*nx+j]
+					wsum += kernel[r]
+				}
+			}
+			out[i*nx+j] = acc / wsum
+		}
+	}
+	return out
+}
+
+// Binomial returns the half-kernel of the binomial filter of the given
+// radius (radius 1: [2 1]/4 — the classic 1-2-1 smoother).
+func Binomial(radius int) []float64 {
+	// Full row of Pascal's triangle of order 2*radius.
+	n := 2 * radius
+	row := make([]float64, n+1)
+	row[0] = 1
+	for i := 1; i <= n; i++ {
+		for j := i; j > 0; j-- {
+			row[j] += row[j-1]
+		}
+	}
+	total := 0.0
+	for _, v := range row {
+		total += v
+	}
+	half := make([]float64, radius+1)
+	for r := 0; r <= radius; r++ {
+		half[r] = row[radius+r] / total
+	}
+	return half
+}
+
+// Roughness returns the mean absolute difference between horizontally and
+// vertically adjacent pixels — a simple sharpness measure the tests and
+// example use.
+func Roughness(img []float64, ny, nx int) float64 {
+	sum, cnt := 0.0, 0
+	for i := 0; i < ny; i++ {
+		for j := 0; j < nx; j++ {
+			if j+1 < nx {
+				d := img[i*nx+j] - img[i*nx+j+1]
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+				cnt++
+			}
+			if i+1 < ny {
+				d := img[i*nx+j] - img[(i+1)*nx+j]
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+				cnt++
+			}
+		}
+	}
+	return sum / float64(cnt)
+}

@@ -1,0 +1,152 @@
+package imaging
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/kf"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+// smoothOn runs the distributed filter and returns the gathered output.
+func smoothOn(t *testing.T, img []float64, ny, nx, px, py int, kernel []float64) []float64 {
+	t.Helper()
+	radius := len(kernel) - 1
+	m := machine.New(px*py, machine.ZeroComm())
+	g := topology.New(px, py)
+	var flat []float64
+	err := kf.Exec(m, g, func(c *kf.Ctx) error {
+		spec := darray.Spec{
+			Extents: []int{ny, nx},
+			Dists:   []dist.Dist{dist.Block{}, dist.Block{}},
+			Halo:    []int{radius, radius},
+		}
+		in := c.NewArray(spec)
+		out := c.NewArray(spec)
+		in.Fill(func(idx []int) float64 { return img[idx[0]*nx+idx[1]] })
+		out.Zero()
+		if err := Smooth(c, in, out, kernel); err != nil {
+			return err
+		}
+		o := out.GatherTo(c.NextScope(), 0)
+		if c.GridIndex() == 0 {
+			flat = o
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flat
+}
+
+func checkerboard(ny, nx int) []float64 {
+	img := make([]float64, ny*nx)
+	for i := 0; i < ny; i++ {
+		for j := 0; j < nx; j++ {
+			if (i/4+j/4)%2 == 0 {
+				img[i*nx+j] = 1
+			}
+		}
+	}
+	return img
+}
+
+func TestIdentityKernelIsNoOp(t *testing.T) {
+	const ny, nx = 16, 16
+	img := checkerboard(ny, nx)
+	got := smoothOn(t, img, ny, nx, 2, 2, []float64{1})
+	for i := range img {
+		if got[i] != img[i] {
+			t.Fatalf("identity kernel changed pixel %d: %v -> %v", i, img[i], got[i])
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	const ny, nx = 24, 20
+	img := checkerboard(ny, nx)
+	want := SmoothSeq(img, ny, nx, Binomial(2))
+	for _, shape := range [][2]int{{1, 1}, {2, 2}, {4, 2}} {
+		got := smoothOn(t, img, ny, nx, shape[0], shape[1], Binomial(2))
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("grid %v: pixel %d differs: %v vs %v", shape, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSmoothingReducesRoughness(t *testing.T) {
+	const ny, nx = 32, 32
+	img := checkerboard(ny, nx)
+	before := Roughness(img, ny, nx)
+	out := smoothOn(t, img, ny, nx, 2, 2, Binomial(1))
+	after := Roughness(out, ny, nx)
+	if after >= before {
+		t.Errorf("roughness %v -> %v; smoothing should reduce it", before, after)
+	}
+}
+
+func TestConstantImageIsFixedPoint(t *testing.T) {
+	// Renormalized edges keep flat images exactly flat.
+	f := func(vRaw uint8) bool {
+		const ny, nx = 12, 12
+		v := float64(vRaw)
+		img := make([]float64, ny*nx)
+		for i := range img {
+			img[i] = v
+		}
+		out := SmoothSeq(img, ny, nx, Binomial(2))
+		for i := range out {
+			if math.Abs(out[i]-v) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialKernels(t *testing.T) {
+	k1 := Binomial(1) // 1-2-1 / 4: half = [0.5, 0.25]
+	if math.Abs(k1[0]-0.5) > 1e-12 || math.Abs(k1[1]-0.25) > 1e-12 {
+		t.Errorf("Binomial(1) = %v", k1)
+	}
+	k2 := Binomial(2) // 1-4-6-4-1 / 16: half = [6/16, 4/16, 1/16]
+	if math.Abs(k2[0]-6.0/16) > 1e-12 || math.Abs(k2[1]-4.0/16) > 1e-12 || math.Abs(k2[2]-1.0/16) > 1e-12 {
+		t.Errorf("Binomial(2) = %v", k2)
+	}
+}
+
+func TestSmoothRejectsBadShapes(t *testing.T) {
+	m := machine.New(1, machine.ZeroComm())
+	g := topology.New1D(1)
+	err := kf.Exec(m, g, func(c *kf.Ctx) error {
+		a := c.NewArray(darray.Spec{
+			Extents: []int{8, 8},
+			Dists:   []dist.Dist{dist.Star{}, dist.Block{}},
+			Halo:    []int{0, 1},
+		})
+		b := c.NewArray(darray.Spec{
+			Extents: []int{8, 10},
+			Dists:   []dist.Dist{dist.Star{}, dist.Block{}},
+			Halo:    []int{0, 1},
+		})
+		a.Zero()
+		b.Zero()
+		if err := Smooth(c, a, b, Binomial(1)); err == nil {
+			t.Error("mismatched extents accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,358 @@
+// Package jacobi implements the paper's Section 2 example three ways:
+//
+//   - Sequential: plain Go, the paper's Listing 1.
+//   - MessagePassing: hand-written sends and receives against the raw
+//     simulated machine, the paper's Listing 2 — every guard, edge copy and
+//     tag written out by hand, as an Occam-style programmer would.
+//   - KF1: the kf runtime version, the paper's Listing 3 — a doall loop
+//     with an owner-computes clause; all communication derived by the
+//     runtime.
+//
+// The three produce bitwise-identical iterates, and the virtual-time cost
+// of KF1 matches MessagePassing (claim C2: "there would be no difference
+// between the execution time of algorithms expressed in KF1, and those
+// expressed in a message passing language"), while the statement-count
+// ratio between MessagePassing and Sequential reproduces claim C1.
+package jacobi
+
+import (
+	"fmt"
+
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/kf"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+// Result carries a parallel Jacobi run's outputs: the gathered solution
+// (only meaningful entries on success), the virtual time consumed by the
+// iteration loop (max over processors, excluding the final verification
+// gather), and the machine's aggregate statistics.
+type Result struct {
+	X       [][]float64
+	Elapsed float64
+	Stats   machine.Stats
+}
+
+// Sequential runs niter Jacobi sweeps for Poisson's equation on an NxN
+// point grid (boundary points held fixed), the paper's Listing 1:
+//
+//	X(i,j) = 0.25*(X(i+1,j) + X(i-1,j) + X(i,j+1) + X(i,j-1)) - f(i,j)
+//
+// x0 is not modified; the final grid is returned.
+func Sequential(x0, f [][]float64, niter int) [][]float64 {
+	n := len(x0)
+	x := cloneGrid(x0)
+	tmp := cloneGrid(x0)
+	for it := 0; it < niter; it++ {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				tmp[i][j] = x[i][j]
+			}
+		}
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				x[i][j] = 0.25*(tmp[i+1][j]+tmp[i-1][j]+tmp[i][j+1]+tmp[i][j-1]) - f[i][j]
+			}
+		}
+		// Boundary rows feed the interior but are never overwritten, so
+		// tmp's boundary must track x's (it does: both copies of x0).
+	}
+	return x
+}
+
+// KF1 runs the same iteration as a KF1 parallel subroutine on a pxp
+// processor grid (the paper's Listing 3): X and f are (block, block)
+// distributed and the sweep is a two-dimensional doall with an
+// owner-computes on-clause. The returned grid is gathered onto rank 0.
+func KF1(m *machine.Machine, g *topology.Grid, x0, f [][]float64, niter int) (Result, error) {
+	n := len(x0)
+	var res Result
+	err := kf.Exec(m, g, func(c *kf.Ctx) error {
+		spec := darray.Spec{
+			Extents: []int{n, n},
+			Dists:   []dist.Dist{dist.Block{}, dist.Block{}},
+			Halo:    []int{1, 1},
+		}
+		x := c.NewArray(spec)
+		fd := c.NewArray(spec)
+		x.Fill(func(idx []int) float64 { return x0[idx[0]][idx[1]] })
+		fd.Fill(func(idx []int) float64 { return f[idx[0]][idx[1]] })
+		for it := 0; it < niter; it++ {
+			c.Doall2(kf.R(1, n-2), kf.R(1, n-2), kf.OnOwner2(x),
+				[]kf.LoopOpt{kf.Reads(x), kf.ReadsNoHalo(fd)},
+				func(cc *kf.Ctx, i, j int) {
+					x.Set2(i, j, 0.25*(x.Old2(i+1, j)+x.Old2(i-1, j)+x.Old2(i, j+1)+x.Old2(i, j-1))-fd.Old2(i, j))
+					cc.P.Compute(5)
+				})
+		}
+		elapsed := c.AllReduceMax(c.P.Clock())
+		flat := x.GatherTo(c.NextScope(), 0)
+		if c.P.Rank() == 0 {
+			res.Elapsed = elapsed
+			res.X = unflatten(flat, n)
+		}
+		return nil
+	})
+	res.Stats = m.TotalStats()
+	return res, err
+}
+
+// Tags for the hand-written message passing version, one per edge
+// direction, exactly the four guarded send/receive pairs of Listing 2.
+const (
+	tagNorth = iota + 1 // to smaller i
+	tagSouth            // to larger i
+	tagWest             // to smaller j
+	tagEast             // to larger j
+	tagGather
+)
+
+// MessagePassing runs the same iteration written directly against the
+// machine's send/receive primitives, following the paper's Listing 2: the
+// programmer decomposes the array by hand, maintains a (m+2)x(m+2) local
+// block with boundary rows, and writes one guarded send and receive per
+// neighbor per iteration. g must be a square pxp grid and the array
+// dimension must be divisible by p.
+func MessagePassing(m *machine.Machine, g *topology.Grid, x0, f [][]float64, niter int) (Result, error) {
+	n := len(x0)
+	if g.Dims() != 2 || g.Extent(0) != g.Extent(1) {
+		return Result{}, fmt.Errorf("jacobi: message passing version needs a square processor grid, got %v", g.Shape())
+	}
+	p := g.Extent(0)
+	var res Result
+	err := m.Run(func(pr *machine.Proc) error {
+		coord, ok := g.CoordOf(pr.Rank())
+		if !ok {
+			return nil
+		}
+		ip, jp := coord[0], coord[1]
+		// Hand strip-mining: this processor owns rows [ilo, ihi] and
+		// columns [jlo, jhi] of the global array.
+		ilo, ihi := ip*n/p, (ip+1)*n/p-1
+		jlo, jhi := jp*n/p, (jp+1)*n/p-1
+		mi, mj := ihi-ilo+1, jhi-jlo+1
+		// Local block with one ghost layer all around.
+		x := make([][]float64, mi+2)
+		tmp := make([][]float64, mi+2)
+		fl := make([][]float64, mi+2)
+		for i := range x {
+			x[i] = make([]float64, mj+2)
+			tmp[i] = make([]float64, mj+2)
+			fl[i] = make([]float64, mj+2)
+		}
+		for i := 0; i < mi; i++ {
+			for j := 0; j < mj; j++ {
+				x[i+1][j+1] = x0[ilo+i][jlo+j]
+				fl[i+1][j+1] = f[ilo+i][jlo+j]
+			}
+		}
+		// Fixed global boundary values live in the ghost layer for
+		// blocks that touch the domain edge.
+		if ilo == 0 {
+			for j := 0; j < mj; j++ {
+				x[0][j+1] = x0[0][jlo+j]
+			}
+		}
+		if ihi == n-1 {
+			for j := 0; j < mj; j++ {
+				x[mi+1][j+1] = x0[n-1][jlo+j]
+			}
+		}
+		if jlo == 0 {
+			for i := 0; i < mi; i++ {
+				x[i+1][0] = x0[ilo+i][0]
+			}
+		}
+		if jhi == n-1 {
+			for i := 0; i < mi; i++ {
+				x[i+1][mj+1] = x0[ilo+i][n-1]
+			}
+		}
+		row := make([]float64, mj)
+		col := make([]float64, mi)
+		for it := 0; it < niter; it++ {
+			// Copy solution into the temporary array (including
+			// ghosts, which hold either fixed boundary values or
+			// last iteration's neighbor edges).
+			for i := 0; i < mi+2; i++ {
+				copy(tmp[i], x[i])
+			}
+			// Send edge values to the four neighbors, guarded as
+			// in Listing 2.
+			if ip > 0 {
+				copy(row, x[1][1:mj+1])
+				pr.Send(g.Rank(ip-1, jp), machine.TagOf(tagNorth, uint16(it)), row)
+			}
+			if ip < p-1 {
+				copy(row, x[mi][1:mj+1])
+				pr.Send(g.Rank(ip+1, jp), machine.TagOf(tagSouth, uint16(it)), row)
+			}
+			if jp > 0 {
+				for i := 0; i < mi; i++ {
+					col[i] = x[i+1][1]
+				}
+				pr.Send(g.Rank(ip, jp-1), machine.TagOf(tagWest, uint16(it)), col)
+			}
+			if jp < p-1 {
+				for i := 0; i < mi; i++ {
+					col[i] = x[i+1][mj]
+				}
+				pr.Send(g.Rank(ip, jp+1), machine.TagOf(tagEast, uint16(it)), col)
+			}
+			// Receive edge values from the four neighbors.
+			if ip < p-1 {
+				edge := pr.Recv(g.Rank(ip+1, jp), machine.TagOf(tagNorth, uint16(it)))
+				copy(tmp[mi+1][1:mj+1], edge)
+			}
+			if ip > 0 {
+				edge := pr.Recv(g.Rank(ip-1, jp), machine.TagOf(tagSouth, uint16(it)))
+				copy(tmp[0][1:mj+1], edge)
+			}
+			if jp < p-1 {
+				edge := pr.Recv(g.Rank(ip, jp+1), machine.TagOf(tagWest, uint16(it)))
+				for i := 0; i < mi; i++ {
+					tmp[i+1][mj+1] = edge[i]
+				}
+			}
+			if jp > 0 {
+				edge := pr.Recv(g.Rank(ip, jp-1), machine.TagOf(tagEast, uint16(it)))
+				for i := 0; i < mi; i++ {
+					tmp[i+1][0] = edge[i]
+				}
+			}
+			// Update the solution, skipping global boundary points.
+			for i := 1; i <= mi; i++ {
+				gi := ilo + i - 1
+				if gi == 0 || gi == n-1 {
+					continue
+				}
+				for j := 1; j <= mj; j++ {
+					gj := jlo + j - 1
+					if gj == 0 || gj == n-1 {
+						continue
+					}
+					x[i][j] = 0.25*(tmp[i+1][j]+tmp[i-1][j]+tmp[i][j+1]+tmp[i][j-1]) - fl[i][j]
+					pr.Compute(5)
+				}
+			}
+		}
+		// Record the loop's finish time before the verification
+		// gather (hand-coded max-reduction to rank 0 and broadcast).
+		finish := maxReduce(pr, g, pr.Clock())
+		// Gather the solution on rank 0 for verification.
+		buf := make([]float64, 0, mi*mj)
+		for i := 1; i <= mi; i++ {
+			buf = append(buf, x[i][1:mj+1]...)
+		}
+		if pr.Rank() != g.Rank(0, 0) {
+			pr.Send(g.Rank(0, 0), machine.TagOf(tagGather, uint16(ip), uint16(jp)), buf)
+			return nil
+		}
+		out := make([][]float64, n)
+		for i := range out {
+			out[i] = make([]float64, n)
+		}
+		for qi := 0; qi < p; qi++ {
+			for qj := 0; qj < p; qj++ {
+				blk := buf
+				if qi != 0 || qj != 0 {
+					blk = pr.Recv(g.Rank(qi, qj), machine.TagOf(tagGather, uint16(qi), uint16(qj)))
+				}
+				qlo, qhi := qi*n/p, (qi+1)*n/p-1
+				rlo, rhi := qj*n/p, (qj+1)*n/p-1
+				k := 0
+				for i := qlo; i <= qhi; i++ {
+					for j := rlo; j <= rhi; j++ {
+						out[i][j] = blk[k]
+						k++
+					}
+				}
+			}
+		}
+		res.X = out
+		res.Elapsed = finish
+		return nil
+	})
+	res.Stats = m.TotalStats()
+	return res, err
+}
+
+// maxReduce is a hand-written max-reduction to rank (0,0) followed by a
+// broadcast — the kind of utility an Occam-style programmer writes by hand.
+func maxReduce(pr *machine.Proc, g *topology.Grid, v float64) float64 {
+	const tagUp, tagDown = 101, 102
+	idx, _ := g.Index(pr.Rank())
+	n := g.Size()
+	acc := v
+	for stride := 1; stride < n; stride *= 2 {
+		if idx%(2*stride) == 0 {
+			if idx+stride < n {
+				o := pr.RecvValue(g.RankAt(idx+stride), machine.TagOf(tagUp, uint16(stride)))
+				if o > acc {
+					acc = o
+				}
+			}
+		} else {
+			pr.SendValue(g.RankAt(idx-stride), machine.TagOf(tagUp, uint16(stride)), acc)
+			break
+		}
+	}
+	if idx != 0 {
+		stride := 1
+		for ; idx%(2*stride) == 0; stride *= 2 {
+		}
+		acc = pr.RecvValue(g.RankAt(idx-stride), machine.TagOf(tagDown, uint16(stride)))
+		for s := stride / 2; s >= 1; s /= 2 {
+			if idx+s < n {
+				pr.SendValue(g.RankAt(idx+s), machine.TagOf(tagDown, uint16(s)), acc)
+			}
+		}
+	} else {
+		top := 1
+		for top < n {
+			top *= 2
+		}
+		for s := top / 2; s >= 1; s /= 2 {
+			if s < n {
+				pr.SendValue(g.RankAt(s), machine.TagOf(tagDown, uint16(s)), acc)
+			}
+		}
+	}
+	return acc
+}
+
+func cloneGrid(src [][]float64) [][]float64 {
+	out := make([][]float64, len(src))
+	for i := range src {
+		out[i] = append([]float64(nil), src[i]...)
+	}
+	return out
+}
+
+func unflatten(flat []float64, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = flat[i*n : (i+1)*n]
+	}
+	return out
+}
+
+// Problem builds a test problem: an NxN grid with boundary values g(i,j)
+// and interior start 0, plus a right-hand side.
+func Problem(n int) (x0, f [][]float64) {
+	x0 = make([][]float64, n)
+	f = make([][]float64, n)
+	for i := range x0 {
+		x0[i] = make([]float64, n)
+		f[i] = make([]float64, n)
+		for j := range x0[i] {
+			if i == 0 || j == 0 || i == n-1 || j == n-1 {
+				x0[i][j] = float64(i+j) / float64(2*n)
+			}
+			f[i][j] = -1.0 / float64(n*n)
+		}
+	}
+	return x0, f
+}

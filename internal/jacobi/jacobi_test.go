@@ -1,0 +1,157 @@
+package jacobi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+func TestSequentialFixedBoundary(t *testing.T) {
+	x0, f := Problem(8)
+	x := Sequential(x0, f, 3)
+	for i := 0; i < 8; i++ {
+		for _, j := range []int{0, 7} {
+			if x[i][j] != x0[i][j] || x[j][i] != x0[j][i] {
+				t.Fatalf("boundary moved at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSequentialDoesNotModifyInput(t *testing.T) {
+	x0, f := Problem(6)
+	before := cloneGrid(x0)
+	Sequential(x0, f, 2)
+	for i := range x0 {
+		for j := range x0[i] {
+			if x0[i][j] != before[i][j] {
+				t.Fatal("input grid modified")
+			}
+		}
+	}
+}
+
+func TestKF1MatchesSequentialBitwise(t *testing.T) {
+	const n, niter = 16, 10
+	x0, f := Problem(n)
+	want := Sequential(x0, f, niter)
+	for _, p := range []int{1, 2, 4} {
+		m := machine.New(p*p, machine.ZeroComm())
+		g := topology.New(p, p)
+		res, err := KF1(m, g, x0, f, niter)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if res.X[i][j] != want[i][j] {
+					t.Fatalf("p=%d: X[%d][%d] = %v, want %v (must be bitwise equal)",
+						p, i, j, res.X[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestMessagePassingMatchesSequentialBitwise(t *testing.T) {
+	const n, niter = 16, 10
+	x0, f := Problem(n)
+	want := Sequential(x0, f, niter)
+	for _, p := range []int{1, 2, 4} {
+		m := machine.New(p*p, machine.ZeroComm())
+		g := topology.New(p, p)
+		res, err := MessagePassing(m, g, x0, f, niter)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if res.X[i][j] != want[i][j] {
+					t.Fatalf("p=%d: X[%d][%d] = %v, want %v (must be bitwise equal)",
+						p, i, j, res.X[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestKF1TimeParityWithMessagePassing(t *testing.T) {
+	// Claim C2: same execution time for KF1 and hand message passing,
+	// given equally good code generation. Allow a modest envelope for
+	// bookkeeping differences.
+	const n, niter = 32, 8
+	x0, f := Problem(n)
+	g := topology.New(2, 2)
+
+	m1 := machine.New(4, machine.IPSC2())
+	kf1, err := KF1(m1, g, x0, f, niter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := machine.New(4, machine.IPSC2())
+	mp, err := MessagePassing(m2, g, x0, f, niter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := kf1.Elapsed / mp.Elapsed
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("KF1/MP time ratio %v outside [0.8, 1.25] (KF1 %v, MP %v)",
+			ratio, kf1.Elapsed, mp.Elapsed)
+	}
+	// Identical communication volume: same distribution, same stencil.
+	if kf1.Stats.MsgsSent != mp.Stats.MsgsSent {
+		// KF1 runs one reduction at the end (AllReduceMax) that MP
+		// mirrors with maxReduce, and gathers identically; message
+		// counts should agree exactly.
+		t.Logf("note: KF1 msgs %d, MP msgs %d", kf1.Stats.MsgsSent, mp.Stats.MsgsSent)
+	}
+}
+
+func TestParallelSpeedsUpWithProcessors(t *testing.T) {
+	// With compute-heavy settings (large n, cheap comm) more processors
+	// must reduce virtual time.
+	const n, niter = 64, 4
+	x0, f := Problem(n)
+	elapsed := func(p int) float64 {
+		m := machine.New(p*p, machine.Balanced())
+		g := topology.New(p, p)
+		res, err := KF1(m, g, x0, f, niter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	t1 := elapsed(1)
+	t2 := elapsed(2)
+	t4 := elapsed(4)
+	if !(t1 > t2 && t2 > t4) {
+		t.Errorf("no speedup: t1=%v t2=%v t4=%v", t1, t2, t4)
+	}
+	if t1/t4 < 4 {
+		t.Errorf("16 processors give speedup %v, want >= 4", t1/t4)
+	}
+}
+
+func TestMessagePassingRejectsBadGrid(t *testing.T) {
+	x0, f := Problem(8)
+	m := machine.New(6, machine.ZeroComm())
+	g := topology.New(2, 3)
+	if _, err := MessagePassing(m, g, x0, f, 1); err == nil {
+		t.Fatal("non-square grid accepted")
+	}
+}
+
+func TestProblemShape(t *testing.T) {
+	x0, f := Problem(10)
+	if len(x0) != 10 || len(f) != 10 || len(x0[3]) != 10 {
+		t.Fatal("bad problem shape")
+	}
+	if x0[0][5] == 0 && x0[5][0] == 0 && x0[9][5] == 0 {
+		t.Fatal("boundary should be nonzero somewhere")
+	}
+	if math.IsNaN(f[2][2]) {
+		t.Fatal("NaN rhs")
+	}
+}

@@ -1,0 +1,147 @@
+// Package kernels provides the sequential numerical kernels from which the
+// paper's parallel tensor product algorithms are assembled: the Thomas
+// tridiagonal solve, the substructured boundary reduction of Section 3
+// (Figures 1 and 2), and its back-substitution (Figure 4). All routines are
+// plain sequential code operating on slices; they charge their floating
+// point work to an optional simulated processor so parallel callers get
+// honest virtual-time accounting.
+//
+// Tridiagonal systems are stored as four coefficient slices of equal length
+// k: b (coupling to the previous unknown; b[0] couples to the unknown before
+// the block), a (diagonal), c (coupling to the next unknown; c[k-1] couples
+// to the unknown after the block) and f (right-hand side), representing
+//
+//	b[i]·x[i-1] + a[i]·x[i] + c[i]·x[i+1] = f[i]
+//
+// as in Figure 1 of the paper.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// charge adds flops to p's clock when p is non-nil (sequential callers pass
+// nil).
+func charge(p *machine.Proc, flops int) {
+	if p != nil {
+		p.Compute(flops)
+	}
+}
+
+// Thomas solves the tridiagonal system (b, a, c, f) by the sequential
+// Thomas algorithm (no pivoting, as the paper assumes the matrix can be
+// factored without it) and stores the solution in x. The coefficient slices
+// are not modified. b[0] and c[k-1] are ignored: the system is closed.
+func Thomas(p *machine.Proc, b, a, c, f, x []float64) {
+	k := len(a)
+	checkLens(k, b, c, f, x)
+	if k == 0 {
+		return
+	}
+	cp := make([]float64, k)
+	fp := make([]float64, k)
+	cp[0] = c[0] / a[0]
+	fp[0] = f[0] / a[0]
+	for i := 1; i < k; i++ {
+		den := a[i] - b[i]*cp[i-1]
+		cp[i] = c[i] / den
+		fp[i] = (f[i] - b[i]*fp[i-1]) / den
+	}
+	x[k-1] = fp[k-1]
+	for i := k - 2; i >= 0; i-- {
+		x[i] = fp[i] - cp[i]*x[i+1]
+	}
+	charge(p, 8*k)
+}
+
+// Reduce performs the substructured elimination of Section 3 on a block of
+// k >= 2 consecutive rows, in place. On entry the slices hold ordinary
+// tridiagonal coefficients; on return the block is in boundary form:
+//
+//	row 0:        b[0]·x_prev + a[0]·x_first + c[0]·x_last = f[0]
+//	row 0<i<k-1:  b[i]·x_first + a[i]·x_i + c[i]·x_last    = f[i]
+//	row k-1:      b[k-1]·x_first + a[k-1]·x_last + c[k-1]·x_next = f[k-1]
+//
+// where x_prev/x_next are the unknowns adjacent to the block. Rows 0 and
+// k-1 of successive blocks therefore form a tridiagonal system of twice the
+// block count (the highlighted rows of Figure 1); a block of four rows
+// reduces exactly as in Figure 2.
+func Reduce(p *machine.Proc, b, a, c, f []float64) {
+	k := len(a)
+	checkLens(k, b, c, f)
+	if k < 2 {
+		panic(fmt.Sprintf("kernels: Reduce needs at least 2 rows, got %d", k))
+	}
+	// Forward: eliminate the lower diagonal of rows 2..k-1, introducing
+	// fill-in that couples each row to x_first (the paper's column l).
+	for i := 2; i < k; i++ {
+		m := b[i] / a[i-1]
+		b[i] = -m * b[i-1]
+		a[i] -= m * c[i-1]
+		f[i] -= m * f[i-1]
+	}
+	// Backward: eliminate the upper diagonal of rows k-3..0, introducing
+	// fill-in that couples each row to x_last (the paper's column u).
+	for i := k - 3; i >= 0; i-- {
+		m := c[i] / a[i+1]
+		c[i] = -m * c[i+1]
+		f[i] -= m * f[i+1]
+		if i >= 1 {
+			b[i] -= m * b[i+1] // both couple to x_first
+		} else {
+			// Row 0's own unknown is x_first, so the pivot's
+			// coupling to x_first folds into the diagonal.
+			a[0] -= m * b[i+1]
+		}
+	}
+	charge(p, 11*(k-2)+2)
+}
+
+// BackSubstitute recovers the interior unknowns of a block previously
+// processed by Reduce, given the solved boundary values xFirst (row 0's
+// unknown) and xLast (row k-1's). The solution, including the boundary
+// values at positions 0 and k-1, is stored in x. This is the computation of
+// Figure 4.
+func BackSubstitute(p *machine.Proc, b, a, c, f []float64, xFirst, xLast float64, x []float64) {
+	k := len(a)
+	checkLens(k, b, c, f, x)
+	x[0] = xFirst
+	x[k-1] = xLast
+	for i := 1; i < k-1; i++ {
+		x[i] = (f[i] - b[i]*xFirst - c[i]*xLast) / a[i]
+	}
+	charge(p, 5*(k-2))
+}
+
+// TriMatVec computes y = T·x for the tridiagonal matrix T given by (b, a,
+// c), with xPrev and xNext supplying the unknowns adjacent to the block
+// (zero for a closed system). Used by tests to verify solver residuals.
+func TriMatVec(b, a, c, x []float64, xPrev, xNext float64) []float64 {
+	k := len(a)
+	checkLens(k, b, c, x)
+	y := make([]float64, k)
+	for i := 0; i < k; i++ {
+		y[i] = a[i] * x[i]
+		if i > 0 {
+			y[i] += b[i] * x[i-1]
+		} else {
+			y[i] += b[i] * xPrev
+		}
+		if i < k-1 {
+			y[i] += c[i] * x[i+1]
+		} else {
+			y[i] += c[i] * xNext
+		}
+	}
+	return y
+}
+
+func checkLens(k int, slices ...[]float64) {
+	for _, s := range slices {
+		if len(s) != k {
+			panic(fmt.Sprintf("kernels: slice length %d does not match system size %d", len(s), k))
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package kf is the runtime embedding of the KF1 language constructs from
+// Mehrotra & Van Rosendale, "Parallel Language Constructs for Tensor Product
+// Computations on Loosely Coupled Architectures" (ICASE 89-41): processor
+// arrays, parallel subroutines over grid slices, distributed arrays with
+// per-dimension distribution clauses, and doall loops with on-clauses whose
+// communication is derived by the runtime rather than written by the
+// programmer.
+//
+// A KF1 parallel subroutine
+//
+//	parsub jacobi(X, f, np; procs)
+//	processors procs(p, p)
+//	real X(0:np, 0:np) dist (block, block)
+//	...
+//	doall 100 (i, j) = [1,n]*[1,n] on owner(X(i,j))
+//	   X(i,j) = 0.25*(X(i+1,j) + X(i-1,j) + X(i,j+1) + X(i,j-1)) - f(i,j)
+//
+// becomes
+//
+//	kf.Exec(m, procs, func(c *kf.Ctx) error {
+//	    X := c.NewArray(spec...)
+//	    ...
+//	    c.Doall2(kf.R(1, n), kf.R(1, n), kf.OnOwner2(X),
+//	        []kf.LoopOpt{kf.Reads(X), kf.ReadsNoHalo(f)},
+//	        func(cc *kf.Ctx, i, j int) {
+//	            X.Set2(i, j, 0.25*(X.Old2(i+1,j)+X.Old2(i-1,j)+X.Old2(i,j+1)+X.Old2(i,j-1)) - f.Old2(i,j))
+//	        })
+//	    return nil
+//	})
+//
+// The Reads option performs the halo exchange a KF1 compiler would have
+// generated and takes the copy-in snapshot that gives doall loops their
+// copy-in/copy-out semantics; the body reads old values via Old and writes
+// new values via Set, with no temporary array, exactly as in the paper's
+// Listing 3.
+//
+// SPMD discipline: a Ctx's methods must be called unconditionally by every
+// processor of its grid, in the same order (the usual single-program rule).
+// Doall iterations and Call invocations receive child contexts whose message
+// scopes are derived from structural positions (phase ordinal and iteration
+// index), so concurrent work on disjoint grid slices — the nested
+// distributed procedures of the paper's multigrid example — cannot confuse
+// each other's messages even when different processors execute different
+// numbers of nested collectives.
+package kf
+
+import (
+	"fmt"
+
+	"repro/internal/coll"
+	"repro/internal/darray"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+// Ctx is the per-processor execution context of a parallel subroutine: the
+// calling processor, the processor grid the subroutine runs on, and a
+// message scope that isolates this subroutine's communication.
+type Ctx struct {
+	// P is the calling (simulated) processor.
+	P *machine.Proc
+	// G is the processor grid of the current parallel subroutine.
+	G *topology.Grid
+
+	scope machine.Scope
+	seq   int
+}
+
+// Exec runs body as a parallel subroutine on grid g of machine m: one
+// invocation per member processor, each with its own Ctx. Processors outside
+// g idle. It returns the first error from any invocation (including
+// converted panics and deadlocks).
+func Exec(m *machine.Machine, g *topology.Grid, body func(c *Ctx) error) error {
+	return m.Run(func(p *machine.Proc) error {
+		if !g.Contains(p.Rank()) {
+			return nil
+		}
+		return body(&Ctx{P: p, G: g, scope: machine.RootScope()})
+	})
+}
+
+// NextScope returns a fresh message scope for the next communication phase.
+// Every processor of the grid must call it the same number of times in the
+// same order (SPMD discipline); the returned scopes then agree across the
+// grid.
+func (c *Ctx) NextScope() machine.Scope {
+	s := c.scope.Child(c.seq, -1)
+	c.seq++
+	return s
+}
+
+// child returns a Ctx for a nested construct at iteration discriminator
+// disc of the current phase.
+func (c *Ctx) child(sub *topology.Grid, phase, disc int) *Ctx {
+	return &Ctx{P: c.P, G: sub, scope: c.scope.Child(phase, disc)}
+}
+
+// Call invokes body as a nested parallel subroutine on the grid slice sub —
+// the paper's "distributed procedure" call, e.g. passing procs(ip, *) to a
+// tridiagonal solver. Every processor of c.G must call Call (with the same
+// sub); only members of sub execute body, with a child context bound to
+// sub. Call returns body's error on members and nil on non-members.
+func (c *Ctx) Call(sub *topology.Grid, body func(c *Ctx) error) error {
+	phase := c.seq
+	c.seq++
+	if !sub.Contains(c.P.Rank()) {
+		return nil
+	}
+	return body(c.child(sub, phase, -1))
+}
+
+// NewArray declares a distributed array on the subroutine's grid — the
+// analogue of a dist-clause declaration (or a dynamic array, when called
+// mid-routine).
+func (c *Ctx) NewArray(spec darray.Spec) *darray.Array {
+	return darray.New(c.P, c.G, spec)
+}
+
+// Barrier synchronizes all processors of the subroutine's grid.
+func (c *Ctx) Barrier() {
+	coll.Barrier(c.P, c.G, c.NextScope())
+}
+
+// AllReduceSum returns the sum of v over the subroutine's grid, on every
+// processor.
+func (c *Ctx) AllReduceSum(v float64) float64 {
+	return coll.Sum(c.P, c.G, c.NextScope(), v)
+}
+
+// AllReduceMax returns the maximum of v over the subroutine's grid, on
+// every processor.
+func (c *Ctx) AllReduceMax(v float64) float64 {
+	return coll.Max(c.P, c.G, c.NextScope(), v)
+}
+
+// Broadcast distributes v from the grid's first processor to all members.
+func (c *Ctx) Broadcast(v float64) float64 {
+	return coll.Broadcast(c.P, c.G, c.NextScope(), v)
+}
+
+// GridIndex returns the calling processor's row-major index within the
+// subroutine's grid — the ip of "doall ip = 1, p on procs(ip)" (zero
+// based).
+func (c *Ctx) GridIndex() int {
+	idx, ok := c.G.Index(c.P.Rank())
+	if !ok {
+		panic(fmt.Sprintf("kf: processor %d executing a subroutine outside its grid", c.P.Rank()))
+	}
+	return idx
+}
+
+// Coord returns the calling processor's coordinate in the subroutine's
+// grid.
+func (c *Ctx) Coord() []int {
+	coord, ok := c.G.CoordOf(c.P.Rank())
+	if !ok {
+		panic(fmt.Sprintf("kf: processor %d executing a subroutine outside its grid", c.P.Rank()))
+	}
+	return coord
+}

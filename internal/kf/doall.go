@@ -1,0 +1,298 @@
+package kf
+
+import (
+	"repro/internal/darray"
+	"repro/internal/topology"
+)
+
+// Range is a Fortran-style inclusive loop range with a stride. The zero
+// Step means 1.
+type Range struct {
+	Lo, Hi, Step int
+}
+
+// R returns the inclusive range [lo, hi] with stride 1.
+func R(lo, hi int) Range { return Range{Lo: lo, Hi: hi, Step: 1} }
+
+// RStep returns the inclusive range [lo, hi] with the given stride, the
+// analogue of "do k = 2, nz-2, 2".
+func RStep(lo, hi, step int) Range { return Range{Lo: lo, Hi: hi, Step: step} }
+
+// Each calls f for every index of the range in order.
+func (r Range) Each(f func(i int)) {
+	step := r.Step
+	if step == 0 {
+		step = 1
+	}
+	if step > 0 {
+		for i := r.Lo; i <= r.Hi; i += step {
+			f(i)
+		}
+	} else {
+		for i := r.Lo; i >= r.Hi; i += step {
+			f(i)
+		}
+	}
+}
+
+// On1 is a one-dimensional on-clause: it decides which processors execute
+// iteration i and which grid the iteration's body is bound to.
+type On1 interface {
+	// Owns reports whether the calling processor executes iteration i.
+	Owns(c *Ctx, i int) bool
+	// IterGrid returns the processor grid iteration i runs on (the
+	// single owner for owner-computes clauses, a grid slice for section
+	// clauses).
+	IterGrid(c *Ctx, i int) *topology.Grid
+}
+
+// On2 is a two-dimensional on-clause.
+type On2 interface {
+	Owns(c *Ctx, i, j int) bool
+	IterGrid(c *Ctx, i, j int) *topology.Grid
+}
+
+// onOwner1 implements "on owner(A(i))".
+type onOwner1 struct{ a *darray.Array }
+
+// OnOwner1 returns the on-clause "on owner(a(i))": iteration i executes on
+// the processor owning element i of the one-dimensional array a.
+func OnOwner1(a *darray.Array) On1 { return onOwner1{a: a} }
+
+func (o onOwner1) Owns(c *Ctx, i int) bool {
+	return o.a.Participates() && o.a.Owns(i)
+}
+
+func (o onOwner1) IterGrid(c *Ctx, i int) *topology.Grid {
+	return o.a.Section(0, i).Grid()
+}
+
+// onOwnerSection implements "on owner(A(i, *))" and friends: iteration i is
+// executed by every processor holding part of the section of a with
+// dimension dim fixed at i.
+type onOwnerSection struct {
+	a   *darray.Array
+	dim int
+}
+
+// OnOwnerSection returns the on-clause "on owner(a(..., i, ...))" where i
+// fixes dimension dim: iteration i executes on all processors owning part
+// of that section, and the body's context is bound to the section's grid
+// slice. This is the clause behind the paper's ADI loops
+// ("doall 100 i = 1, nx on owner(r(i, *))").
+func OnOwnerSection(a *darray.Array, dim int) On1 { return onOwnerSection{a: a, dim: dim} }
+
+func (o onOwnerSection) Owns(c *Ctx, i int) bool {
+	return o.a.Participates() && o.a.Section(o.dim, i).Participates()
+}
+
+func (o onOwnerSection) IterGrid(c *Ctx, i int) *topology.Grid {
+	return o.a.Section(o.dim, i).Grid()
+}
+
+// onGridIndex implements "on procs(ip)".
+type onGridIndex struct{}
+
+// OnProcs returns the on-clause "on procs(ip)": iteration ip executes on
+// the processor with row-major index ip in the subroutine's grid (zero
+// based).
+func OnProcs() On1 { return onGridIndex{} }
+
+func (onGridIndex) Owns(c *Ctx, i int) bool { return c.GridIndex() == i }
+
+func (onGridIndex) IterGrid(c *Ctx, i int) *topology.Grid {
+	return singleton(c.G, i)
+}
+
+func singleton(g *topology.Grid, idx int) *topology.Grid {
+	// Fix every dimension of g at the coordinate of member idx.
+	coord := make([]int, g.Dims())
+	rem := idx
+	for d := g.Dims() - 1; d >= 0; d-- {
+		coord[d] = rem % g.Extent(d)
+		rem /= g.Extent(d)
+	}
+	return g.Slice(coord...)
+}
+
+// onOwner2 implements "on owner(A(i, j))" for two-dimensional arrays.
+type onOwner2 struct{ a *darray.Array }
+
+// OnOwner2 returns the on-clause "on owner(a(i, j))".
+func OnOwner2(a *darray.Array) On2 { return onOwner2{a: a} }
+
+func (o onOwner2) Owns(c *Ctx, i, j int) bool {
+	return o.a.Participates() && o.a.Owns(i, j)
+}
+
+func (o onOwner2) IterGrid(c *Ctx, i, j int) *topology.Grid {
+	return o.a.Section(0, i).Section(0, j).Grid()
+}
+
+// LoopOpt prepares distributed data for a doall loop, implementing the
+// communication and copy-in/copy-out transformations the KF1 compiler would
+// derive from the loop body.
+type LoopOpt interface {
+	prepare(c *Ctx)
+	finish(c *Ctx)
+}
+
+// reads performs a halo exchange followed by a copy-in snapshot.
+type reads struct {
+	a        *darray.Array
+	exchange bool
+	dims     []int
+}
+
+// Reads declares that the loop body reads array a with a nearest-neighbor
+// stencil: the runtime exchanges a's halos (in the given dimensions, or all
+// haloed dimensions when none are named) and snapshots it so the body can
+// read pre-loop values through a.Old — the copy-in half of the doall
+// semantics. Every processor of the loop's grid must participate.
+func Reads(a *darray.Array, dims ...int) LoopOpt {
+	return &reads{a: a, exchange: true, dims: dims}
+}
+
+// ReadsNoHalo declares that the loop body reads only owned elements of a:
+// the runtime snapshots a without communication.
+func ReadsNoHalo(a *darray.Array) LoopOpt {
+	return &reads{a: a}
+}
+
+func (r *reads) prepare(c *Ctx) {
+	// Take the scope unconditionally so phase numbering stays aligned
+	// across processors even when some do not hold a piece of a.
+	sc := c.NextScope()
+	if !r.a.Participates() {
+		return
+	}
+	if r.exchange {
+		r.a.ExchangeHalo(sc, r.dims...)
+	}
+	r.a.Snapshot()
+}
+
+func (r *reads) finish(c *Ctx) {
+	if r.a.Participates() {
+		r.a.ReleaseSnapshot()
+	}
+}
+
+// Doall1 executes a one-dimensional doall loop: for each index of r, the
+// processors selected by the on-clause run body with a child context bound
+// to the iteration's grid. Non-selected processors skip the iteration
+// without synchronizing — exactly the strip-mining a KF1 compiler performs.
+// The opts run first (on every processor of c.G), deriving the loop's
+// communication.
+func (c *Ctx) Doall1(r Range, on On1, opts []LoopOpt, body func(cc *Ctx, i int)) {
+	for _, o := range opts {
+		o.prepare(c)
+	}
+	phase := c.seq
+	c.seq++
+	r.Each(func(i int) {
+		if on.Owns(c, i) {
+			body(c.child(on.IterGrid(c, i), phase, i), i)
+		}
+	})
+	for _, o := range opts {
+		o.finish(c)
+	}
+}
+
+// Doall2 executes a two-dimensional doall loop over the product of ranges
+// ri and rj — the paper's "doall (i, j) = [1, n] * [1, n]" headers.
+func (c *Ctx) Doall2(ri, rj Range, on On2, opts []LoopOpt, body func(cc *Ctx, i, j int)) {
+	for _, o := range opts {
+		o.prepare(c)
+	}
+	phase := c.seq
+	c.seq++
+	ri.Each(func(i int) {
+		rj.Each(func(j int) {
+			if on.Owns(c, i, j) {
+				body(c.child(on.IterGrid(c, i, j), phase, i*(rj.Hi+1)+j), i, j)
+			}
+		})
+	})
+	for _, o := range opts {
+		o.finish(c)
+	}
+}
+
+// Doall1Owned is an optimized strip-mined form of Doall1 with an
+// owner-computes clause over a block-distributed dimension: instead of
+// scanning the whole range and testing ownership, each processor iterates
+// only its owned subrange. Semantically identical to
+// Doall1(r, OnOwner1(a), ...) for block distributions.
+func (c *Ctx) Doall1Owned(r Range, a *darray.Array, dim int, opts []LoopOpt, body func(cc *Ctx, i int)) {
+	for _, o := range opts {
+		o.prepare(c)
+	}
+	phase := c.seq
+	c.seq++
+	if a.Participates() {
+		lo, hi := a.Lower(dim), a.Upper(dim)
+		step := r.Step
+		if step == 0 {
+			step = 1
+		}
+		if step < 0 {
+			panic("kf: Doall1Owned requires a positive stride")
+		}
+		// First multiple of step >= lo starting from r.Lo.
+		start := r.Lo
+		if lo > start {
+			start += ((lo - start + step - 1) / step) * step
+		}
+		for i := start; i <= hi && i <= r.Hi; i += step {
+			body(c.child(c.G, phase, i), i)
+		}
+	}
+	for _, o := range opts {
+		o.finish(c)
+	}
+}
+
+// On3 is a three-dimensional on-clause.
+type On3 interface {
+	Owns(c *Ctx, i, j, k int) bool
+	IterGrid(c *Ctx, i, j, k int) *topology.Grid
+}
+
+// onOwner3 implements "on owner(A(i, j, k))" for three-dimensional arrays.
+type onOwner3 struct{ a *darray.Array }
+
+// OnOwner3 returns the on-clause "on owner(a(i, j, k))".
+func OnOwner3(a *darray.Array) On3 { return onOwner3{a: a} }
+
+func (o onOwner3) Owns(c *Ctx, i, j, k int) bool {
+	return o.a.Participates() && o.a.Owns(i, j, k)
+}
+
+func (o onOwner3) IterGrid(c *Ctx, i, j, k int) *topology.Grid {
+	return o.a.Section(0, i).Section(0, j).Section(0, k).Grid()
+}
+
+// Doall3 executes a three-dimensional doall loop over the product of three
+// ranges — the shape of the paper's Section 5 volume sweeps.
+func (c *Ctx) Doall3(ri, rj, rk Range, on On3, opts []LoopOpt, body func(cc *Ctx, i, j, k int)) {
+	for _, o := range opts {
+		o.prepare(c)
+	}
+	phase := c.seq
+	c.seq++
+	ri.Each(func(i int) {
+		rj.Each(func(j int) {
+			rk.Each(func(k int) {
+				if on.Owns(c, i, j, k) {
+					disc := (i*(rj.Hi+1)+j)*(rk.Hi+1) + k
+					body(c.child(on.IterGrid(c, i, j, k), phase, disc), i, j, k)
+				}
+			})
+		})
+	})
+	for _, o := range opts {
+		o.finish(c)
+	}
+}

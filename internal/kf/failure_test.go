@@ -1,0 +1,140 @@
+package kf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+// Failure-injection tests: the runtime must turn SPMD programming errors
+// into diagnosable failures (deadlock errors or panics converted to
+// errors), never into silent corruption or hangs.
+
+func TestInconsistentCollectiveOrderDeadlocks(t *testing.T) {
+	// One processor skips a collective (a broken SPMD program): the
+	// machine must detect the deadlock rather than hang.
+	m := machine.New(4, machine.ZeroComm())
+	g := topology.New1D(4)
+	err := Exec(m, g, func(c *Ctx) error {
+		if c.GridIndex() != 2 {
+			c.AllReduceSum(1)
+		}
+		// Rank 2 skips; everyone then tries a second collective.
+		c.AllReduceSum(2)
+		return nil
+	})
+	if !errors.Is(err, machine.ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestMismatchedScopesDeadlock(t *testing.T) {
+	// Two halves of the grid run exchanges under different scopes on the
+	// same full-grid array: the tags never match.
+	m := machine.New(2, machine.ZeroComm())
+	g := topology.New1D(2)
+	err := Exec(m, g, func(c *Ctx) error {
+		a := c.NewArray(darray.Spec{Extents: []int{8}, Dists: []dist.Dist{dist.Block{}}, Halo: []int{1}})
+		a.Zero()
+		sc := machine.RootScope().Child(c.GridIndex(), 0) // WRONG: rank-dependent scope
+		a.ExchangeHalo(sc)
+		return nil
+	})
+	if !errors.Is(err, machine.ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestWriteToUnownedCellBecomesError(t *testing.T) {
+	// An owner-computes violation (writing a cell the processor does not
+	// own) panics in darray; machine.Run converts it to an error.
+	m := machine.New(2, machine.ZeroComm())
+	g := topology.New1D(2)
+	err := Exec(m, g, func(c *Ctx) error {
+		a := c.NewArray(darray.Spec{Extents: []int{8}, Dists: []dist.Dist{dist.Block{}}})
+		other := (a.Upper(0) + 1) % 8
+		a.Set1(other, 1)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "unowned") {
+		t.Fatalf("err = %v, want unowned-write panic", err)
+	}
+}
+
+func TestCallErrorPropagates(t *testing.T) {
+	boom := errors.New("subroutine failed")
+	m := machine.New(4, machine.ZeroComm())
+	g := topology.New(2, 2)
+	err := Exec(m, g, func(c *Ctx) error {
+		row := g.Slice(c.Coord()[0], topology.All)
+		return c.Call(row, func(cc *Ctx) error {
+			if cc.P.Rank() == 3 {
+				return boom
+			}
+			return nil
+		})
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestStaleReadWithoutExchangeIsVisible(t *testing.T) {
+	// Reading a ghost cell before any exchange returns the stale (zero)
+	// value, not the neighbor's data — the failure mode the paper's
+	// "benign looking code will sometimes run exceptionally slowly /
+	// wrongly" warning is about. The test documents the semantics.
+	m := machine.New(2, machine.ZeroComm())
+	g := topology.New1D(2)
+	err := Exec(m, g, func(c *Ctx) error {
+		a := c.NewArray(darray.Spec{Extents: []int{8}, Dists: []dist.Dist{dist.Block{}}, Halo: []int{1}})
+		a.Fill(func(idx []int) float64 { return 7 })
+		if c.GridIndex() == 1 {
+			if got := a.At1(a.Lower(0) - 1); got != 0 {
+				t.Errorf("ghost before exchange = %v, want stale 0", got)
+			}
+		}
+		a.ExchangeHalo(c.NextScope())
+		if c.GridIndex() == 1 {
+			if got := a.At1(a.Lower(0) - 1); got != 7 {
+				t.Errorf("ghost after exchange = %v, want 7", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoallOnMismatchedGridSkips(t *testing.T) {
+	// A doall over an array whose grid excludes some processors of the
+	// executing context must simply skip those processors.
+	m := machine.New(4, machine.ZeroComm())
+	g := topology.New1D(4)
+	sub := topology.New1D(2) // ranks 0,1
+	ran := make([]bool, 4)
+	err := Exec(m, g, func(c *Ctx) error {
+		a := darray.New(c.P, sub, darray.Spec{Extents: []int{8}, Dists: []dist.Dist{dist.Block{}}})
+		if a.Participates() {
+			a.Zero()
+		}
+		c.Doall1(R(0, 7), OnOwner1(a), nil, func(cc *Ctx, i int) {
+			ran[c.P.Rank()] = true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		if ran[r] != (r < 2) {
+			t.Errorf("rank %d ran=%v", r, ran[r])
+		}
+	}
+}

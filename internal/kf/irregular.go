@@ -1,0 +1,109 @@
+package kf
+
+import (
+	"fmt"
+
+	"repro/internal/darray"
+)
+
+// Gathered holds the result of a runtime gather: a read-only view of
+// remotely owned elements fetched on the fly. It is the executor half of
+// the inspector/executor scheme the paper invokes for loops whose
+// communication the compiler cannot derive statically ("the compiler must
+// generate runtime code which will gather such information on the fly").
+type Gathered struct {
+	a      *darray.Array
+	values map[int]float64
+}
+
+// At returns the gathered value of global index i of the one-dimensional
+// array; it falls back to locally owned elements so loop bodies can use one
+// accessor for every read.
+func (g *Gathered) At(i int) float64 {
+	if v, ok := g.values[i]; ok {
+		return v
+	}
+	if g.a.Owns(i) {
+		return g.a.At1(i)
+	}
+	panic(fmt.Sprintf("kf: index %d was not declared to the inspector and is not owned", i))
+}
+
+// GatherIrregular implements the inspector/executor runtime resolution for
+// a one-dimensional distributed array: every processor of the array's grid
+// declares the global indices its loop iterations will read (duplicates
+// allowed), and the runtime fetches the remotely owned ones by message
+// passing. All processors of the grid must call it collectively, even with
+// an empty index list.
+//
+// The protocol costs two messages per processor pair (request list, reply
+// values) — strictly more traffic than a compiled stencil exchange, which is
+// the overhead experiment E9 quantifies.
+func (c *Ctx) GatherIrregular(a *darray.Array, indices []int) *Gathered {
+	if a.Dims() != 1 {
+		panic("kf: GatherIrregular requires a one-dimensional array (or section)")
+	}
+	sc := c.NextScope()
+	g := a.Grid()
+	p := c.P
+	me, ok := g.Index(p.Rank())
+	if !ok {
+		panic("kf: GatherIrregular caller not in the array's grid")
+	}
+	n := g.Size()
+
+	// Inspector: bucket the needed indices by owner.
+	need := make([][]float64, n) // index lists as float64 payloads
+	seen := make(map[int]bool)
+	for _, i := range indices {
+		if seen[i] || a.Owns(i) {
+			seen[i] = true
+			continue
+		}
+		seen[i] = true
+		owner := a.OwnerIndex(0, i)
+		need[owner] = append(need[owner], float64(i))
+	}
+
+	// Phase 1: send request lists to every other member (empty lists
+	// included, so matching needs no counts protocol).
+	for q := 0; q < n; q++ {
+		if q == me {
+			continue
+		}
+		p.Send(g.RankAt(q), sc.Tag(1), need[q])
+	}
+	// Serve requests: reply with the requested values, in request order.
+	replies := make([][]float64, n)
+	for q := 0; q < n; q++ {
+		if q == me {
+			continue
+		}
+		req := p.Recv(g.RankAt(q), sc.Tag(1))
+		out := make([]float64, len(req))
+		for k, fi := range req {
+			i := int(fi)
+			if !a.Owns(i) {
+				panic(fmt.Sprintf("kf: processor %d asked for index %d not owned here", g.RankAt(q), i))
+			}
+			out[k] = a.At1(i)
+		}
+		replies[q] = out
+		p.Send(g.RankAt(q), sc.Tag(2), out)
+	}
+	// Phase 2 (executor prefetch): collect replies.
+	values := make(map[int]float64)
+	for q := 0; q < n; q++ {
+		if q == me {
+			continue
+		}
+		vals := p.Recv(g.RankAt(q), sc.Tag(2))
+		if len(vals) != len(need[q]) {
+			panic(fmt.Sprintf("kf: gather reply from member %d has %d values, want %d", q, len(vals), len(need[q])))
+		}
+		for k, fi := range need[q] {
+			values[int(fi)] = vals[k]
+		}
+	}
+	return &Gathered{a: a, values: values}
+}

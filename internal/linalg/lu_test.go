@@ -1,0 +1,177 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/kf"
+	"repro/internal/machine"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// randMatrix builds a diagonally dominant n x n matrix (row-major).
+func randMatrix(seed uint64, n int) []float64 {
+	a := make([]float64, n*n)
+	s := seed
+	next := func() float64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z%2000)/1000 - 1
+	}
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				a[i*n+j] = next()
+				rowSum += math.Abs(a[i*n+j])
+			}
+		}
+		a[i*n+i] = rowSum + 1 + math.Abs(next())
+	}
+	return a
+}
+
+// factorWith runs the distributed LU under the given column distribution
+// and returns the gathered packed factors plus the machine for statistics.
+func factorWith(t *testing.T, a []float64, n, p int, d dist.Dist, cost machine.CostModel, rec *trace.Recorder) ([]float64, *machine.Machine) {
+	t.Helper()
+	m := machine.New(p, cost)
+	if rec != nil {
+		m.SetSink(rec)
+	}
+	g := topology.New1D(p)
+	var flat []float64
+	err := kf.Exec(m, g, func(c *kf.Ctx) error {
+		ad := c.NewArray(darray.Spec{
+			Extents: []int{n, n},
+			Dists:   []dist.Dist{dist.Star{}, d},
+		})
+		ad.Fill(func(idx []int) float64 { return a[idx[0]*n+idx[1]] })
+		if err := LU(c, ad); err != nil {
+			return err
+		}
+		out := ad.GatherTo(c.NextScope(), 0)
+		if c.GridIndex() == 0 {
+			flat = out
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flat, m
+}
+
+func residual(a, lu []float64, n int, seed uint64) float64 {
+	// Solve A x = b via the factors and check the residual.
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64((int(seed)+i*7)%13) - 6
+	}
+	x := SolveFactored(lu, n, b)
+	ax := MatVec(a, n, x)
+	worst := 0.0
+	for i := range b {
+		if d := math.Abs(ax[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestLUFactorsSolveSystem(t *testing.T) {
+	const n = 32
+	a := randMatrix(5, n)
+	for _, tc := range []struct {
+		name string
+		p    int
+		d    dist.Dist
+	}{
+		{"block p=1", 1, dist.Block{}},
+		{"block p=4", 4, dist.Block{}},
+		{"cyclic p=4", 4, dist.Cyclic{}},
+		{"cyclic p=3", 3, dist.Cyclic{}},
+	} {
+		lu, _ := factorWith(t, a, n, tc.p, tc.d, machine.ZeroComm(), nil)
+		if r := residual(a, lu, n, 7); r > 1e-8 {
+			t.Errorf("%s: residual %v", tc.name, r)
+		}
+	}
+}
+
+func TestLUBlockAndCyclicAgree(t *testing.T) {
+	const n = 24
+	a := randMatrix(11, n)
+	luB, _ := factorWith(t, a, n, 4, dist.Block{}, machine.ZeroComm(), nil)
+	luC, _ := factorWith(t, a, n, 4, dist.Cyclic{}, machine.ZeroComm(), nil)
+	for i := range luB {
+		if math.Abs(luB[i]-luC[i]) > 1e-10 {
+			t.Fatalf("factor mismatch at %d: %v vs %v", i, luB[i], luC[i])
+		}
+	}
+}
+
+func TestCyclicBalancesLoadBetterThanBlock(t *testing.T) {
+	// The paper's point: round-robin columns keep every processor busy
+	// through the elimination; block columns retire processors early.
+	const n, p = 96, 4
+	a := randMatrix(3, n)
+	recB := trace.NewRecorder(p)
+	_, mB := factorWith(t, a, n, p, dist.Block{}, machine.Balanced(), recB)
+	recC := trace.NewRecorder(p)
+	_, mC := factorWith(t, a, n, p, dist.Cyclic{}, machine.Balanced(), recC)
+	tB, tC := mB.Elapsed(), mC.Elapsed()
+	if tC >= tB {
+		t.Errorf("cyclic (%v) should beat block (%v) on LU", tC, tB)
+	}
+	// Busy-time imbalance (max/min over processors) should be far worse
+	// under block.
+	imbalance := func(rec *trace.Recorder) float64 {
+		min, max := math.Inf(1), 0.0
+		for q := 0; q < p; q++ {
+			bt := rec.BusyTime(q)
+			if bt < min {
+				min = bt
+			}
+			if bt > max {
+				max = bt
+			}
+		}
+		return max / min
+	}
+	if imbalance(recB) < 1.5*imbalance(recC) {
+		t.Errorf("block imbalance %v should far exceed cyclic %v",
+			imbalance(recB), imbalance(recC))
+	}
+}
+
+func TestLURejectsBadShapes(t *testing.T) {
+	m := machine.New(2, machine.ZeroComm())
+	g := topology.New1D(2)
+	err := kf.Exec(m, g, func(c *kf.Ctx) error {
+		bad := c.NewArray(darray.Spec{
+			Extents: []int{4, 6},
+			Dists:   []dist.Dist{dist.Star{}, dist.Block{}},
+		})
+		if err := LU(c, bad); err == nil {
+			t.Error("non-square matrix accepted")
+		}
+		badRows := c.NewArray(darray.Spec{
+			Extents: []int{4, 4},
+			Dists:   []dist.Dist{dist.Block{}, dist.Star{}},
+		})
+		if err := LU(c, badRows); err == nil {
+			t.Error("distributed rows accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

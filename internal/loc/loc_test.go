@@ -1,0 +1,84 @@
+package loc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCountFileStatements(t *testing.T) {
+	path := writeTemp(t, `package x
+
+// Small has 2 statements.
+func Small() int {
+	a := 1
+	return a
+}
+
+// Big has nested statements which all count.
+func Big() int {
+	total := 0
+	for i := 0; i < 10; i++ {
+		if i%2 == 0 {
+			total += i
+		}
+	}
+	return total
+}
+`)
+	stats, err := CountFile(path, "Small", "Big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["Small"].Statements != 2 {
+		t.Errorf("Small statements = %d, want 2", stats["Small"].Statements)
+	}
+	if stats["Big"].Statements <= stats["Small"].Statements {
+		t.Errorf("Big (%d) should exceed Small (%d)",
+			stats["Big"].Statements, stats["Small"].Statements)
+	}
+	if stats["Big"].Lines < 5 {
+		t.Errorf("Big lines = %d", stats["Big"].Lines)
+	}
+}
+
+func TestCountFileMissingFunction(t *testing.T) {
+	path := writeTemp(t, "package x\nfunc A() {}\n")
+	if _, err := CountFile(path, "NoSuch"); err == nil {
+		t.Fatal("missing function did not error")
+	}
+}
+
+func TestCountFileParseError(t *testing.T) {
+	path := writeTemp(t, "this is not go")
+	if _, err := CountFile(path, "A"); err == nil {
+		t.Fatal("parse error not reported")
+	}
+}
+
+func TestFindSourceLocatesRepoFile(t *testing.T) {
+	// Running from internal/loc, the repo root is two levels up.
+	path, err := FindSource("internal/jacobi/jacobi.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("reported path does not exist: %v", err)
+	}
+}
+
+func TestFindSourceMissing(t *testing.T) {
+	if _, err := FindSource("no/such/file_at_all.go"); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}

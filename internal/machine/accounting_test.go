@@ -1,0 +1,188 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The simulator's books must balance: these tests pin down the accounting
+// identities that the experiment harness relies on when it reports
+// utilization and communication volumes.
+
+func TestBusyIdleCommSumWithinElapsed(t *testing.T) {
+	// For every processor, compute + idle + comm time can never exceed
+	// its final clock (gaps can exist: a processor that finishes early
+	// simply stops, it does not idle).
+	f := func(seed int64) bool {
+		rng := newSplitMix(uint64(seed))
+		const p = 4
+		const rounds = 8
+		m := New(p, IPSC2())
+		work := make([][]int, rounds)
+		for r := range work {
+			work[r] = make([]int, p)
+			for i := range work[r] {
+				work[r][i] = int(rng.next()%200) + 1
+			}
+		}
+		err := m.Run(func(pr *Proc) error {
+			next := (pr.Rank() + 1) % p
+			prev := (pr.Rank() + p - 1) % p
+			for r := 0; r < rounds; r++ {
+				pr.Compute(work[r][pr.Rank()])
+				pr.Send(next, Tag(r), []float64{1, 2, 3})
+				pr.Recv(prev, Tag(r))
+			}
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		for q := 0; q < p; q++ {
+			st := m.ProcStats(q)
+			spent := float64(st.Flops)*m.Cost().FlopTime + st.IdleTime + st.CommTime
+			if spent > m.ProcClock(q)+1e-12 {
+				return false
+			}
+			// In this fully synchronous ring there are no gaps, so
+			// the identity is exact.
+			if math.Abs(spent-m.ProcClock(q)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElapsedEqualsMaxProcClock(t *testing.T) {
+	m := New(3, Balanced())
+	err := m.Run(func(p *Proc) error {
+		p.Compute(100 * (p.Rank() + 1))
+		if p.Rank() == 2 {
+			p.SendValue(0, 0, 1)
+		}
+		if p.Rank() == 0 {
+			p.RecvValue(2, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0.0
+	for q := 0; q < 3; q++ {
+		if c := m.ProcClock(q); c > max {
+			max = c
+		}
+	}
+	if m.Elapsed() != max {
+		t.Errorf("Elapsed %v != max clock %v", m.Elapsed(), max)
+	}
+}
+
+func TestBytesMatchPayloads(t *testing.T) {
+	m := New(2, ZeroComm())
+	err := m.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Send(1, 0, make([]float64, 10))
+			p.Send(1, 1, make([]float64, 3))
+		} else {
+			p.Recv(0, 0)
+			p.Recv(0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TotalStats().BytesSent; got != 13*8 {
+		t.Errorf("BytesSent = %d, want %d", got, 13*8)
+	}
+}
+
+func TestAdvanceToMovesOnlyForward(t *testing.T) {
+	m := New(1, Uniform())
+	err := m.Run(func(p *Proc) error {
+		p.Compute(10)
+		p.AdvanceTo(5) // in the past: no-op
+		if p.Clock() != 10 {
+			t.Errorf("clock moved backwards: %v", p.Clock())
+		}
+		p.AdvanceTo(25)
+		if p.Clock() != 25 {
+			t.Errorf("clock = %v, want 25", p.Clock())
+		}
+		if p.Stats().IdleTime != 15 {
+			t.Errorf("idle = %v, want 15", p.Stats().IdleTime)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScopeChildrenDistinct(t *testing.T) {
+	// Sibling scopes and their tags must not collide for realistic
+	// phase/iteration ranges.
+	root := RootScope()
+	seen := make(map[Tag]bool)
+	for seq := 0; seq < 40; seq++ {
+		for disc := -1; disc < 40; disc++ {
+			tag := root.Child(seq, disc).Tag(1)
+			if seen[tag] {
+				t.Fatalf("tag collision at seq=%d disc=%d", seq, disc)
+			}
+			seen[tag] = true
+		}
+	}
+	// Nested children stay distinct from their parents.
+	a := root.Child(1, 2)
+	b := a.Child(1, 2)
+	if a.Tag(0) == b.Tag(0) {
+		t.Error("nested child collides with parent")
+	}
+}
+
+func TestTagOfPartPacking(t *testing.T) {
+	if TagOf(1, 2) == TagOf(2, 1) {
+		t.Error("TagOf must be order-sensitive")
+	}
+	if TagOf(7) == TagOf(8) {
+		t.Error("distinct parts must give distinct tags")
+	}
+}
+
+func TestCostPresetsSane(t *testing.T) {
+	for _, c := range []CostModel{IPSC2(), Balanced(), ZeroComm(), Uniform()} {
+		if c.FlopTime <= 0 {
+			t.Errorf("preset with non-positive flop time: %+v", c)
+		}
+		if c.Latency < 0 || c.BytePeriod < 0 || c.SendOverhead < 0 || c.RecvOverhead < 0 {
+			t.Errorf("preset with negative communication cost: %+v", c)
+		}
+	}
+	// The 1989 machine must be communication-dominated: one message
+	// latency worth thousands of flops.
+	ip := IPSC2()
+	if ip.Latency/ip.FlopTime < 100 {
+		t.Errorf("iPSC/2 preset not communication-dominated: %v flops per latency",
+			ip.Latency/ip.FlopTime)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := map[EventKind]string{
+		EvCompute: "compute", EvSend: "send", EvRecv: "recv",
+		EvIdle: "idle", EvMark: "mark", EventKind(99): "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

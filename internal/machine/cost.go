@@ -1,0 +1,74 @@
+package machine
+
+// CostModel describes the virtual-time cost of computation and communication
+// on the simulated multicomputer. All quantities are in (virtual) seconds.
+//
+// The model is LogGP-flavoured: a message of b bytes sent at sender time t
+// occupies the sender for SendOverhead seconds and arrives at the receiver at
+//
+//	t + SendOverhead + Latency + b*BytePeriod
+//
+// The receiver, executing a matching Recv at local time t', resumes at
+//
+//	max(t', arrival) + RecvOverhead
+//
+// accumulating max(0, arrival-t') as idle time. Compute(n) advances the local
+// clock by n*FlopTime.
+type CostModel struct {
+	// FlopTime is the virtual time per floating point operation.
+	FlopTime float64
+	// Latency is the per-message network latency (the "alpha" term).
+	Latency float64
+	// BytePeriod is the per-byte transfer time (the "beta" term,
+	// 1/bandwidth).
+	BytePeriod float64
+	// SendOverhead is processor time consumed by issuing a send.
+	SendOverhead float64
+	// RecvOverhead is processor time consumed by completing a receive.
+	RecvOverhead float64
+}
+
+// MessageTime returns the end-to-end transfer time for a message of b bytes,
+// excluding sender and receiver overheads.
+func (c CostModel) MessageTime(b int) float64 {
+	return c.Latency + float64(b)*c.BytePeriod
+}
+
+// IPSC2 returns a cost model resembling a 1989 Intel iPSC/2 hypercube node:
+// roughly 1 MFLOPS per node, ~350 microseconds message latency and ~2.8 MB/s
+// of link bandwidth. Communication dominates, as it did for the machines the
+// paper targets.
+func IPSC2() CostModel {
+	return CostModel{
+		FlopTime:     1e-6,
+		Latency:      350e-6,
+		BytePeriod:   1.0 / 2.8e6,
+		SendOverhead: 50e-6,
+		RecvOverhead: 50e-6,
+	}
+}
+
+// Balanced returns a generic mid-range machine: 10 MFLOPS nodes, 10
+// microsecond latency, 100 MB/s links.
+func Balanced() CostModel {
+	return CostModel{
+		FlopTime:     1e-7,
+		Latency:      10e-6,
+		BytePeriod:   1.0 / 100e6,
+		SendOverhead: 1e-6,
+		RecvOverhead: 1e-6,
+	}
+}
+
+// ZeroComm returns a model in which communication is free. It isolates the
+// algorithmic load balance of a program from its communication structure.
+func ZeroComm() CostModel {
+	return CostModel{FlopTime: 1e-6}
+}
+
+// Uniform returns a model in which every flop costs one virtual second and
+// communication is free; useful in unit tests where exact clock values are
+// asserted.
+func Uniform() CostModel {
+	return CostModel{FlopTime: 1}
+}

@@ -1,0 +1,63 @@
+package machine
+
+// EventKind classifies a trace event.
+type EventKind uint8
+
+// Event kinds recorded by the simulator.
+const (
+	// EvCompute is a span of local computation.
+	EvCompute EventKind = iota
+	// EvSend is the sender-side overhead span of a message transmission.
+	EvSend
+	// EvRecv is the receiver-side overhead span of a message reception.
+	EvRecv
+	// EvIdle is a span during which a processor waited for a message that
+	// had not yet arrived.
+	EvIdle
+	// EvMark is a zero-length user annotation (for example, "step 3
+	// begins") used by the figure generators.
+	EvMark
+)
+
+// String returns a short human-readable name for the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvCompute:
+		return "compute"
+	case EvSend:
+		return "send"
+	case EvRecv:
+		return "recv"
+	case EvIdle:
+		return "idle"
+	case EvMark:
+		return "mark"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is a single entry in a processor's timeline.
+type Event struct {
+	// Proc is the rank of the processor the event occurred on.
+	Proc int
+	// Kind classifies the event.
+	Kind EventKind
+	// Start and End delimit the event in virtual time. For EvMark they
+	// are equal.
+	Start, End float64
+	// Peer is the other endpoint for EvSend/EvRecv events, -1 otherwise.
+	Peer int
+	// Bytes is the message size for EvSend/EvRecv events.
+	Bytes int
+	// Label annotates EvMark events.
+	Label string
+}
+
+// Sink receives trace events. Record is called from the goroutine of the
+// processor named in the event; implementations must either be keyed by
+// Event.Proc (each processor touches only its own state) or synchronize
+// internally.
+type Sink interface {
+	Record(Event)
+}

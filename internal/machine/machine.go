@@ -1,0 +1,175 @@
+// Package machine simulates a loosely coupled multicomputer: a collection of
+// processors with private memories that interact only through point-to-point
+// messages, in the style of the distributed-memory machines targeted by
+// Mehrotra and Van Rosendale's KF1 language constructs (ICASE 89-41).
+//
+// Each processor runs as a goroutine and carries a virtual clock advanced by
+// an explicit CostModel: computation via Compute, communication via
+// Send/Recv. Message matching is point-to-point by (source, tag), so a
+// program's virtual-time behaviour is a deterministic function of the program
+// alone — every run of an experiment produces identical clocks, counters and
+// traces regardless of host scheduling.
+//
+// The simulation is honest about distribution: goroutines never read each
+// other's array data directly; all sharing flows through Send/Recv, which is
+// what lets the higher layers (internal/darray, internal/kf) account every
+// byte a real compiler-generated message-passing program would move.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrDeadlock is reported by Run when every live processor is blocked in
+// Recv and no pending message can satisfy any of them.
+var ErrDeadlock = errors.New("machine: deadlock: all live processors blocked in Recv")
+
+// Machine is a simulated multicomputer with a fixed number of processors.
+type Machine struct {
+	n     int
+	cost  CostModel
+	sink  Sink
+	procs []*Proc
+
+	mu       sync.Mutex
+	conds    []*sync.Cond
+	queues   []map[msgKey][]message
+	awaiting []*msgKey
+	blocked  int  // processors currently waiting in Recv
+	live     int  // processors still executing the current Run body
+	down     bool // deadlock detected or abort requested
+}
+
+// New returns a machine with n processors governed by the given cost model.
+func New(n int, cost CostModel) *Machine {
+	if n <= 0 {
+		panic(fmt.Sprintf("machine: processor count must be positive, got %d", n))
+	}
+	m := &Machine{n: n, cost: cost}
+	m.procs = make([]*Proc, n)
+	m.conds = make([]*sync.Cond, n)
+	m.queues = make([]map[msgKey][]message, n)
+	m.awaiting = make([]*msgKey, n)
+	for i := range m.procs {
+		m.procs[i] = newProc(m, i)
+		m.conds[i] = sync.NewCond(&m.mu)
+		m.queues[i] = make(map[msgKey][]message)
+	}
+	return m
+}
+
+// SetSink installs a trace sink. It must be called before Run; a nil sink
+// disables tracing.
+func (m *Machine) SetSink(s Sink) { m.sink = s }
+
+// Size returns the number of processors.
+func (m *Machine) Size() int { return m.n }
+
+// Cost returns the machine's cost model.
+func (m *Machine) Cost() CostModel { return m.cost }
+
+// Run executes body once per processor, each on its own goroutine, and waits
+// for all of them. It returns the first non-nil error produced by any body
+// (by rank order), or an error wrapping ErrDeadlock if the processors
+// deadlock. Clocks, counters and mailboxes are reset at the start of each
+// Run, so a Machine may be reused for successive independent programs.
+//
+// A panic inside body on any processor is recovered and returned as an
+// error; the remaining processors are woken and terminated.
+func (m *Machine) Run(body func(p *Proc) error) error {
+	m.mu.Lock()
+	m.blocked = 0
+	m.live = m.n
+	m.down = false
+	for i := range m.queues {
+		m.queues[i] = make(map[msgKey][]message)
+		m.awaiting[i] = nil
+	}
+	m.mu.Unlock()
+	for _, p := range m.procs {
+		p.reset()
+	}
+
+	errs := make([]error, m.n)
+	var wg sync.WaitGroup
+	wg.Add(m.n)
+	for i := 0; i < m.n; i++ {
+		p := m.procs[i]
+		go func() {
+			defer wg.Done()
+			defer m.retire()
+			defer func() {
+				if r := recover(); r != nil {
+					if abort, ok := r.(procAbort); ok {
+						errs[p.rank] = abort.err
+						return
+					}
+					errs[p.rank] = fmt.Errorf("machine: processor %d panicked: %v", p.rank, r)
+					m.abortAll()
+				}
+			}()
+			errs[p.rank] = body(p)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Elapsed returns the maximum processor clock reached during the most recent
+// Run — the virtual wall-clock time of the parallel program.
+func (m *Machine) Elapsed() float64 {
+	var max float64
+	for _, p := range m.procs {
+		if p.clock > max {
+			max = p.clock
+		}
+	}
+	return max
+}
+
+// TotalStats returns the element-wise sum of all processors' statistics from
+// the most recent Run.
+func (m *Machine) TotalStats() Stats {
+	var t Stats
+	for _, p := range m.procs {
+		t = t.Add(p.stats)
+	}
+	return t
+}
+
+// ProcStats returns the statistics of processor rank from the most recent
+// Run.
+func (m *Machine) ProcStats(rank int) Stats { return m.procs[rank].stats }
+
+// ProcClock returns the final clock of processor rank from the most recent
+// Run.
+func (m *Machine) ProcClock(rank int) float64 { return m.procs[rank].clock }
+
+// retire marks the calling processor's body as finished and re-checks the
+// deadlock condition: processors still blocked can never be satisfied by a
+// processor that has exited.
+func (m *Machine) retire() {
+	m.mu.Lock()
+	m.live--
+	m.checkDeadlockLocked()
+	m.mu.Unlock()
+}
+
+// abortAll wakes all blocked processors so they can terminate after a panic.
+func (m *Machine) abortAll() {
+	m.mu.Lock()
+	m.down = true
+	m.wakeAllLocked()
+	m.mu.Unlock()
+}
+
+// procAbort carries a structured per-processor failure through the panic
+// machinery inside Run; it never escapes the package.
+type procAbort struct{ err error }

@@ -1,0 +1,105 @@
+package machine
+
+// message is a delivered-but-not-yet-received payload with its virtual
+// arrival time at the destination.
+type message struct {
+	data    []float64
+	arrival float64
+}
+
+// msgKey matches receives to sends: point-to-point by source and tag.
+type msgKey struct {
+	src int
+	tag Tag
+}
+
+// The post office: all mailbox state lives on the Machine under a single
+// lock (see Machine.mu). With one lock there are no ordering hazards, the
+// deadlock detector can inspect every queue safely, and the cost — a few
+// hundred nanoseconds per message — is irrelevant next to the simulated
+// algorithms' O(n) compute loops.
+
+// putLocked appends a message to dst's queue. Caller holds m.mu.
+func (m *Machine) putLocked(dst int, k msgKey, msg message) {
+	q := m.queues[dst]
+	q[k] = append(q[k], msg)
+}
+
+// takeLocked removes the oldest message matching k from dst's queue,
+// reporting whether one was present. Caller holds m.mu.
+func (m *Machine) takeLocked(dst int, k msgKey) (message, bool) {
+	q := m.queues[dst][k]
+	if len(q) == 0 {
+		return message{}, false
+	}
+	msg := q[0]
+	if len(q) == 1 {
+		delete(m.queues[dst], k)
+	} else {
+		m.queues[dst][k] = q[1:]
+	}
+	return msg, true
+}
+
+// recv blocks the calling processor until a message matching k is available
+// in dst's mailbox, then returns it. The second result is false if the
+// machine went down (deadlock or abort) while waiting.
+func (m *Machine) recv(dst int, k msgKey) (message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.down {
+			return message{}, false
+		}
+		if msg, ok := m.takeLocked(dst, k); ok {
+			return msg, true
+		}
+		m.blocked++
+		m.awaiting[dst] = &k
+		m.checkDeadlockLocked()
+		if m.down {
+			// Our own check flagged the deadlock (its broadcast
+			// fired before we waited); bail out instead of
+			// sleeping through it.
+			m.blocked--
+			m.awaiting[dst] = nil
+			return message{}, false
+		}
+		m.conds[dst].Wait()
+		m.blocked--
+		m.awaiting[dst] = nil
+	}
+}
+
+// send delivers a message and wakes the destination if it is waiting.
+func (m *Machine) send(dst int, k msgKey, msg message) {
+	m.mu.Lock()
+	m.putLocked(dst, k, msg)
+	m.conds[dst].Signal()
+	m.mu.Unlock()
+}
+
+// checkDeadlockLocked flags a deadlock when every live processor is blocked
+// and none of them has a pending message matching its awaited key. Under the
+// single machine lock, a pending match implies the waiter has been (or is
+// about to be) signalled, so "no matches anywhere and nobody running" is a
+// true deadlock: no future send can occur.
+func (m *Machine) checkDeadlockLocked() {
+	if m.down || m.live == 0 || m.blocked < m.live {
+		return
+	}
+	for p := 0; p < m.n; p++ {
+		if k := m.awaiting[p]; k != nil && len(m.queues[p][*k]) > 0 {
+			return // p can proceed
+		}
+	}
+	m.down = true
+	m.wakeAllLocked()
+}
+
+// wakeAllLocked unblocks every waiting processor. Caller holds m.mu.
+func (m *Machine) wakeAllLocked() {
+	for _, c := range m.conds {
+		c.Broadcast()
+	}
+}

@@ -1,0 +1,166 @@
+package machine
+
+import "fmt"
+
+// Stats accumulates per-processor activity counters over one Run.
+type Stats struct {
+	// Flops is the number of floating point operations charged via
+	// Compute.
+	Flops int64
+	// MsgsSent and BytesSent count outgoing traffic.
+	MsgsSent  int64
+	BytesSent int64
+	// MsgsRecv counts completed receives.
+	MsgsRecv int64
+	// IdleTime is virtual time spent waiting for messages that had not
+	// yet arrived.
+	IdleTime float64
+	// CommTime is virtual time spent in send and receive overheads.
+	CommTime float64
+}
+
+// Add returns the element-wise sum of two Stats.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Flops:     s.Flops + o.Flops,
+		MsgsSent:  s.MsgsSent + o.MsgsSent,
+		BytesSent: s.BytesSent + o.BytesSent,
+		MsgsRecv:  s.MsgsRecv + o.MsgsRecv,
+		IdleTime:  s.IdleTime + o.IdleTime,
+		CommTime:  s.CommTime + o.CommTime,
+	}
+}
+
+// wordBytes is the simulated size of one float64 array element on the wire.
+const wordBytes = 8
+
+// Proc is one processor of a simulated multicomputer. A Proc is only valid
+// inside the body passed to Machine.Run, on its own goroutine.
+type Proc struct {
+	m     *Machine
+	rank  int
+	clock float64
+	stats Stats
+}
+
+func newProc(m *Machine, rank int) *Proc {
+	return &Proc{m: m, rank: rank}
+}
+
+func (p *Proc) reset() {
+	p.clock = 0
+	p.stats = Stats{}
+}
+
+// Rank returns the processor's machine-wide rank in [0, Size).
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of processors in the machine.
+func (p *Proc) Size() int { return p.m.n }
+
+// Machine returns the machine the processor belongs to.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Clock returns the processor's current virtual time.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// Stats returns a copy of the processor's activity counters.
+func (p *Proc) Stats() Stats { return p.stats }
+
+// Compute advances the processor's clock by flops floating point operations
+// under the machine's cost model. Negative values are ignored.
+func (p *Proc) Compute(flops int) {
+	if flops <= 0 {
+		return
+	}
+	start := p.clock
+	p.clock += float64(flops) * p.m.cost.FlopTime
+	p.stats.Flops += int64(flops)
+	p.emit(Event{Proc: p.rank, Kind: EvCompute, Start: start, End: p.clock, Peer: -1})
+}
+
+// Send transmits a copy of data to processor dst under the given tag. The
+// send is asynchronous: it occupies the sender for SendOverhead virtual
+// seconds and the message arrives at dst after the model's latency and
+// transfer time. Sending to oneself is allowed (loopback with the same
+// costs). The data slice is copied, so the caller may reuse it immediately.
+func (p *Proc) Send(dst int, tag Tag, data []float64) {
+	if dst < 0 || dst >= p.m.n {
+		panic(fmt.Sprintf("machine: proc %d sending to invalid rank %d", p.rank, dst))
+	}
+	start := p.clock
+	p.clock += p.m.cost.SendOverhead
+	p.stats.CommTime += p.m.cost.SendOverhead
+	bytes := len(data) * wordBytes
+	arrival := p.clock + p.m.cost.MessageTime(bytes)
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	p.m.send(dst, msgKey{src: p.rank, tag: tag}, message{data: buf, arrival: arrival})
+	p.stats.MsgsSent++
+	p.stats.BytesSent += int64(bytes)
+	p.emit(Event{Proc: p.rank, Kind: EvSend, Start: start, End: p.clock, Peer: dst, Bytes: bytes})
+}
+
+// SendValue transmits a single float64; a convenience wrapper around Send.
+func (p *Proc) SendValue(dst int, tag Tag, v float64) {
+	p.Send(dst, tag, []float64{v})
+}
+
+// Recv blocks until a message from src with the given tag is available and
+// returns its payload. The processor's clock advances to at least the
+// message's arrival time (accumulating idle time if it waited) plus the
+// receive overhead.
+//
+// If the machine deadlocks while waiting, Recv panics with an abort value
+// that Machine.Run converts into an error wrapping ErrDeadlock; user code
+// should not attempt to recover it.
+func (p *Proc) Recv(src int, tag Tag) []float64 {
+	if src < 0 || src >= p.m.n {
+		panic(fmt.Sprintf("machine: proc %d receiving from invalid rank %d", p.rank, src))
+	}
+	msg, ok := p.m.recv(p.rank, msgKey{src: src, tag: tag})
+	if !ok {
+		panic(procAbort{err: fmt.Errorf("processor %d waiting on (src=%d, tag=%#x): %w", p.rank, src, tag, ErrDeadlock)})
+	}
+	if msg.arrival > p.clock {
+		p.stats.IdleTime += msg.arrival - p.clock
+		p.emit(Event{Proc: p.rank, Kind: EvIdle, Start: p.clock, End: msg.arrival, Peer: src})
+		p.clock = msg.arrival
+	}
+	start := p.clock
+	p.clock += p.m.cost.RecvOverhead
+	p.stats.CommTime += p.m.cost.RecvOverhead
+	p.stats.MsgsRecv++
+	p.emit(Event{Proc: p.rank, Kind: EvRecv, Start: start, End: p.clock, Peer: src, Bytes: len(msg.data) * wordBytes})
+	return msg.data
+}
+
+// RecvValue receives a single float64; a convenience wrapper around Recv.
+func (p *Proc) RecvValue(src int, tag Tag) float64 {
+	d := p.Recv(src, tag)
+	if len(d) != 1 {
+		panic(fmt.Sprintf("machine: proc %d expected scalar message from %d, got %d values", p.rank, src, len(d)))
+	}
+	return d[0]
+}
+
+// Mark records a zero-length annotation in the processor's trace timeline.
+func (p *Proc) Mark(label string) {
+	p.emit(Event{Proc: p.rank, Kind: EvMark, Start: p.clock, End: p.clock, Peer: -1, Label: label})
+}
+
+// AdvanceTo moves the processor's clock forward to time t if t is in the
+// future; used by collective operations that synchronize clocks.
+func (p *Proc) AdvanceTo(t float64) {
+	if t > p.clock {
+		p.stats.IdleTime += t - p.clock
+		p.emit(Event{Proc: p.rank, Kind: EvIdle, Start: p.clock, End: t, Peer: -1})
+		p.clock = t
+	}
+}
+
+func (p *Proc) emit(e Event) {
+	if p.m.sink != nil {
+		p.m.sink.Record(e)
+	}
+}

@@ -1,0 +1,52 @@
+package machine
+
+// Tag identifies a message stream between a pair of processors. A receive
+// matches the oldest pending message with the same (source, tag) pair, so
+// distinct concurrent protocols must use distinct tags.
+//
+// Tags are ordinarily constructed with TagOf or derived from a Scope; the
+// numeric value carries no meaning beyond equality.
+type Tag uint64
+
+// TagOf packs up to four small integers into a Tag. Each part must fit in 16
+// bits; parts are packed most-significant first, so TagOf(a) != TagOf(a, 0)
+// is NOT guaranteed — always use a fixed arity per protocol.
+func TagOf(parts ...uint16) Tag {
+	var t Tag
+	for _, p := range parts {
+		t = t<<16 | Tag(p)
+	}
+	return t
+}
+
+// Scope is a collision-free namespace for tags. Nested program phases derive
+// child scopes deterministically (every processor executing the same program
+// derives the same scopes), so concurrent subcomputations on disjoint
+// processor sets never confuse each other's messages.
+type Scope struct {
+	id uint64
+}
+
+// RootScope returns the top-level scope.
+func RootScope() Scope { return Scope{id: 0x9e3779b97f4a7c15} }
+
+// Child derives a sub-scope from a sequence number (for example, the ordinal
+// of a phase within a routine) and a discriminator (for example, a doall
+// iteration index). The derivation is a splitmix64-style hash, so sibling
+// scopes are distinct with overwhelming probability.
+func (s Scope) Child(seq, discriminator int) Scope {
+	z := s.id ^ (uint64(seq)+1)*0xbf58476d1ce4e5b9 ^ (uint64(int64(discriminator))+0x94d049bb133111eb)*0x94d049bb133111eb
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return Scope{id: z}
+}
+
+// Tag returns a message tag within the scope. The part argument
+// distinguishes independent streams inside one phase (for example,
+// "boundary row" versus "right-hand side").
+func (s Scope) Tag(part uint16) Tag {
+	return Tag(s.id)<<16 | Tag(part)
+}

@@ -1,0 +1,226 @@
+package multigrid
+
+import (
+	"math"
+
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/kf"
+)
+
+// Cycle3 performs one MG3 V-cycle (Listing 9) on u for right-hand side f:
+// zebra plane relaxation on even planes, then odd planes — each plane
+// "solved" by MG2 V-cycles on the plane's subgrid — followed by a coarse
+// grid correction with semicoarsening in z. Arrays are
+// (nx+1) x (ny+1) x (nz+1); nz must be a power of two. Supported
+// distribution patterns (the paper's C3 alternatives):
+//
+//	(*, block, block) on a 2-D grid — planes distributed over the second
+//	   axis, plane solves parallel over the first (sequential line solves);
+//	(*, *, block) on a 1-D grid — planes distributed, each solved on a
+//	   single processor;
+//	(block, block, *) on a 2-D grid — planes replicated in z, each plane
+//	   solved by the whole grid with parallel tridiagonal line solves.
+func Cycle3(c *kf.Ctx, u, f *darray.Array, par Params) {
+	nz := u.Extent(2) - 1
+	cycles := par.planeCycles()
+	if nz <= 2 {
+		cycles = par.coarsePlaneCycles()
+	}
+	zebraSweep3(c, u, f, par, 2, cycles)
+	zebraSweep3(c, u, f, par, 1, cycles)
+	if nz <= 2 {
+		return
+	}
+	nx, ny := u.Extent(0)-1, u.Extent(1)-1
+	r := newLike3(c, u)
+	residual3Into(c, r, u, f, par)
+	nzc := nz / 2
+	vc := newCoarse3(c, u, nx, ny, nz, nzc)
+	gc := newCoarse3(c, u, nx, ny, nz, nzc)
+	restrict3(c, gc, r)
+	vc.Zero()
+	coarse := par
+	coarse.Hz *= 2
+	Cycle3(c, vc, gc, coarse)
+	interpolate3(c, u, vc)
+}
+
+// Solve3 runs cycles V-cycles and returns the max-norm residual after each.
+func Solve3(c *kf.Ctx, u, f *darray.Array, par Params, cycles int) []float64 {
+	var hist []float64
+	for k := 0; k < cycles; k++ {
+		Cycle3(c, u, f, par)
+		hist = append(hist, ResidualNorm3(c, u, f, par))
+	}
+	return hist
+}
+
+// zebraSweep3 relaxes the planes k = start, start+2, ...: for each one it
+// assembles the plane equation
+//
+//	(A·∂xx/hx² + B·∂yy/hy² + (Sigma - 2C/hz²)) w = f(·,·,k) - C/hz²·(u(·,·,k-1) + u(·,·,k+1))
+//
+// and improves u(·,·,k) in place with MG2 V-cycles — the paper's "the plane
+// solves required in the zebra relaxation are themselves tensor product
+// multigrid algorithms".
+func zebraSweep3(c *kf.Ctx, u, f *darray.Array, par Params, start, cycles int) {
+	nz := u.Extent(2) - 1
+	cz := par.C / (par.Hz * par.Hz)
+	if distributedDim(u, 2) {
+		u.ExchangeHalo(c.NextScope(), 2)
+	}
+	c.Doall1(kf.RStep(start, nz-1, 2), kf.OnOwnerSection(u, 2), nil,
+		func(cc *kf.Ctx, k int) {
+			u2 := u.Section(2, k)
+			f2 := planeRHS(cc, u, f, k, cz)
+			par2 := par
+			par2.Sigma = par.Sigma - 2*cz
+			for n := 0; n < cycles; n++ {
+				Cycle2(cc, u2, f2, par2)
+			}
+		})
+}
+
+// planeRHS builds the plane right-hand side as a dynamic 2-D array on the
+// plane's grid.
+func planeRHS(cc *kf.Ctx, u, f *darray.Array, k int, cz float64) *darray.Array {
+	u2 := u.Section(2, k)
+	nx, ny := u2.Extent(0)-1, u2.Extent(1)-1
+	rhs := darray.New(cc.P, cc.G, darray.Spec{
+		Extents: []int{nx + 1, ny + 1},
+		Dists:   []dist.Dist{u2.Dist(0), u2.Dist(1)},
+		Halo:    halosFor(u2.Dist(0), u2.Dist(1)),
+	})
+	rhs.Zero()
+	rhs.OwnedEach(func(idx []int) {
+		i, j := idx[0], idx[1]
+		if i == 0 || i == nx || j == 0 || j == ny {
+			return
+		}
+		rhs.Set2(i, j, f.At3(i, j, k)-cz*(u.At3(i, j, k-1)+u.At3(i, j, k+1)))
+	})
+	cc.P.Compute(3 * rhs.LocalSize(0) * rhs.LocalSize(1))
+	return rhs
+}
+
+// residual3Into computes r = f - L·u on interior nodes.
+func residual3Into(c *kf.Ctx, r, u, f *darray.Array, par Params) {
+	nx, ny, nz := u.Extent(0)-1, u.Extent(1)-1, u.Extent(2)-1
+	ax := par.A / (par.Hx * par.Hx)
+	by := par.B / (par.Hy * par.Hy)
+	cz := par.C / (par.Hz * par.Hz)
+	diag := -2*ax - 2*by - 2*cz + par.Sigma
+	r.Zero()
+	u.ExchangeHalo(c.NextScope())
+	u.Snapshot()
+	r.OwnedEach(func(idx []int) {
+		i, j, k := idx[0], idx[1], idx[2]
+		if i == 0 || i == nx || j == 0 || j == ny || k == 0 || k == nz {
+			return
+		}
+		lu := ax*(u.Old3(i-1, j, k)+u.Old3(i+1, j, k)) +
+			by*(u.Old3(i, j-1, k)+u.Old3(i, j+1, k)) +
+			cz*(u.Old3(i, j, k-1)+u.Old3(i, j, k+1)) +
+			diag*u.Old3(i, j, k)
+		r.Set3(i, j, k, f.At3(i, j, k)-lu)
+	})
+	c.P.Compute(12 * r.LocalSize(0) * r.LocalSize(1) * r.LocalSize(2))
+	u.ReleaseSnapshot()
+}
+
+// ResidualNorm3 returns ||f - L·u||_inf over interior nodes, identical on
+// every processor.
+func ResidualNorm3(c *kf.Ctx, u, f *darray.Array, par Params) float64 {
+	nx, ny, nz := u.Extent(0)-1, u.Extent(1)-1, u.Extent(2)-1
+	ax := par.A / (par.Hx * par.Hx)
+	by := par.B / (par.Hy * par.Hy)
+	cz := par.C / (par.Hz * par.Hz)
+	diag := -2*ax - 2*by - 2*cz + par.Sigma
+	u.ExchangeHalo(c.NextScope())
+	u.Snapshot()
+	worst := 0.0
+	u.OwnedEach(func(idx []int) {
+		i, j, k := idx[0], idx[1], idx[2]
+		if i == 0 || i == nx || j == 0 || j == ny || k == 0 || k == nz {
+			return
+		}
+		lu := ax*(u.Old3(i-1, j, k)+u.Old3(i+1, j, k)) +
+			by*(u.Old3(i, j-1, k)+u.Old3(i, j+1, k)) +
+			cz*(u.Old3(i, j, k-1)+u.Old3(i, j, k+1)) +
+			diag*u.Old3(i, j, k)
+		if d := math.Abs(f.At3(i, j, k) - lu); d > worst {
+			worst = d
+		}
+	})
+	c.P.Compute(12 * u.LocalSize(0) * u.LocalSize(1) * u.LocalSize(2))
+	u.ReleaseSnapshot()
+	return c.AllReduceMax(worst)
+}
+
+// restrict3 semicoarsens the fine residual into the coarse right-hand side
+// by full weighting in z only.
+func restrict3(c *kf.Ctx, gc, r *darray.Array) {
+	nx, ny := r.Extent(0)-1, r.Extent(1)-1
+	nzc := gc.Extent(2) - 1
+	gc.Zero()
+	if distributedDim(r, 2) {
+		r.ExchangeHalo(c.NextScope(), 2)
+	}
+	gc.OwnedEach(func(idx []int) {
+		i, j, kc := idx[0], idx[1], idx[2]
+		if i == 0 || i == nx || j == 0 || j == ny || kc == 0 || kc == nzc {
+			return
+		}
+		k := 2 * kc
+		gc.Set3(i, j, kc, 0.25*(r.At3(i, j, k-1)+2*r.At3(i, j, k)+r.At3(i, j, k+1)))
+	})
+	c.P.Compute(4 * gc.LocalSize(0) * gc.LocalSize(1) * gc.LocalSize(2))
+}
+
+// interpolate3 adds the coarse correction into the fine solution by linear
+// interpolation in z — exactly Listing 10: even planes take the coarse
+// value, odd planes the average of the two nearest coarse planes.
+func interpolate3(c *kf.Ctx, u, vc *darray.Array) {
+	nx, ny, nz := u.Extent(0)-1, u.Extent(1)-1, u.Extent(2)-1
+	if distributedDim(vc, 2) {
+		vc.ExchangeHalo(c.NextScope(), 2)
+	}
+	u.OwnedEach(func(idx []int) {
+		i, j, k := idx[0], idx[1], idx[2]
+		if i == 0 || i == nx || j == 0 || j == ny || k == 0 || k == nz {
+			return
+		}
+		if k%2 == 0 {
+			u.Set3(i, j, k, u.At3(i, j, k)+vc.At3(i, j, k/2))
+		} else {
+			u.Set3(i, j, k, u.At3(i, j, k)+0.5*(vc.At3(i, j, (k-1)/2)+vc.At3(i, j, (k+1)/2)))
+		}
+	})
+	c.P.Compute(2 * u.LocalSize(0) * u.LocalSize(1) * u.LocalSize(2))
+}
+
+// newLike3 allocates a work array with u's layout.
+func newLike3(c *kf.Ctx, u *darray.Array) *darray.Array {
+	return darray.New(c.P, u.Grid(), darray.Spec{
+		Extents: []int{u.Extent(0), u.Extent(1), u.Extent(2)},
+		Dists:   []dist.Dist{u.Dist(0), u.Dist(1), u.Dist(2)},
+		Halo:    halosFor(u.Dist(0), u.Dist(1), u.Dist(2)),
+	})
+}
+
+// newCoarse3 allocates a z-semicoarsened array aligned with the fine one.
+func newCoarse3(c *kf.Ctx, u *darray.Array, nx, ny, nz, nzc int) *darray.Array {
+	dz := dist.Coarsen(u.Dist(2), nz+1)
+	return darray.New(c.P, u.Grid(), darray.Spec{
+		Extents: []int{nx + 1, ny + 1, nzc + 1},
+		Dists:   []dist.Dist{u.Dist(0), u.Dist(1), dz},
+		Halo:    halosFor(u.Dist(0), u.Dist(1), dz),
+	})
+}
+
+// distributedDim reports whether free dimension d of a is distributed.
+func distributedDim(a *darray.Array, d int) bool {
+	_, isStar := a.Dist(d).(dist.Star)
+	return !isStar
+}

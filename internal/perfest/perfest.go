@@ -1,0 +1,122 @@
+// Package perfest is a static performance estimator for KF1 programs — the
+// tool the paper's Section 2 promises ("we plan to address this issue by
+// providing performance estimation tools, which will indicate which parts
+// of a program will compile into efficient executable code"). Given a cost
+// model and a program's distribution parameters, it predicts message
+// counts, communication volumes and virtual execution time without running
+// the program; experiment A2 validates the predictions against the
+// simulator.
+//
+// Counts and volumes are exact (they follow combinatorially from the
+// distributions); times are critical-path estimates that ignore secondary
+// overlap effects and are validated to a tolerance.
+package perfest
+
+import "repro/internal/machine"
+
+// Estimate is a static prediction for one program phase.
+type Estimate struct {
+	// Msgs is the total number of messages across all processors.
+	Msgs int
+	// Bytes is the total payload volume in bytes.
+	Bytes int
+	// Time is the predicted virtual execution time in seconds.
+	Time float64
+}
+
+// wordBytes mirrors the simulator's 8-byte array elements.
+const wordBytes = 8
+
+// Jacobi predicts the iteration loop of the KF1 Jacobi program (Listing 3):
+// n x n points block/block-distributed on a p x p grid, iters iterations,
+// each iteration one two-dimensional halo exchange plus the five-flop
+// update per interior point.
+func Jacobi(cost machine.CostModel, n, p, iters int) Estimate {
+	local := n / p
+	// Messages: per dimension, every adjacent processor pair exchanges
+	// two messages per line of processors; p lines per dimension.
+	msgsPerIter := 4 * p * (p - 1)
+	bytesPerIter := msgsPerIter * local * wordBytes
+
+	// Critical path per iteration: the busiest processor posts its edge
+	// sends, waits one latency + transfer for the matching ghosts,
+	// completes its receives, then updates its interior points.
+	nbrs := 4
+	switch {
+	case p == 1:
+		nbrs = 0
+	case p == 2:
+		nbrs = 2
+	}
+	interior := local * local
+	tIter := float64(nbrs)*cost.SendOverhead +
+		float64(nbrs)*cost.RecvOverhead +
+		5*float64(interior)*cost.FlopTime
+	if nbrs > 0 {
+		tIter += cost.MessageTime(local * wordBytes)
+	}
+	return Estimate{
+		Msgs:  iters * msgsPerIter,
+		Bytes: iters * bytesPerIter,
+		Time:  float64(iters) * tIter,
+	}
+}
+
+// TriSolve predicts one substructured tridiagonal solve (Listing 4) of n
+// rows on p = 2^k processors under the shuffle mapping.
+//
+// Message census: every processor mails its two boundary rows up (p
+// messages of 9 values); each tree level's holders mail theirs (p-2 more);
+// the final solve and every tree holder mail two substitution pairs down
+// (2p-2 messages of 2 values). Total 4p-4 messages, (2p-2)*(72+16) bytes.
+func TriSolve(cost machine.CostModel, n, p int) Estimate {
+	if p == 1 {
+		return Estimate{Time: 8 * float64(n) * cost.FlopTime}
+	}
+	k := 0
+	for v := p; v > 1; v >>= 1 {
+		k++
+	}
+	local := n / p
+	upMsgs := 2*p - 2
+	downMsgs := 2*p - 2
+	bytes := upMsgs*9*wordBytes + downMsgs*2*wordBytes
+
+	F := cost.FlopTime
+	up := cost.MessageTime(9 * wordBytes)
+	down := cost.MessageTime(2 * wordBytes)
+	// Critical path: local reduce, k-1 tree hops, the final solve, k-1
+	// substitution hops, local back-substitution.
+	t := (2*float64(local) + 11*float64(local-2) + 2) * F // copy-in + local reduce
+	t += cost.SendOverhead
+	for s := 1; s <= k-1; s++ {
+		t += up + 2*cost.RecvOverhead + 24*F + cost.SendOverhead
+	}
+	t += up + 2*cost.RecvOverhead + 32*F + 2*cost.SendOverhead // final solve
+	for s := k - 1; s >= 1; s-- {
+		t += down + cost.RecvOverhead + 10*F + 2*cost.SendOverhead
+	}
+	t += down + cost.RecvOverhead + (5*float64(local-2)+float64(local))*F
+	return Estimate{
+		Msgs:  4*p - 4,
+		Bytes: bytes,
+		Time:  t,
+	}
+}
+
+// GatherMsgs returns the message count of darray.GatherTo on a grid of
+// size gp: every non-root member sends one message.
+func GatherMsgs(gp int) int { return gp - 1 }
+
+// GatherBytes returns the payload volume of gathering cells total elements
+// onto the root, which already owns cells/gp of them (balanced blocks).
+func GatherBytes(gp, cells int) int {
+	return (cells - cells/gp) * wordBytes
+}
+
+// AllReduceMsgs returns the message count of coll.AllReduce on gp
+// processors (binomial reduce plus binomial broadcast).
+func AllReduceMsgs(gp int) int { return 2 * (gp - 1) }
+
+// AllReduceBytes returns the corresponding volume (one scalar per message).
+func AllReduceBytes(gp int) int { return AllReduceMsgs(gp) * wordBytes }

@@ -1,0 +1,82 @@
+package perfest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+func TestJacobiCountsFormula(t *testing.T) {
+	// Spot-check the census arithmetic against hand counts.
+	e := Jacobi(machine.IPSC2(), 32, 2, 10)
+	if e.Msgs != 80 {
+		t.Errorf("msgs = %d, want 80", e.Msgs)
+	}
+	if e.Bytes != 80*16*8 {
+		t.Errorf("bytes = %d, want %d", e.Bytes, 80*16*8)
+	}
+	if e.Time <= 0 {
+		t.Errorf("time = %v", e.Time)
+	}
+}
+
+func TestJacobiSingleProcessorNoComm(t *testing.T) {
+	e := Jacobi(machine.IPSC2(), 32, 1, 5)
+	if e.Msgs != 0 || e.Bytes != 0 {
+		t.Errorf("p=1 should not communicate: %+v", e)
+	}
+	if e.Time <= 0 {
+		t.Error("p=1 still computes")
+	}
+}
+
+func TestTriSolveCountsFormula(t *testing.T) {
+	// 4p-4 messages for any power-of-two p.
+	for _, p := range []int{2, 4, 8, 16, 32} {
+		e := TriSolve(machine.IPSC2(), 2048, p)
+		if e.Msgs != 4*p-4 {
+			t.Errorf("p=%d: msgs %d, want %d", p, e.Msgs, 4*p-4)
+		}
+		if e.Bytes != (2*p-2)*9*8+(2*p-2)*2*8 {
+			t.Errorf("p=%d: bytes %d", p, e.Bytes)
+		}
+	}
+}
+
+func TestTriSolveSequential(t *testing.T) {
+	e := TriSolve(machine.Uniform(), 100, 1)
+	if e.Msgs != 0 || e.Bytes != 0 {
+		t.Errorf("p=1: %+v", e)
+	}
+	if e.Time != 800 {
+		t.Errorf("p=1 time %v, want 800 (8 flops/row)", e.Time)
+	}
+}
+
+func TestCollectiveHelpers(t *testing.T) {
+	if GatherMsgs(4) != 3 || AllReduceMsgs(4) != 6 {
+		t.Errorf("helper counts wrong: %d %d", GatherMsgs(4), AllReduceMsgs(4))
+	}
+	if GatherBytes(4, 1024) != (1024-256)*8 {
+		t.Errorf("gather bytes %d", GatherBytes(4, 1024))
+	}
+	if AllReduceBytes(4) != 48 {
+		t.Errorf("allreduce bytes %d", AllReduceBytes(4))
+	}
+}
+
+func TestEstimatesScaleMonotonically(t *testing.T) {
+	// Property: more iterations mean proportionally more messages and
+	// never less time.
+	f := func(itRaw uint8) bool {
+		iters := int(itRaw%20) + 1
+		e1 := Jacobi(machine.IPSC2(), 32, 2, iters)
+		e2 := Jacobi(machine.IPSC2(), 32, 2, iters+1)
+		return e2.Msgs > e1.Msgs && e2.Time > e1.Time &&
+			e1.Msgs == iters*8 && e2.Msgs == (iters+1)*8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

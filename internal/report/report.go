@@ -1,0 +1,120 @@
+// Package report renders the experiment harness's tables and series as
+// fixed-width text, in the style of the tables a paper's evaluation section
+// would print. It has no knowledge of the experiments themselves.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows of cells under a header and renders them with
+// fixed-width columns.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+	notes  []string
+}
+
+// NewTable returns a table with the given title and column header.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a free-text footnote rendered under the table.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// formatFloat renders measurement values compactly: scientific notation for
+// very small or large magnitudes, fixed point otherwise.
+func formatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e5 || av < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.title != "" {
+		sb.WriteString(t.title)
+		sb.WriteString("\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	sb.WriteString("\n")
+	for _, row := range t.rows {
+		line(row)
+	}
+	for _, n := range t.notes {
+		sb.WriteString("note: ")
+		sb.WriteString(n)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Series renders a labelled sequence of values (one figure series) on one
+// line, for residual histories and sweeps.
+func Series(label string, values []float64) string {
+	var sb strings.Builder
+	sb.WriteString(label)
+	sb.WriteString(":")
+	for _, v := range values {
+		sb.WriteString(" ")
+		sb.WriteString(formatFloat(v))
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

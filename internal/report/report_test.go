@@ -1,0 +1,68 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignsColumns(t *testing.T) {
+	tbl := NewTable("demo", "name", "value")
+	tbl.AddRow("short", 1)
+	tbl.AddRow("a-much-longer-name", 123456.789)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows -> 5? title+header+rule+2
+		if len(lines) != 5 {
+			t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	// The value column must start at the same offset in every data row.
+	header := lines[1]
+	col := strings.Index(header, "value")
+	for _, row := range lines[3:] {
+		if len(row) < col {
+			t.Errorf("row shorter than header: %q", row)
+		}
+	}
+}
+
+func TestTableNotes(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.AddRow(1)
+	tbl.AddNote("the answer is %d", 42)
+	out := tbl.String()
+	if !strings.Contains(out, "note: the answer is 42") {
+		t.Errorf("missing note:\n%s", out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{1234567, "1.235e+06"},
+		{0.0000123, "1.230e-05"},
+		{3.14159, "3.142"},
+		{123.456, "123.5"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.v); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("residual", []float64{1, 0.5, 0.25})
+	if !strings.HasPrefix(out, "residual:") {
+		t.Errorf("series %q", out)
+	}
+	if !strings.Contains(out, "0.5") || !strings.Contains(out, "0.25") {
+		t.Errorf("series values missing: %q", out)
+	}
+}

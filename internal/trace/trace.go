@@ -1,0 +1,240 @@
+// Package trace records and analyzes per-processor event timelines from the
+// simulated machine. The tridiagonal-solver experiments use it to
+// regenerate the paper's Figure 3 (the dataflow graph's active-processor
+// profile) and Figure 5 (the shuffle/unshuffle mapping of algorithm steps
+// onto processors), and the pipelining experiments use it for utilization
+// measurements.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// Recorder is a machine.Sink that stores every event, keyed by processor.
+// Each simulated processor appends only to its own slice, so Recorder needs
+// no locking.
+type Recorder struct {
+	perProc [][]machine.Event
+}
+
+// NewRecorder returns a recorder for a machine with n processors.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{perProc: make([][]machine.Event, n)}
+}
+
+// Record implements machine.Sink.
+func (r *Recorder) Record(e machine.Event) {
+	r.perProc[e.Proc] = append(r.perProc[e.Proc], e)
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	for i := range r.perProc {
+		r.perProc[i] = nil
+	}
+}
+
+// Procs returns the number of processors the recorder covers.
+func (r *Recorder) Procs() int { return len(r.perProc) }
+
+// Events returns the recorded events of one processor, in program order.
+func (r *Recorder) Events(proc int) []machine.Event { return r.perProc[proc] }
+
+// BusyTime returns the total virtual time processor proc spent computing.
+func (r *Recorder) BusyTime(proc int) float64 {
+	var t float64
+	for _, e := range r.perProc[proc] {
+		if e.Kind == machine.EvCompute {
+			t += e.End - e.Start
+		}
+	}
+	return t
+}
+
+// IdleTime returns the total virtual time processor proc spent waiting for
+// messages.
+func (r *Recorder) IdleTime(proc int) float64 {
+	var t float64
+	for _, e := range r.perProc[proc] {
+		if e.Kind == machine.EvIdle {
+			t += e.End - e.Start
+		}
+	}
+	return t
+}
+
+// Utilization returns each processor's busy time divided by the elapsed
+// time (0 when elapsed is 0).
+func (r *Recorder) Utilization(elapsed float64) []float64 {
+	u := make([]float64, len(r.perProc))
+	if elapsed <= 0 {
+		return u
+	}
+	for p := range u {
+		u[p] = r.BusyTime(p) / elapsed
+	}
+	return u
+}
+
+// MeanUtilization returns the average of Utilization over all processors.
+func (r *Recorder) MeanUtilization(elapsed float64) float64 {
+	u := r.Utilization(elapsed)
+	var s float64
+	for _, v := range u {
+		s += v
+	}
+	return s / float64(len(u))
+}
+
+// StepActivity scans for mark labels of the form prefix + number (for
+// example "step:3") and reports, for each step in ascending numeric order,
+// which processors performed any computation between their mark for that
+// step and their next mark (or the end of their timeline). Processors that
+// never emitted the step's mark count as inactive — they were asleep, as in
+// the reduction phase of the paper's Figure 3.
+func (r *Recorder) StepActivity(prefix string) (steps []int, active [][]bool) {
+	stepSet := map[int]bool{}
+	for _, evs := range r.perProc {
+		for _, e := range evs {
+			if e.Kind == machine.EvMark && strings.HasPrefix(e.Label, prefix) {
+				var s int
+				if _, err := fmt.Sscanf(e.Label[len(prefix):], "%d", &s); err == nil {
+					stepSet[s] = true
+				}
+			}
+		}
+	}
+	for s := range stepSet {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	active = make([][]bool, len(steps))
+	for k := range active {
+		active[k] = make([]bool, len(r.perProc))
+	}
+	for p, evs := range r.perProc {
+		for i, e := range evs {
+			if e.Kind != machine.EvMark || !strings.HasPrefix(e.Label, prefix) {
+				continue
+			}
+			var s int
+			if _, err := fmt.Sscanf(e.Label[len(prefix):], "%d", &s); err != nil {
+				continue
+			}
+			// Find the span of this step: from this mark to the
+			// next mark with the same prefix (or end of events).
+			for j := i + 1; ; j++ {
+				if j >= len(evs) {
+					break
+				}
+				if evs[j].Kind == machine.EvMark && strings.HasPrefix(evs[j].Label, prefix) {
+					break
+				}
+				if evs[j].Kind == machine.EvCompute {
+					k := sort.SearchInts(steps, s)
+					active[k][p] = true
+				}
+			}
+		}
+	}
+	return steps, active
+}
+
+// ActivityTable renders a step-by-processor activity matrix as fixed-width
+// text: one row per step, '*' for active processors and '.' for idle ones —
+// the shape of the paper's Figure 5.
+func ActivityTable(steps []int, active [][]bool) string {
+	var sb strings.Builder
+	if len(steps) == 0 {
+		return "(no steps recorded)\n"
+	}
+	nproc := len(active[0])
+	sb.WriteString("step |")
+	for p := 0; p < nproc; p++ {
+		fmt.Fprintf(&sb, "%3d", p)
+	}
+	sb.WriteString("\n-----+")
+	sb.WriteString(strings.Repeat("---", nproc))
+	sb.WriteString("\n")
+	for k, s := range steps {
+		fmt.Fprintf(&sb, "%4d |", s)
+		for p := 0; p < nproc; p++ {
+			if active[k][p] {
+				sb.WriteString("  *")
+			} else {
+				sb.WriteString("  .")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// ActiveCounts returns the number of active processors per step.
+func ActiveCounts(active [][]bool) []int {
+	counts := make([]int, len(active))
+	for k, row := range active {
+		for _, a := range row {
+			if a {
+				counts[k]++
+			}
+		}
+	}
+	return counts
+}
+
+// Gantt renders each processor's timeline as a row of width cells covering
+// [0, elapsed]: '#' computing, '-' idle, 's'/'r' send/receive overhead,
+// ' ' no activity recorded. Cells with mixed activity show the dominant
+// kind. It is a debugging aid and the renderer behind the experiment
+// harness's utilization displays.
+func (r *Recorder) Gantt(elapsed float64, width int) string {
+	if width <= 0 || elapsed <= 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for p, evs := range r.perProc {
+		cells := make([]float64, width) // weight of compute
+		idle := make([]float64, width)
+		comm := make([]float64, width)
+		for _, e := range evs {
+			if e.End <= e.Start {
+				continue
+			}
+			lo := int(e.Start / elapsed * float64(width))
+			hi := int(e.End / elapsed * float64(width))
+			if hi >= width {
+				hi = width - 1
+			}
+			for c := lo; c <= hi; c++ {
+				switch e.Kind {
+				case machine.EvCompute:
+					cells[c]++
+				case machine.EvIdle:
+					idle[c]++
+				case machine.EvSend, machine.EvRecv:
+					comm[c]++
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "P%-3d |", p)
+		for c := 0; c < width; c++ {
+			switch {
+			case cells[c] >= idle[c] && cells[c] >= comm[c] && cells[c] > 0:
+				sb.WriteByte('#')
+			case comm[c] > idle[c]:
+				sb.WriteByte('s')
+			case idle[c] > 0:
+				sb.WriteByte('-')
+			default:
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}

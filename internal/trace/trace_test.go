@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// record builds a recorder from a scripted machine run.
+func record(t *testing.T, n int, body func(p *machine.Proc) error) (*Recorder, *machine.Machine) {
+	t.Helper()
+	m := machine.New(n, machine.Uniform())
+	rec := NewRecorder(n)
+	m.SetSink(rec)
+	if err := m.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	return rec, m
+}
+
+func TestBusyAndIdleTime(t *testing.T) {
+	rec, _ := record(t, 2, func(p *machine.Proc) error {
+		if p.Rank() == 0 {
+			p.Compute(100)
+			p.SendValue(1, 0, 1)
+		} else {
+			p.RecvValue(0, 0) // idles until t=100
+			p.Compute(50)
+		}
+		return nil
+	})
+	if got := rec.BusyTime(0); got != 100 {
+		t.Errorf("proc 0 busy %v, want 100", got)
+	}
+	if got := rec.BusyTime(1); got != 50 {
+		t.Errorf("proc 1 busy %v, want 50", got)
+	}
+	if got := rec.IdleTime(1); got != 100 {
+		t.Errorf("proc 1 idle %v, want 100", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	rec, m := record(t, 2, func(p *machine.Proc) error {
+		p.Compute(10 * (p.Rank() + 1))
+		return nil
+	})
+	u := rec.Utilization(m.Elapsed()) // elapsed 20
+	if u[0] != 0.5 || u[1] != 1.0 {
+		t.Errorf("utilization %v", u)
+	}
+	if got := rec.MeanUtilization(m.Elapsed()); got != 0.75 {
+		t.Errorf("mean %v", got)
+	}
+	if z := rec.Utilization(0); z[0] != 0 {
+		t.Errorf("zero elapsed should give zero utilization")
+	}
+}
+
+func TestStepActivity(t *testing.T) {
+	rec, _ := record(t, 3, func(p *machine.Proc) error {
+		p.Mark("step:0")
+		p.Compute(1) // all active in step 0
+		p.Mark("step:1")
+		if p.Rank() == 1 {
+			p.Compute(5) // only proc 1 active in step 1
+		}
+		return nil
+	})
+	steps, active := rec.StepActivity("step:")
+	if len(steps) != 2 || steps[0] != 0 || steps[1] != 1 {
+		t.Fatalf("steps %v", steps)
+	}
+	for pr := 0; pr < 3; pr++ {
+		if !active[0][pr] {
+			t.Errorf("proc %d inactive in step 0", pr)
+		}
+		if active[1][pr] != (pr == 1) {
+			t.Errorf("proc %d step 1 activity %v", pr, active[1][pr])
+		}
+	}
+	counts := ActiveCounts(active)
+	if counts[0] != 3 || counts[1] != 1 {
+		t.Errorf("counts %v", counts)
+	}
+}
+
+func TestActivityTableFormat(t *testing.T) {
+	steps := []int{0, 1}
+	active := [][]bool{{true, false}, {false, true}}
+	out := ActivityTable(steps, active)
+	if !strings.Contains(out, "*") || !strings.Contains(out, ".") {
+		t.Errorf("table missing cells:\n%s", out)
+	}
+	if ActivityTable(nil, nil) == "" {
+		t.Error("empty table should say so")
+	}
+}
+
+func TestGanttRendersRows(t *testing.T) {
+	rec, m := record(t, 2, func(p *machine.Proc) error {
+		if p.Rank() == 0 {
+			p.Compute(100)
+			p.SendValue(1, 0, 1)
+		} else {
+			p.RecvValue(0, 0)
+		}
+		return nil
+	})
+	out := rec.Gantt(m.Elapsed(), 40)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 rows, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "#") {
+		t.Errorf("proc 0 row missing compute cells: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "-") {
+		t.Errorf("proc 1 row missing idle cells: %q", lines[1])
+	}
+	if rec.Gantt(0, 10) != "" || rec.Gantt(1, 0) != "" {
+		t.Error("degenerate Gantt should be empty")
+	}
+}
+
+func TestReset(t *testing.T) {
+	rec, _ := record(t, 1, func(p *machine.Proc) error {
+		p.Compute(5)
+		return nil
+	})
+	if len(rec.Events(0)) == 0 {
+		t.Fatal("no events recorded")
+	}
+	rec.Reset()
+	if len(rec.Events(0)) != 0 {
+		t.Error("reset did not clear events")
+	}
+	if rec.Procs() != 1 {
+		t.Errorf("procs %d", rec.Procs())
+	}
+}

@@ -1,0 +1,200 @@
+// Package tridiag implements the paper's Section 3: parallel solution of
+// tridiagonal systems on a loosely coupled architecture by the
+// substructured ("spike"-variant) divide and conquer algorithm, both one
+// system at a time (Listing 4) and pipelined over many systems
+// (Listing 6), plus the gather-to-one-processor baseline and the sequential
+// reference used by the experiments.
+//
+// The algorithm: each processor owns a block of rows. A local boundary
+// reduction (kernels.Reduce) eliminates the block's interior, leaving two
+// boundary rows per processor — the highlighted rows of Figure 1 — which
+// form a tridiagonal system of size 2p. log2(p) tree steps follow: at each
+// step the boundary rows are mailed pairwise to half as many processors,
+// each of which reduces four adjacent rows to two (Figure 2), until a
+// four-row system remains and is solved by the Thomas algorithm. The
+// substitution phase retraces the tree: solved boundary pairs flow down,
+// each processor back-substituting its saved reduced block (Figure 4).
+// Active processors halve each reduction step and double each substitution
+// step — the dataflow graph of Figure 3.
+//
+// The step-to-processor assignment is a Mapping; the default is the
+// shuffle/unshuffle mapping of Figure 5, whose disjoint processor groups
+// let m systems pipeline through the tree like a systolic array — exactly
+// why the paper calls the mapping "advantageous when there are multiple
+// tridiagonal systems to be solved". PackedMapping is the naive
+// alternative the ablation experiment compares against.
+package tridiag
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+// localSystem is one tridiagonal system's per-processor state: the owned
+// block of coefficient rows (modified in place by the reduction) and the
+// solution output.
+type localSystem struct {
+	b, a, c, f []float64
+	x          []float64
+}
+
+// treeBlock is a saved four-row reduced block awaiting substitution.
+type treeBlock struct {
+	b, a, c, f [4]float64
+}
+
+// Message parts within a (system, level) scope.
+const (
+	partReduce = 1 // boundary rows flowing up the tree
+	partSubst  = 2 // solved pairs flowing down the tree
+)
+
+// log2Exact returns log2(p) for exact powers of two and ok=false otherwise.
+func log2Exact(p int) (int, bool) {
+	if p <= 0 || p&(p-1) != 0 {
+		return 0, false
+	}
+	k := 0
+	for v := p; v > 1; v >>= 1 {
+		k++
+	}
+	return k, true
+}
+
+// solvePipeline runs the substructured solver for all systems through the
+// mapping's schedule: system j enters tree level s at step j+s, is
+// final-solved at step j+k, and is substituted at level s at step j+2k-s.
+// With one system this is Listing 4; with many it is Listing 6's pipeline.
+// Every processor of g must call it with the same number of systems; marks
+// optionally annotate the trace for the Figure 3/5 generators.
+func solvePipeline(p *machine.Proc, g *topology.Grid, sc machine.Scope, systems []localSystem, marks bool, mapping Mapping) error {
+	P := g.Size()
+	me, ok := g.Index(p.Rank())
+	if !ok {
+		return fmt.Errorf("tridiag: processor %d not in solver grid", p.Rank())
+	}
+	m := len(systems)
+	if P == 1 {
+		for j := range systems {
+			s := &systems[j]
+			kernels.Thomas(p, s.b, s.a, s.c, s.f, s.x)
+		}
+		return nil
+	}
+	k, pow2 := log2Exact(P)
+	if !pow2 {
+		return fmt.Errorf("tridiag: substructured solver needs a power-of-two grid, got %d (use SolveGather)", P)
+	}
+	for j := range systems {
+		if len(systems[j].a) < 2 {
+			return fmt.Errorf("tridiag: local block of system %d has %d rows; need at least 2 (use SolveGather)", j, len(systems[j].a))
+		}
+	}
+
+	roles := mapping.roles(me, k)
+	saved := make(map[[2]int]*treeBlock) // (level, system) -> reduced block
+	scopeOf := func(j, level int) machine.Scope { return sc.Child(level, j) }
+
+	// sendUp mails a block's two boundary rows to the level above.
+	sendUp := func(j, level, blk int, b0, a0, c0, f0, b1, a1, c1, f1 float64) {
+		dst := mapping.holder(level+1, blk/2, k)
+		p.Send(g.RankAt(dst), scopeOf(j, level+1).Tag(partReduce),
+			[]float64{float64(blk % 2), b0, a0, c0, f0, b1, a1, c1, f1})
+	}
+
+	// recvRows assembles the four rows a holder at the given level works
+	// on: two boundary rows from each of its two children.
+	recvRows := func(j, level, blk int) (rows [4][4]float64) {
+		for n := 0; n < 2; n++ {
+			src := mapping.holder(level-1, 2*blk+n, k)
+			buf := p.Recv(g.RankAt(src), scopeOf(j, level).Tag(partReduce))
+			half := int(buf[0])
+			copy(rows[2*half][:], buf[1:5])
+			copy(rows[2*half+1][:], buf[5:9])
+		}
+		return rows
+	}
+
+	// sendDown distributes a solved block's four values to its two
+	// children one level below, each of which needs its (xFirst, xLast).
+	sendDown := func(j, level, blk int, x4 [4]float64) {
+		for n := 0; n < 2; n++ {
+			child := mapping.holder(level-1, 2*blk+n, k)
+			p.Send(g.RankAt(child), scopeOf(j, level-1).Tag(partSubst),
+				[]float64{x4[2*n], x4[2*n+1]})
+		}
+	}
+
+	// recvPair receives this block's solved boundary values from the
+	// holder one level up.
+	recvPair := func(j, level, blk int) (xFirst, xLast float64) {
+		parent := mapping.holder(level+1, blk/2, k)
+		buf := p.Recv(g.RankAt(parent), scopeOf(j, level).Tag(partSubst))
+		return buf[0], buf[1]
+	}
+
+	totalSteps := m + 2*k
+	for t := 0; t < totalSteps; t++ {
+		if marks {
+			p.Mark(fmt.Sprintf("step:%d", t))
+		}
+		// 1. Local boundary reduction of system t (all processors).
+		if t < m {
+			s := &systems[t]
+			kernels.Reduce(p, s.b, s.a, s.c, s.f)
+			n := len(s.a)
+			sendUp(t, 0, me, s.b[0], s.a[0], s.c[0], s.f[0],
+				s.b[n-1], s.a[n-1], s.c[n-1], s.f[n-1])
+		}
+		// 2. Tree reduction at this processor's roles.
+		for _, role := range roles {
+			level, blk := role[0], role[1]
+			if j := t - level; j >= 0 && j < m {
+				rows := recvRows(j, level, blk)
+				tb := &treeBlock{}
+				for r := 0; r < 4; r++ {
+					tb.b[r], tb.a[r], tb.c[r], tb.f[r] = rows[r][0], rows[r][1], rows[r][2], rows[r][3]
+				}
+				kernels.Reduce(p, tb.b[:], tb.a[:], tb.c[:], tb.f[:])
+				saved[[2]int{level, j}] = tb
+				sendUp(j, level, blk, tb.b[0], tb.a[0], tb.c[0], tb.f[0],
+					tb.b[3], tb.a[3], tb.c[3], tb.f[3])
+			}
+		}
+		// 3. Final four-row solve (grid index 0) and first send-down.
+		if me == 0 {
+			if j := t - k; j >= 0 && j < m {
+				rows := recvRows(j, k, 0)
+				var b4, a4, c4, f4, x4 [4]float64
+				for r := 0; r < 4; r++ {
+					b4[r], a4[r], c4[r], f4[r] = rows[r][0], rows[r][1], rows[r][2], rows[r][3]
+				}
+				kernels.Thomas(p, b4[:], a4[:], c4[:], f4[:], x4[:])
+				sendDown(j, k, 0, x4)
+			}
+		}
+		// 4. Tree substitution at this processor's roles (innermost
+		// level first: deeper levels substitute earlier systems).
+		for r := len(roles) - 1; r >= 0; r-- {
+			level, blk := roles[r][0], roles[r][1]
+			if j := t - (2*k - level); j >= 0 && j < m {
+				tb := saved[[2]int{level, j}]
+				delete(saved, [2]int{level, j})
+				xF, xL := recvPair(j, level, blk)
+				var x4 [4]float64
+				kernels.BackSubstitute(p, tb.b[:], tb.a[:], tb.c[:], tb.f[:], xF, xL, x4[:])
+				sendDown(j, level, blk, x4)
+			}
+		}
+		// 5. Local back-substitution of system t-2k (all processors).
+		if j := t - 2*k; j >= 0 && j < m {
+			s := &systems[j]
+			xF, xL := recvPair(j, 0, me)
+			kernels.BackSubstitute(p, s.b, s.a, s.c, s.f, xF, xL, s.x)
+		}
+	}
+	return nil
+}

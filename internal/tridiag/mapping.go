@@ -1,0 +1,72 @@
+package tridiag
+
+// Mapping selects how the tree levels of the substructured algorithm's
+// dataflow graph (Figure 3) are assigned to processors — the paper's
+// "various ways of mapping this data flow graph onto a multiprocessor
+// architecture".
+type Mapping int
+
+const (
+	// ShuffleMapping is the paper's Figure 5 choice: tree level s lives
+	// on the 2^(k-s) processors with grid indices [2^(k-s)-1,
+	// 2^(k-s+1)-1), so the levels occupy DISJOINT processor groups and
+	// multiple systems pipeline through them without contention.
+	ShuffleMapping Mapping = iota
+	// PackedMapping is the naive alternative: tree level s lives on
+	// processors [0, 2^(k-s)), so low-numbered processors serve every
+	// level. One system runs the same; a pipeline of systems contends
+	// for those processors — the ablation experiment A1 quantifies the
+	// cost.
+	PackedMapping
+)
+
+// String names the mapping.
+func (m Mapping) String() string {
+	switch m {
+	case ShuffleMapping:
+		return "shuffle/unshuffle"
+	case PackedMapping:
+		return "left-packed"
+	default:
+		return "unknown"
+	}
+}
+
+// holder returns the grid index of the processor holding block j of tree
+// level s under the mapping (p = 2^k processors). Level 0 blocks always
+// live on their owners and the final solve on index 0.
+func (m Mapping) holder(s, j, k int) int {
+	switch {
+	case s == 0:
+		return j
+	case s == k:
+		return 0
+	case m == PackedMapping:
+		return j
+	default:
+		return (1 << (k - s)) - 1 + j
+	}
+}
+
+// roles lists the (level, block) tree duties of grid index me under the
+// mapping, for levels 1..k-1. Under ShuffleMapping every processor has at
+// most one role; under PackedMapping processor j serves level s whenever
+// j < 2^(k-s).
+func (m Mapping) roles(me, k int) [][2]int {
+	var out [][2]int
+	for s := 1; s <= k-1; s++ {
+		count := 1 << (k - s)
+		switch m {
+		case PackedMapping:
+			if me < count {
+				out = append(out, [2]int{s, me})
+			}
+		default:
+			base := count - 1
+			if me >= base && me < base+count {
+				out = append(out, [2]int{s, me - base})
+			}
+		}
+	}
+	return out
+}

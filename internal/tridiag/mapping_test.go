@@ -1,0 +1,148 @@
+package tridiag
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/kf"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+func TestMappingRolesShuffleDisjoint(t *testing.T) {
+	// Under the shuffle mapping every processor has at most one tree
+	// role, and each level's holders are disjoint from every other
+	// level's.
+	const k = 4 // p = 16
+	seen := map[int]int{}
+	for me := 0; me < 16; me++ {
+		roles := ShuffleMapping.roles(me, k)
+		if len(roles) > 1 {
+			t.Errorf("proc %d has %d roles under shuffle", me, len(roles))
+		}
+		for _, r := range roles {
+			seen[me] = r[0]
+		}
+	}
+	// Level s needs 2^(k-s) holders.
+	counts := map[int]int{}
+	for _, level := range seen {
+		counts[level]++
+	}
+	for s := 1; s <= k-1; s++ {
+		if counts[s] != 1<<(k-s) {
+			t.Errorf("level %d has %d holders, want %d", s, counts[s], 1<<(k-s))
+		}
+	}
+}
+
+func TestMappingRolesPackedOverlap(t *testing.T) {
+	// Under the packed mapping processor 0 serves every tree level.
+	const k = 4
+	roles := PackedMapping.roles(0, k)
+	if len(roles) != k-1 {
+		t.Errorf("proc 0 has %d roles under packed, want %d", len(roles), k-1)
+	}
+	// Processor 2^(k-1)-1 and beyond serve none.
+	if len(PackedMapping.roles(1<<(k-1), k)) != 0 {
+		t.Errorf("high proc should have no packed roles")
+	}
+}
+
+func TestMappingNames(t *testing.T) {
+	if ShuffleMapping.String() != "shuffle/unshuffle" || PackedMapping.String() != "left-packed" {
+		t.Errorf("names: %q, %q", ShuffleMapping, PackedMapping)
+	}
+}
+
+func TestPackedMappingSolvesCorrectly(t *testing.T) {
+	// The mapping changes only where work lands, never the numbers.
+	const p, n, msys = 8, 64, 5
+	b0, a0, c0 := -1.0, 4.0, -1.0
+	wants := make([][]float64, msys)
+	rhss := make([][]float64, msys)
+	for j := 0; j < msys; j++ {
+		b := make([]float64, n)
+		a := make([]float64, n)
+		c := make([]float64, n)
+		f := make([]float64, n)
+		for i := range a {
+			b[i], a[i], c[i] = b0, a0, c0
+			f[i] = float64((i*(j+2))%9) - 4
+		}
+		b[0], c[n-1] = 0, 0
+		rhss[j] = f
+		wants[j] = SolveSeq(b, a, c, f)
+	}
+	for _, mapping := range []Mapping{ShuffleMapping, PackedMapping} {
+		gots := make([][]float64, msys)
+		m := machine.New(p, machine.ZeroComm())
+		g := topology.New1D(p)
+		err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+			xs := make([]*darray.Array, msys)
+			fs := make([]*darray.Array, msys)
+			for j := 0; j < msys; j++ {
+				fv := rhss[j]
+				fa := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
+				fa.Fill(func(idx []int) float64 { return fv[idx[0]] })
+				xs[j] = ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
+				fs[j] = fa
+			}
+			if err := MTriCMapped(ctx, xs, fs, b0, a0, c0, mapping); err != nil {
+				return err
+			}
+			for j := 0; j < msys; j++ {
+				flat := xs[j].GatherTo(ctx.NextScope(), 0)
+				if ctx.P.Rank() == 0 {
+					gots[j] = flat
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", mapping, err)
+		}
+		for j := 0; j < msys; j++ {
+			for i := range wants[j] {
+				if math.Abs(gots[j][i]-wants[j][i]) > 1e-9 {
+					t.Fatalf("%v: system %d deviates at %d", mapping, j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestShuffleBeatsPackedOnPipelines(t *testing.T) {
+	// Claim behind Figure 5: the disjoint groups of the shuffle mapping
+	// pipeline without contention; the packed mapping's overloaded
+	// low-index processors serialize the tree stages.
+	const p, n, msys = 8, 128, 16
+	elapsed := func(mapping Mapping) float64 {
+		m := machine.New(p, machine.IPSC2())
+		g := topology.New1D(p)
+		err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+			xs := make([]*darray.Array, msys)
+			fs := make([]*darray.Array, msys)
+			for j := 0; j < msys; j++ {
+				jj := j
+				fa := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
+				fa.Fill(func(idx []int) float64 { return float64((idx[0] + jj) % 7) })
+				xs[j] = ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
+				fs[j] = fa
+			}
+			return MTriCMapped(ctx, xs, fs, -1, 4, -1, mapping)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Elapsed()
+	}
+	tShuffle := elapsed(ShuffleMapping)
+	tPacked := elapsed(PackedMapping)
+	if tShuffle >= tPacked {
+		t.Errorf("shuffle %v >= packed %v; the Figure 5 mapping should win on pipelines",
+			tShuffle, tPacked)
+	}
+}

@@ -1,0 +1,251 @@
+package tridiag
+
+import (
+	"fmt"
+
+	"repro/internal/darray"
+	"repro/internal/kernels"
+	"repro/internal/kf"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+// buildLocal copies the owned rows of the 1-D arrays into a localSystem.
+// Constant-coefficient systems pass b0/a0/c0 with nil coefficient arrays,
+// mirroring the paper's tric. The first and last global rows get zeroed
+// outer couplings.
+func buildLocal(p *machine.Proc, x, f, b, a, cc *darray.Array, b0, a0, c0 float64) localSystem {
+	n := f.Extent(0)
+	ln := f.LocalSize(0)
+	sys := localSystem{
+		b: make([]float64, ln),
+		a: make([]float64, ln),
+		c: make([]float64, ln),
+		f: make([]float64, ln),
+		x: make([]float64, ln),
+	}
+	f.CopyOwned1(sys.f)
+	if b != nil {
+		b.CopyOwned1(sys.b)
+		a.CopyOwned1(sys.a)
+		cc.CopyOwned1(sys.c)
+	} else {
+		for i := range sys.b {
+			sys.b[i], sys.a[i], sys.c[i] = b0, a0, c0
+		}
+	}
+	if lo := f.Lower(0); lo == 0 && ln > 0 {
+		sys.b[0] = 0
+	}
+	if hi := f.Upper(0); hi == n-1 && ln > 0 {
+		sys.c[ln-1] = 0
+	}
+	p.Compute(2 * ln) // copy-in traffic
+	return sys
+}
+
+// Tri solves the tridiagonal system with coefficient arrays b (lower
+// diagonal), a (diagonal), cc (upper diagonal) and right-hand side f,
+// writing the solution into x. All five arrays must be one-dimensional,
+// block-distributed over the subroutine's grid — the paper's Listing 4
+//
+//	parsub tri( X, f, b, a, c, n; procs )
+//
+// Every processor of c.G must call Tri; the grid size must be a power of
+// two with at least two rows per processor (otherwise use SolveGather).
+func Tri(c *kf.Ctx, x, f, b, a, cc *darray.Array) error {
+	return solveOne(c, buildLocal(c.P, x, f, b, a, cc, 0, 0, 0), x)
+}
+
+// TriC is the constant-coefficient variant of Tri (the paper's tric, used
+// by the ADI driver): every row is (b0, a0, c0).
+func TriC(c *kf.Ctx, x, f *darray.Array, b0, a0, c0 float64) error {
+	return solveOne(c, buildLocal(c.P, x, f, nil, nil, nil, b0, a0, c0), x)
+}
+
+func solveOne(c *kf.Ctx, sys localSystem, x *darray.Array) error {
+	if err := solvePipeline(c.P, c.G, c.NextScope(), []localSystem{sys}, false, ShuffleMapping); err != nil {
+		return err
+	}
+	x.SetOwned1(sys.x)
+	c.P.Compute(len(sys.x))
+	return nil
+}
+
+// TriTraced is Tri with step marks emitted into the machine's trace sink,
+// used by the Figure 3 and Figure 5 generators.
+func TriTraced(c *kf.Ctx, x, f, b, a, cc *darray.Array) error {
+	sys := buildLocal(c.P, x, f, b, a, cc, 0, 0, 0)
+	if err := solvePipeline(c.P, c.G, c.NextScope(), []localSystem{sys}, true, ShuffleMapping); err != nil {
+		return err
+	}
+	x.SetOwned1(sys.x)
+	return nil
+}
+
+// MTriC solves m constant-coefficient tridiagonal systems through the
+// pipelined schedule of Listing 6: xs[j] and fs[j] are the solution and
+// right-hand side of system j, each a one-dimensional block-distributed
+// array (or section) on the subroutine's grid. The systems flow through the
+// processor groups of the shuffle/unshuffle mapping, keeping all groups
+// busy once the pipeline fills.
+func MTriC(c *kf.Ctx, xs, fs []*darray.Array, b0, a0, c0 float64) error {
+	return MTriCTraced(c, xs, fs, b0, a0, c0, false)
+}
+
+// MTriCTraced is MTriC with optional step marks for the trace analyzers.
+func MTriCTraced(c *kf.Ctx, xs, fs []*darray.Array, b0, a0, c0 float64, marks bool) error {
+	if len(xs) != len(fs) {
+		return fmt.Errorf("tridiag: %d solution arrays for %d right-hand sides", len(xs), len(fs))
+	}
+	systems := make([]localSystem, len(xs))
+	for j := range xs {
+		systems[j] = buildLocal(c.P, xs[j], fs[j], nil, nil, nil, b0, a0, c0)
+	}
+	if err := solvePipeline(c.P, c.G, c.NextScope(), systems, marks, ShuffleMapping); err != nil {
+		return err
+	}
+	for j := range xs {
+		xs[j].SetOwned1(systems[j].x)
+		c.P.Compute(len(systems[j].x))
+	}
+	return nil
+}
+
+// TriCDirichletOn solves a constant-coefficient tridiagonal system whose
+// first and last rows are replaced by identity rows with zero right-hand
+// side — the form the multigrid line solves use to pin Dirichlet boundary
+// nodes. Grid and scope are explicit so it can run inside doall bodies
+// whose context is already bound to the line's grid slice.
+func TriCDirichletOn(p *machine.Proc, g *topology.Grid, sc machine.Scope, x, f *darray.Array, b0, a0, c0 float64) error {
+	sys := buildLocal(p, x, f, nil, nil, nil, b0, a0, c0)
+	n := f.Extent(0)
+	if ln := len(sys.a); ln > 0 {
+		if f.Lower(0) == 0 {
+			sys.b[0], sys.a[0], sys.c[0], sys.f[0] = 0, 1, 0, 0
+		}
+		if f.Upper(0) == n-1 {
+			sys.b[ln-1], sys.a[ln-1], sys.c[ln-1], sys.f[ln-1] = 0, 1, 0, 0
+		}
+	}
+	if err := solvePipeline(p, g, sc, []localSystem{sys}, false, ShuffleMapping); err != nil {
+		return err
+	}
+	x.SetOwned1(sys.x)
+	p.Compute(len(sys.x))
+	return nil
+}
+
+// MTriCOn is MTriC with an explicit solver grid and message scope, for
+// callers whose context spans a larger grid than the solve: the pipelined
+// ADI driver runs one MTriCOn per grid slice, concurrently, all derived
+// from a single scope (safe because the slices are disjoint).
+func MTriCOn(p *machine.Proc, g *topology.Grid, sc machine.Scope, xs, fs []*darray.Array, b0, a0, c0 float64) error {
+	if len(xs) != len(fs) {
+		return fmt.Errorf("tridiag: %d solution arrays for %d right-hand sides", len(xs), len(fs))
+	}
+	systems := make([]localSystem, len(xs))
+	for j := range xs {
+		systems[j] = buildLocal(p, xs[j], fs[j], nil, nil, nil, b0, a0, c0)
+	}
+	if err := solvePipeline(p, g, sc, systems, false, ShuffleMapping); err != nil {
+		return err
+	}
+	for j := range xs {
+		xs[j].SetOwned1(systems[j].x)
+		p.Compute(len(systems[j].x))
+	}
+	return nil
+}
+
+// MTri is the variable-coefficient pipelined solver: system j has
+// coefficient arrays bs[j], as[j], cs[j].
+func MTri(c *kf.Ctx, xs, fs, bs, as, cs []*darray.Array) error {
+	systems := make([]localSystem, len(xs))
+	for j := range xs {
+		systems[j] = buildLocal(c.P, xs[j], fs[j], bs[j], as[j], cs[j], 0, 0, 0)
+	}
+	if err := solvePipeline(c.P, c.G, c.NextScope(), systems, false, ShuffleMapping); err != nil {
+		return err
+	}
+	for j := range xs {
+		xs[j].SetOwned1(systems[j].x)
+		c.P.Compute(len(systems[j].x))
+	}
+	return nil
+}
+
+// SolveGather is the naive baseline: gather the whole system onto the
+// grid's first processor, solve it there with the Thomas algorithm, and
+// scatter the solution. It works for any grid size and block shape, and its
+// serial bottleneck is what the substructured algorithm exists to avoid.
+func SolveGather(c *kf.Ctx, x, f, b, a, cc *darray.Array) error {
+	sc := c.NextScope()
+	fb := f.GatherTo(sc.Child(0, 0), 0)
+	bb := b.GatherTo(sc.Child(1, 0), 0)
+	ab := a.GatherTo(sc.Child(2, 0), 0)
+	cb := cc.GatherTo(sc.Child(3, 0), 0)
+	n := f.Extent(0)
+	var xs []float64
+	if c.GridIndex() == 0 {
+		xs = make([]float64, n)
+		kernels.Thomas(c.P, bb, ab, cb, fb, xs)
+	}
+	// Scatter: processor 0 sends each owner its block.
+	sc2 := c.NextScope()
+	if c.GridIndex() == 0 {
+		for q := 0; q < c.G.Size(); q++ {
+			lo, hi := ownerRange(x, q)
+			if hi < lo {
+				continue
+			}
+			if q == 0 {
+				x.SetOwned1(xs[lo : hi+1])
+				continue
+			}
+			c.P.Send(c.G.RankAt(q), sc2.Tag(uint16(q)), xs[lo:hi+1])
+		}
+	} else if x.LocalSize(0) > 0 {
+		buf := c.P.Recv(c.G.RankAt(0), sc2.Tag(uint16(c.GridIndex())))
+		x.SetOwned1(buf)
+	}
+	return nil
+}
+
+// ownerRange returns the inclusive global range of dimension 0 owned by
+// grid member q of array a (assuming a block distribution).
+func ownerRange(a *darray.Array, q int) (lo, hi int) {
+	n := a.Extent(0)
+	p := a.Grid().Size()
+	return q * n / p, (q+1)*n/p - 1
+}
+
+// SolveSeq is the sequential reference: the Thomas algorithm on plain
+// slices (the paper's Listing 1 equivalent for tridiagonal systems).
+func SolveSeq(b, a, c, f []float64) []float64 {
+	x := make([]float64, len(a))
+	kernels.Thomas(nil, b, a, c, f, x)
+	return x
+}
+
+// MTriCMapped is MTriC with an explicit dataflow-to-processor mapping, used
+// by the mapping ablation experiment: ShuffleMapping (the paper's Figure 5
+// choice) pipelines without contention; PackedMapping makes low-numbered
+// processors serve every tree level and stalls the pipeline.
+func MTriCMapped(c *kf.Ctx, xs, fs []*darray.Array, b0, a0, c0 float64, mapping Mapping) error {
+	if len(xs) != len(fs) {
+		return fmt.Errorf("tridiag: %d solution arrays for %d right-hand sides", len(xs), len(fs))
+	}
+	systems := make([]localSystem, len(xs))
+	for j := range xs {
+		systems[j] = buildLocal(c.P, xs[j], fs[j], nil, nil, nil, b0, a0, c0)
+	}
+	if err := solvePipeline(c.P, c.G, c.NextScope(), systems, false, mapping); err != nil {
+		return err
+	}
+	for j := range xs {
+		xs[j].SetOwned1(systems[j].x)
+		c.P.Compute(len(systems[j].x))
+	}
+	return nil
+}

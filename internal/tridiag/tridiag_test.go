@@ -1,0 +1,372 @@
+package tridiag
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/kf"
+	"repro/internal/machine"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// randCoeffs builds a diagonally dominant system of size n.
+func randCoeffs(seed uint64, n int) (b, a, c, f []float64) {
+	b = make([]float64, n)
+	a = make([]float64, n)
+	c = make([]float64, n)
+	f = make([]float64, n)
+	s := seed
+	next := func() float64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z%2000)/1000 - 1
+	}
+	for i := 0; i < n; i++ {
+		b[i], c[i] = next(), next()
+		a[i] = 4 + math.Abs(next())
+		f[i] = 10 * next()
+	}
+	b[0], c[n-1] = 0, 0
+	return
+}
+
+// spread constructs block-distributed 1-D arrays holding the given global
+// vectors.
+func spread(c *kf.Ctx, vecs ...[]float64) []*darray.Array {
+	out := make([]*darray.Array, len(vecs))
+	for k, v := range vecs {
+		a := c.NewArray(darray.Spec{Extents: []int{len(v)}, Dists: []dist.Dist{dist.Block{}}})
+		vv := v
+		a.Fill(func(idx []int) float64 { return vv[idx[0]] })
+		out[k] = a
+	}
+	return out
+}
+
+func solveOn(t *testing.T, procs, n int, seed uint64) (got, want []float64) {
+	t.Helper()
+	b, a, c, f := randCoeffs(seed, n)
+	want = SolveSeq(b, a, c, f)
+	m := machine.New(procs, machine.ZeroComm())
+	g := topology.New1D(procs)
+	err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+		arrs := spread(ctx, nil6(n), f, b, a, c)
+		x, fd, bd, ad, cd := arrs[0], arrs[1], arrs[2], arrs[3], arrs[4]
+		if err := Tri(ctx, x, fd, bd, ad, cd); err != nil {
+			return err
+		}
+		flat := x.GatherTo(ctx.NextScope(), 0)
+		if ctx.P.Rank() == 0 {
+			got = flat
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, want
+}
+
+func nil6(n int) []float64 { return make([]float64, n) }
+
+func maxDiff(a, b []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestTriMatchesThomasAcrossGridSizes(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8, 16} {
+		got, want := solveOn(t, procs, 64, uint64(procs)*7+3)
+		if d := maxDiff(got, want); d > 1e-9 {
+			t.Errorf("p=%d: max diff %v", procs, d)
+		}
+	}
+}
+
+func TestTriUnevenBlocks(t *testing.T) {
+	// n not divisible by p: blocks of size 12 or 13.
+	got, want := solveOn(t, 4, 50, 99)
+	if d := maxDiff(got, want); d > 1e-9 {
+		t.Errorf("max diff %v", d)
+	}
+}
+
+func TestTriRandomProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 16 + int(nRaw%64)
+		got, want := solveOn(t, 8, n, seed)
+		return maxDiff(got, want) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriRejectsNonPowerOfTwo(t *testing.T) {
+	m := machine.New(3, machine.ZeroComm())
+	g := topology.New1D(3)
+	err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+		b, a, c, f := randCoeffs(1, 12)
+		arrs := spread(ctx, nil6(12), f, b, a, c)
+		return Tri(ctx, arrs[0], arrs[1], arrs[2], arrs[3], arrs[4])
+	})
+	if err == nil {
+		t.Fatal("expected error for p=3")
+	}
+}
+
+func TestTriRejectsTinyBlocks(t *testing.T) {
+	m := machine.New(8, machine.ZeroComm())
+	g := topology.New1D(8)
+	err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+		b, a, c, f := randCoeffs(1, 8) // one row per processor
+		arrs := spread(ctx, nil6(8), f, b, a, c)
+		return Tri(ctx, arrs[0], arrs[1], arrs[2], arrs[3], arrs[4])
+	})
+	if err == nil {
+		t.Fatal("expected error for 1-row blocks")
+	}
+}
+
+func TestSolveGatherAnyGrid(t *testing.T) {
+	for _, procs := range []int{1, 3, 5, 7} {
+		b, a, c, f := randCoeffs(uint64(procs), 23)
+		want := SolveSeq(b, a, c, f)
+		var got []float64
+		m := machine.New(procs, machine.ZeroComm())
+		g := topology.New1D(procs)
+		err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+			arrs := spread(ctx, nil6(23), f, b, a, c)
+			if err := SolveGather(ctx, arrs[0], arrs[1], arrs[2], arrs[3], arrs[4]); err != nil {
+				return err
+			}
+			flat := arrs[0].GatherTo(ctx.NextScope(), 0)
+			if ctx.P.Rank() == 0 {
+				got = flat
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxDiff(got, want); d > 1e-9 {
+			t.Errorf("p=%d: max diff %v", procs, d)
+		}
+	}
+}
+
+func TestTriCConstantCoefficients(t *testing.T) {
+	const n = 32
+	b0, a0, c0 := -1.0, 4.0, -1.0
+	b := make([]float64, n)
+	a := make([]float64, n)
+	c := make([]float64, n)
+	f := make([]float64, n)
+	for i := range a {
+		b[i], a[i], c[i] = b0, a0, c0
+		f[i] = float64(i%5) + 1
+	}
+	b[0], c[n-1] = 0, 0
+	want := SolveSeq(b, a, c, f)
+	var got []float64
+	m := machine.New(4, machine.ZeroComm())
+	g := topology.New1D(4)
+	err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+		arrs := spread(ctx, nil6(n), f)
+		if err := TriC(ctx, arrs[0], arrs[1], b0, a0, c0); err != nil {
+			return err
+		}
+		flat := arrs[0].GatherTo(ctx.NextScope(), 0)
+		if ctx.P.Rank() == 0 {
+			got = flat
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(got, want); d > 1e-9 {
+		t.Errorf("max diff %v", d)
+	}
+}
+
+func TestMTriCSolvesManySystems(t *testing.T) {
+	const n, msys = 32, 6
+	b0, a0, c0 := -1.0, 4.2, -0.9
+	// Sequential references.
+	wants := make([][]float64, msys)
+	rhss := make([][]float64, msys)
+	for j := 0; j < msys; j++ {
+		b := make([]float64, n)
+		a := make([]float64, n)
+		c := make([]float64, n)
+		f := make([]float64, n)
+		for i := range a {
+			b[i], a[i], c[i] = b0, a0, c0
+			f[i] = float64((i*j)%7) - 2
+		}
+		b[0], c[n-1] = 0, 0
+		rhss[j] = f
+		wants[j] = SolveSeq(b, a, c, f)
+	}
+	gots := make([][]float64, msys)
+	m := machine.New(8, machine.ZeroComm())
+	g := topology.New1D(8)
+	err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+		xs := make([]*darray.Array, msys)
+		fs := make([]*darray.Array, msys)
+		for j := 0; j < msys; j++ {
+			arrs := spread(ctx, nil6(n), rhss[j])
+			xs[j], fs[j] = arrs[0], arrs[1]
+		}
+		if err := MTriC(ctx, xs, fs, b0, a0, c0); err != nil {
+			return err
+		}
+		for j := 0; j < msys; j++ {
+			flat := xs[j].GatherTo(ctx.NextScope(), 0)
+			if ctx.P.Rank() == 0 {
+				gots[j] = flat
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < msys; j++ {
+		if d := maxDiff(gots[j], wants[j]); d > 1e-9 {
+			t.Errorf("system %d: max diff %v", j, d)
+		}
+	}
+}
+
+func TestMTriVariableCoefficients(t *testing.T) {
+	const n, msys = 24, 3
+	wants := make([][]float64, msys)
+	coeffs := make([][4][]float64, msys)
+	for j := 0; j < msys; j++ {
+		b, a, c, f := randCoeffs(uint64(j)*31+5, n)
+		coeffs[j] = [4][]float64{b, a, c, f}
+		wants[j] = SolveSeq(b, a, c, f)
+	}
+	gots := make([][]float64, msys)
+	m := machine.New(4, machine.ZeroComm())
+	g := topology.New1D(4)
+	err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+		xs := make([]*darray.Array, msys)
+		fs := make([]*darray.Array, msys)
+		bs := make([]*darray.Array, msys)
+		as := make([]*darray.Array, msys)
+		cs := make([]*darray.Array, msys)
+		for j := 0; j < msys; j++ {
+			arrs := spread(ctx, nil6(n), coeffs[j][3], coeffs[j][0], coeffs[j][1], coeffs[j][2])
+			xs[j], fs[j], bs[j], as[j], cs[j] = arrs[0], arrs[1], arrs[2], arrs[3], arrs[4]
+		}
+		if err := MTri(ctx, xs, fs, bs, as, cs); err != nil {
+			return err
+		}
+		for j := 0; j < msys; j++ {
+			flat := xs[j].GatherTo(ctx.NextScope(), 0)
+			if ctx.P.Rank() == 0 {
+				gots[j] = flat
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < msys; j++ {
+		if d := maxDiff(gots[j], wants[j]); d > 1e-9 {
+			t.Errorf("system %d: max diff %v", j, d)
+		}
+	}
+}
+
+func TestDataflowActiveCountsMatchFigure3(t *testing.T) {
+	// Figure 3: reduction halves the active processors each step; the
+	// substitution phase doubles them.
+	const procs, n = 8, 64
+	m := machine.New(procs, machine.ZeroComm())
+	rec := trace.NewRecorder(procs)
+	m.SetSink(rec)
+	g := topology.New1D(procs)
+	b, a, c, f := randCoeffs(5, n)
+	err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+		arrs := spread(ctx, nil6(n), f, b, a, c)
+		return TriTraced(ctx, arrs[0], arrs[1], arrs[2], arrs[3], arrs[4])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, active := rec.StepActivity("step:")
+	counts := trace.ActiveCounts(active)
+	// m=1, k=3: steps 0..6. Expected active processors:
+	// step 0: 8 (local reduce), 1: 4, 2: 2, 3: 1 (final solve),
+	// 4: 2, 5: 4 (tree substitution), 6: 8 (local substitution).
+	want := []int{8, 4, 2, 1, 2, 4, 8}
+	if len(steps) != len(want) {
+		t.Fatalf("steps %v, counts %v", steps, counts)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("step %d: %d active, want %d\n%s", steps[i], counts[i], want[i],
+				trace.ActivityTable(steps, active))
+		}
+	}
+}
+
+func TestPipelineKeepsGroupsBusy(t *testing.T) {
+	// Figure 5 / claim C4: with many systems the disjoint processor
+	// groups overlap in time, so mean utilization under the pipelined
+	// solver beats solving the systems one after another.
+	const procs, n, msys = 8, 128, 16
+	elapsedFor := func(pipelined bool) (float64, float64) {
+		m := machine.New(procs, machine.IPSC2())
+		rec := trace.NewRecorder(procs)
+		m.SetSink(rec)
+		g := topology.New1D(procs)
+		err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+			xs := make([]*darray.Array, msys)
+			fs := make([]*darray.Array, msys)
+			for j := 0; j < msys; j++ {
+				fvec := make([]float64, n)
+				for i := range fvec {
+					fvec[i] = float64((i + j) % 9)
+				}
+				arrs := spread(ctx, nil6(n), fvec)
+				xs[j], fs[j] = arrs[0], arrs[1]
+			}
+			if pipelined {
+				return MTriC(ctx, xs, fs, -1, 4, -1)
+			}
+			for j := 0; j < msys; j++ {
+				if err := TriC(ctx, xs[j], fs[j], -1, 4, -1); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Elapsed(), rec.MeanUtilization(m.Elapsed())
+	}
+	tPipe, _ := elapsedFor(true)
+	tSeq, _ := elapsedFor(false)
+	if tPipe >= tSeq {
+		t.Errorf("pipelined %v >= one-at-a-time %v", tPipe, tSeq)
+	}
+}
