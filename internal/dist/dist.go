@@ -1,0 +1,181 @@
+// Package dist implements the per-dimension distribution patterns of KF1's
+// dist clauses (Mehrotra & Van Rosendale, ICASE 89-41): block, cyclic and
+// "*" (replicated), plus the block-aligned pattern the multigrid solvers use
+// for coarse grids. A distribution maps the n global indices of one array
+// dimension onto the P processor coordinates of one grid axis; all methods
+// are pure functions of (index, extent, axis length), so every processor of
+// an SPMD program derives identical layouts without communication.
+package dist
+
+import "fmt"
+
+// Dist maps the indices of one array dimension onto one grid axis.
+type Dist interface {
+	// Name returns the dist-clause spelling of the pattern ("block",
+	// "cyclic", "*", ...), used in diagnostics.
+	Name() string
+	// Owner returns the grid coordinate (along the dimension's axis)
+	// owning global index i of an extent-n dimension spread over P
+	// processors.
+	Owner(i, n, P int) int
+	// ToLocal returns the position of global index i within its owner's
+	// local block.
+	ToLocal(i, n, P int) int
+	// ToGlobal returns the global index of the l-th local element on the
+	// processor at coordinate q.
+	ToGlobal(l, q, n, P int) int
+	// Size returns the number of elements owned by the processor at
+	// coordinate q.
+	Size(q, n, P int) int
+}
+
+// Contiguous is implemented by distributions whose per-processor index sets
+// are contiguous ranges of the global index space (block and block-aligned
+// but not cyclic). Halo (ghost-cell) exchange is only defined for contiguous
+// distributions.
+type Contiguous interface {
+	Dist
+	// Lower returns the first global index owned by coordinate q. For an
+	// empty block it returns the position the block would occupy, so
+	// Lower(q) == Upper(q)+1.
+	Lower(q, n, P int) int
+	// Upper returns the last global index owned by coordinate q
+	// (Lower(q)-1 for an empty block).
+	Upper(q, n, P int) int
+}
+
+// Block is the balanced block distribution: processor q owns the contiguous
+// range [q*n/P, (q+1)*n/P), so block lengths differ by at most one and every
+// processor holds at least floor(n/P) rows — the property the substructured
+// tridiagonal solver's two-rows-per-processor requirement relies on.
+type Block struct{}
+
+func (Block) Name() string { return "block" }
+
+// Owner inverts Lower: the largest q with q*n/P <= i, which is
+// floor((P*(i+1)-1)/n).
+func (Block) Owner(i, n, P int) int { return (P*(i+1) - 1) / n }
+
+func (b Block) ToLocal(i, n, P int) int {
+	return i - b.Lower(b.Owner(i, n, P), n, P)
+}
+
+func (Block) ToGlobal(l, q, n, P int) int { return q*n/P + l }
+
+func (Block) Lower(q, n, P int) int { return q * n / P }
+
+func (Block) Upper(q, n, P int) int { return (q+1)*n/P - 1 }
+
+func (b Block) Size(q, n, P int) int { return (q+1)*n/P - q*n/P }
+
+// Cyclic deals indices round-robin: index i lives at coordinate i mod P, the
+// paper's cyclic pattern for load-balancing triangular work (LU columns).
+type Cyclic struct{}
+
+func (Cyclic) Name() string { return "cyclic" }
+
+func (Cyclic) Owner(i, n, P int) int { return i % P }
+
+func (Cyclic) ToLocal(i, n, P int) int { return i / P }
+
+func (Cyclic) ToGlobal(l, q, n, P int) int { return l*P + q }
+
+func (Cyclic) Size(q, n, P int) int {
+	if q >= n {
+		return 0
+	}
+	return (n - q + P - 1) / P
+}
+
+// Star is the "*" pattern: the dimension is not distributed, every processor
+// of the grid holds all of it.
+type Star struct{}
+
+func (Star) Name() string { return "*" }
+
+func (Star) Owner(i, n, P int) int { return 0 }
+
+func (Star) ToLocal(i, n, P int) int { return i }
+
+func (Star) ToGlobal(l, q, n, P int) int { return l }
+
+func (Star) Size(q, n, P int) int { return n }
+
+// BlockAligned distributes a coarse dimension so that coarse index j lives
+// on the processor owning fine index j*Stride of the block-distributed root
+// dimension of extent RootExtent. Successive semicoarsening levels keep
+// RootExtent and double Stride (see Coarsen), so every grid-transfer
+// operator between adjacent levels touches only local and halo cells — the
+// alignment a KF1 compiler derives from matching dist clauses.
+type BlockAligned struct {
+	// RootExtent is the extent of the finest-level dimension this level
+	// is aligned to.
+	RootExtent int
+	// Stride is the root-index distance between adjacent indices of this
+	// level: coarse j corresponds to root index j*Stride.
+	Stride int
+}
+
+func (d BlockAligned) Name() string {
+	return fmt.Sprintf("block/%d", d.Stride)
+}
+
+func (d BlockAligned) Owner(i, n, P int) int {
+	return Block{}.Owner(i*d.Stride, d.RootExtent, P)
+}
+
+// Lower returns the first coarse index whose root image falls in q's root
+// block, clipped to the coarse extent.
+func (d BlockAligned) Lower(q, n, P int) int {
+	rootLo := Block{}.Lower(q, d.RootExtent, P)
+	lo := (rootLo + d.Stride - 1) / d.Stride
+	if lo > n {
+		lo = n
+	}
+	return lo
+}
+
+func (d BlockAligned) Upper(q, n, P int) int {
+	rootHi := Block{}.Upper(q, d.RootExtent, P)
+	if rootHi < 0 {
+		return d.Lower(q, n, P) - 1
+	}
+	hi := rootHi / d.Stride
+	if hi > n-1 {
+		hi = n - 1
+	}
+	if lo := d.Lower(q, n, P); hi < lo {
+		return lo - 1
+	}
+	return hi
+}
+
+func (d BlockAligned) Size(q, n, P int) int {
+	return d.Upper(q, n, P) - d.Lower(q, n, P) + 1
+}
+
+func (d BlockAligned) ToLocal(i, n, P int) int {
+	return i - d.Lower(d.Owner(i, n, P), n, P)
+}
+
+func (d BlockAligned) ToGlobal(l, q, n, P int) int {
+	return d.Lower(q, n, P) + l
+}
+
+// Coarsen returns the distribution of the next-coarser semicoarsened level
+// of a dimension currently distributed by d with extent fineExtent: block
+// stays aligned to itself with stride 2, an already-aligned level doubles
+// its stride, and "*" stays "*". Coarsening a non-contiguous distribution
+// is a programming error.
+func Coarsen(d Dist, fineExtent int) Dist {
+	switch t := d.(type) {
+	case Star:
+		return Star{}
+	case Block:
+		return BlockAligned{RootExtent: fineExtent, Stride: 2}
+	case BlockAligned:
+		return BlockAligned{RootExtent: t.RootExtent, Stride: 2 * t.Stride}
+	default:
+		panic(fmt.Sprintf("dist: cannot coarsen %s", d.Name()))
+	}
+}

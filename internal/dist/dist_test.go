@@ -1,0 +1,137 @@
+package dist
+
+import "testing"
+
+// checkConsistency verifies the algebraic invariants every distribution must
+// satisfy: Owner/ToLocal/ToGlobal round-trip, Size sums to the extent, and
+// (for Contiguous) Lower/Upper agree with Owner.
+func checkConsistency(t *testing.T, d Dist, n, P int) {
+	t.Helper()
+	total := 0
+	for q := 0; q < P; q++ {
+		total += d.Size(q, n, P)
+	}
+	if total != n {
+		t.Errorf("%s: sizes over %d procs sum to %d, want %d", d.Name(), P, total, n)
+	}
+	for i := 0; i < n; i++ {
+		q := d.Owner(i, n, P)
+		if q < 0 || q >= P {
+			t.Fatalf("%s: Owner(%d, %d, %d) = %d out of range", d.Name(), i, n, P, q)
+		}
+		l := d.ToLocal(i, n, P)
+		if l < 0 || l >= d.Size(q, n, P) {
+			t.Errorf("%s: ToLocal(%d) = %d outside [0, %d)", d.Name(), i, l, d.Size(q, n, P))
+		}
+		if g := d.ToGlobal(l, q, n, P); g != i {
+			t.Errorf("%s: ToGlobal(ToLocal(%d)) = %d", d.Name(), i, g)
+		}
+	}
+	c, ok := d.(Contiguous)
+	if !ok {
+		return
+	}
+	for q := 0; q < P; q++ {
+		lo, hi := c.Lower(q, n, P), c.Upper(q, n, P)
+		if hi-lo+1 != d.Size(q, n, P) {
+			t.Errorf("%s: q=%d [%d,%d] disagrees with Size %d", d.Name(), q, lo, hi, d.Size(q, n, P))
+		}
+		for i := lo; i <= hi; i++ {
+			if d.Owner(i, n, P) != q {
+				t.Errorf("%s: Owner(%d) = %d, want %d", d.Name(), i, d.Owner(i, n, P), q)
+			}
+		}
+	}
+}
+
+func TestBlockConsistency(t *testing.T) {
+	for _, c := range []struct{ n, P int }{{16, 4}, {17, 4}, {10, 3}, {3, 8}, {1, 1}, {6, 2}} {
+		checkConsistency(t, Block{}, c.n, c.P)
+	}
+}
+
+func TestBlockKnownValues(t *testing.T) {
+	// The values the darray tests and experiments assume.
+	if got := (Block{}).Owner(4, 6, 2); got != 1 {
+		t.Errorf("Owner(4, 6, 2) = %d, want 1", got)
+	}
+	for i := 0; i < 16; i++ {
+		if got := (Block{}).Owner(i, 16, 4); got != i/4 {
+			t.Errorf("Owner(%d, 16, 4) = %d, want %d", i, got, i/4)
+		}
+	}
+	// The substructured tridiagonal solver's load-balance requirement:
+	// every block holds at least floor(n/P) rows.
+	for n := 16; n < 80; n++ {
+		for q := 0; q < 8; q++ {
+			if got := (Block{}).Size(q, n, 8); got < n/8 {
+				t.Errorf("Size(%d, %d, 8) = %d < floor(n/P) = %d", q, n, got, n/8)
+			}
+		}
+	}
+	// ownerRange in internal/tridiag assumes lower(q) == q*n/P exactly.
+	for _, c := range []struct{ n, P int }{{23, 7}, {17, 8}, {10, 3}} {
+		for q := 0; q < c.P; q++ {
+			if got := (Block{}).Lower(q, c.n, c.P); got != q*c.n/c.P {
+				t.Errorf("Lower(%d, %d, %d) = %d, want %d", q, c.n, c.P, got, q*c.n/c.P)
+			}
+		}
+	}
+}
+
+func TestCyclicConsistency(t *testing.T) {
+	for _, c := range []struct{ n, P int }{{10, 3}, {17, 4}, {4, 4}, {3, 8}} {
+		checkConsistency(t, Cyclic{}, c.n, c.P)
+	}
+}
+
+func TestStarHoldsEverything(t *testing.T) {
+	d := Star{}
+	if d.Name() != "*" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	if d.Size(3, 10, 4) != 10 {
+		t.Errorf("Size = %d, want 10", d.Size(3, 10, 4))
+	}
+	if d.ToLocal(7, 10, 4) != 7 || d.ToGlobal(7, 2, 10, 4) != 7 {
+		t.Error("Star must map indices identically")
+	}
+}
+
+func TestBlockAlignedConsistency(t *testing.T) {
+	for _, c := range []struct{ root, stride, P int }{{17, 2, 2}, {17, 2, 4}, {17, 4, 4}, {17, 2, 8}, {33, 2, 4}} {
+		n := (c.root-1)/c.stride + 1
+		checkConsistency(t, BlockAligned{RootExtent: c.root, Stride: c.stride}, n, c.P)
+	}
+}
+
+func TestBlockAlignedFollowsFineOwner(t *testing.T) {
+	// The multigrid alignment invariant: coarse j lives with fine j*stride.
+	const root = 17
+	for _, P := range []int{2, 4, 8} {
+		d := BlockAligned{RootExtent: root, Stride: 2}
+		n := (root-1)/2 + 1
+		for j := 0; j < n; j++ {
+			if d.Owner(j, n, P) != (Block{}).Owner(2*j, root, P) {
+				t.Errorf("P=%d: coarse %d owned by %d, fine %d by %d",
+					P, j, d.Owner(j, n, P), 2*j, (Block{}).Owner(2*j, root, P))
+			}
+		}
+	}
+}
+
+func TestCoarsenChain(t *testing.T) {
+	d1 := Coarsen(Block{}, 17)
+	a1, ok := d1.(BlockAligned)
+	if !ok || a1.RootExtent != 17 || a1.Stride != 2 {
+		t.Fatalf("level 1: %#v", d1)
+	}
+	d2 := Coarsen(d1, 9)
+	a2 := d2.(BlockAligned)
+	if a2.RootExtent != 17 || a2.Stride != 4 {
+		t.Fatalf("level 2: %#v", d2)
+	}
+	if Coarsen(Star{}, 9).Name() != "*" {
+		t.Fatal("star must stay star")
+	}
+}
