@@ -9,12 +9,12 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/benchkit"
 	"repro/internal/darray"
 	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/fft"
 	"repro/internal/imaging"
-	"repro/internal/jacobi"
 	"repro/internal/kernels"
 	"repro/internal/kf"
 	"repro/internal/linalg"
@@ -77,11 +77,7 @@ func BenchmarkE3Pipeline(b *testing.B) {
 	}
 }
 
-func BenchmarkE4ADI(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		experiments.E4ADI()
-	}
-}
+func BenchmarkE4ADI(b *testing.B) { benchkit.E4ADI(b) }
 
 func BenchmarkE5MADIvsADI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -117,48 +113,11 @@ func BenchmarkE9InspectorExecutor(b *testing.B) {
 
 // BenchmarkMachinePingPong measures the host cost of one simulated message
 // round trip (mailbox, virtual clocks, tracing off).
-func BenchmarkMachinePingPong(b *testing.B) {
-	m := machine.New(2, machine.ZeroComm())
-	b.ResetTimer()
-	err := m.Run(func(p *machine.Proc) error {
-		other := 1 - p.Rank()
-		for i := 0; i < b.N; i++ {
-			if p.Rank() == 0 {
-				p.SendValue(other, 1, 1)
-				p.RecvValue(other, 2)
-			} else {
-				p.RecvValue(other, 1)
-				p.SendValue(other, 2, 1)
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-}
+func BenchmarkMachinePingPong(b *testing.B) { benchkit.MachinePingPong(b) }
 
 // BenchmarkHaloExchange2D measures one ghost exchange of a 256x256 block
 // array on a 2x2 grid.
-func BenchmarkHaloExchange2D(b *testing.B) {
-	m := machine.New(4, machine.ZeroComm())
-	g := topology.New(2, 2)
-	err := kf.Exec(m, g, func(c *kf.Ctx) error {
-		a := c.NewArray(darray.Spec{
-			Extents: []int{256, 256},
-			Dists:   []dist.Dist{dist.Block{}, dist.Block{}},
-			Halo:    []int{1, 1},
-		})
-		a.Fill(func(idx []int) float64 { return 1 })
-		for i := 0; i < b.N; i++ {
-			a.ExchangeHalo(c.NextScope())
-		}
-		return nil
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-}
+func BenchmarkHaloExchange2D(b *testing.B) { benchkit.HaloExchange2D(b) }
 
 // BenchmarkThomas measures the sequential kernel on 1024 rows.
 func BenchmarkThomas(b *testing.B) {
@@ -203,15 +162,7 @@ func BenchmarkTriParallel8(b *testing.B) {
 
 // BenchmarkJacobiKF1Iteration measures one KF1 Jacobi iteration, n=64 on a
 // 2x2 grid.
-func BenchmarkJacobiKF1Iteration(b *testing.B) {
-	x0, f := jacobi.Problem(64)
-	g := topology.New(2, 2)
-	b.ResetTimer()
-	m := machine.New(4, machine.ZeroComm())
-	if _, err := jacobi.KF1(m, g, x0, f, b.N); err != nil {
-		b.Fatal(err)
-	}
-}
+func BenchmarkJacobiKF1Iteration(b *testing.B) { benchkit.JacobiKF1Iteration(b) }
 
 func BenchmarkA1MappingAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -4,23 +4,43 @@
 //
 // Usage:
 //
-//	kfbench            # run everything
-//	kfbench E3 F5      # run selected experiments
-//	kfbench -list      # list experiment IDs
+//	kfbench                    # run everything
+//	kfbench E3 F5              # run selected experiments
+//	kfbench -list              # list experiment IDs
+//	kfbench -bench -o B.json   # run the perf snapshot and write JSON
+//
+// The -bench mode measures the host-side cost of the runtime's hot paths
+// (halo exchange, ADI, Jacobi, message ping-pong) with allocation counts
+// and writes a JSON snapshot, so successive PRs accumulate a perf
+// trajectory that can be diffed mechanically.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"testing"
+	"time"
 
+	"repro/internal/benchkit"
 	"repro/internal/experiments"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	bench := flag.Bool("bench", false, "run the perf snapshot benchmarks and write JSON")
+	out := flag.String("o", "BENCH_1.json", "output path for -bench JSON ('-' for stdout)")
 	flag.Parse()
+
+	if *bench {
+		if err := runBench(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "kfbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	all := experiments.All()
 	if *list {
@@ -45,4 +65,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kfbench: no experiments matched %v\n", flag.Args())
 		os.Exit(1)
 	}
+}
+
+// benchResult is one benchmark's snapshot entry.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchSnapshot struct {
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go_version"`
+	Results   []benchResult `json:"results"`
+}
+
+func runBench(out string) error {
+	snap := benchSnapshot{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: benchkit.GoVersion(),
+	}
+	for _, bm := range benchkit.Snapshot() {
+		r := testing.Benchmark(bm.Fn)
+		snap.Results = append(snap.Results, benchResult{
+			Name:        bm.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			bm.Name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
 }

@@ -1,0 +1,106 @@
+// Package benchkit defines the repository's perf-snapshot benchmarks: the
+// host-side cost of the runtime's hot paths, shared between `go test
+// -bench` (bench_test.go at the repo root) and the `kfbench -bench` JSON
+// snapshot so both always measure the same thing.
+package benchkit
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/jacobi"
+	"repro/internal/kf"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+// Bench is one named snapshot benchmark.
+type Bench struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// GoVersion returns the toolchain version string recorded in snapshots.
+func GoVersion() string { return runtime.Version() }
+
+// Snapshot returns the benchmarks recorded in BENCH_<n>.json files: the
+// hot paths whose trajectory across PRs matters most.
+func Snapshot() []Bench {
+	return []Bench{
+		{"HaloExchange2D", HaloExchange2D},
+		{"E4ADI", E4ADI},
+		{"JacobiKF1Iteration", JacobiKF1Iteration},
+		{"MachinePingPong", MachinePingPong},
+	}
+}
+
+// MachinePingPong measures the host cost of one simulated message round
+// trip (mailbox, virtual clocks, tracing off).
+func MachinePingPong(b *testing.B) {
+	b.ReportAllocs()
+	m := machine.New(2, machine.ZeroComm())
+	b.ResetTimer()
+	err := m.Run(func(p *machine.Proc) error {
+		other := 1 - p.Rank()
+		for i := 0; i < b.N; i++ {
+			if p.Rank() == 0 {
+				p.SendValue(other, 1, 1)
+				p.RecvValue(other, 2)
+			} else {
+				p.RecvValue(other, 1)
+				p.SendValue(other, 2, 1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// HaloExchange2D measures one ghost exchange of a 256x256 block array on a
+// 2x2 grid.
+func HaloExchange2D(b *testing.B) {
+	b.ReportAllocs()
+	m := machine.New(4, machine.ZeroComm())
+	g := topology.New(2, 2)
+	err := kf.Exec(m, g, func(c *kf.Ctx) error {
+		a := c.NewArray(darray.Spec{
+			Extents: []int{256, 256},
+			Dists:   []dist.Dist{dist.Block{}, dist.Block{}},
+			Halo:    []int{1, 1},
+		})
+		a.Fill(func(idx []int) float64 { return 1 })
+		for i := 0; i < b.N; i++ {
+			a.ExchangeHalo(c.NextScope())
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// JacobiKF1Iteration measures one KF1 Jacobi iteration, n=64 on a 2x2
+// grid.
+func JacobiKF1Iteration(b *testing.B) {
+	b.ReportAllocs()
+	x0, f := jacobi.Problem(64)
+	g := topology.New(2, 2)
+	b.ResetTimer()
+	m := machine.New(4, machine.ZeroComm())
+	if _, err := jacobi.KF1(m, g, x0, f, b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// E4ADI measures the full ADI experiment (claim E4).
+func E4ADI(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.E4ADI()
+	}
+}

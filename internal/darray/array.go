@@ -69,6 +69,13 @@ type store struct {
 	stride []int // row-major strides over pad
 	data   []float64
 	shadow []float64 // copy-in snapshot; nil when no snapshot is active
+
+	// Reusable per-store scratch for the halo-exchange hot path, so a
+	// steady-state exchange performs no heap allocation. A store is
+	// private to one simulated processor, so the scratch needs no lock.
+	coordBuf          []int      // rankAlongAxis coordinate scratch
+	runsBuf           []ghostRun // ghostRuns result scratch
+	itLo, itHi, itIdx []int      // plane pack/unpack odometer scratch
 }
 
 // Array is a distributed array or a section of one. The zero value is not
@@ -79,6 +86,121 @@ type Array struct {
 	dims []int          // array dim -> store dim
 	pfix []int          // per store dim: fixed global index, or -1 if free
 	axes []int          // root-grid axes remaining in grid, in order
+
+	// View cache, filled by finishView: Arrays are immutable views, so
+	// participation and the per-free-dimension index arithmetic are
+	// computed once at construction instead of on every element access.
+	participates bool
+	fixedOff     int          // data offset contributed by the fixed dims
+	acc          []axisAccess // one entry per free dimension, in order
+}
+
+// Access classification of one free dimension.
+const (
+	axStar    uint8 = iota // replicated: local index == global index
+	axContig               // contiguous ownership with halo window
+	axGeneral              // anything else: ask the distribution
+)
+
+// axisAccess caches everything needed to turn one global index into a
+// local storage offset without interface calls or slice walks.
+type axisAccess struct {
+	kind   uint8
+	sd     int // store dimension
+	stride int
+	halo   int
+	extent int
+	lower  int // first owned global index (axContig)
+	lsize  int // owned extent
+	d      dist.Dist
+	q, P   int // grid coordinate and axis length (axGeneral)
+}
+
+// finishView fills the view cache; every constructor of an Array must call
+// it last.
+func (a *Array) finishView() {
+	st := a.st
+	a.participates = a.computeParticipates()
+	a.fixedOff = 0
+	a.acc = nil
+	if !a.participates {
+		return
+	}
+	nfree := 0
+	for _, f := range a.pfix {
+		if f < 0 {
+			nfree++
+		}
+	}
+	a.acc = make([]axisAccess, 0, nfree)
+	for sd, f := range a.pfix {
+		if f >= 0 {
+			a.fixedOff += st.localPos(sd, f) * st.stride[sd]
+			continue
+		}
+		ax := axisAccess{
+			sd:     sd,
+			stride: st.stride[sd],
+			halo:   st.halo[sd],
+			extent: st.extents[sd],
+			lsize:  st.lsize[sd],
+		}
+		switch {
+		case st.axisOf[sd] < 0:
+			ax.kind = axStar
+		default:
+			if _, ok := st.dists[sd].(dist.Contiguous); ok {
+				ax.kind = axContig
+				ax.lower = st.lower[sd]
+			} else {
+				ax.kind = axGeneral
+				ax.d = st.dists[sd]
+				ax.q = st.coord[st.axisOf[sd]]
+				ax.P = st.rootGrid.Extent(st.axisOf[sd])
+			}
+		}
+		a.acc = append(a.acc, ax)
+	}
+}
+
+// roff returns the storage offset contribution of global index g along free
+// dimension k for a read: owned cells and halo cells are legal.
+func (a *Array) roff(k, g int) int {
+	ax := &a.acc[k]
+	if g < 0 || g >= ax.extent {
+		panic(fmt.Sprintf("darray: index %d out of extent %d (dim %d)", g, ax.extent, ax.sd))
+	}
+	switch ax.kind {
+	case axStar:
+		return g * ax.stride
+	case axContig:
+		l := g - ax.lower
+		if l < -ax.halo || l >= ax.lsize+ax.halo {
+			panic(fmt.Sprintf("darray: proc %d cannot access global index %d of dim %d (owns [%d,%d], halo %d)",
+				a.st.p.Rank(), g, ax.sd, ax.lower, ax.lower+ax.lsize-1, ax.halo))
+		}
+		return (l + ax.halo) * ax.stride
+	default:
+		if ax.d.Owner(g, ax.extent, ax.P) != ax.q {
+			panic(fmt.Sprintf("darray: proc %d does not own global index %d of %s dim %d",
+				a.st.p.Rank(), g, ax.d.Name(), ax.sd))
+		}
+		return (ax.d.ToLocal(g, ax.extent, ax.P) + ax.halo) * ax.stride
+	}
+}
+
+// woff is roff for writes: only owned cells are legal (ghost values are
+// read-only copies).
+func (a *Array) woff(k, g int) int {
+	ax := &a.acc[k]
+	if ax.kind == axContig {
+		l := g - ax.lower
+		if g < 0 || g >= ax.extent || l < 0 || l >= ax.lsize {
+			panic(fmt.Sprintf("darray: proc %d writing unowned index %d of dim %d", a.st.p.Rank(), g, ax.sd))
+		}
+		return (l + ax.halo) * ax.stride
+	}
+	return a.roff(k, g)
 }
 
 // New constructs a distributed array on grid g from the calling processor's
@@ -147,6 +269,7 @@ func New(p *machine.Proc, g *topology.Grid, spec Spec) *Array {
 	for i := range a.axes {
 		a.axes[i] = i
 	}
+	a.finishView()
 	return a
 }
 
@@ -180,6 +303,10 @@ func (st *store) allocate() {
 		stride *= st.pad[d]
 	}
 	st.data = make([]float64, total)
+	st.coordBuf = make([]int, len(st.coord))
+	st.itLo = make([]int, nd)
+	st.itHi = make([]int, nd)
+	st.itIdx = make([]int, nd)
 }
 
 // Dims returns the number of (free) dimensions of the array or section.
@@ -207,8 +334,10 @@ func (a *Array) Proc() *machine.Proc { return a.st.p }
 
 // Participates reports whether the calling processor holds a piece of this
 // array (or section): it is a member of the array's grid and, for a section,
-// owns the fixed indices.
-func (a *Array) Participates() bool {
+// owns the fixed indices. The answer is precomputed at construction.
+func (a *Array) Participates() bool { return a.participates }
+
+func (a *Array) computeParticipates() bool {
 	if !a.st.member {
 		return false
 	}
@@ -299,6 +428,9 @@ func (a *Array) Owns(idx ...int) bool {
 		if f >= 0 {
 			continue
 		}
+		if idx[k] < 0 || idx[k] >= a.st.extents[sd] {
+			return false // out-of-extent indices are owned by nobody
+		}
 		if !a.st.ownsStoreIndex(sd, idx[k]) {
 			return false
 		}
@@ -380,15 +512,54 @@ func (a *Array) Set(v float64, idx ...int) {
 	st.data[a.offset(idx)] = v
 }
 
-// At1, At2, At3 are arity-specific conveniences for At.
-func (a *Array) At1(i int) float64       { return a.At(i) }
-func (a *Array) At2(i, j int) float64    { return a.At(i, j) }
-func (a *Array) At3(i, j, k int) float64 { return a.At(i, j, k) }
+// At1, At2, At3 are arity-specific fast paths for At: they compute the
+// storage offset from the cached per-dimension access data, with no
+// variadic slice and no per-access scan of the section's fixed dims.
+func (a *Array) At1(i int) float64 {
+	if len(a.acc) == 1 {
+		return a.st.data[a.fixedOff+a.roff(0, i)]
+	}
+	return a.At(i)
+}
 
-// Set1, Set2, Set3 are arity-specific conveniences for Set.
-func (a *Array) Set1(i int, v float64)       { a.Set(v, i) }
-func (a *Array) Set2(i, j int, v float64)    { a.Set(v, i, j) }
-func (a *Array) Set3(i, j, k int, v float64) { a.Set(v, i, j, k) }
+func (a *Array) At2(i, j int) float64 {
+	if len(a.acc) == 2 {
+		return a.st.data[a.fixedOff+a.roff(0, i)+a.roff(1, j)]
+	}
+	return a.At(i, j)
+}
+
+func (a *Array) At3(i, j, k int) float64 {
+	if len(a.acc) == 3 {
+		return a.st.data[a.fixedOff+a.roff(0, i)+a.roff(1, j)+a.roff(2, k)]
+	}
+	return a.At(i, j, k)
+}
+
+// Set1, Set2, Set3 are arity-specific fast paths for Set.
+func (a *Array) Set1(i int, v float64) {
+	if len(a.acc) == 1 {
+		a.st.data[a.fixedOff+a.woff(0, i)] = v
+		return
+	}
+	a.Set(v, i)
+}
+
+func (a *Array) Set2(i, j int, v float64) {
+	if len(a.acc) == 2 {
+		a.st.data[a.fixedOff+a.woff(0, i)+a.woff(1, j)] = v
+		return
+	}
+	a.Set(v, i, j)
+}
+
+func (a *Array) Set3(i, j, k int, v float64) {
+	if len(a.acc) == 3 {
+		a.st.data[a.fixedOff+a.woff(0, i)+a.woff(1, j)+a.woff(2, k)] = v
+		return
+	}
+	a.Set(v, i, j, k)
+}
 
 // Section fixes free dimension d at global index i, returning a lower
 // dimensional section of the array — the paper's u(*, *, k) notation. If
@@ -435,6 +606,7 @@ func (a *Array) Section(d, i int) *Array {
 		sec.grid = a.grid.Slice(spec...)
 		sec.axes = newAxes
 	}
+	sec.finishView()
 	return sec
 }
 

@@ -121,10 +121,50 @@ func (a *Array) Old(idx ...int) float64 {
 	return a.st.shadow[a.offset(idx)]
 }
 
-// Old1, Old2, Old3 are arity-specific conveniences for Old.
-func (a *Array) Old1(i int) float64       { return a.Old(i) }
-func (a *Array) Old2(i, j int) float64    { return a.Old(i, j) }
-func (a *Array) Old3(i, j, k int) float64 { return a.Old(i, j, k) }
+// Old1, Old2, Old3 are arity-specific fast paths for Old, mirroring
+// At1/At2/At3.
+func (a *Array) Old1(i int) float64 {
+	if len(a.acc) == 1 && a.st.shadow != nil {
+		return a.st.shadow[a.fixedOff+a.roff(0, i)]
+	}
+	return a.Old(i)
+}
+
+func (a *Array) Old2(i, j int) float64 {
+	if len(a.acc) == 2 && a.st.shadow != nil {
+		return a.st.shadow[a.fixedOff+a.roff(0, i)+a.roff(1, j)]
+	}
+	return a.Old(i, j)
+}
+
+func (a *Array) Old3(i, j, k int) float64 {
+	if len(a.acc) == 3 && a.st.shadow != nil {
+		return a.st.shadow[a.fixedOff+a.roff(0, i)+a.roff(1, j)+a.roff(2, k)]
+	}
+	return a.Old(i, j, k)
+}
+
+// OwnedSpan returns the inclusive global index range of free dimension d
+// owned by the calling processor, and reports whether ownership of that
+// dimension forms a single contiguous range (true for Star and Contiguous
+// distributions, false for Cyclic). Non-participants and empty local
+// blocks get an empty span (lo > hi). It is the query the strip-mined
+// doall loops use to iterate owned indices directly instead of scanning
+// the whole range with ownership tests.
+func (a *Array) OwnedSpan(d int) (lo, hi int, contiguous bool) {
+	if !a.participates {
+		return 0, -1, true
+	}
+	st := a.st
+	sd := a.storeDim(d)
+	if st.axisOf[sd] < 0 {
+		return 0, st.extents[sd] - 1, true
+	}
+	if _, ok := st.dists[sd].(dist.Contiguous); !ok {
+		return 0, -1, false
+	}
+	return st.lower[sd], st.lower[sd] + st.lsize[sd] - 1, true
+}
 
 // ReleaseSnapshot drops the shadow buffer.
 func (a *Array) ReleaseSnapshot() { a.st.shadow = nil }

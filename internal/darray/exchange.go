@@ -16,8 +16,10 @@ type ghostRun struct {
 }
 
 // ghostRuns returns the contiguous per-owner runs covering the global index
-// range [lo, hi] of store dim sd (clipped to the extent). Block ownership is
-// contiguous, so each owner contributes at most one run.
+// range [lo, hi] of store dim sd (clipped to the extent). For Contiguous
+// distributions the runs are derived from the owners' block bounds in
+// O(owners) instead of probing Owner per index. The returned slice is the
+// store's reusable scratch: it is valid until the next ghostRuns call.
 func (a *Array) ghostRuns(sd, lo, hi int) []ghostRun {
 	st := a.st
 	n := st.extents[sd]
@@ -27,17 +29,37 @@ func (a *Array) ghostRuns(sd, lo, hi int) []ghostRun {
 	if hi >= n {
 		hi = n - 1
 	}
-	var runs []ghostRun
+	runs := st.runsBuf[:0]
 	P := st.rootGrid.Extent(st.axisOf[sd])
-	for i := lo; i <= hi; {
-		q := st.dists[sd].Owner(i, n, P)
-		j := i
-		for j+1 <= hi && st.dists[sd].Owner(j+1, n, P) == q {
-			j++
+	if b, ok := st.dists[sd].(dist.Contiguous); ok {
+		q := 0
+		if lo <= hi {
+			q = st.dists[sd].Owner(lo, n, P)
 		}
-		runs = append(runs, ghostRun{ownerCoord: q, lo: i, hi: j})
-		i = j + 1
+		for i := lo; i <= hi; {
+			for b.Upper(q, n, P) < i {
+				q++ // skip owners with empty blocks
+			}
+			end := b.Upper(q, n, P)
+			if end > hi {
+				end = hi
+			}
+			runs = append(runs, ghostRun{ownerCoord: q, lo: i, hi: end})
+			i = end + 1
+			q++
+		}
+	} else {
+		for i := lo; i <= hi; {
+			q := st.dists[sd].Owner(i, n, P)
+			j := i
+			for j+1 <= hi && st.dists[sd].Owner(j+1, n, P) == q {
+				j++
+			}
+			runs = append(runs, ghostRun{ownerCoord: q, lo: i, hi: j})
+			i = j + 1
+		}
 	}
+	st.runsBuf = runs
 	return runs
 }
 
@@ -45,59 +67,103 @@ func (a *Array) ghostRuns(sd, lo, hi int) []ghostRun {
 // processor's root coordinate with the coordinate along root axis ax
 // replaced by q.
 func (st *store) rankAlongAxis(ax, q int) int {
-	coord := append([]int(nil), st.coord...)
-	coord[ax] = q
-	return st.rootGrid.Rank(coord...)
+	copy(st.coordBuf, st.coord)
+	st.coordBuf[ax] = q
+	return st.rootGrid.Rank(st.coordBuf...)
 }
 
-// planeCells enumerates, in row-major order, the local offsets of the cells
-// of the hyperplane where store dim sd has local position l (halo-relative),
-// the fixed dims of the section take their fixed values, and the remaining
-// free dims range over the calling processor's owned cells. The visit
-// function receives each cell's offset into st.data.
-func (a *Array) planeCells(sd, l int, visit func(off int)) {
+// planeBounds fills the store's iteration scratch with the halo-relative
+// local position range of every store dim for the hyperplane at position l
+// of store dim sd (fixed dims pinned, free dims over owned cells). It
+// reports false when some dimension is empty.
+func (a *Array) planeBounds(sd, l int) bool {
 	st := a.st
-	nd := len(st.extents)
-	// Build per-dim local index ranges (halo-relative positions).
-	lo := make([]int, nd)
-	hi := make([]int, nd)
-	for d := 0; d < nd; d++ {
+	for d := range st.extents {
 		switch {
 		case d == sd:
-			lo[d], hi[d] = l, l
+			st.itLo[d], st.itHi[d] = l, l
 		case a.pfix[d] >= 0:
-			// Fixed section index: its local position.
-			lo[d] = st.localPos(d, a.pfix[d])
-			hi[d] = lo[d]
+			st.itLo[d] = st.localPos(d, a.pfix[d])
+			st.itHi[d] = st.itLo[d]
 		default:
-			lo[d] = st.halo[d]
-			hi[d] = st.halo[d] + st.lsize[d] - 1
+			st.itLo[d] = st.halo[d]
+			st.itHi[d] = st.halo[d] + st.lsize[d] - 1
 		}
+		if st.itHi[d] < st.itLo[d] {
+			return false
+		}
+		st.itIdx[d] = st.itLo[d]
 	}
+	return true
+}
+
+// packPlane copies the cells of the hyperplane at halo-relative position l
+// of store dim sd into dst in row-major order, returning the number of
+// values written. The innermost store dimension is stride-1, so each
+// innermost run moves with a single copy — the packed-buffer staging a
+// message-passing compiler would generate — rather than a call per cell.
+func (a *Array) packPlane(sd, l int, dst []float64) int {
+	st := a.st
+	if !a.planeBounds(sd, l) {
+		return 0
+	}
+	nd := len(st.extents)
+	base := 0
 	for d := 0; d < nd; d++ {
-		if hi[d] < lo[d] {
-			return // an empty local extent: no cells to visit
-		}
+		base += st.itLo[d] * st.stride[d]
 	}
-	idx := make([]int, nd)
-	copy(idx, lo)
+	runLen := st.itHi[nd-1] - st.itLo[nd-1] + 1 // stride[nd-1] == 1
+	k := 0
 	for {
-		off := 0
-		for d := 0; d < nd; d++ {
-			off += idx[d] * st.stride[d]
-		}
-		visit(off)
-		d := nd - 1
+		copy(dst[k:k+runLen], st.data[base:base+runLen])
+		k += runLen
+		d := nd - 2
 		for d >= 0 {
-			idx[d]++
-			if idx[d] <= hi[d] {
+			st.itIdx[d]++
+			base += st.stride[d]
+			if st.itIdx[d] <= st.itHi[d] {
 				break
 			}
-			idx[d] = lo[d]
+			base -= (st.itIdx[d] - st.itLo[d]) * st.stride[d]
+			st.itIdx[d] = st.itLo[d]
 			d--
 		}
 		if d < 0 {
-			return
+			return k
+		}
+	}
+}
+
+// unpackPlane is the inverse of packPlane: it scatters src into the
+// hyperplane's cells, returning the number of values consumed.
+func (a *Array) unpackPlane(sd, l int, src []float64) int {
+	st := a.st
+	if !a.planeBounds(sd, l) {
+		return 0
+	}
+	nd := len(st.extents)
+	base := 0
+	for d := 0; d < nd; d++ {
+		base += st.itLo[d] * st.stride[d]
+	}
+	runLen := st.itHi[nd-1] - st.itLo[nd-1] + 1
+	k := 0
+	for {
+		copy(st.data[base:base+runLen], src[k:k+runLen])
+		k += runLen
+		d := nd - 2
+		for d >= 0 {
+			st.itIdx[d]++
+			base += st.stride[d]
+			if st.itIdx[d] <= st.itHi[d] {
+				break
+			}
+			base -= (st.itIdx[d] - st.itLo[d]) * st.stride[d]
+			st.itIdx[d] = st.itLo[d]
+			d--
+		}
+		if d < 0 {
+			return k
 		}
 	}
 }
@@ -140,20 +206,31 @@ func (a *Array) planeSize(sd int) int {
 //
 // Corner ghost cells (diagonal neighbors) are not exchanged; the tensor
 // product algorithms in this repository use axis-aligned stencils only.
+//
+// A steady-state exchange allocates nothing: hyperplanes are packed into
+// pooled message buffers with contiguous copies and unpacked the same way
+// on the receiver, which releases the buffers back to its pool.
 func (a *Array) ExchangeHalo(sc machine.Scope, dims ...int) {
 	a.mustParticipate()
 	st := a.st
-	if len(dims) == 0 {
-		for d := 0; d < a.Dims(); d++ {
-			sd := a.storeDim(d)
-			if st.halo[sd] > 0 && st.axisOf[sd] >= 0 {
-				dims = append(dims, d)
-			}
-		}
-	}
 	// Post every dimension's sends before any receive, so one round of
 	// latency covers the whole exchange — the batching a compiler would
 	// generate (and what the hand message-passing baselines do).
+	if len(dims) == 0 {
+		for k := range a.acc {
+			sd := a.acc[k].sd
+			if st.halo[sd] > 0 && st.axisOf[sd] >= 0 {
+				a.sendHalo(sc, sd)
+			}
+		}
+		for k := range a.acc {
+			sd := a.acc[k].sd
+			if st.halo[sd] > 0 && st.axisOf[sd] >= 0 {
+				a.recvHalo(sc, sd)
+			}
+		}
+		return
+	}
 	for _, d := range dims {
 		sd := a.storeDim(d)
 		if st.halo[sd] == 0 {
@@ -166,7 +243,10 @@ func (a *Array) ExchangeHalo(sc machine.Scope, dims ...int) {
 	}
 }
 
-// sendHalo posts the outgoing boundary hyperplanes along store dim sd.
+// sendHalo posts the outgoing boundary hyperplanes along store dim sd: for
+// every other processor along the axis, the ghost indices it needs that
+// fall in this processor's owned range, packed into one pooled buffer per
+// (peer, side).
 func (a *Array) sendHalo(sc machine.Scope, sd int) {
 	st := a.st
 	ax := st.axisOf[sd]
@@ -176,56 +256,45 @@ func (a *Array) sendHalo(sc machine.Scope, sd int) {
 	h := st.halo[sd]
 	myLo, myHi := st.lower[sd], st.lower[sd]+st.lsize[sd]-1
 	plane := a.planeSize(sd)
-	if plane == 0 {
-		return // some other dimension is empty: peers mirror this skip
+	if plane == 0 || st.lsize[sd] == 0 {
+		return // an empty dimension: peers mirror this skip
 	}
-
-	// Send plan: for every other processor q' along the axis, the ghost
-	// indices q' needs that fall in my owned range. q''s ghost windows
-	// are [lo'-h, lo'-1] and [hi'+1, hi'+h].
-	type sendJob struct {
-		dst  int
-		part uint16
-		lo   int // first global index of the run (within my owned range)
-		len  int
-	}
-	var jobs []sendJob
-	if st.lsize[sd] > 0 {
-		b := st.dists[sd].(dist.Contiguous)
-		for qq := 0; qq < P; qq++ {
-			if qq == q {
-				continue
-			}
-			// Processors with empty blocks (deep multigrid coarse
-			// levels) still receive ghosts: their degenerate
-			// windows [lo'-h, lo'-1] and [lo', lo'+h-1] are exactly
-			// the surrounding values interpolation needs.
-			qlo, qhi := b.Lower(qq, n, P), b.Upper(qq, n, P)
-			// Low-side window of qq.
-			lo, hi := maxI(qlo-h, myLo), minI(qlo-1, myHi)
-			if lo <= hi {
-				jobs = append(jobs, sendJob{dst: st.rankAlongAxis(ax, qq), part: uint16(sd<<2 | 0), lo: lo, len: hi - lo + 1})
-			}
-			// High-side window of qq.
-			lo, hi = maxI(qhi+1, myLo), minI(qhi+h, myHi)
-			if lo <= hi {
-				jobs = append(jobs, sendJob{dst: st.rankAlongAxis(ax, qq), part: uint16(sd<<2 | 1), lo: lo, len: hi - lo + 1})
-			}
+	b := st.dists[sd].(dist.Contiguous)
+	for qq := 0; qq < P; qq++ {
+		if qq == q {
+			continue
 		}
-	}
-	for _, job := range jobs {
-		buf := make([]float64, 0, job.len*plane)
-		for g := job.lo; g < job.lo+job.len; g++ {
-			a.planeCells(sd, g-st.lower[sd]+h, func(off int) {
-				buf = append(buf, st.data[off])
-			})
+		// Processors with empty blocks (deep multigrid coarse levels)
+		// still receive ghosts: their degenerate windows
+		// [lo'-h, lo'-1] and [lo', lo'+h-1] are exactly the
+		// surrounding values interpolation needs.
+		qlo, qhi := b.Lower(qq, n, P), b.Upper(qq, n, P)
+		// Low-side window of qq.
+		if lo, hi := maxI(qlo-h, myLo), minI(qlo-1, myHi); lo <= hi {
+			a.sendRun(sc, sd, uint16(sd<<2|0), ax, qq, lo, hi, plane)
 		}
-		st.p.Send(job.dst, sc.Tag(job.part), buf)
+		// High-side window of qq.
+		if lo, hi := maxI(qhi+1, myLo), minI(qhi+h, myHi); lo <= hi {
+			a.sendRun(sc, sd, uint16(sd<<2|1), ax, qq, lo, hi, plane)
+		}
 	}
 }
 
+// sendRun packs the hyperplanes of global indices [lo, hi] of store dim sd
+// into a pooled buffer and sends it to the processor at coordinate qq.
+func (a *Array) sendRun(sc machine.Scope, sd int, part uint16, ax, qq, lo, hi, plane int) {
+	st := a.st
+	buf := st.p.AcquireBuf((hi - lo + 1) * plane)
+	k := 0
+	for g := lo; g <= hi; g++ {
+		k += a.packPlane(sd, g-st.lower[sd]+st.halo[sd], buf[k:])
+	}
+	st.p.SendOwned(st.rankAlongAxis(ax, qq), sc.Tag(part), buf)
+}
+
 // recvHalo completes the exchange along store dim sd: receive this
-// processor's ghost windows, grouped by owner.
+// processor's ghost windows, grouped by owner, and release each message
+// buffer back to the pool after unpacking.
 func (a *Array) recvHalo(sc machine.Scope, sd int) {
 	st := a.st
 	ax := st.axisOf[sd]
@@ -239,25 +308,25 @@ func (a *Array) recvHalo(sc machine.Scope, sd int) {
 	if plane == 0 {
 		return // some other dimension is empty here: no cells at all
 	}
-	recvSide := func(side int, lo, hi int) {
-		for _, run := range a.ghostRuns(sd, lo, hi) {
-			src := st.rankAlongAxis(ax, run.ownerCoord)
-			buf := st.p.Recv(src, sc.Tag(uint16(sd<<2|side)))
-			want := (run.hi - run.lo + 1) * plane
-			if len(buf) != want {
-				panic(fmt.Sprintf("darray: halo exchange dim %d: got %d values, want %d", sd, len(buf), want))
-			}
-			k := 0
-			for g := run.lo; g <= run.hi; g++ {
-				a.planeCells(sd, g-st.lower[sd]+h, func(off int) {
-					st.data[off] = buf[k]
-					k++
-				})
-			}
+	a.recvSide(sc, sd, ax, 0, myLo-h, myLo-1, plane, h)
+	a.recvSide(sc, sd, ax, 1, myHi+1, myHi+h, plane, h)
+}
+
+func (a *Array) recvSide(sc machine.Scope, sd, ax, side, lo, hi, plane, h int) {
+	st := a.st
+	for _, run := range a.ghostRuns(sd, lo, hi) {
+		src := st.rankAlongAxis(ax, run.ownerCoord)
+		buf := st.p.Recv(src, sc.Tag(uint16(sd<<2|side)))
+		want := (run.hi - run.lo + 1) * plane
+		if len(buf) != want {
+			panic(fmt.Sprintf("darray: halo exchange dim %d: got %d values, want %d", sd, len(buf), want))
 		}
+		k := 0
+		for g := run.lo; g <= run.hi; g++ {
+			k += a.unpackPlane(sd, g-st.lower[sd]+h, buf[k:])
+		}
+		st.p.ReleaseBuf(buf)
 	}
-	recvSide(0, myLo-h, myLo-1)
-	recvSide(1, myHi+1, myHi+h)
 }
 
 func maxI(a, b int) int {

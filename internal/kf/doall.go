@@ -52,6 +52,36 @@ type On2 interface {
 	IterGrid(c *Ctx, i, j int) *topology.Grid
 }
 
+// strip1 is the strip-mining fast path of a one-dimensional on-clause: an
+// owner-computes clause over a contiguously distributed dimension exposes
+// the calling processor's owned subrange directly, plus the iteration grid
+// (which is the same for every owned iteration), so the doall can iterate
+// owned indices instead of scanning the whole range with per-iteration
+// ownership tests and per-iteration Section allocations.
+type strip1 interface {
+	// ownedStrip returns the inclusive owned index range and the cached
+	// iteration grid. ok reports whether the fast path applies at all
+	// (false falls back to the generic ownership scan); an empty span
+	// (lo > hi) with ok true means this processor runs no iterations,
+	// and grid may be nil in that case.
+	ownedStrip(c *Ctx) (lo, hi int, g *topology.Grid, ok bool)
+}
+
+// ownedStripOf computes the strip of the on-clause "dimension dim of array
+// a": the owned span when it is contiguous, and the grid of the section
+// through any owned index (they are all the same slice — the one through
+// the calling processor).
+func ownedStripOf(a *darray.Array, dim int) (lo, hi int, g *topology.Grid, ok bool) {
+	lo, hi, contiguous := a.OwnedSpan(dim)
+	if !contiguous {
+		return 0, 0, nil, false
+	}
+	if lo > hi {
+		return lo, hi, nil, true
+	}
+	return lo, hi, a.Section(dim, lo).Grid(), true
+}
+
 // onOwner1 implements "on owner(A(i))".
 type onOwner1 struct{ a *darray.Array }
 
@@ -65,6 +95,13 @@ func (o onOwner1) Owns(c *Ctx, i int) bool {
 
 func (o onOwner1) IterGrid(c *Ctx, i int) *topology.Grid {
 	return o.a.Section(0, i).Grid()
+}
+
+func (o onOwner1) ownedStrip(c *Ctx) (int, int, *topology.Grid, bool) {
+	if o.a.Dims() != 1 {
+		return 0, 0, nil, false // let the generic path diagnose the misuse
+	}
+	return ownedStripOf(o.a, 0)
 }
 
 // onOwnerSection implements "on owner(A(i, *))" and friends: iteration i is
@@ -83,11 +120,21 @@ type onOwnerSection struct {
 func OnOwnerSection(a *darray.Array, dim int) On1 { return onOwnerSection{a: a, dim: dim} }
 
 func (o onOwnerSection) Owns(c *Ctx, i int) bool {
+	if i < 0 || i >= o.a.Extent(o.dim) {
+		return false // out-of-extent iterations have no owner
+	}
 	return o.a.Participates() && o.a.Section(o.dim, i).Participates()
 }
 
 func (o onOwnerSection) IterGrid(c *Ctx, i int) *topology.Grid {
 	return o.a.Section(o.dim, i).Grid()
+}
+
+func (o onOwnerSection) ownedStrip(c *Ctx) (int, int, *topology.Grid, bool) {
+	// A processor participates in the section at i exactly when it owns
+	// i along dim's axis (Star dims make everyone participate), so the
+	// section clause strips the same way the element clause does.
+	return ownedStripOf(o.a, o.dim)
 }
 
 // onGridIndex implements "on procs(ip)".
@@ -127,6 +174,60 @@ func (o onOwner2) Owns(c *Ctx, i, j int) bool {
 
 func (o onOwner2) IterGrid(c *Ctx, i, j int) *topology.Grid {
 	return o.a.Section(0, i).Section(0, j).Grid()
+}
+
+// span is an inclusive owned index range of one loop dimension.
+type span struct{ lo, hi int }
+
+func (s span) empty() bool { return s.lo > s.hi }
+
+// strip2 is strip1 for two-dimensional on-clauses.
+type strip2 interface {
+	ownedStrip2(c *Ctx) (s [2]span, g *topology.Grid, ok bool)
+}
+
+func (o onOwner2) ownedStrip2(c *Ctx) ([2]span, *topology.Grid, bool) {
+	var s [2]span
+	if o.a.Dims() != 2 {
+		return s, nil, false
+	}
+	ilo, ihi, iok := o.a.OwnedSpan(0)
+	jlo, jhi, jok := o.a.OwnedSpan(1)
+	if !iok || !jok {
+		return s, nil, false
+	}
+	s[0], s[1] = span{ilo, ihi}, span{jlo, jhi}
+	if s[0].empty() || s[1].empty() {
+		return s, nil, true // no iterations here: grid unused
+	}
+	return s, o.a.Section(0, ilo).Section(0, jlo).Grid(), true
+}
+
+// eachOwned calls f for every index of r that falls inside the owned span,
+// in r's order, preserving r's stride phase: exactly the indices the
+// generic ownership scan would have executed.
+func eachOwned(r Range, s span, f func(i int)) {
+	step := r.Step
+	if step == 0 {
+		step = 1
+	}
+	if step > 0 {
+		start, end := r.Lo, min(s.hi, r.Hi)
+		if s.lo > start {
+			start += ((s.lo - start + step - 1) / step) * step
+		}
+		for i := start; i <= end; i += step {
+			f(i)
+		}
+	} else {
+		start, end := r.Lo, max(s.lo, r.Hi)
+		if s.hi < start {
+			start -= ((start - s.hi - step - 1) / -step) * -step
+		}
+		for i := start; i >= end; i += step {
+			f(i)
+		}
+	}
 }
 
 // LoopOpt prepares distributed data for a doall loop, implementing the
@@ -178,21 +279,58 @@ func (r *reads) finish(c *Ctx) {
 	}
 }
 
+// reuseChild returns a child context that the doall loops mutate and reuse
+// across iterations instead of allocating one per iteration. The body sees
+// the same semantics — grid, scope and phase numbering are reset before
+// every call — but the loop performs no per-iteration heap allocation.
+// Bodies must not retain the context beyond the iteration (they never do:
+// a KF1 iteration's context is lexically scoped to the iteration).
+func (c *Ctx) reuseChild() *Ctx { return &Ctx{P: c.P} }
+
+// bindIter points the reusable child context at one iteration.
+func (cc *Ctx) bindIter(c *Ctx, g *topology.Grid, phase, disc int) {
+	cc.G = g
+	cc.scope = c.scope.Child(phase, disc)
+	cc.seq = 0
+}
+
 // Doall1 executes a one-dimensional doall loop: for each index of r, the
 // processors selected by the on-clause run body with a child context bound
 // to the iteration's grid. Non-selected processors skip the iteration
 // without synchronizing — exactly the strip-mining a KF1 compiler performs.
 // The opts run first (on every processor of c.G), deriving the loop's
 // communication.
+//
+// Owner-computes clauses over contiguously distributed dimensions are
+// strip-mined: the processor iterates its owned subrange directly with a
+// cached iteration grid, instead of testing ownership (and re-deriving the
+// section grid) for every index of the range.
 func (c *Ctx) Doall1(r Range, on On1, opts []LoopOpt, body func(cc *Ctx, i int)) {
 	for _, o := range opts {
 		o.prepare(c)
 	}
 	phase := c.seq
 	c.seq++
+	if s, ok := on.(strip1); ok {
+		if lo, hi, g, fast := s.ownedStrip(c); fast {
+			if lo <= hi {
+				cc := c.reuseChild()
+				eachOwned(r, span{lo, hi}, func(i int) {
+					cc.bindIter(c, g, phase, i)
+					body(cc, i)
+				})
+			}
+			for _, o := range opts {
+				o.finish(c)
+			}
+			return
+		}
+	}
+	cc := c.reuseChild()
 	r.Each(func(i int) {
 		if on.Owns(c, i) {
-			body(c.child(on.IterGrid(c, i), phase, i), i)
+			cc.bindIter(c, on.IterGrid(c, i), phase, i)
+			body(cc, i)
 		}
 	})
 	for _, o := range opts {
@@ -201,17 +339,38 @@ func (c *Ctx) Doall1(r Range, on On1, opts []LoopOpt, body func(cc *Ctx, i int))
 }
 
 // Doall2 executes a two-dimensional doall loop over the product of ranges
-// ri and rj — the paper's "doall (i, j) = [1, n] * [1, n]" headers.
+// ri and rj — the paper's "doall (i, j) = [1, n] * [1, n]" headers. Like
+// Doall1, owner-computes clauses over contiguous distributions are
+// strip-mined to the owned subrectangle.
 func (c *Ctx) Doall2(ri, rj Range, on On2, opts []LoopOpt, body func(cc *Ctx, i, j int)) {
 	for _, o := range opts {
 		o.prepare(c)
 	}
 	phase := c.seq
 	c.seq++
+	if s, ok := on.(strip2); ok {
+		if sp, g, fast := s.ownedStrip2(c); fast {
+			if !sp[0].empty() && !sp[1].empty() {
+				cc := c.reuseChild()
+				eachOwned(ri, sp[0], func(i int) {
+					eachOwned(rj, sp[1], func(j int) {
+						cc.bindIter(c, g, phase, i*(rj.Hi+1)+j)
+						body(cc, i, j)
+					})
+				})
+			}
+			for _, o := range opts {
+				o.finish(c)
+			}
+			return
+		}
+	}
+	cc := c.reuseChild()
 	ri.Each(func(i int) {
 		rj.Each(func(j int) {
 			if on.Owns(c, i, j) {
-				body(c.child(on.IterGrid(c, i, j), phase, i*(rj.Hi+1)+j), i, j)
+				cc.bindIter(c, on.IterGrid(c, i, j), phase, i*(rj.Hi+1)+j)
+				body(cc, i, j)
 			}
 		})
 	})
@@ -224,7 +383,8 @@ func (c *Ctx) Doall2(ri, rj Range, on On2, opts []LoopOpt, body func(cc *Ctx, i,
 // owner-computes clause over a block-distributed dimension: instead of
 // scanning the whole range and testing ownership, each processor iterates
 // only its owned subrange. Semantically identical to
-// Doall1(r, OnOwner1(a), ...) for block distributions.
+// Doall1(r, OnOwner1(a), ...) for block distributions, except that the
+// body's context stays bound to the caller's grid.
 func (c *Ctx) Doall1Owned(r Range, a *darray.Array, dim int, opts []LoopOpt, body func(cc *Ctx, i int)) {
 	for _, o := range opts {
 		o.prepare(c)
@@ -232,22 +392,14 @@ func (c *Ctx) Doall1Owned(r Range, a *darray.Array, dim int, opts []LoopOpt, bod
 	phase := c.seq
 	c.seq++
 	if a.Participates() {
-		lo, hi := a.Lower(dim), a.Upper(dim)
-		step := r.Step
-		if step == 0 {
-			step = 1
-		}
-		if step < 0 {
+		if step := r.Step; step < 0 {
 			panic("kf: Doall1Owned requires a positive stride")
 		}
-		// First multiple of step >= lo starting from r.Lo.
-		start := r.Lo
-		if lo > start {
-			start += ((lo - start + step - 1) / step) * step
-		}
-		for i := start; i <= hi && i <= r.Hi; i += step {
-			body(c.child(c.G, phase, i), i)
-		}
+		cc := c.reuseChild()
+		eachOwned(r, span{a.Lower(dim), a.Upper(dim)}, func(i int) {
+			cc.bindIter(c, c.G, phase, i)
+			body(cc, i)
+		})
 	}
 	for _, o := range opts {
 		o.finish(c)
@@ -274,20 +426,66 @@ func (o onOwner3) IterGrid(c *Ctx, i, j, k int) *topology.Grid {
 	return o.a.Section(0, i).Section(0, j).Section(0, k).Grid()
 }
 
+// strip3 is strip1 for three-dimensional on-clauses.
+type strip3 interface {
+	ownedStrip3(c *Ctx) (s [3]span, g *topology.Grid, ok bool)
+}
+
+func (o onOwner3) ownedStrip3(c *Ctx) ([3]span, *topology.Grid, bool) {
+	var s [3]span
+	if o.a.Dims() != 3 {
+		return s, nil, false
+	}
+	for d := 0; d < 3; d++ {
+		lo, hi, ok := o.a.OwnedSpan(d)
+		if !ok {
+			return s, nil, false
+		}
+		s[d] = span{lo, hi}
+	}
+	if s[0].empty() || s[1].empty() || s[2].empty() {
+		return s, nil, true
+	}
+	g := o.a.Section(0, s[0].lo).Section(0, s[1].lo).Section(0, s[2].lo).Grid()
+	return s, g, true
+}
+
 // Doall3 executes a three-dimensional doall loop over the product of three
-// ranges — the shape of the paper's Section 5 volume sweeps.
+// ranges — the shape of the paper's Section 5 volume sweeps. Owner-computes
+// clauses over contiguous distributions are strip-mined to the owned
+// subvolume.
 func (c *Ctx) Doall3(ri, rj, rk Range, on On3, opts []LoopOpt, body func(cc *Ctx, i, j, k int)) {
 	for _, o := range opts {
 		o.prepare(c)
 	}
 	phase := c.seq
 	c.seq++
+	if s, ok := on.(strip3); ok {
+		if sp, g, fast := s.ownedStrip3(c); fast {
+			if !sp[0].empty() && !sp[1].empty() && !sp[2].empty() {
+				cc := c.reuseChild()
+				eachOwned(ri, sp[0], func(i int) {
+					eachOwned(rj, sp[1], func(j int) {
+						eachOwned(rk, sp[2], func(k int) {
+							cc.bindIter(c, g, phase, (i*(rj.Hi+1)+j)*(rk.Hi+1)+k)
+							body(cc, i, j, k)
+						})
+					})
+				})
+			}
+			for _, o := range opts {
+				o.finish(c)
+			}
+			return
+		}
+	}
+	cc := c.reuseChild()
 	ri.Each(func(i int) {
 		rj.Each(func(j int) {
 			rk.Each(func(k int) {
 				if on.Owns(c, i, j, k) {
-					disc := (i*(rj.Hi+1)+j)*(rk.Hi+1) + k
-					body(c.child(on.IterGrid(c, i, j, k), phase, disc), i, j, k)
+					cc.bindIter(c, on.IterGrid(c, i, j, k), phase, (i*(rj.Hi+1)+j)*(rk.Hi+1)+k)
+					body(cc, i, j, k)
 				}
 			})
 		})

@@ -1,0 +1,220 @@
+package kf
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+// scanOn1 wraps an On1 clause without forwarding its strip-mining fast
+// path, forcing Doall1 onto the generic whole-range ownership scan. The
+// equivalence tests run every loop both ways and require identical visits.
+type scanOn1 struct{ inner On1 }
+
+func (s scanOn1) Owns(c *Ctx, i int) bool               { return s.inner.Owns(c, i) }
+func (s scanOn1) IterGrid(c *Ctx, i int) *topology.Grid { return s.inner.IterGrid(c, i) }
+
+type scanOn2 struct{ inner On2 }
+
+func (s scanOn2) Owns(c *Ctx, i, j int) bool               { return s.inner.Owns(c, i, j) }
+func (s scanOn2) IterGrid(c *Ctx, i, j int) *topology.Grid { return s.inner.IterGrid(c, i, j) }
+
+// visit records one executed iteration: its index and the ranks of the
+// iteration grid the body was bound to.
+type visit struct {
+	i, j  int
+	grid  string
+	scope machine.Scope
+}
+
+func gridKey(g *topology.Grid) string { return fmt.Sprint(g.Ranks()) }
+
+// rangesUnderTest cover the shapes the strip-mined path must clip
+// correctly: plain, strided with a phase, strides that overshoot the owned
+// span, bounds outside the extent on both sides (including negative),
+// reversed (negative stride), and empty.
+func rangesUnderTest(n int) []Range {
+	return []Range{
+		R(0, n-1),
+		R(2, n-3),
+		RStep(1, n-1, 3),
+		RStep(2, n-1, 5),
+		RStep(n-1, 0, -1),
+		RStep(n-2, 1, -3),
+		R(-5, n+7),
+		RStep(-7, n+11, 4),
+		RStep(n+6, -4, -2),
+		R(5, 2), // empty
+	}
+}
+
+func TestDoall1StripMatchesScan(t *testing.T) {
+	const n = 23
+	for _, procs := range []int{1, 3, 4} {
+		for ri, r := range rangesUnderTest(n) {
+			m := machine.New(procs, machine.ZeroComm())
+			g := topology.New1D(procs)
+			err := Exec(m, g, func(c *Ctx) error {
+				a := c.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
+				var fast, scan []visit
+				c.Doall1(r, OnOwner1(a), nil, func(cc *Ctx, i int) {
+					fast = append(fast, visit{i: i, grid: gridKey(cc.G)})
+				})
+				c.Doall1(r, scanOn1{OnOwner1(a)}, nil, func(cc *Ctx, i int) {
+					scan = append(scan, visit{i: i, grid: gridKey(cc.G)})
+				})
+				if len(fast) != len(scan) {
+					t.Errorf("procs=%d range#%d rank %d: strip ran %d iterations, scan ran %d",
+						procs, ri, c.P.Rank(), len(fast), len(scan))
+					return nil
+				}
+				for k := range fast {
+					if fast[k] != scan[k] {
+						t.Errorf("procs=%d range#%d rank %d: visit %d: strip %+v, scan %+v",
+							procs, ri, c.P.Rank(), k, fast[k], scan[k])
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("procs=%d range#%d: %v", procs, ri, err)
+			}
+		}
+	}
+}
+
+func TestDoall1SectionStripMatchesScan(t *testing.T) {
+	// The section clause ("on owner(r(i, *))") over a 2-D array: every
+	// processor of the owning grid row must execute the iteration, with
+	// the same grid either way.
+	const n = 14
+	for _, r := range rangesUnderTest(n) {
+		m := machine.New(4, machine.ZeroComm())
+		g := topology.New(2, 2)
+		err := Exec(m, g, func(c *Ctx) error {
+			a := c.NewArray(darray.Spec{
+				Extents: []int{n, n},
+				Dists:   []dist.Dist{dist.Block{}, dist.Block{}},
+			})
+			var fast, scan []visit
+			c.Doall1(r, OnOwnerSection(a, 0), nil, func(cc *Ctx, i int) {
+				fast = append(fast, visit{i: i, grid: gridKey(cc.G)})
+			})
+			c.Doall1(r, scanOn1{OnOwnerSection(a, 0)}, nil, func(cc *Ctx, i int) {
+				scan = append(scan, visit{i: i, grid: gridKey(cc.G)})
+			})
+			if len(fast) != len(scan) {
+				t.Errorf("rank %d: strip ran %d, scan ran %d", c.P.Rank(), len(fast), len(scan))
+				return nil
+			}
+			for k := range fast {
+				if fast[k] != scan[k] {
+					t.Errorf("rank %d visit %d: strip %+v, scan %+v", c.P.Rank(), k, fast[k], scan[k])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDoall2StripMatchesScan(t *testing.T) {
+	const n = 11
+	m := machine.New(4, machine.ZeroComm())
+	g := topology.New(2, 2)
+	ranges := []Range{R(0, n-1), RStep(1, n-1, 2), RStep(n-1, 0, -2), R(-3, n+3)}
+	err := Exec(m, g, func(c *Ctx) error {
+		a := c.NewArray(darray.Spec{
+			Extents: []int{n, n},
+			Dists:   []dist.Dist{dist.Block{}, dist.Block{}},
+		})
+		for _, ri := range ranges {
+			for _, rj := range ranges {
+				var fast, scan []visit
+				c.Doall2(ri, rj, OnOwner2(a), nil, func(cc *Ctx, i, j int) {
+					fast = append(fast, visit{i: i, j: j, grid: gridKey(cc.G)})
+				})
+				c.Doall2(ri, rj, scanOn2{OnOwner2(a)}, nil, func(cc *Ctx, i, j int) {
+					scan = append(scan, visit{i: i, j: j, grid: gridKey(cc.G)})
+				})
+				if len(fast) != len(scan) {
+					t.Errorf("rank %d ri=%+v rj=%+v: strip ran %d, scan ran %d",
+						c.P.Rank(), ri, rj, len(fast), len(scan))
+					continue
+				}
+				for k := range fast {
+					if fast[k] != scan[k] {
+						t.Errorf("rank %d visit %d: strip %+v, scan %+v", c.P.Rank(), k, fast[k], scan[k])
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoall1CyclicFallsBackToScan(t *testing.T) {
+	// Cyclic ownership is not contiguous: the strip fast path must
+	// decline, and the loop still visits exactly the owned indices.
+	const n = 17
+	m := machine.New(3, machine.ZeroComm())
+	g := topology.New1D(3)
+	err := Exec(m, g, func(c *Ctx) error {
+		a := c.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Cyclic{}}})
+		var got []int
+		c.Doall1(R(0, n-1), OnOwner1(a), nil, func(cc *Ctx, i int) {
+			got = append(got, i)
+		})
+		want := 0
+		for i := 0; i < n; i++ {
+			if i%3 == c.P.Rank() {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Errorf("rank %d: %d iterations, want %d", c.P.Rank(), len(got), want)
+		}
+		for _, i := range got {
+			if i%3 != c.P.Rank() {
+				t.Errorf("rank %d executed unowned %d", c.P.Rank(), i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoall1EmptyBlocksStrip(t *testing.T) {
+	// Extent smaller than the processor count: processors with empty
+	// blocks must run no iterations under either path.
+	m := machine.New(8, machine.ZeroComm())
+	g := topology.New1D(8)
+	err := Exec(m, g, func(c *Ctx) error {
+		a := c.NewArray(darray.Spec{Extents: []int{3}, Dists: []dist.Dist{dist.Block{}}})
+		var fast, scan int
+		c.Doall1(R(0, 2), OnOwner1(a), nil, func(cc *Ctx, i int) { fast++ })
+		c.Doall1(R(0, 2), scanOn1{OnOwner1(a)}, nil, func(cc *Ctx, i int) { scan++ })
+		if fast != scan {
+			t.Errorf("rank %d: strip %d vs scan %d iterations", c.P.Rank(), fast, scan)
+		}
+		total := c.AllReduceSum(float64(fast))
+		if total != 3 {
+			t.Errorf("total iterations %v, want 3", total)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

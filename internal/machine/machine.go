@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrDeadlock is reported by Run when every live processor is blocked in
@@ -32,14 +33,12 @@ type Machine struct {
 	cost  CostModel
 	sink  Sink
 	procs []*Proc
+	boxes []mailbox // one per processor, individually locked
 
-	mu       sync.Mutex
-	conds    []*sync.Cond
-	queues   []map[msgKey][]message
-	awaiting []*msgKey
-	blocked  int  // processors currently waiting in Recv
-	live     int  // processors still executing the current Run body
-	down     bool // deadlock detected or abort requested
+	dmu     sync.Mutex // guards blocked and live
+	blocked int        // processors currently waiting in Recv
+	live    int        // processors still executing the current Run body
+	down    atomic.Bool // deadlock detected or abort requested
 }
 
 // New returns a machine with n processors governed by the given cost model.
@@ -49,13 +48,12 @@ func New(n int, cost CostModel) *Machine {
 	}
 	m := &Machine{n: n, cost: cost}
 	m.procs = make([]*Proc, n)
-	m.conds = make([]*sync.Cond, n)
-	m.queues = make([]map[msgKey][]message, n)
-	m.awaiting = make([]*msgKey, n)
+	m.boxes = make([]mailbox, n)
 	for i := range m.procs {
 		m.procs[i] = newProc(m, i)
-		m.conds[i] = sync.NewCond(&m.mu)
-		m.queues[i] = make(map[msgKey][]message)
+		mb := &m.boxes[i]
+		mb.cond = sync.NewCond(&mb.mu)
+		mb.queues = make(map[msgKey][]message)
 	}
 	return m
 }
@@ -79,15 +77,14 @@ func (m *Machine) Cost() CostModel { return m.cost }
 // A panic inside body on any processor is recovered and returned as an
 // error; the remaining processors are woken and terminated.
 func (m *Machine) Run(body func(p *Proc) error) error {
-	m.mu.Lock()
+	m.dmu.Lock()
 	m.blocked = 0
 	m.live = m.n
-	m.down = false
-	for i := range m.queues {
-		m.queues[i] = make(map[msgKey][]message)
-		m.awaiting[i] = nil
+	m.dmu.Unlock()
+	m.down.Store(false)
+	for i := range m.boxes {
+		m.boxes[i].reset()
 	}
-	m.mu.Unlock()
 	for _, p := range m.procs {
 		p.reset()
 	}
@@ -156,18 +153,19 @@ func (m *Machine) ProcClock(rank int) float64 { return m.procs[rank].clock }
 // deadlock condition: processors still blocked can never be satisfied by a
 // processor that has exited.
 func (m *Machine) retire() {
-	m.mu.Lock()
+	m.dmu.Lock()
 	m.live--
-	m.checkDeadlockLocked()
-	m.mu.Unlock()
+	suspicious := m.live > 0 && m.blocked >= m.live
+	m.dmu.Unlock()
+	if suspicious {
+		m.checkDeadlock()
+	}
 }
 
 // abortAll wakes all blocked processors so they can terminate after a panic.
 func (m *Machine) abortAll() {
-	m.mu.Lock()
-	m.down = true
-	m.wakeAllLocked()
-	m.mu.Unlock()
+	m.down.Store(true)
+	m.wakeAll()
 }
 
 // procAbort carries a structured per-processor failure through the panic

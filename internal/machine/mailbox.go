@@ -1,5 +1,7 @@
 package machine
 
+import "sync"
+
 // message is a delivered-but-not-yet-received payload with its virtual
 // arrival time at the destination.
 type message struct {
@@ -13,93 +15,184 @@ type msgKey struct {
 	tag Tag
 }
 
-// The post office: all mailbox state lives on the Machine under a single
-// lock (see Machine.mu). With one lock there are no ordering hazards, the
-// deadlock detector can inspect every queue safely, and the cost — a few
-// hundred nanoseconds per message — is irrelevant next to the simulated
-// algorithms' O(n) compute loops.
-
-// putLocked appends a message to dst's queue. Caller holds m.mu.
-func (m *Machine) putLocked(dst int, k msgKey, msg message) {
-	q := m.queues[dst]
-	q[k] = append(q[k], msg)
+// mailbox is one processor's incoming message state. Each mailbox has its
+// own lock, so senders targeting different receivers never contend — the
+// post office is sharded by destination. Only the owning processor's
+// goroutine receives from a mailbox; any processor may put into it.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[msgKey][]message
+	// spare recycles drained per-key queue slices so steady-state
+	// traffic performs no allocation: a phase's keys are used once and
+	// deleted, but their backing arrays live on here.
+	spare [][]message
+	// await/waiting describe the receive the owner is blocked on, for
+	// targeted wakeups and deadlock detection.
+	await   msgKey
+	waiting bool
 }
 
-// takeLocked removes the oldest message matching k from dst's queue,
-// reporting whether one was present. Caller holds m.mu.
-func (m *Machine) takeLocked(dst int, k msgKey) (message, bool) {
-	q := m.queues[dst][k]
+// putLocked appends a message to the mailbox. Caller holds mb.mu.
+func (mb *mailbox) putLocked(k msgKey, msg message) {
+	q, ok := mb.queues[k]
+	if !ok && len(mb.spare) > 0 {
+		q = mb.spare[len(mb.spare)-1]
+		mb.spare = mb.spare[:len(mb.spare)-1]
+	}
+	mb.queues[k] = append(q, msg)
+}
+
+// takeLocked removes the oldest message matching k, reporting whether one
+// was present. Drained queues return their backing array to the spare list.
+// Caller holds mb.mu.
+func (mb *mailbox) takeLocked(k msgKey) (message, bool) {
+	q := mb.queues[k]
 	if len(q) == 0 {
 		return message{}, false
 	}
 	msg := q[0]
-	if len(q) == 1 {
-		delete(m.queues[dst], k)
+	copy(q, q[1:])
+	q[len(q)-1] = message{} // drop the payload reference
+	q = q[:len(q)-1]
+	if len(q) == 0 {
+		delete(mb.queues, k)
+		mb.spare = append(mb.spare, q)
 	} else {
-		m.queues[dst][k] = q[1:]
+		mb.queues[k] = q
 	}
 	return msg, true
+}
+
+// reset clears the mailbox between Runs, keeping the allocated map and
+// spare queue capacity for reuse.
+func (mb *mailbox) reset() {
+	for k, q := range mb.queues {
+		for i := range q {
+			q[i] = message{}
+		}
+		delete(mb.queues, k)
+		mb.spare = append(mb.spare, q[:0])
+	}
+	mb.waiting = false
+	mb.await = msgKey{}
 }
 
 // recv blocks the calling processor until a message matching k is available
 // in dst's mailbox, then returns it. The second result is false if the
 // machine went down (deadlock or abort) while waiting.
 func (m *Machine) recv(dst int, k msgKey) (message, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	mb := &m.boxes[dst]
+	mb.mu.Lock()
+	if msg, ok := mb.takeLocked(k); ok {
+		mb.mu.Unlock()
+		return msg, true
+	}
+	if m.down.Load() {
+		mb.mu.Unlock()
+		return message{}, false
+	}
+	// Slow path: publish what we are waiting for, then count ourselves
+	// blocked. The order matters: once the blocked count reaches the
+	// live count, the deadlock detector must be able to see every
+	// blocked processor's awaited key.
+	mb.await = k
+	mb.waiting = true
+	mb.mu.Unlock()
+
+	m.dmu.Lock()
+	m.blocked++
+	suspicious := m.blocked >= m.live
+	m.dmu.Unlock()
+	if suspicious {
+		m.checkDeadlock()
+	}
+
+	mb.mu.Lock()
 	for {
-		if m.down {
-			return message{}, false
-		}
-		if msg, ok := m.takeLocked(dst, k); ok {
+		if msg, ok := mb.takeLocked(k); ok {
+			mb.waiting = false
+			mb.mu.Unlock()
+			m.dmu.Lock()
+			m.blocked--
+			m.dmu.Unlock()
 			return msg, true
 		}
-		m.blocked++
-		m.awaiting[dst] = &k
-		m.checkDeadlockLocked()
-		if m.down {
-			// Our own check flagged the deadlock (its broadcast
-			// fired before we waited); bail out instead of
-			// sleeping through it.
+		if m.down.Load() {
+			mb.waiting = false
+			mb.mu.Unlock()
+			m.dmu.Lock()
 			m.blocked--
-			m.awaiting[dst] = nil
+			m.dmu.Unlock()
 			return message{}, false
 		}
-		m.conds[dst].Wait()
-		m.blocked--
-		m.awaiting[dst] = nil
+		mb.cond.Wait()
 	}
 }
 
-// send delivers a message and wakes the destination if it is waiting.
+// send delivers a message and wakes the destination if it is waiting for
+// exactly this stream. Only the destination's mailbox lock is taken, so
+// concurrent sends to different receivers proceed in parallel.
 func (m *Machine) send(dst int, k msgKey, msg message) {
-	m.mu.Lock()
-	m.putLocked(dst, k, msg)
-	m.conds[dst].Signal()
-	m.mu.Unlock()
+	mb := &m.boxes[dst]
+	mb.mu.Lock()
+	mb.putLocked(k, msg)
+	if mb.waiting && mb.await == k {
+		mb.cond.Signal()
+	}
+	mb.mu.Unlock()
 }
 
-// checkDeadlockLocked flags a deadlock when every live processor is blocked
-// and none of them has a pending message matching its awaited key. Under the
-// single machine lock, a pending match implies the waiter has been (or is
-// about to be) signalled, so "no matches anywhere and nobody running" is a
+// checkDeadlock flags a deadlock when every live processor is blocked and
+// none of them has a pending message matching its awaited key. It takes all
+// mailbox locks (in rank order) to get a consistent snapshot; with every
+// lock held, "all live processors waiting and no matches anywhere" is a
 // true deadlock: no future send can occur.
-func (m *Machine) checkDeadlockLocked() {
-	if m.down || m.live == 0 || m.blocked < m.live {
-		return
+//
+// A processor that has been woken but not yet re-counted shows
+// waiting==false, which keeps the waiting count below live and prevents a
+// false positive while it finishes proceeding.
+func (m *Machine) checkDeadlock() {
+	for i := range m.boxes {
+		m.boxes[i].mu.Lock()
 	}
-	for p := 0; p < m.n; p++ {
-		if k := m.awaiting[p]; k != nil && len(m.queues[p][*k]) > 0 {
-			return // p can proceed
+	m.dmu.Lock()
+	deadlocked := false
+	if !m.down.Load() && m.live > 0 && m.blocked >= m.live {
+		waiting := 0
+		canProceed := false
+		for i := range m.boxes {
+			mb := &m.boxes[i]
+			if !mb.waiting {
+				continue
+			}
+			waiting++
+			if len(mb.queues[mb.await]) > 0 {
+				canProceed = true
+			}
+		}
+		if waiting >= m.live && !canProceed {
+			deadlocked = true
+			m.down.Store(true)
 		}
 	}
-	m.down = true
-	m.wakeAllLocked()
+	m.dmu.Unlock()
+	if deadlocked {
+		for i := range m.boxes {
+			m.boxes[i].cond.Broadcast()
+		}
+	}
+	for i := range m.boxes {
+		m.boxes[i].mu.Unlock()
+	}
 }
 
-// wakeAllLocked unblocks every waiting processor. Caller holds m.mu.
-func (m *Machine) wakeAllLocked() {
-	for _, c := range m.conds {
-		c.Broadcast()
+// wakeAll unblocks every waiting processor after the down flag is set.
+func (m *Machine) wakeAll() {
+	for i := range m.boxes {
+		mb := &m.boxes[i]
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
 	}
 }

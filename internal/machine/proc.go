@@ -41,6 +41,46 @@ type Proc struct {
 	rank  int
 	clock float64
 	stats Stats
+	// pool recycles message payload buffers: AcquireBuf pops, ReleaseBuf
+	// pushes. Only the owning goroutine touches it, so it needs no lock.
+	// Buffers migrate between processors (acquired by the sender,
+	// released by the receiver); symmetric traffic like a halo exchange
+	// keeps every pool balanced, so steady-state messaging allocates
+	// nothing.
+	pool [][]float64
+}
+
+// poolCap bounds how many spare buffers a processor keeps; beyond it,
+// released buffers are dropped for the garbage collector.
+const poolCap = 256
+
+// AcquireBuf returns a message payload buffer of length n with unspecified
+// contents, reusing a previously released buffer when one is large enough.
+// Pass the filled buffer to SendOwned, or return it with ReleaseBuf.
+func (p *Proc) AcquireBuf(n int) []float64 {
+	for i := len(p.pool) - 1; i >= 0; i-- {
+		if cap(p.pool[i]) >= n {
+			buf := p.pool[i]
+			last := len(p.pool) - 1
+			p.pool[i] = p.pool[last]
+			p.pool[last] = nil
+			p.pool = p.pool[:last]
+			return buf[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// ReleaseBuf returns a buffer to the processor's pool. It is only safe for
+// buffers no longer referenced anywhere else: a payload obtained from Recv
+// that the caller has fully consumed, or an AcquireBuf buffer that was
+// never sent. Releasing is optional; unreleased buffers are simply garbage
+// collected.
+func (p *Proc) ReleaseBuf(buf []float64) {
+	if cap(buf) == 0 || len(p.pool) >= poolCap {
+		return
+	}
+	p.pool = append(p.pool, buf)
 }
 
 func newProc(m *Machine, rank int) *Proc {
@@ -85,6 +125,16 @@ func (p *Proc) Compute(flops int) {
 // transfer time. Sending to oneself is allowed (loopback with the same
 // costs). The data slice is copied, so the caller may reuse it immediately.
 func (p *Proc) Send(dst int, tag Tag, data []float64) {
+	buf := p.AcquireBuf(len(data))
+	copy(buf, data)
+	p.SendOwned(dst, tag, buf)
+}
+
+// SendOwned transmits data to processor dst, transferring ownership of the
+// slice: the caller must not touch data afterwards. Combined with
+// AcquireBuf it is the zero-copy, zero-allocation send path the runtime's
+// packed collectives use; Send is the copying convenience on top of it.
+func (p *Proc) SendOwned(dst int, tag Tag, data []float64) {
 	if dst < 0 || dst >= p.m.n {
 		panic(fmt.Sprintf("machine: proc %d sending to invalid rank %d", p.rank, dst))
 	}
@@ -93,9 +143,7 @@ func (p *Proc) Send(dst int, tag Tag, data []float64) {
 	p.stats.CommTime += p.m.cost.SendOverhead
 	bytes := len(data) * wordBytes
 	arrival := p.clock + p.m.cost.MessageTime(bytes)
-	buf := make([]float64, len(data))
-	copy(buf, data)
-	p.m.send(dst, msgKey{src: p.rank, tag: tag}, message{data: buf, arrival: arrival})
+	p.m.send(dst, msgKey{src: p.rank, tag: tag}, message{data: data, arrival: arrival})
 	p.stats.MsgsSent++
 	p.stats.BytesSent += int64(bytes)
 	p.emit(Event{Proc: p.rank, Kind: EvSend, Start: start, End: p.clock, Peer: dst, Bytes: bytes})
@@ -103,7 +151,9 @@ func (p *Proc) Send(dst int, tag Tag, data []float64) {
 
 // SendValue transmits a single float64; a convenience wrapper around Send.
 func (p *Proc) SendValue(dst int, tag Tag, v float64) {
-	p.Send(dst, tag, []float64{v})
+	buf := p.AcquireBuf(1)
+	buf[0] = v
+	p.SendOwned(dst, tag, buf)
 }
 
 // Recv blocks until a message from src with the given tag is available and
@@ -136,12 +186,16 @@ func (p *Proc) Recv(src int, tag Tag) []float64 {
 }
 
 // RecvValue receives a single float64; a convenience wrapper around Recv.
+// The payload buffer never escapes, so it is recycled into the processor's
+// pool.
 func (p *Proc) RecvValue(src int, tag Tag) float64 {
 	d := p.Recv(src, tag)
 	if len(d) != 1 {
 		panic(fmt.Sprintf("machine: proc %d expected scalar message from %d, got %d values", p.rank, src, len(d)))
 	}
-	return d[0]
+	v := d[0]
+	p.ReleaseBuf(d)
+	return v
 }
 
 // Mark records a zero-length annotation in the processor's trace timeline.

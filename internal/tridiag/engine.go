@@ -98,11 +98,15 @@ func solvePipeline(p *machine.Proc, g *topology.Grid, sc machine.Scope, systems 
 	saved := make(map[[2]int]*treeBlock) // (level, system) -> reduced block
 	scopeOf := func(j, level int) machine.Scope { return sc.Child(level, j) }
 
-	// sendUp mails a block's two boundary rows to the level above.
+	// sendUp mails a block's two boundary rows to the level above, in a
+	// pooled buffer released by the receiver.
 	sendUp := func(j, level, blk int, b0, a0, c0, f0, b1, a1, c1, f1 float64) {
 		dst := mapping.holder(level+1, blk/2, k)
-		p.Send(g.RankAt(dst), scopeOf(j, level+1).Tag(partReduce),
-			[]float64{float64(blk % 2), b0, a0, c0, f0, b1, a1, c1, f1})
+		buf := p.AcquireBuf(9)
+		buf[0] = float64(blk % 2)
+		buf[1], buf[2], buf[3], buf[4] = b0, a0, c0, f0
+		buf[5], buf[6], buf[7], buf[8] = b1, a1, c1, f1
+		p.SendOwned(g.RankAt(dst), scopeOf(j, level+1).Tag(partReduce), buf)
 	}
 
 	// recvRows assembles the four rows a holder at the given level works
@@ -114,6 +118,7 @@ func solvePipeline(p *machine.Proc, g *topology.Grid, sc machine.Scope, systems 
 			half := int(buf[0])
 			copy(rows[2*half][:], buf[1:5])
 			copy(rows[2*half+1][:], buf[5:9])
+			p.ReleaseBuf(buf)
 		}
 		return rows
 	}
@@ -123,8 +128,9 @@ func solvePipeline(p *machine.Proc, g *topology.Grid, sc machine.Scope, systems 
 	sendDown := func(j, level, blk int, x4 [4]float64) {
 		for n := 0; n < 2; n++ {
 			child := mapping.holder(level-1, 2*blk+n, k)
-			p.Send(g.RankAt(child), scopeOf(j, level-1).Tag(partSubst),
-				[]float64{x4[2*n], x4[2*n+1]})
+			buf := p.AcquireBuf(2)
+			buf[0], buf[1] = x4[2*n], x4[2*n+1]
+			p.SendOwned(g.RankAt(child), scopeOf(j, level-1).Tag(partSubst), buf)
 		}
 	}
 
@@ -133,7 +139,9 @@ func solvePipeline(p *machine.Proc, g *topology.Grid, sc machine.Scope, systems 
 	recvPair := func(j, level, blk int) (xFirst, xLast float64) {
 		parent := mapping.holder(level+1, blk/2, k)
 		buf := p.Recv(g.RankAt(parent), scopeOf(j, level).Tag(partSubst))
-		return buf[0], buf[1]
+		xFirst, xLast = buf[0], buf[1]
+		p.ReleaseBuf(buf)
+		return xFirst, xLast
 	}
 
 	totalSteps := m + 2*k
