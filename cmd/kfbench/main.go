@@ -4,19 +4,22 @@
 //
 // Usage:
 //
-//	kfbench                    # run everything
-//	kfbench E3 F5              # run selected experiments
-//	kfbench -list              # list experiment IDs
-//	kfbench -bench -o B.json   # run the perf snapshot and write JSON
+//	kfbench                                # run everything
+//	kfbench E3 F5                          # run selected experiments
+//	kfbench -list                          # list experiment IDs
+//	kfbench -bench -o B.json               # run the perf snapshot and write JSON
+//	kfbench -bench -o B.json -compare A.json   # ... and fail on regressions
 //
 // The -bench mode measures the host-side cost of the runtime's hot paths
-// (halo exchange, ADI, Jacobi, message ping-pong) with allocation counts
-// and writes a JSON snapshot, so successive PRs accumulate a perf
-// trajectory that can be diffed mechanically.
+// (halo exchange, ADI, Jacobi at 4 and 64 processors, message ping-pong)
+// with allocation counts and writes a JSON snapshot, so successive PRs
+// accumulate a perf trajectory that can be diffed mechanically. With
+// -compare the snapshot is diffed against a previous BENCH_<n>.json and the
+// command exits nonzero when any benchmark's allocs/op grew, or its ns/op
+// grew by more than 25%.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,10 +35,13 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	bench := flag.Bool("bench", false, "run the perf snapshot benchmarks and write JSON")
 	out := flag.String("o", "BENCH_1.json", "output path for -bench JSON ('-' for stdout)")
+	compare := flag.String("compare", "", "previous BENCH_<n>.json to diff against; regressions exit nonzero")
+	nsTol := flag.Float64("ns-tol", benchkit.NsTolerance,
+		"relative ns/op growth tolerated by -compare (allocs/op always tolerates none); raise when comparing across machines")
 	flag.Parse()
 
 	if *bench {
-		if err := runBench(*out); err != nil {
+		if err := runBench(*out, *compare, *nsTol); err != nil {
 			fmt.Fprintf(os.Stderr, "kfbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -67,29 +73,14 @@ func main() {
 	}
 }
 
-// benchResult is one benchmark's snapshot entry.
-type benchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-}
-
-type benchSnapshot struct {
-	Date      string        `json:"date"`
-	GoVersion string        `json:"go_version"`
-	Results   []benchResult `json:"results"`
-}
-
-func runBench(out string) error {
-	snap := benchSnapshot{
+func runBench(out, compare string, nsTol float64) error {
+	snap := benchkit.SnapshotFile{
 		Date:      time.Now().UTC().Format(time.RFC3339),
 		GoVersion: benchkit.GoVersion(),
 	}
 	for _, bm := range benchkit.Snapshot() {
 		r := testing.Benchmark(bm.Fn)
-		snap.Results = append(snap.Results, benchResult{
+		snap.Results = append(snap.Results, benchkit.Result{
 			Name:        bm.Name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
@@ -99,14 +90,34 @@ func runBench(out string) error {
 		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %8d B/op %6d allocs/op\n",
 			bm.Name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}
-	data, err := json.MarshalIndent(snap, "", "  ")
+	if err := benchkit.Save(out, snap); err != nil {
+		return err
+	}
+	if compare == "" {
+		return nil
+	}
+	prev, err := benchkit.Load(compare)
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
-	if out == "-" {
-		_, err = os.Stdout.Write(data)
-		return err
+	failed := 0
+	for _, d := range benchkit.Compare(prev, snap, nsTol) {
+		status := "ok"
+		if d.Regression {
+			status = "REGRESSION"
+			failed++
+		} else if d.Reason != "" {
+			status = d.Reason
+		}
+		fmt.Fprintf(os.Stderr, "compare %-28s prev %10.0f ns/op %6d allocs/op | cur %10.0f ns/op %6d allocs/op  %s\n",
+			d.Name, d.PrevNs, d.PrevAllocs, d.CurNs, d.CurAllocs, status)
+		if d.Regression {
+			fmt.Fprintf(os.Stderr, "        ^ %s\n", d.Reason)
+		}
 	}
-	return os.WriteFile(out, data, 0o644)
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed versus %s", failed, compare)
+	}
+	fmt.Fprintf(os.Stderr, "no regressions versus %s\n", compare)
+	return nil
 }

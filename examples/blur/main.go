@@ -49,7 +49,7 @@ func main() {
 		}
 		in := c.NewArray(spec)
 		blurred := c.NewArray(spec)
-		in.Fill(func(idx []int) float64 { return pixel(idx[0], idx[1]) })
+		in.FillOwned(func(idx []int) float64 { return pixel(idx[0], idx[1]) })
 		blurred.Zero()
 		if err := imaging.Smooth(c, in, blurred, imaging.Binomial(radius)); err != nil {
 			return err

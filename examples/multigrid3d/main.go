@@ -49,7 +49,7 @@ func main() {
 			f := c.NewArray(spec)
 			u.Zero()
 			f.Zero()
-			f.Fill(func(idx []int) float64 {
+			f.FillOwned(func(idx []int) float64 {
 				i, j, k := idx[0], idx[1], idx[2]
 				if i == 0 || i == n || j == 0 || j == n || k == 0 || k == n {
 					return 0

@@ -28,7 +28,7 @@ func main() {
 			Dists:   []dist.Dist{dist.Block{}},
 			Halo:    []int{1},
 		})
-		a.Fill(func(idx []int) float64 { return float64(idx[0] * idx[0]) })
+		a.FillOwned(func(idx []int) float64 { return float64(idx[0] * idx[0]) })
 
 		// doall i = 0, n-2 on owner(A(i)):  A(i) = A(i+1)
 		// Copy-in/copy-out semantics: the loop reads pre-loop values,

@@ -33,7 +33,7 @@ func main() {
 			Dists:   []dist.Dist{dist.Block{}},
 			Halo:    []int{1},
 		})
-		y.Fill(func(idx []int) float64 { return target(h * float64(idx[0])) })
+		y.FillOwned(func(idx []int) float64 { return target(h * float64(idx[0])) })
 		s, err := spline.FitParallel(c, 0, h, y)
 		if err != nil {
 			return err

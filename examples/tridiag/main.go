@@ -51,7 +51,7 @@ func main() {
 		mk := func(v []float64) *darray.Array {
 			arr := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
 			vv := v
-			arr.Fill(func(idx []int) float64 { return vv[idx[0]] })
+			arr.OwnedRuns(func(idx []int, vals []float64) { copy(vals, vv[idx[0]:]) })
 			return arr
 		}
 		x := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})

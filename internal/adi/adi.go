@@ -91,6 +91,8 @@ func Sequential(par Params, f [][]float64) ([][]float64, []float64) {
 	cvec := make([]float64, n)
 	rvec := make([]float64, n)
 	xvec := make([]float64, n)
+	cpvec := make([]float64, n)
+	fpvec := make([]float64, n)
 	for it := 0; it < par.Iters; it++ {
 		// Sweep 1: (rho + H) u* = (rho - V) u + f, tridiagonal in x.
 		for i := 0; i < n; i++ {
@@ -104,7 +106,7 @@ func Sequential(par Params, f [][]float64) ([][]float64, []float64) {
 				rvec[i] = rhs[i][j]
 			}
 			bvec[0], cvec[n-1] = 0, 0
-			kernels.Thomas(nil, bvec, avec, cvec, rvec, xvec)
+			kernels.ThomasWith(nil, bvec, avec, cvec, rvec, xvec, cpvec, fpvec)
 			for i := 0; i < n; i++ {
 				ustar[i][j] = xvec[i]
 			}
@@ -121,7 +123,7 @@ func Sequential(par Params, f [][]float64) ([][]float64, []float64) {
 				rvec[j] = rhs[i][j]
 			}
 			bvec[0], cvec[n-1] = 0, 0
-			kernels.Thomas(nil, bvec, avec, cvec, rvec, xvec)
+			kernels.ThomasWith(nil, bvec, avec, cvec, rvec, xvec, cpvec, fpvec)
 			copy(u[i], xvec[:n])
 		}
 		history = append(history, residualNorm(par, u, f))
@@ -208,44 +210,49 @@ func Parallel(m *machine.Machine, g *topology.Grid, par Params, f [][]float64, p
 			}
 		}
 
+		// Compile every loop header once, outside the iteration loop —
+		// the hoisting a KF1 compiler performs: halo schedules, owned
+		// strips and iteration grids derive here, and the loop body only
+		// moves data.
+		all := kf.R(0, n-1)
+		sweep1 := c.Plan2(all, all, kf.OnOwner2(rhs), kf.Reads(u, 1))
+		sweep2 := c.Plan2(all, all, kf.OnOwner2(rhs), kf.Reads(ustar, 0))
+		residual := c.Plan2(all, all, kf.OnOwner2(u), kf.Reads(u))
+		solveX := c.Plan1(all, kf.OnOwnerSection(rhs, 1))
+		solveY := c.Plan1(all, kf.OnOwnerSection(rhs, 0))
+
 		for it := 0; it < par.Iters; it++ {
 			// Sweep 1 right-hand side: y-stencil of u.
-			c.Doall2(kf.R(0, n-1), kf.R(0, n-1), kf.OnOwner2(rhs),
-				[]kf.LoopOpt{kf.Reads(u, 1)}, stencilY(u, by))
+			sweep1.Run(stencilY(u, by))
 			// x-direction solves: columns j, each on the grid column
 			// slice owning it.
 			if pipelined {
 				solveLinesPipelined(c, ustar, rhs, 1, -ax, rho+2*ax, -ax)
 			} else {
-				c.Doall1(kf.R(0, n-1), kf.OnOwnerSection(rhs, 1), nil,
-					func(cc *kf.Ctx, j int) {
-						must(tridiag.TriC(cc, ustar.Section(1, j), rhs.Section(1, j), -ax, rho+2*ax, -ax))
-					})
+				solveX.Run(func(cc *kf.Ctx, j int) {
+					must(tridiag.TriC(cc, ustar.Section(1, j), rhs.Section(1, j), -ax, rho+2*ax, -ax))
+				})
 			}
 			// Sweep 2 right-hand side: x-stencil of u*.
-			c.Doall2(kf.R(0, n-1), kf.R(0, n-1), kf.OnOwner2(rhs),
-				[]kf.LoopOpt{kf.Reads(ustar, 0)}, stencilX(ustar, ax))
+			sweep2.Run(stencilX(ustar, ax))
 			// y-direction solves: rows i on grid row slices.
 			if pipelined {
 				solveLinesPipelined(c, u, rhs, 0, -by, rho+2*by, -by)
 			} else {
-				c.Doall1(kf.R(0, n-1), kf.OnOwnerSection(rhs, 0), nil,
-					func(cc *kf.Ctx, i int) {
-						must(tridiag.TriC(cc, u.Section(0, i), rhs.Section(0, i), -by, rho+2*by, -by))
-					})
+				solveY.Run(func(cc *kf.Ctx, i int) {
+					must(tridiag.TriC(cc, u.Section(0, i), rhs.Section(0, i), -by, rho+2*by, -by))
+				})
 			}
 			// Residual in the max norm.
 			worst := 0.0
-			c.Doall2(kf.R(0, n-1), kf.R(0, n-1), kf.OnOwner2(u),
-				[]kf.LoopOpt{kf.Reads(u)},
-				func(cc *kf.Ctx, i, j int) {
-					lap := ax*(edge(u, i-1, j, n)-2*u.Old2(i, j)+edge(u, i+1, j, n)) +
-						by*(edge(u, i, j-1, n)-2*u.Old2(i, j)+edge(u, i, j+1, n))
-					if r := math.Abs(fd.At2(i, j) + lap); r > worst {
-						worst = r
-					}
-					cc.P.Compute(8)
-				})
+			residual.Run(func(cc *kf.Ctx, i, j int) {
+				lap := ax*(edge(u, i-1, j, n)-2*u.Old2(i, j)+edge(u, i+1, j, n)) +
+					by*(edge(u, i, j-1, n)-2*u.Old2(i, j)+edge(u, i, j+1, n))
+				if r := math.Abs(fd.At2(i, j) + lap); r > worst {
+					worst = r
+				}
+				cc.P.Compute(8)
+			})
 			rn := c.AllReduceMax(worst)
 			if c.GridIndex() == 0 {
 				res.ResNorm = append(res.ResNorm, rn)
@@ -308,9 +315,10 @@ func must(err error) {
 }
 
 func mat(n int) [][]float64 {
+	backing := make([]float64, n*n)
 	m := make([][]float64, n)
 	for i := range m {
-		m[i] = make([]float64, n)
+		m[i] = backing[i*n : (i+1)*n]
 	}
 	return m
 }

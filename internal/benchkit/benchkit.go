@@ -1,10 +1,14 @@
-// Package benchkit defines the repository's perf-snapshot benchmarks: the
+// Package benchkit defines the repository's perf-snapshot benchmarks — the
 // host-side cost of the runtime's hot paths, shared between `go test
 // -bench` (bench_test.go at the repo root) and the `kfbench -bench` JSON
-// snapshot so both always measure the same thing.
+// snapshot so both always measure the same thing — plus the snapshot file
+// format and the compare mode CI uses to fail on regressions.
 package benchkit
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
 	"runtime"
 	"testing"
 
@@ -16,6 +20,109 @@ import (
 	"repro/internal/machine"
 	"repro/internal/topology"
 )
+
+// Result is one benchmark's snapshot entry.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// SnapshotFile is the on-disk format of a BENCH_<n>.json perf snapshot.
+type SnapshotFile struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	Results   []Result `json:"results"`
+}
+
+// Load reads a snapshot file.
+func Load(path string) (SnapshotFile, error) {
+	var s SnapshotFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("benchkit: parsing %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Save writes a snapshot file (or stdout for "-").
+func Save(path string, s SnapshotFile) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Delta describes one benchmark's change versus a previous snapshot.
+type Delta struct {
+	Name                  string
+	PrevNs, CurNs         float64
+	PrevAllocs, CurAllocs int64
+	Regression            bool
+	Reason                string
+}
+
+// NsTolerance is the default relative ns/op growth tolerated before a
+// benchmark counts as regressed; allocs/op tolerates no growth at all
+// (allocation counts are deterministic, wall time is not).
+const NsTolerance = 0.25
+
+// Compare matches cur against prev by benchmark name and flags
+// regressions: ns/op grown beyond nsTol, or allocs/op grown at all.
+// Benchmarks missing from prev are reported without judgment; benchmarks
+// present in prev but dropped from cur count as regressions, so coverage
+// cannot silently shrink.
+func Compare(prev, cur SnapshotFile, nsTol float64) []Delta {
+	prevBy := make(map[string]Result, len(prev.Results))
+	for _, r := range prev.Results {
+		prevBy[r.Name] = r
+	}
+	curBy := make(map[string]bool, len(cur.Results))
+	var out []Delta
+	for _, r := range cur.Results {
+		curBy[r.Name] = true
+		d := Delta{Name: r.Name, CurNs: r.NsPerOp, CurAllocs: r.AllocsPerOp}
+		p, ok := prevBy[r.Name]
+		if !ok {
+			d.Reason = "new benchmark"
+			out = append(out, d)
+			continue
+		}
+		d.PrevNs, d.PrevAllocs = p.NsPerOp, p.AllocsPerOp
+		switch {
+		case r.AllocsPerOp > p.AllocsPerOp:
+			d.Regression = true
+			d.Reason = fmt.Sprintf("allocs/op grew %d -> %d", p.AllocsPerOp, r.AllocsPerOp)
+		case p.NsPerOp > 0 && r.NsPerOp > p.NsPerOp*(1+nsTol):
+			d.Regression = true
+			d.Reason = fmt.Sprintf("ns/op grew %.0f -> %.0f (>%.0f%%)", p.NsPerOp, r.NsPerOp, nsTol*100)
+		}
+		out = append(out, d)
+	}
+	for _, p := range prev.Results {
+		if !curBy[p.Name] {
+			out = append(out, Delta{
+				Name:       p.Name,
+				PrevNs:     p.NsPerOp,
+				PrevAllocs: p.AllocsPerOp,
+				Regression: true,
+				Reason:     "benchmark removed from snapshot",
+			})
+		}
+	}
+	return out
+}
 
 // Bench is one named snapshot benchmark.
 type Bench struct {
@@ -34,6 +141,7 @@ func Snapshot() []Bench {
 		{"E4ADI", E4ADI},
 		{"JacobiKF1Iteration", JacobiKF1Iteration},
 		{"MachinePingPong", MachinePingPong},
+		{"Jacobi64Proc", Jacobi64Proc},
 	}
 }
 
@@ -102,5 +210,19 @@ func E4ADI(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.E4ADI()
+	}
+}
+
+// Jacobi64Proc measures one KF1 Jacobi iteration at 64 simulated
+// processors (8x8 grid, n=128): the host-side cost of the sharded mailbox
+// layer plus schedule replay well past the paper's machine sizes.
+func Jacobi64Proc(b *testing.B) {
+	b.ReportAllocs()
+	x0, f := jacobi.Problem(128)
+	g := topology.New(8, 8)
+	b.ResetTimer()
+	m := machine.New(64, machine.ZeroComm())
+	if _, err := jacobi.KF1(m, g, x0, f, b.N); err != nil {
+		b.Fatal(err)
 	}
 }

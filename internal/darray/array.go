@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/machine"
+	"repro/internal/sched"
 	"repro/internal/topology"
 )
 
@@ -68,7 +69,8 @@ type store struct {
 	pad    []int // lsize + 2*halo
 	stride []int // row-major strides over pad
 	data   []float64
-	shadow []float64 // copy-in snapshot; nil when no snapshot is active
+	shadow []float64 // copy-in snapshot buffer, kept across snapshots
+	snapOn bool      // whether a snapshot is currently active
 
 	// Reusable per-store scratch for the halo-exchange hot path, so a
 	// steady-state exchange performs no heap allocation. A store is
@@ -80,6 +82,10 @@ type store struct {
 
 // Array is a distributed array or a section of one. The zero value is not
 // useful; construct root arrays with New and sections with Section.
+//
+// An Array is an immutable view private to one simulated processor; the
+// caches below memoize derived views and compiled communication schedules
+// so iterative programs pay for derivation once, not per loop pass.
 type Array struct {
 	st   *store
 	grid *topology.Grid // grid of this array/section
@@ -93,7 +99,64 @@ type Array struct {
 	participates bool
 	fixedOff     int          // data offset contributed by the fixed dims
 	acc          []axisAccess // one entry per free dimension, in order
+
+	// Inline backing for the small per-view slices: with at most
+	// maxInlineDims store dimensions a Section costs one allocation (the
+	// Array itself) instead of one per slice.
+	pfixBuf [maxInlineDims]int
+	axesBuf [maxInlineDims]int
+	accBuf  [maxInlineDims]axisAccess
+
+	// Per-view memoization (no locks needed: a view belongs to one
+	// simulated processor's goroutine):
+	secs        map[sectionKey]*Array   // Section views by (dim, index)
+	haloScheds  map[int]*sched.Schedule // compiled halo exchanges by dims key
+	gatherPlans map[int]*gatherPlan     // compiled gathers by root index
+
+	// Owned-walk scratch, bound on first use (to the inline buffers below
+	// when the dimensionality fits) and reused by every subsequent
+	// OwnedEach/OwnedRuns/FillOwned on this view. A walk's visitor must
+	// not start another owned walk on the same view.
+	walkIdx, walkLoc       []int
+	walkIdxBuf, walkLocBuf [maxInlineDims]int
+
+	// secArena chunk-allocates the Array structs of this view's sections
+	// (several sections per heap allocation). Chunks are never grown in
+	// place — cached section pointers must stay valid — so a full chunk
+	// is simply replaced by a fresh one.
+	secArena []Array
 }
+
+// secChunk is how many section views one arena chunk holds.
+const secChunk = 8
+
+// bindWalkScratch points the owned-walk scratch at the inline buffers (or
+// heap slices for high-dimensional views); called on a view's first walk.
+func (a *Array) bindWalkScratch(nfree int) {
+	if nfree <= maxInlineDims {
+		a.walkIdx = a.walkIdxBuf[:nfree]
+		a.walkLoc = a.walkLocBuf[:nfree]
+	} else {
+		a.walkIdx = make([]int, nfree)
+		a.walkLoc = make([]int, nfree)
+	}
+}
+
+// newSection carves one Array out of the view's section arena.
+func (a *Array) newSection() *Array {
+	if len(a.secArena) == cap(a.secArena) {
+		a.secArena = make([]Array, 0, secChunk)
+	}
+	a.secArena = a.secArena[:len(a.secArena)+1]
+	return &a.secArena[len(a.secArena)-1]
+}
+
+// maxInlineDims bounds the dimensionality served by the inline view
+// buffers; larger arrays fall back to heap slices.
+const maxInlineDims = 4
+
+// sectionKey indexes the Section cache: the fixed dimension and its index.
+type sectionKey struct{ d, i int }
 
 // Access classification of one free dimension.
 const (
@@ -132,7 +195,11 @@ func (a *Array) finishView() {
 			nfree++
 		}
 	}
-	a.acc = make([]axisAccess, 0, nfree)
+	if nfree <= maxInlineDims {
+		a.acc = a.accBuf[:0]
+	} else {
+		a.acc = make([]axisAccess, 0, nfree)
+	}
 	for sd, f := range a.pfix {
 		if f >= 0 {
 			a.fixedOff += st.localPos(sd, f) * st.stride[sd]
@@ -160,6 +227,19 @@ func (a *Array) finishView() {
 			}
 		}
 		a.acc = append(a.acc, ax)
+	}
+}
+
+// globalOf returns the global index of the l-th owned element along this
+// free dimension.
+func (ax *axisAccess) globalOf(l int) int {
+	switch ax.kind {
+	case axStar:
+		return l
+	case axContig:
+		return ax.lower + l
+	default:
+		return ax.d.ToGlobal(l, ax.q, ax.extent, ax.P)
 	}
 }
 
@@ -219,14 +299,18 @@ func New(p *machine.Proc, g *topology.Grid, spec Spec) *Array {
 	if len(halo) != nd {
 		panic(fmt.Sprintf("darray: halo has %d entries for %d dims", len(halo), nd))
 	}
+	// One backing array for the store's three per-dimension int slices.
+	hdr := make([]int, 3*nd)
 	st := &store{
 		p:        p,
 		rootGrid: g,
-		extents:  append([]int(nil), spec.Extents...),
+		extents:  hdr[0*nd : 1*nd : 1*nd],
 		dists:    append([]dist.Dist(nil), spec.Dists...),
-		halo:     append([]int(nil), halo...),
-		axisOf:   make([]int, nd),
+		halo:     hdr[1*nd : 2*nd : 2*nd],
+		axisOf:   hdr[2*nd : 3*nd : 3*nd],
 	}
+	copy(st.extents, spec.Extents)
+	copy(st.halo, halo)
 	axis := 0
 	for d := 0; d < nd; d++ {
 		if spec.Extents[d] <= 0 {
@@ -260,12 +344,20 @@ func New(p *machine.Proc, g *topology.Grid, spec Spec) *Array {
 	}
 	a := &Array{st: st, grid: g}
 	a.dims = make([]int, nd)
-	a.pfix = make([]int, nd)
+	if nd <= maxInlineDims {
+		a.pfix = a.pfixBuf[:nd]
+	} else {
+		a.pfix = make([]int, nd)
+	}
 	for d := range a.dims {
 		a.dims[d] = d
 		a.pfix[d] = -1
 	}
-	a.axes = make([]int, g.Dims())
+	if g.Dims() <= maxInlineDims {
+		a.axes = a.axesBuf[:g.Dims()]
+	} else {
+		a.axes = make([]int, g.Dims())
+	}
 	for i := range a.axes {
 		a.axes[i] = i
 	}
@@ -273,13 +365,19 @@ func New(p *machine.Proc, g *topology.Grid, spec Spec) *Array {
 	return a
 }
 
-// allocate computes the local block layout and allocates storage.
+// allocate computes the local block layout and allocates storage. The
+// seven per-dimension layout/scratch slices share one backing array.
 func (st *store) allocate() {
 	nd := len(st.extents)
-	st.lsize = make([]int, nd)
-	st.lower = make([]int, nd)
-	st.pad = make([]int, nd)
-	st.stride = make([]int, nd)
+	lay := make([]int, 7*nd+len(st.coord))
+	st.lsize = lay[0*nd : 1*nd : 1*nd]
+	st.lower = lay[1*nd : 2*nd : 2*nd]
+	st.pad = lay[2*nd : 3*nd : 3*nd]
+	st.stride = lay[3*nd : 4*nd : 4*nd]
+	st.itLo = lay[4*nd : 5*nd : 5*nd]
+	st.itHi = lay[5*nd : 6*nd : 6*nd]
+	st.itIdx = lay[6*nd : 7*nd : 7*nd]
+	st.coordBuf = lay[7*nd:]
 	total := 1
 	for d := 0; d < nd; d++ {
 		n := st.extents[d]
@@ -303,10 +401,6 @@ func (st *store) allocate() {
 		stride *= st.pad[d]
 	}
 	st.data = make([]float64, total)
-	st.coordBuf = make([]int, len(st.coord))
-	st.itLo = make([]int, nd)
-	st.itHi = make([]int, nd)
-	st.itIdx = make([]int, nd)
 }
 
 // Dims returns the number of (free) dimensions of the array or section.
@@ -566,18 +660,75 @@ func (a *Array) Set3(i, j, k int, v float64) {
 // dimension d is distributed, the section's grid is the slice of the
 // current grid through the owner of i, and only processors on that slice
 // participate. The section shares storage with its parent.
+//
+// Sections are memoized: repeated Section(d, i) calls return the same view,
+// so a section's compiled communication schedules survive across loop
+// iterations and a steady-state Section call allocates nothing.
 func (a *Array) Section(d, i int) *Array {
 	sd := a.storeDim(d)
+	a.checkSectionIndex(sd, i)
+	key := sectionKey{d: sd, i: i}
+	if sec, ok := a.secs[key]; ok {
+		return sec
+	}
+	sec := a.buildSection(sd, i, true)
+	if a.secs == nil {
+		a.secs = make(map[sectionKey]*Array, 2*secChunk)
+	}
+	a.secs[key] = sec
+	return sec
+}
+
+func (a *Array) checkSectionIndex(sd, i int) {
 	if i < 0 || i >= a.st.extents[sd] {
 		panic(fmt.Sprintf("darray: section index %d out of extent %d", i, a.st.extents[sd]))
 	}
-	sec := &Array{
-		st:   a.st,
-		grid: a.grid,
-		dims: a.dims,
-		pfix: append([]int(nil), a.pfix...),
-		axes: a.axes,
+}
+
+// SectionGrid returns Section(d, i).Grid() without memoizing a section
+// view: the grid itself comes from the bounded per-processor grid-slice
+// cache, but the throwaway view is garbage-collected. Per-iteration
+// on-clause resolution uses this so a loop over n indices does not retain
+// O(n) views.
+func (a *Array) SectionGrid(d, i int) *topology.Grid {
+	sd := a.storeDim(d)
+	a.checkSectionIndex(sd, i)
+	return a.buildSection(sd, i, false).grid
+}
+
+// OwnerGrid returns the iteration grid of the element (or leading-index
+// section chain) at idx — Section(0, idx[0]).Section(0, idx[1])...Grid()
+// — again without memoizing any intermediate view.
+func (a *Array) OwnerGrid(idx ...int) *topology.Grid {
+	sec := a
+	for _, i := range idx {
+		sd := sec.storeDim(0)
+		sec.checkSectionIndex(sd, i)
+		sec = sec.buildSection(sd, i, false)
 	}
+	return sec.grid
+}
+
+// buildSection constructs the section view fixing store dim sd at i.
+// Cached views are carved from the parent's arena; uncached ones are
+// standalone allocations the collector reclaims.
+func (a *Array) buildSection(sd, i int, cached bool) *Array {
+	var sec *Array
+	if cached {
+		sec = a.newSection()
+	} else {
+		sec = &Array{}
+	}
+	sec.st = a.st
+	sec.grid = a.grid
+	sec.dims = a.dims
+	sec.axes = a.axes
+	if nd := len(a.pfix); nd <= maxInlineDims {
+		sec.pfix = sec.pfixBuf[:nd]
+	} else {
+		sec.pfix = make([]int, nd)
+	}
+	copy(sec.pfix, a.pfix)
 	sec.pfix[sd] = i
 	ax := a.st.axisOf[sd]
 	if ax >= 0 {
@@ -593,21 +744,64 @@ func (a *Array) Section(d, i int) *Array {
 			panic("darray: internal error: sectioned axis not in current grid")
 		}
 		owner := a.st.dists[sd].Owner(i, a.st.extents[sd], a.st.rootGrid.Extent(ax))
-		spec := make([]int, a.grid.Dims())
-		newAxes := make([]int, 0, len(a.axes)-1)
-		for k := range spec {
-			if k == pos {
-				spec[k] = owner
-			} else {
-				spec[k] = topology.All
+		var newAxes []int
+		if len(a.axes)-1 <= maxInlineDims {
+			newAxes = sec.axesBuf[:0]
+		} else {
+			newAxes = make([]int, 0, len(a.axes)-1)
+		}
+		for k := range a.axes {
+			if k != pos {
 				newAxes = append(newAxes, a.axes[k])
 			}
 		}
-		sec.grid = a.grid.Slice(spec...)
+		sec.grid = a.gridSliceThrough(pos, owner)
 		sec.axes = newAxes
 	}
 	sec.finishView()
 	return sec
+}
+
+// gridSliceKey identifies a grid slice in the per-processor cache: the
+// parent grid, the sliced dimension position, and the fixed coordinate.
+type gridSliceKey struct {
+	g          *topology.Grid
+	pos, owner int
+}
+
+// gridSliceCacheKey is this package's Proc.Scratch registration key.
+type gridSliceCacheKey struct{}
+
+// gridSliceThrough returns the slice of the view's grid with the dimension
+// at position pos fixed at coordinate owner, memoized per processor and
+// parent grid: every section through the same owner — of any array on that
+// grid — shares one grid object, so sectioning a dimension of extent n
+// costs O(owners), not O(n · arrays), grid constructions.
+func (a *Array) gridSliceThrough(pos, owner int) *topology.Grid {
+	cache := a.st.p.Scratch(gridSliceCacheKey{}, func() any {
+		return make(map[gridSliceKey]*topology.Grid)
+	}).(map[gridSliceKey]*topology.Grid)
+	key := gridSliceKey{g: a.grid, pos: pos, owner: owner}
+	if g, ok := cache[key]; ok {
+		return g
+	}
+	var specBuf [maxInlineDims]int
+	var spec []int
+	if gd := a.grid.Dims(); gd <= maxInlineDims {
+		spec = specBuf[:gd]
+	} else {
+		spec = make([]int, gd)
+	}
+	for k := range spec {
+		if k == pos {
+			spec[k] = owner
+		} else {
+			spec[k] = topology.All
+		}
+	}
+	g := a.grid.Slice(spec...)
+	cache[key] = g
+	return g
 }
 
 // String describes the array for diagnostics.

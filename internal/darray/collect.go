@@ -8,46 +8,132 @@ import (
 	"repro/internal/topology"
 )
 
+// ownedWalk visits every owned element of the view in row-major global
+// order, passing the global index of the free dimensions (a reused slice)
+// and the element's position in the flat local storage. It is the engine
+// under OwnedEach, Fill, FillOwned, OwnedRuns, CopyOwned1 and SetOwned1:
+// indices and offsets advance incrementally from the cached per-dimension
+// access data, so one visit costs O(1) and a steady-state walk allocates
+// nothing. Visitors must not start another owned walk on the same view
+// (the walk scratch is per-view).
+func (a *Array) ownedWalk(visit func(idx []int, off int)) {
+	nfree := len(a.acc)
+	if nfree == 0 {
+		visit(nil, a.fixedOff) // fully fixed section: a single owned cell
+		return
+	}
+	for k := range a.acc {
+		if a.acc[k].lsize == 0 {
+			return // empty local block: nothing owned
+		}
+	}
+	if a.walkIdx == nil {
+		a.bindWalkScratch(nfree)
+	}
+	idx, loc := a.walkIdx, a.walkLoc
+	off := a.fixedOff
+	for k := range a.acc {
+		ax := &a.acc[k]
+		loc[k] = 0
+		idx[k] = ax.globalOf(0)
+		off += ax.halo * ax.stride
+	}
+	for {
+		visit(idx, off)
+		k := nfree - 1
+		for k >= 0 {
+			ax := &a.acc[k]
+			loc[k]++
+			off += ax.stride
+			if loc[k] < ax.lsize {
+				if ax.kind == axGeneral {
+					idx[k] = ax.globalOf(loc[k])
+				} else {
+					idx[k]++
+				}
+				break
+			}
+			off -= ax.lsize * ax.stride
+			loc[k] = 0
+			idx[k] = ax.globalOf(0)
+			k--
+		}
+		if k < 0 {
+			return
+		}
+	}
+}
+
 // OwnedEach visits every element of the array (or section) owned by the
 // calling processor, in row-major global order, passing the global index of
 // the free dimensions. The index slice is reused between calls.
 func (a *Array) OwnedEach(visit func(idx []int)) {
 	a.mustParticipate()
+	a.ownedWalk(func(idx []int, off int) { visit(idx) })
+}
+
+// OwnedRuns visits the calling processor's owned elements as contiguous
+// storage runs, in row-major global order: vals is the backing storage of
+// one run, whose first element has global index idx (of the free
+// dimensions; the slice is reused between visits), and vals[k] is the
+// element with global index idx[last]+k along the last free dimension.
+// Writes through vals update the array directly, so initialization from a
+// dense source is one copy per run instead of one variadic Set per element.
+// Runs span the last free dimension when it is stride-1 in storage and
+// contiguously owned; otherwise (a section fixing the innermost storage
+// dimension, or a cyclic innermost dimension) runs degenerate to single
+// elements.
+func (a *Array) OwnedRuns(visit func(idx []int, vals []float64)) {
+	a.mustParticipate()
 	st := a.st
-	var free []int
-	for sd, f := range a.pfix {
-		if f < 0 {
-			free = append(free, sd)
-		}
-	}
-	for _, sd := range free {
-		if st.lsize[sd] == 0 {
-			return // empty local block: nothing owned
-		}
-	}
-	nd := len(free)
-	if nd == 0 {
-		visit(nil) // fully fixed section: a single owned cell
+	nfree := len(a.acc)
+	if nfree == 0 {
+		visit(nil, st.data[a.fixedOff:a.fixedOff+1])
 		return
 	}
-	idx := make([]int, nd)
-	locals := make([]int, nd)
-	for {
-		// Translate local positions to global indices.
-		for k, sd := range free {
-			idx[k] = a.ownedGlobal(sd, locals[k])
+	inner := &a.acc[nfree-1]
+	if inner.stride != 1 || inner.kind == axGeneral {
+		a.ownedWalk(func(idx []int, off int) { visit(idx, st.data[off:off+1]) })
+		return
+	}
+	for k := range a.acc {
+		if a.acc[k].lsize == 0 {
+			return
 		}
-		visit(idx)
-		d := nd - 1
-		for d >= 0 {
-			locals[d]++
-			if locals[d] < st.lsize[free[d]] {
+	}
+	if a.walkIdx == nil {
+		a.bindWalkScratch(nfree)
+	}
+	idx, loc := a.walkIdx, a.walkLoc
+	off := a.fixedOff
+	for k := range a.acc {
+		ax := &a.acc[k]
+		loc[k] = 0
+		idx[k] = ax.globalOf(0)
+		off += ax.halo * ax.stride
+	}
+	n := inner.lsize
+	for {
+		visit(idx, st.data[off:off+n])
+		k := nfree - 2
+		for k >= 0 {
+			ax := &a.acc[k]
+			loc[k]++
+			off += ax.stride
+			if loc[k] < ax.lsize {
+				if ax.kind == axGeneral {
+					idx[k] = ax.globalOf(loc[k])
+				} else {
+					idx[k]++
+				}
 				break
 			}
-			locals[d] = 0
-			d--
+			off -= ax.lsize * ax.stride
+			loc[k] = 0
+			idx[k] = ax.globalOf(0)
+			k--
 		}
-		if d < 0 {
+		if k < 0 {
 			return
 		}
 	}
@@ -67,11 +153,17 @@ func (a *Array) ownedGlobal(sd, l int) int {
 
 // Fill sets every owned element to f(idx). No communication is performed;
 // for replicated (Star) dimensions every holder computes its own copy, so f
-// must be deterministic in idx.
-func (a *Array) Fill(f func(idx []int) float64) {
-	a.OwnedEach(func(idx []int) {
-		a.Set(f(idx), idx...)
-	})
+// must be deterministic in idx. Fill is FillOwned under its original name.
+func (a *Array) Fill(f func(idx []int) float64) { a.FillOwned(f) }
+
+// FillOwned sets every owned element to f(idx) with direct run-based
+// storage writes: the walk advances indices and offsets incrementally, so
+// initialization costs O(1) per element instead of a variadic Set (with its
+// per-element ownership scan and offset derivation) per element.
+func (a *Array) FillOwned(f func(idx []int) float64) {
+	a.mustParticipate()
+	data := a.st.data
+	a.ownedWalk(func(idx []int, off int) { data[off] = f(idx) })
 }
 
 // Zero sets every owned element (and the halo cells) to zero.
@@ -105,17 +197,18 @@ func (a *Array) isRoot() bool {
 func (a *Array) Snapshot() {
 	a.mustParticipate()
 	st := a.st
-	if st.shadow == nil || len(st.shadow) != len(st.data) {
+	if len(st.shadow) != len(st.data) {
 		st.shadow = make([]float64, len(st.data))
 	}
 	copy(st.shadow, st.data)
+	st.snapOn = true
 }
 
 // Old returns the snapshotted value at the given global index; it panics if
 // no snapshot is active.
 func (a *Array) Old(idx ...int) float64 {
 	a.mustParticipate()
-	if a.st.shadow == nil {
+	if !a.st.snapOn {
 		panic("darray: Old without an active Snapshot")
 	}
 	return a.st.shadow[a.offset(idx)]
@@ -124,21 +217,21 @@ func (a *Array) Old(idx ...int) float64 {
 // Old1, Old2, Old3 are arity-specific fast paths for Old, mirroring
 // At1/At2/At3.
 func (a *Array) Old1(i int) float64 {
-	if len(a.acc) == 1 && a.st.shadow != nil {
+	if len(a.acc) == 1 && a.st.snapOn {
 		return a.st.shadow[a.fixedOff+a.roff(0, i)]
 	}
 	return a.Old(i)
 }
 
 func (a *Array) Old2(i, j int) float64 {
-	if len(a.acc) == 2 && a.st.shadow != nil {
+	if len(a.acc) == 2 && a.st.snapOn {
 		return a.st.shadow[a.fixedOff+a.roff(0, i)+a.roff(1, j)]
 	}
 	return a.Old(i, j)
 }
 
 func (a *Array) Old3(i, j, k int) float64 {
-	if len(a.acc) == 3 && a.st.shadow != nil {
+	if len(a.acc) == 3 && a.st.snapOn {
 		return a.st.shadow[a.fixedOff+a.roff(0, i)+a.roff(1, j)+a.roff(2, k)]
 	}
 	return a.Old(i, j, k)
@@ -166,8 +259,9 @@ func (a *Array) OwnedSpan(d int) (lo, hi int, contiguous bool) {
 	return st.lower[sd], st.lower[sd] + st.lsize[sd] - 1, true
 }
 
-// ReleaseSnapshot drops the shadow buffer.
-func (a *Array) ReleaseSnapshot() { a.st.shadow = nil }
+// ReleaseSnapshot deactivates the snapshot. The shadow buffer is kept for
+// the next Snapshot, so iterative loops snapshot without reallocating.
+func (a *Array) ReleaseSnapshot() { a.st.snapOn = false }
 
 // CopyOwned1 copies the calling processor's owned elements of a
 // one-dimensional array (or section) into dst, in ascending global order,
@@ -177,11 +271,14 @@ func (a *Array) CopyOwned1(dst []float64) int {
 	if a.Dims() != 1 {
 		panic("darray: CopyOwned1 requires a 1-D array or section")
 	}
-	n := 0
-	a.OwnedEach(func(idx []int) {
-		dst[n] = a.At(idx...)
-		n++
+	n, owned := 0, 0
+	a.OwnedRuns(func(idx []int, vals []float64) {
+		owned += len(vals)
+		n += copy(dst[n:], vals)
 	})
+	if n != owned {
+		panic(fmt.Sprintf("darray: CopyOwned1 dst holds %d of %d owned elements", len(dst), owned))
+	}
 	return n
 }
 
@@ -191,13 +288,13 @@ func (a *Array) SetOwned1(src []float64) {
 	if a.Dims() != 1 {
 		panic("darray: SetOwned1 requires a 1-D array or section")
 	}
-	n := 0
-	a.OwnedEach(func(idx []int) {
-		a.Set(src[n], idx...)
-		n++
+	n, owned := 0, 0
+	a.OwnedRuns(func(idx []int, vals []float64) {
+		owned += len(vals)
+		n += copy(vals, src[n:])
 	})
-	if n != len(src) {
-		panic(fmt.Sprintf("darray: SetOwned1 wrote %d of %d values", n, len(src)))
+	if n != len(src) || n != owned {
+		panic(fmt.Sprintf("darray: SetOwned1 wrote %d of %d values over %d owned elements", n, len(src), owned))
 	}
 }
 
@@ -206,8 +303,23 @@ func (a *Array) SetOwned1(src []float64) {
 // slice of the free dimensions there and nil on all other processors. Every
 // participant must call it with the same scope. Replicated (Star)
 // dimensions are taken from each holder; holders must agree.
+//
+// The pack and unpack layouts are compiled once per (view, root) into a
+// cached gather plan; each call replays the plan, so iterative collection
+// performs no per-call derivation (the dense result on the root is the only
+// steady-state allocation).
 func (a *Array) GatherTo(sc machine.Scope, rootIdx int) []float64 {
 	a.mustParticipate()
+	if scheduling {
+		return a.gatherToScheduled(sc, rootIdx)
+	}
+	return a.gatherToDirect(sc, rootIdx)
+}
+
+// gatherToDirect is the uncompiled reference path: it interleaves layout
+// derivation with the data motion on every call. The scheduled path must
+// produce bit-identical traffic; the equivalence suite holds it to that.
+func (a *Array) gatherToDirect(sc machine.Scope, rootIdx int) []float64 {
 	st := a.st
 	g := a.grid
 	me, ok := g.Index(st.p.Rank())
@@ -268,14 +380,28 @@ func (a *Array) memberOwnedEach(m int, visit func(idx []int)) {
 	if !ok {
 		panic("darray: grid member outside root grid")
 	}
-	var free []int
-	for sd, f := range a.pfix {
+	nd := 0
+	for _, f := range a.pfix {
 		if f < 0 {
-			free = append(free, sd)
+			nd++
 		}
 	}
-	nd := len(free)
-	sizes := make([]int, nd)
+	if nd == 0 {
+		return
+	}
+	// One backing array for the walk's four per-dimension slices.
+	walk := make([]int, 4*nd)
+	free := walk[0*nd : 1*nd]
+	sizes := walk[1*nd : 2*nd]
+	locals := walk[2*nd : 3*nd]
+	idx := walk[3*nd : 4*nd]
+	k := 0
+	for sd, f := range a.pfix {
+		if f < 0 {
+			free[k] = sd
+			k++
+		}
+	}
 	for k, sd := range free {
 		if st.axisOf[sd] < 0 {
 			sizes[k] = st.extents[sd]
@@ -288,11 +414,6 @@ func (a *Array) memberOwnedEach(m int, visit func(idx []int)) {
 			return
 		}
 	}
-	if nd == 0 {
-		return
-	}
-	locals := make([]int, nd)
-	idx := make([]int, nd)
 	for {
 		for k, sd := range free {
 			if st.axisOf[sd] < 0 {
@@ -343,6 +464,23 @@ func moveContents(sc machine.Scope, src, dst *Array) {
 			panic(fmt.Sprintf("darray: redistribute extent mismatch in dim %d: %d vs %d", d, src.Extent(d), dst.Extent(d)))
 		}
 	}
+	if scheduling {
+		s := compileMove(src, dst)
+		var srcData, dstData []float64
+		if src.st.member {
+			srcData = src.st.data
+		}
+		if dst.st.member {
+			dstData = dst.st.data
+		}
+		s.Execute(src.st.p, sc, srcData, dstData)
+		return
+	}
+	moveContentsDirect(sc, src, dst)
+}
+
+// moveContentsDirect is the uncompiled reference path for Redistribute.
+func moveContentsDirect(sc machine.Scope, src, dst *Array) {
 	p := src.st.p
 
 	// Sender side: enumerate cells this processor canonically owns in

@@ -207,11 +207,25 @@ func (a *Array) planeSize(sd int) int {
 // Corner ghost cells (diagonal neighbors) are not exchanged; the tensor
 // product algorithms in this repository use axis-aligned stencils only.
 //
-// A steady-state exchange allocates nothing: hyperplanes are packed into
-// pooled message buffers with contiguous copies and unpacked the same way
-// on the receiver, which releases the buffers back to its pool.
+// A steady-state exchange allocates nothing and derives nothing: the first
+// exchange of a view compiles the complete pack/unpack layout into a cached
+// schedule (the inspector), and every call replays it (the executor) —
+// hyperplanes are packed into pooled message buffers with contiguous copies
+// and unpacked the same way on the receiver, which releases the buffers
+// back to its pool.
 func (a *Array) ExchangeHalo(sc machine.Scope, dims ...int) {
 	a.mustParticipate()
+	if scheduling {
+		a.haloSchedule(dims).Execute(a.st.p, sc, a.st.data, a.st.data)
+		return
+	}
+	a.exchangeHaloDirect(sc, dims...)
+}
+
+// exchangeHaloDirect is the uncompiled reference path: it re-derives owner
+// windows and hyperplane runs on every call. The compiled schedule must
+// replay bit-identical traffic; the equivalence suite holds it to that.
+func (a *Array) exchangeHaloDirect(sc machine.Scope, dims ...int) {
 	st := a.st
 	// Post every dimension's sends before any receive, so one round of
 	// latency covers the whole exchange — the batching a compiler would

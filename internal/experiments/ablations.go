@@ -49,7 +49,7 @@ func runMapped(p, n, msys int, mapping tridiag.Mapping) float64 {
 		for j := 0; j < msys; j++ {
 			jj := j
 			fa := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
-			fa.Fill(func(idx []int) float64 { return float64((idx[0]*jj)%13) - 6 })
+			fa.FillOwned(func(idx []int) float64 { return float64((idx[0]*jj)%13) - 6 })
 			xs[j] = ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
 			fs[j] = fa
 		}
@@ -161,7 +161,7 @@ func A3Cyclic() Result {
 				Extents: []int{n, n},
 				Dists:   []dist.Dist{dist.Star{}, v.d},
 			})
-			ad.Fill(func(idx []int) float64 { return a[idx[0]*n+idx[1]] })
+			ad.OwnedRuns(func(idx []int, vals []float64) { copy(vals, a[idx[0]*n+idx[1]:]) })
 			if err := linalg.LU(c, ad); err != nil {
 				return err
 			}

@@ -45,6 +45,7 @@ func All() []Result {
 		A1Mapping(),
 		A2Estimator(),
 		A3Cyclic(),
+		S1Scale64(),
 	}
 }
 

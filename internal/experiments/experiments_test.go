@@ -227,3 +227,24 @@ func TestA3CyclicBeatsBlockOnLU(t *testing.T) {
 			r.Metrics["imbalance_block"], r.Metrics["imbalance_cyclic"])
 	}
 }
+
+func TestS1Scale64(t *testing.T) {
+	r := S1Scale64()
+	if r.Metrics["jacobi64_schedule_identical"] != 1 {
+		t.Error("64-processor Jacobi: schedule replay diverged from direct derivation")
+	}
+	if r.Metrics["adi64_schedule_identical"] != 1 {
+		t.Error("64-processor pipelined ADI: schedule replay diverged from direct derivation")
+	}
+	// Scaling shape: more processors must keep reducing virtual time and
+	// growing message counts for this surface-to-volume regime.
+	if !(r.Metrics["jacobi_time_p64"] < r.Metrics["jacobi_time_p16"] &&
+		r.Metrics["jacobi_time_p16"] < r.Metrics["jacobi_time_p4"]) {
+		t.Errorf("Jacobi virtual time should shrink with processors: p4=%v p16=%v p64=%v",
+			r.Metrics["jacobi_time_p4"], r.Metrics["jacobi_time_p16"], r.Metrics["jacobi_time_p64"])
+	}
+	if !(r.Metrics["jacobi_msgs_p64"] > r.Metrics["jacobi_msgs_p16"]) {
+		t.Errorf("message count should grow with the grid: p16=%v p64=%v",
+			r.Metrics["jacobi_msgs_p16"], r.Metrics["jacobi_msgs_p64"])
+	}
+}

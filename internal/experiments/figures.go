@@ -159,7 +159,7 @@ func runTraced(p, n int) (*trace.Recorder, *machine.Machine) {
 	err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
 		mk := func(v []float64) *darray.Array {
 			arr := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
-			arr.Fill(func(idx []int) float64 { return v[idx[0]] })
+			arr.OwnedRuns(func(idx []int, vals []float64) { copy(vals, v[idx[0]:]) })
 			return arr
 		}
 		x := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
@@ -212,7 +212,7 @@ func F4Substitution() Result {
 		err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
 			mk := func(v []float64) *darray.Array {
 				arr := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
-				arr.Fill(func(idx []int) float64 { return v[idx[0]] })
+				arr.OwnedRuns(func(idx []int, vals []float64) { copy(vals, v[idx[0]:]) })
 				return arr
 			}
 			x := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
@@ -271,7 +271,7 @@ func F5Mapping() Result {
 			}
 			fa := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
 			fv := fvec
-			fa.Fill(func(idx []int) float64 { return fv[idx[0]] })
+			fa.OwnedRuns(func(idx []int, vals []float64) { copy(vals, fv[idx[0]:]) })
 			xs[j] = ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
 			fs[j] = fa
 		}

@@ -137,7 +137,7 @@ func E9Inspector() Result {
 		g := topology.New1D(p)
 		err := kf.Exec(m, g, func(c *kf.Ctx) error {
 			a := c.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}, Halo: []int{1}})
-			a.Fill(func(idx []int) float64 { return float64(idx[0] * idx[0] % 97) })
+			a.FillOwned(func(idx []int) float64 { return float64(idx[0] * idx[0] % 97) })
 			if irregular {
 				// Inspector: declare every read index (here the
 				// compiler pretends not to know idx(i) = i+1).

@@ -21,7 +21,7 @@ func triOnce(p, n int, cost machine.CostModel) (float64, machine.Stats) {
 		mk := func(v []float64) *darray.Array {
 			arr := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
 			vv := v
-			arr.Fill(func(idx []int) float64 { return vv[idx[0]] })
+			arr.OwnedRuns(func(idx []int, vals []float64) { copy(vals, vv[idx[0]:]) })
 			return arr
 		}
 		x := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
@@ -100,7 +100,7 @@ func runMany(p, n, msys int, pipelined bool, rec *trace.Recorder) float64 {
 		for j := 0; j < msys; j++ {
 			jj := j
 			fa := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
-			fa.Fill(func(idx []int) float64 { return float64((idx[0]*jj)%13) - 6 })
+			fa.FillOwned(func(idx []int) float64 { return float64((idx[0]*jj)%13) - 6 })
 			xs[j] = ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
 			fs[j] = fa
 		}

@@ -251,7 +251,7 @@ func mgProblem2(c *kf.Ctx, n int) (u, f *darray.Array) {
 	f = c.NewArray(spec)
 	u.Zero()
 	f.Zero()
-	f.Fill(func(idx []int) float64 {
+	f.FillOwned(func(idx []int) float64 {
 		i, j := idx[0], idx[1]
 		if i == 0 || i == n || j == 0 || j == n {
 			return 0
@@ -279,7 +279,7 @@ func mgProblem3(c *kf.Ctx, n int, dx, dy, dz dist.Dist) (u, f *darray.Array) {
 	f = c.NewArray(spec)
 	u.Zero()
 	f.Zero()
-	f.Fill(func(idx []int) float64 {
+	f.FillOwned(func(idx []int) float64 {
 		i, j, k := idx[0], idx[1], idx[2]
 		if i == 0 || i == n || j == 0 || j == n || k == 0 || k == n {
 			return 0

@@ -36,12 +36,40 @@ func charge(p *machine.Proc, flops int) {
 // are not modified. b[0] and c[k-1] are ignored: the system is closed.
 func Thomas(p *machine.Proc, b, a, c, f, x []float64) {
 	k := len(a)
+	if k == 0 {
+		checkLens(k, b, c, f, x)
+		return
+	}
+	// The elimination scratch comes from the processor's buffer pool when
+	// one is attached (pipelined solvers call Thomas once per system), so
+	// steady-state solves allocate nothing; sequential callers allocate
+	// (or hoist their own scratch via ThomasWith).
+	var cp, fp []float64
+	if p != nil {
+		cp = p.AcquireBuf(k)
+		fp = p.AcquireBuf(k)
+	} else {
+		cp = make([]float64, k)
+		fp = make([]float64, k)
+	}
+	ThomasWith(p, b, a, c, f, x, cp, fp)
+	if p != nil {
+		p.ReleaseBuf(cp)
+		p.ReleaseBuf(fp)
+	}
+}
+
+// ThomasWith is Thomas with caller-provided elimination scratch (cp and fp,
+// each at least len(a) long), for iterative drivers that solve many systems
+// and want to allocate the scratch once.
+func ThomasWith(p *machine.Proc, b, a, c, f, x, cp, fp []float64) {
+	k := len(a)
 	checkLens(k, b, c, f, x)
 	if k == 0 {
 		return
 	}
-	cp := make([]float64, k)
-	fp := make([]float64, k)
+	cp = cp[:k]
+	fp = fp[:k]
 	cp[0] = c[0] / a[0]
 	fp[0] = f[0] / a[0]
 	for i := 1; i < k; i++ {

@@ -64,6 +64,13 @@ type Ctx struct {
 
 	scope machine.Scope
 	seq   int
+
+	// plans memoizes compiled doall headers by (ranges, on-clause,
+	// read-set), so iterative loops written with plain Doall calls pay
+	// for communication derivation once — see plan.go. Child contexts
+	// reused across doall iterations keep their own cache, which gives
+	// nested doalls the same hoisting.
+	plans map[planKey]any
 }
 
 // Exec runs body as a parallel subroutine on grid g of machine m: one

@@ -94,7 +94,9 @@ func (o onOwner1) Owns(c *Ctx, i int) bool {
 }
 
 func (o onOwner1) IterGrid(c *Ctx, i int) *topology.Grid {
-	return o.a.Section(0, i).Grid()
+	// OwnerGrid, not Section(...).Grid(): per-iteration grids must not
+	// memoize one view per loop index on the generic (non-strip) path.
+	return o.a.OwnerGrid(i)
 }
 
 func (o onOwner1) ownedStrip(c *Ctx) (int, int, *topology.Grid, bool) {
@@ -127,7 +129,7 @@ func (o onOwnerSection) Owns(c *Ctx, i int) bool {
 }
 
 func (o onOwnerSection) IterGrid(c *Ctx, i int) *topology.Grid {
-	return o.a.Section(o.dim, i).Grid()
+	return o.a.SectionGrid(o.dim, i)
 }
 
 func (o onOwnerSection) ownedStrip(c *Ctx) (int, int, *topology.Grid, bool) {
@@ -173,7 +175,7 @@ func (o onOwner2) Owns(c *Ctx, i, j int) bool {
 }
 
 func (o onOwner2) IterGrid(c *Ctx, i, j int) *topology.Grid {
-	return o.a.Section(0, i).Section(0, j).Grid()
+	return o.a.OwnerGrid(i, j)
 }
 
 // span is an inclusive owned index range of one loop dimension.
@@ -304,8 +306,14 @@ func (cc *Ctx) bindIter(c *Ctx, g *topology.Grid, phase, disc int) {
 // Owner-computes clauses over contiguously distributed dimensions are
 // strip-mined: the processor iterates its owned subrange directly with a
 // cached iteration grid, instead of testing ownership (and re-deriving the
-// section grid) for every index of the range.
+// section grid) for every index of the range. The compiled header (strip,
+// iteration grid, child context) is memoized per Ctx, so an iterative loop
+// of Doall1 calls derives its communication structure once — see plan.go.
 func (c *Ctx) Doall1(r Range, on On1, opts []LoopOpt, body func(cc *Ctx, i int)) {
+	if pl := c.plan1For(r, on, opts); pl != nil {
+		pl.Run(body)
+		return
+	}
 	for _, o := range opts {
 		o.prepare(c)
 	}
@@ -341,8 +349,13 @@ func (c *Ctx) Doall1(r Range, on On1, opts []LoopOpt, body func(cc *Ctx, i int))
 // Doall2 executes a two-dimensional doall loop over the product of ranges
 // ri and rj — the paper's "doall (i, j) = [1, n] * [1, n]" headers. Like
 // Doall1, owner-computes clauses over contiguous distributions are
-// strip-mined to the owned subrectangle.
+// strip-mined to the owned subrectangle, and the compiled header is
+// memoized per Ctx (see plan.go).
 func (c *Ctx) Doall2(ri, rj Range, on On2, opts []LoopOpt, body func(cc *Ctx, i, j int)) {
+	if pl := c.plan2For(ri, rj, on, opts); pl != nil {
+		pl.Run(body)
+		return
+	}
 	for _, o := range opts {
 		o.prepare(c)
 	}
@@ -384,8 +397,13 @@ func (c *Ctx) Doall2(ri, rj Range, on On2, opts []LoopOpt, body func(cc *Ctx, i,
 // scanning the whole range and testing ownership, each processor iterates
 // only its owned subrange. Semantically identical to
 // Doall1(r, OnOwner1(a), ...) for block distributions, except that the
-// body's context stays bound to the caller's grid.
+// body's context stays bound to the caller's grid. Like the other doalls,
+// the compiled header is memoized per Ctx (see plan.go).
 func (c *Ctx) Doall1Owned(r Range, a *darray.Array, dim int, opts []LoopOpt, body func(cc *Ctx, i int)) {
+	if pl := c.plan1OwnedFor(r, a, dim, opts); pl != nil {
+		pl.Run(body)
+		return
+	}
 	for _, o := range opts {
 		o.prepare(c)
 	}
@@ -423,7 +441,7 @@ func (o onOwner3) Owns(c *Ctx, i, j, k int) bool {
 }
 
 func (o onOwner3) IterGrid(c *Ctx, i, j, k int) *topology.Grid {
-	return o.a.Section(0, i).Section(0, j).Section(0, k).Grid()
+	return o.a.OwnerGrid(i, j, k)
 }
 
 // strip3 is strip1 for three-dimensional on-clauses.
@@ -453,8 +471,12 @@ func (o onOwner3) ownedStrip3(c *Ctx) ([3]span, *topology.Grid, bool) {
 // Doall3 executes a three-dimensional doall loop over the product of three
 // ranges — the shape of the paper's Section 5 volume sweeps. Owner-computes
 // clauses over contiguous distributions are strip-mined to the owned
-// subvolume.
+// subvolume, and the compiled header is memoized per Ctx (see plan.go).
 func (c *Ctx) Doall3(ri, rj, rk Range, on On3, opts []LoopOpt, body func(cc *Ctx, i, j, k int)) {
+	if pl := c.plan3For(ri, rj, rk, on, opts); pl != nil {
+		pl.Run(body)
+		return
+	}
 	for _, o := range opts {
 		o.prepare(c)
 	}

@@ -29,17 +29,27 @@ func (g *Gathered) At(i int) float64 {
 	panic(fmt.Sprintf("kf: index %d was not declared to the inspector and is not owned", i))
 }
 
-// GatherIrregular implements the inspector/executor runtime resolution for
-// a one-dimensional distributed array: every processor of the array's grid
+// GatherPlan is a compiled irregular gather: the inspector's index exchange
+// has already happened, so every processor knows which indices it fetches
+// from and serves to every peer. Gather replays just the value motion —
+// the executor a compiler would place inside the iterative loop, with the
+// index lists hoisted outside it.
+type GatherPlan struct {
+	a     *darray.Array
+	me    int
+	need  [][]int // per grid member: global indices fetched from them
+	serve [][]int // per grid member: global indices shipped to them
+	res   *Gathered
+}
+
+// InspectGather is the inspector: every processor of the array's grid
 // declares the global indices its loop iterations will read (duplicates
-// allowed), and the runtime fetches the remotely owned ones by message
-// passing. All processors of the grid must call it collectively, even with
-// an empty index list.
-//
-// The protocol costs two messages per processor pair (request list, reply
-// values) — strictly more traffic than a compiled stencil exchange, which is
-// the overhead experiment E9 quantifies.
-func (c *Ctx) GatherIrregular(a *darray.Array, indices []int) *Gathered {
+// allowed), the runtime exchanges per-owner request lists, fetches the
+// current remote values, and compiles the index sets into a reusable plan.
+// All processors of the grid must call it collectively, even with an empty
+// index list. The traffic (request lists plus value replies) is exactly
+// GatherIrregular's.
+func (c *Ctx) InspectGather(a *darray.Array, indices []int) *GatherPlan {
 	if a.Dims() != 1 {
 		panic("kf: GatherIrregular requires a one-dimensional array (or section)")
 	}
@@ -51,8 +61,14 @@ func (c *Ctx) GatherIrregular(a *darray.Array, indices []int) *Gathered {
 		panic("kf: GatherIrregular caller not in the array's grid")
 	}
 	n := g.Size()
+	pl := &GatherPlan{
+		a:     a,
+		me:    me,
+		need:  make([][]int, n),
+		serve: make([][]int, n),
+	}
 
-	// Inspector: bucket the needed indices by owner.
+	// Bucket the needed indices by owner.
 	need := make([][]float64, n) // index lists as float64 payloads
 	seen := make(map[int]bool)
 	for _, i := range indices {
@@ -63,6 +79,7 @@ func (c *Ctx) GatherIrregular(a *darray.Array, indices []int) *Gathered {
 		seen[i] = true
 		owner := a.OwnerIndex(0, i)
 		need[owner] = append(need[owner], float64(i))
+		pl.need[owner] = append(pl.need[owner], i)
 	}
 
 	// Phase 1: send request lists to every other member (empty lists
@@ -73,22 +90,25 @@ func (c *Ctx) GatherIrregular(a *darray.Array, indices []int) *Gathered {
 		}
 		p.Send(g.RankAt(q), sc.Tag(1), need[q])
 	}
-	// Serve requests: reply with the requested values, in request order.
-	replies := make([][]float64, n)
+	// Serve requests: record each peer's index list and reply with the
+	// requested values, in request order.
 	for q := 0; q < n; q++ {
 		if q == me {
 			continue
 		}
 		req := p.Recv(g.RankAt(q), sc.Tag(1))
 		out := make([]float64, len(req))
+		serve := make([]int, len(req))
 		for k, fi := range req {
 			i := int(fi)
 			if !a.Owns(i) {
 				panic(fmt.Sprintf("kf: processor %d asked for index %d not owned here", g.RankAt(q), i))
 			}
+			serve[k] = i
 			out[k] = a.At1(i)
 		}
-		replies[q] = out
+		pl.serve[q] = serve
+		p.ReleaseBuf(req)
 		p.Send(g.RankAt(q), sc.Tag(2), out)
 	}
 	// Phase 2 (executor prefetch): collect replies.
@@ -98,12 +118,69 @@ func (c *Ctx) GatherIrregular(a *darray.Array, indices []int) *Gathered {
 			continue
 		}
 		vals := p.Recv(g.RankAt(q), sc.Tag(2))
-		if len(vals) != len(need[q]) {
-			panic(fmt.Sprintf("kf: gather reply from member %d has %d values, want %d", q, len(vals), len(need[q])))
+		if len(vals) != len(pl.need[q]) {
+			panic(fmt.Sprintf("kf: gather reply from member %d has %d values, want %d", q, len(vals), len(pl.need[q])))
 		}
-		for k, fi := range need[q] {
-			values[int(fi)] = vals[k]
+		for k, i := range pl.need[q] {
+			values[i] = vals[k]
 		}
+		p.ReleaseBuf(vals)
 	}
-	return &Gathered{a: a, values: values}
+	pl.res = &Gathered{a: a, values: values}
+	return pl
+}
+
+// Gathered returns the values fetched by the most recent inspection or
+// replay.
+func (pl *GatherPlan) Gathered() *Gathered { return pl.res }
+
+// Gather is the executor: it re-fetches the plan's remote values — only the
+// data motion, no index lists — and returns the refreshed Gathered view.
+// Peers that need nothing from each other exchange no message (the compiled
+// index sets make that knowledge symmetric), so replay costs strictly less
+// traffic than re-inspection. All processors of the plan's grid must call
+// it collectively, in the same program order; a warmed replay performs no
+// heap allocation.
+func (pl *GatherPlan) Gather(c *Ctx) *Gathered {
+	sc := c.NextScope()
+	a := pl.a
+	p := c.P
+	g := a.Grid()
+	n := g.Size()
+	for q := 0; q < n; q++ {
+		if q == pl.me || len(pl.serve[q]) == 0 {
+			continue
+		}
+		buf := p.AcquireBuf(len(pl.serve[q]))
+		for k, i := range pl.serve[q] {
+			buf[k] = a.At1(i)
+		}
+		p.SendOwned(g.RankAt(q), sc.Tag(2), buf)
+	}
+	for q := 0; q < n; q++ {
+		if q == pl.me || len(pl.need[q]) == 0 {
+			continue
+		}
+		vals := p.Recv(g.RankAt(q), sc.Tag(2))
+		if len(vals) != len(pl.need[q]) {
+			panic(fmt.Sprintf("kf: gather replay from member %d has %d values, want %d", q, len(vals), len(pl.need[q])))
+		}
+		for k, i := range pl.need[q] {
+			pl.res.values[i] = vals[k]
+		}
+		p.ReleaseBuf(vals)
+	}
+	return pl.res
+}
+
+// GatherIrregular implements the inspector/executor runtime resolution for
+// a one-dimensional distributed array in one shot: inspect, fetch, return
+// the gathered view. Iterative loops should hoist the inspection with
+// InspectGather and replay plan.Gather per pass instead.
+//
+// The protocol costs two messages per processor pair (request list, reply
+// values) — strictly more traffic than a compiled stencil exchange, which is
+// the overhead experiment E9 quantifies.
+func (c *Ctx) GatherIrregular(a *darray.Array, indices []int) *Gathered {
+	return c.InspectGather(a, indices).Gathered()
 }

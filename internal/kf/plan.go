@@ -1,0 +1,403 @@
+package kf
+
+import (
+	"repro/internal/darray"
+	"repro/internal/topology"
+)
+
+// This file is the loop-inspector half of the doall runtime: a Plan is a
+// doall header whose communication derivation — halo schedules, copy-in
+// snapshots, owned strips and iteration grids — has been hoisted out of the
+// loop, exactly the transformation the paper assigns to the KF1 compiler
+// ("the compiler would hoist that derivation out of iterative loops so only
+// the data motion repeats"). Construct a plan once, before an iterative
+// loop, and Run it every pass:
+//
+//	plan := c.Plan2(kf.R(1, n-2), kf.R(1, n-2), kf.OnOwner2(x),
+//	    kf.Reads(x), kf.ReadsNoHalo(f))
+//	for it := 0; it < niter; it++ {
+//	    plan.Run(func(cc *kf.Ctx, i, j int) { ... })
+//	}
+//
+// A warmed Run performs the same messages, in the same order, with the same
+// virtual-time costs as the equivalent Doall call — and no heap allocation.
+// The Doall1/2/3 entry points themselves consult a per-Ctx plan cache keyed
+// by (ranges, on-clause, read-set), so existing callers get the hoisting
+// transparently; plans are never invalidated because arrays are immutable
+// views (redistributing produces a new array, hence a new cache key).
+
+// planCore holds what every arity's plan shares: the owning context, the
+// loop's read-set options, the reusable child context bound to each
+// iteration, and the cached iteration grid of the strip-mined fast path.
+type planCore struct {
+	c    *Ctx
+	opts []LoopOpt
+	cc   *Ctx
+	fast bool
+	g    *topology.Grid
+}
+
+// prepare runs the loop options (halo exchanges and snapshots) and claims
+// the loop's phase ordinal, exactly as the direct Doall path does.
+func (pl *planCore) prepare() int {
+	c := pl.c
+	for _, o := range pl.opts {
+		o.prepare(c)
+	}
+	phase := c.seq
+	c.seq++
+	return phase
+}
+
+func (pl *planCore) finish() {
+	for _, o := range pl.opts {
+		o.finish(pl.c)
+	}
+}
+
+// Plan1 is a compiled one-dimensional doall header.
+type Plan1 struct {
+	planCore
+	r  Range
+	on On1
+	sp span
+}
+
+// Plan1 compiles the header of Doall1(r, on, opts, ...): the on-clause's
+// owned strip and iteration grid are derived now, so Run only moves data
+// and executes the body.
+func (c *Ctx) Plan1(r Range, on On1, opts ...LoopOpt) *Plan1 {
+	pl := &Plan1{planCore: planCore{c: c, opts: opts, cc: c.reuseChild()}, r: r, on: on}
+	if s, ok := on.(strip1); ok {
+		if lo, hi, g, fast := s.ownedStrip(c); fast {
+			pl.fast, pl.sp, pl.g = true, span{lo, hi}, g
+		}
+	}
+	return pl
+}
+
+// Run executes one pass of the compiled loop. It is semantically identical
+// to the Doall1 call the plan was compiled from (same phase accounting,
+// same communication, same iteration order); every processor of the plan's
+// grid must Run it in the same program order.
+func (pl *Plan1) Run(body func(cc *Ctx, i int)) {
+	c := pl.c
+	phase := pl.prepare()
+	cc := pl.cc
+	if pl.fast {
+		if pl.sp.lo <= pl.sp.hi {
+			eachOwned(pl.r, pl.sp, func(i int) {
+				cc.bindIter(c, pl.g, phase, i)
+				body(cc, i)
+			})
+		}
+	} else {
+		pl.r.Each(func(i int) {
+			if pl.on.Owns(c, i) {
+				cc.bindIter(c, pl.on.IterGrid(c, i), phase, i)
+				body(cc, i)
+			}
+		})
+	}
+	pl.finish()
+}
+
+// Plan2 is a compiled two-dimensional doall header.
+type Plan2 struct {
+	planCore
+	ri, rj Range
+	on     On2
+	sp     [2]span
+}
+
+// Plan2 compiles the header of Doall2(ri, rj, on, opts, ...).
+func (c *Ctx) Plan2(ri, rj Range, on On2, opts ...LoopOpt) *Plan2 {
+	pl := &Plan2{planCore: planCore{c: c, opts: opts, cc: c.reuseChild()}, ri: ri, rj: rj, on: on}
+	if s, ok := on.(strip2); ok {
+		if sp, g, fast := s.ownedStrip2(c); fast {
+			pl.fast, pl.sp, pl.g = true, sp, g
+		}
+	}
+	return pl
+}
+
+// Run executes one pass of the compiled loop; see Plan1.Run.
+func (pl *Plan2) Run(body func(cc *Ctx, i, j int)) {
+	c := pl.c
+	phase := pl.prepare()
+	cc := pl.cc
+	if pl.fast {
+		if !pl.sp[0].empty() && !pl.sp[1].empty() {
+			eachOwned(pl.ri, pl.sp[0], func(i int) {
+				eachOwned(pl.rj, pl.sp[1], func(j int) {
+					cc.bindIter(c, pl.g, phase, i*(pl.rj.Hi+1)+j)
+					body(cc, i, j)
+				})
+			})
+		}
+	} else {
+		pl.ri.Each(func(i int) {
+			pl.rj.Each(func(j int) {
+				if pl.on.Owns(c, i, j) {
+					cc.bindIter(c, pl.on.IterGrid(c, i, j), phase, i*(pl.rj.Hi+1)+j)
+					body(cc, i, j)
+				}
+			})
+		})
+	}
+	pl.finish()
+}
+
+// Plan3 is a compiled three-dimensional doall header.
+type Plan3 struct {
+	planCore
+	ri, rj, rk Range
+	on         On3
+	sp         [3]span
+}
+
+// Plan3 compiles the header of Doall3(ri, rj, rk, on, opts, ...).
+func (c *Ctx) Plan3(ri, rj, rk Range, on On3, opts ...LoopOpt) *Plan3 {
+	pl := &Plan3{planCore: planCore{c: c, opts: opts, cc: c.reuseChild()}, ri: ri, rj: rj, rk: rk, on: on}
+	if s, ok := on.(strip3); ok {
+		if sp, g, fast := s.ownedStrip3(c); fast {
+			pl.fast, pl.sp, pl.g = true, sp, g
+		}
+	}
+	return pl
+}
+
+// Run executes one pass of the compiled loop; see Plan1.Run.
+func (pl *Plan3) Run(body func(cc *Ctx, i, j, k int)) {
+	c := pl.c
+	phase := pl.prepare()
+	cc := pl.cc
+	if pl.fast {
+		if !pl.sp[0].empty() && !pl.sp[1].empty() && !pl.sp[2].empty() {
+			eachOwned(pl.ri, pl.sp[0], func(i int) {
+				eachOwned(pl.rj, pl.sp[1], func(j int) {
+					eachOwned(pl.rk, pl.sp[2], func(k int) {
+						cc.bindIter(c, pl.g, phase, (i*(pl.rj.Hi+1)+j)*(pl.rk.Hi+1)+k)
+						body(cc, i, j, k)
+					})
+				})
+			})
+		}
+	} else {
+		pl.ri.Each(func(i int) {
+			pl.rj.Each(func(j int) {
+				pl.rk.Each(func(k int) {
+					if pl.on.Owns(c, i, j, k) {
+						cc.bindIter(c, pl.on.IterGrid(c, i, j, k), phase, (i*(pl.rj.Hi+1)+j)*(pl.rk.Hi+1)+k)
+						body(cc, i, j, k)
+					}
+				})
+			})
+		})
+	}
+	pl.finish()
+}
+
+// Plan1Owned compiles the header of Doall1Owned(r, a, dim, opts, ...): the
+// owned span of a's dimension dim, iterated on the caller's own grid.
+func (c *Ctx) Plan1Owned(r Range, a *darray.Array, dim int, opts ...LoopOpt) *Plan1Owned {
+	pl := &Plan1Owned{planCore: planCore{c: c, opts: opts, cc: c.reuseChild(), fast: true}, r: r}
+	if a.Participates() {
+		if r.Step < 0 {
+			panic("kf: Doall1Owned requires a positive stride")
+		}
+		pl.sp = span{a.Lower(dim), a.Upper(dim)}
+	} else {
+		pl.sp = span{0, -1}
+	}
+	return pl
+}
+
+// Plan1Owned is a compiled Doall1Owned header.
+type Plan1Owned struct {
+	planCore
+	r  Range
+	sp span
+}
+
+// Run executes one pass of the compiled loop; see Plan1.Run.
+func (pl *Plan1Owned) Run(body func(cc *Ctx, i int)) {
+	c := pl.c
+	phase := pl.prepare()
+	if pl.sp.lo <= pl.sp.hi {
+		cc := pl.cc
+		// The iteration grid is the caller's own grid, read at Run time:
+		// a plan cached on a reusable child context must track that
+		// context's current binding.
+		eachOwned(pl.r, pl.sp, func(i int) {
+			cc.bindIter(c, c.G, phase, i)
+			body(cc, i)
+		})
+	}
+	pl.finish()
+}
+
+// --- Transparent plan caching for the Doall entry points -----------------
+
+// maxKeyOpts bounds how many loop options a cacheable doall may carry;
+// loops with more (none exist today) fall back to uncached execution.
+const maxKeyOpts = 3
+
+// optKey canonicalizes one Reads/ReadsNoHalo option for cache keying: the
+// array view identity, whether halos are exchanged, and which dimensions.
+type optKey struct {
+	arr      *darray.Array
+	exchange bool
+	ndims    int8
+	dims     [3]int8
+}
+
+// planKey identifies a doall header: loop ranges, the on-clause (kind +
+// array view + dimension), and the canonicalized options. Array views are
+// immutable, so a key's meaning never changes.
+type planKey struct {
+	arity      int8
+	onKind     int8
+	onDim      int8
+	nopts      int8
+	onArr      *darray.Array
+	ri, rj, rk Range
+	opts       [maxKeyOpts]optKey
+}
+
+// On-clause kinds representable in a planKey.
+const (
+	okOwner1 int8 = iota + 1
+	okOwnerSection
+	okOwner2
+	okOwner3
+	okOwned1
+)
+
+// optsKey canonicalizes a doall's options; ok is false when some option is
+// not a Reads/ReadsNoHalo (an unknown LoopOpt implementation cannot be
+// compared for cache identity, so such loops run uncached).
+func optsKey(opts []LoopOpt) (k [maxKeyOpts]optKey, n int8, ok bool) {
+	if len(opts) > maxKeyOpts {
+		return k, 0, false
+	}
+	for i, o := range opts {
+		r, isReads := o.(*reads)
+		if !isReads || len(r.dims) > 3 {
+			return k, 0, false
+		}
+		ek := optKey{arr: r.a, exchange: r.exchange, ndims: int8(len(r.dims))}
+		for j, d := range r.dims {
+			if d < 0 || d > 63 {
+				return k, 0, false
+			}
+			ek.dims[j] = int8(d)
+		}
+		k[i] = ek
+	}
+	return k, int8(len(opts)), true
+}
+
+// maxCachedPlans bounds the per-context plan cache: programs that
+// construct unbounded streams of distinct arrays (and doall over each
+// once) stop caching rather than retaining every header forever. Beyond
+// the cap, doalls compile a fresh plan per call — the pre-caching cost.
+const maxCachedPlans = 256
+
+// plans returns the per-context plan cache, creating it on first use.
+func (c *Ctx) planCache() map[planKey]any {
+	if c.plans == nil {
+		c.plans = make(map[planKey]any)
+	}
+	return c.plans
+}
+
+// cachePlan stores a compiled plan unless the cache is at capacity.
+func (c *Ctx) cachePlan(cache map[planKey]any, key planKey, pl any) {
+	if len(cache) < maxCachedPlans {
+		cache[key] = pl
+	}
+}
+
+func (c *Ctx) plan1For(r Range, on On1, opts []LoopOpt) *Plan1 {
+	var key planKey
+	switch o := on.(type) {
+	case onOwner1:
+		key.onKind, key.onArr = okOwner1, o.a
+	case onOwnerSection:
+		if o.dim > 63 {
+			return nil
+		}
+		key.onKind, key.onArr, key.onDim = okOwnerSection, o.a, int8(o.dim)
+	default:
+		return nil
+	}
+	keyOpts, n, ok := optsKey(opts)
+	if !ok {
+		return nil
+	}
+	key.arity, key.ri, key.opts, key.nopts = 1, r, keyOpts, n
+	cache := c.planCache()
+	if v, hit := cache[key]; hit {
+		return v.(*Plan1)
+	}
+	pl := c.Plan1(r, on, opts...)
+	c.cachePlan(cache, key, pl)
+	return pl
+}
+
+func (c *Ctx) plan2For(ri, rj Range, on On2, opts []LoopOpt) *Plan2 {
+	o, isOwner := on.(onOwner2)
+	if !isOwner {
+		return nil
+	}
+	keyOpts, n, ok := optsKey(opts)
+	if !ok {
+		return nil
+	}
+	key := planKey{arity: 2, onKind: okOwner2, onArr: o.a, ri: ri, rj: rj, opts: keyOpts, nopts: n}
+	cache := c.planCache()
+	if v, hit := cache[key]; hit {
+		return v.(*Plan2)
+	}
+	pl := c.Plan2(ri, rj, on, opts...)
+	c.cachePlan(cache, key, pl)
+	return pl
+}
+
+func (c *Ctx) plan3For(ri, rj, rk Range, on On3, opts []LoopOpt) *Plan3 {
+	o, isOwner := on.(onOwner3)
+	if !isOwner {
+		return nil
+	}
+	keyOpts, n, ok := optsKey(opts)
+	if !ok {
+		return nil
+	}
+	key := planKey{arity: 3, onKind: okOwner3, onArr: o.a, ri: ri, rj: rj, rk: rk, opts: keyOpts, nopts: n}
+	cache := c.planCache()
+	if v, hit := cache[key]; hit {
+		return v.(*Plan3)
+	}
+	pl := c.Plan3(ri, rj, rk, on, opts...)
+	c.cachePlan(cache, key, pl)
+	return pl
+}
+
+func (c *Ctx) plan1OwnedFor(r Range, a *darray.Array, dim int, opts []LoopOpt) *Plan1Owned {
+	if dim > 63 {
+		return nil
+	}
+	keyOpts, n, ok := optsKey(opts)
+	if !ok {
+		return nil
+	}
+	key := planKey{arity: 1, onKind: okOwned1, onArr: a, onDim: int8(dim), ri: r, opts: keyOpts, nopts: n}
+	cache := c.planCache()
+	if v, hit := cache[key]; hit {
+		return v.(*Plan1Owned)
+	}
+	pl := c.Plan1Owned(r, a, dim, opts...)
+	c.cachePlan(cache, key, pl)
+	return pl
+}

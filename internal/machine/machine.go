@@ -35,9 +35,9 @@ type Machine struct {
 	procs []*Proc
 	boxes []mailbox // one per processor, individually locked
 
-	dmu     sync.Mutex // guards blocked and live
-	blocked int        // processors currently waiting in Recv
-	live    int        // processors still executing the current Run body
+	dmu     sync.Mutex  // guards blocked and live
+	blocked int         // processors currently waiting in Recv
+	live    int         // processors still executing the current Run body
 	down    atomic.Bool // deadlock detected or abort requested
 }
 

@@ -48,6 +48,10 @@ type Proc struct {
 	// keeps every pool balanced, so steady-state messaging allocates
 	// nothing.
 	pool [][]float64
+	// scratch holds per-processor state registered by runtime subsystems
+	// (solver scratch, compiled schedules) so derived state survives
+	// across calls without globals or locks. See Scratch.
+	scratch map[any]any
 }
 
 // poolCap bounds how many spare buffers a processor keeps; beyond it,
@@ -81,6 +85,26 @@ func (p *Proc) ReleaseBuf(buf []float64) {
 		return
 	}
 	p.pool = append(p.pool, buf)
+}
+
+// Scratch returns the processor's scratch value registered under key,
+// creating it with mk on first use. It is the pool hook runtime subsystems
+// use to keep reusable buffers and compiled state per simulated processor
+// (the tridiagonal solver's line-solve scratch, for example) without
+// package-level globals. Only the owning goroutine may call it.
+//
+// Scratch values survive Machine.Run resets — like the message buffer pool
+// they must hold only reusable capacity, never per-Run semantic state.
+func (p *Proc) Scratch(key any, mk func() any) any {
+	if v, ok := p.scratch[key]; ok {
+		return v
+	}
+	if p.scratch == nil {
+		p.scratch = make(map[any]any)
+	}
+	v := mk()
+	p.scratch[key] = v
+	return v
 }
 
 func newProc(m *Machine, rank int) *Proc {

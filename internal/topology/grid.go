@@ -22,7 +22,39 @@ const All = -1
 type Grid struct {
 	shape   []int
 	strides []int
-	base    int // rank of the grid's origin in the parent machine
+	base    int   // rank of the grid's origin in the parent machine
+	order   []int // dimensions sorted by stride, descending (see coordInto)
+}
+
+// finish precomputes the stride-descending dimension order used by
+// coordinate decomposition, so CoordOf/Index/Contains do not re-sort (or
+// allocate the order) per call.
+func (g *Grid) finish() *Grid {
+	g.order = make([]int, 0, len(g.shape))
+	return g.finishInto()
+}
+
+// maxDims bounds the grid dimensionality served by the stack-allocated
+// coordinate buffers of Index and Contains.
+const maxDims = 8
+
+// coordInto writes the grid coordinate of the given machine rank into
+// coord (which must have length Dims()) and reports whether the rank
+// belongs to the grid. It never allocates.
+func (g *Grid) coordInto(rank int, coord []int) bool {
+	rem := rank - g.base
+	for _, d := range g.order {
+		if rem < 0 {
+			return false
+		}
+		c := rem / g.strides[d]
+		if c >= g.shape[d] {
+			return false
+		}
+		coord[d] = c
+		rem -= c * g.strides[d]
+	}
+	return rem == 0
 }
 
 // New returns a grid of the given shape covering machine ranks
@@ -45,7 +77,7 @@ func New(shape ...int) *Grid {
 		g.strides[d] = stride
 		stride *= shape[d]
 	}
-	return g
+	return g.finish()
 }
 
 // New1D returns a one-dimensional grid of p processors (ranks 0..p-1).
@@ -109,37 +141,13 @@ func (g *Grid) Ranks() []int {
 }
 
 // CoordOf returns the grid coordinate of the given machine rank and whether
-// the rank belongs to the grid.
+// the rank belongs to the grid. Coordinate decomposition peels dimensions
+// in decreasing-stride order (strides are strictly decreasing products for
+// contiguous grids, but sliced grids keep parent strides; the precomputed
+// order handles the general case).
 func (g *Grid) CoordOf(rank int) ([]int, bool) {
-	rem := rank - g.base
 	coord := make([]int, len(g.shape))
-	// Peel dimensions in stride order (largest stride first is not
-	// guaranteed after slicing, so solve greedily in declaration order:
-	// strides are strictly decreasing products for contiguous grids, but
-	// sliced grids keep parent strides; handle the general case by
-	// checking divisibility per dimension in decreasing-stride order).
-	order := make([]int, len(g.shape))
-	for i := range order {
-		order[i] = i
-	}
-	// Insertion sort by stride, descending; dims count is tiny.
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && g.strides[order[j-1]] < g.strides[order[j]]; j-- {
-			order[j-1], order[j] = order[j], order[j-1]
-		}
-	}
-	for _, d := range order {
-		if rem < 0 {
-			return nil, false
-		}
-		c := rem / g.strides[d]
-		if c >= g.shape[d] {
-			return nil, false
-		}
-		coord[d] = c
-		rem -= c * g.strides[d]
-	}
-	if rem != 0 {
+	if !g.coordInto(rank, coord) {
 		return nil, false
 	}
 	return coord, true
@@ -147,22 +155,31 @@ func (g *Grid) CoordOf(rank int) ([]int, bool) {
 
 // Contains reports whether the machine rank belongs to the grid.
 func (g *Grid) Contains(rank int) bool {
-	_, ok := g.CoordOf(rank)
-	return ok
+	var buf [maxDims]int
+	if len(g.shape) > maxDims {
+		_, ok := g.CoordOf(rank)
+		return ok
+	}
+	return g.coordInto(rank, buf[:len(g.shape)])
 }
 
 // Index returns the row-major enumeration index of the given machine rank
 // within the grid, and whether the rank belongs to the grid. It is the
-// inverse of RankAt.
+// inverse of RankAt and never allocates.
 func (g *Grid) Index(rank int) (int, bool) {
-	coord, ok := g.CoordOf(rank)
-	if !ok {
+	var buf [maxDims]int
+	var coord []int
+	if len(g.shape) > maxDims {
+		coord = make([]int, len(g.shape))
+	} else {
+		coord = buf[:len(g.shape)]
+	}
+	if !g.coordInto(rank, coord) {
 		return 0, false
 	}
 	idx := 0
 	for d, c := range coord {
 		idx = idx*g.shape[d] + c
-		_ = d
 	}
 	return idx, true
 }
@@ -178,25 +195,54 @@ func (g *Grid) Slice(spec ...int) *Grid {
 	if len(spec) != len(g.shape) {
 		panic(fmt.Sprintf("topology: slice spec %v does not match grid shape %v", spec, g.shape))
 	}
-	sub := &Grid{base: g.base}
+	keep := 0
 	for d, s := range spec {
 		switch {
 		case s == All:
-			sub.shape = append(sub.shape, g.shape[d])
-			sub.strides = append(sub.strides, g.strides[d])
+			keep++
 		case s >= 0 && s < g.shape[d]:
-			sub.base += s * g.strides[d]
 		default:
 			panic(fmt.Sprintf("topology: slice index %d out of dimension %d (extent %d)", s, d, g.shape[d]))
 		}
 	}
-	if len(sub.shape) == 0 {
+	sub := &Grid{base: g.base}
+	if keep == 0 {
 		// Fully fixed: a single-processor grid, kept one-dimensional so
 		// it can still host undistributed work.
-		sub.shape = []int{1}
-		sub.strides = []int{1}
+		keep = 1
 	}
-	return sub
+	// One backing array for shape, strides and the decomposition order:
+	// grids are built per section view, so construction stays cheap.
+	backing := make([]int, 3*keep)
+	sub.shape = backing[:0:keep]
+	sub.strides = backing[keep : keep : 2*keep]
+	for d, s := range spec {
+		if s == All {
+			sub.shape = append(sub.shape, g.shape[d])
+			sub.strides = append(sub.strides, g.strides[d])
+		} else {
+			sub.base += s * g.strides[d]
+		}
+	}
+	if len(sub.shape) == 0 {
+		sub.shape = append(sub.shape, 1)
+		sub.strides = append(sub.strides, 1)
+	}
+	sub.order = backing[2*keep : 2*keep : 3*keep]
+	return sub.finishInto()
+}
+
+// finishInto is finish for grids whose order slice is already allocated.
+func (g *Grid) finishInto() *Grid {
+	for i := range g.shape {
+		g.order = append(g.order, i)
+	}
+	for i := 1; i < len(g.order); i++ {
+		for j := i; j > 0 && g.strides[g.order[j-1]] < g.strides[g.order[j]]; j-- {
+			g.order[j-1], g.order[j] = g.order[j], g.order[j-1]
+		}
+	}
+	return g
 }
 
 // Row returns the i-th row of a 2-D grid: Slice(i, All).

@@ -52,6 +52,109 @@ const (
 	partSubst  = 2 // solved pairs flowing down the tree
 )
 
+// solverScratch pools the solver's per-call state on one simulated
+// processor — line-solve coefficient slices, the systems slice, the saved
+// reduced blocks and the tree-role lists — registered via Proc.Scratch so
+// iterative drivers (ADI sweeps, multigrid line smoothers) reuse it across
+// thousands of line solves instead of reallocating per system.
+type solverScratch struct {
+	bufs    [][]float64
+	systems []localSystem
+	saved   map[[2]int]*treeBlock
+	blocks  []*treeBlock
+	roles   map[[3]int][][2]int // (mapping, grid index, k) -> cached role list
+}
+
+// scratchKey is the Proc.Scratch registration key of this package.
+type scratchKey struct{}
+
+func scratchOf(p *machine.Proc) *solverScratch {
+	return p.Scratch(scratchKey{}, func() any {
+		return &solverScratch{
+			saved:  make(map[[2]int]*treeBlock),
+			bufs:   make([][]float64, 0, 16),
+			blocks: make([]*treeBlock, 0, 8),
+		}
+	}).(*solverScratch)
+}
+
+// take returns a float64 slice of length n with unspecified contents,
+// reusing pooled capacity when possible; give returns one to the pool.
+func (s *solverScratch) take(n int) []float64 {
+	for i := len(s.bufs) - 1; i >= 0; i-- {
+		if cap(s.bufs[i]) >= n {
+			b := s.bufs[i]
+			last := len(s.bufs) - 1
+			s.bufs[i] = s.bufs[last]
+			s.bufs[last] = nil
+			s.bufs = s.bufs[:last]
+			return b[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func (s *solverScratch) give(b []float64) {
+	if cap(b) > 0 {
+		s.bufs = append(s.bufs, b)
+	}
+}
+
+func (s *solverScratch) takeBlock() *treeBlock {
+	if k := len(s.blocks); k > 0 {
+		tb := s.blocks[k-1]
+		s.blocks = s.blocks[:k-1]
+		return tb
+	}
+	return &treeBlock{}
+}
+
+func (s *solverScratch) giveBlock(tb *treeBlock) { s.blocks = append(s.blocks, tb) }
+
+// rolesOf returns the (cached) tree duties of grid index me.
+func (s *solverScratch) rolesOf(mapping Mapping, me, k int) [][2]int {
+	key := [3]int{int(mapping), me, k}
+	if r, ok := s.roles[key]; ok {
+		return r
+	}
+	if s.roles == nil {
+		s.roles = make(map[[3]int][][2]int)
+	}
+	r := mapping.roles(me, k)
+	s.roles[key] = r
+	return r
+}
+
+// takeSystems returns a reusable localSystem slice of length n. The slice
+// is checked out of the scratch (nested solves fall back to a fresh
+// allocation) and returned by releaseSystems.
+func takeSystems(p *machine.Proc, n int) []localSystem {
+	s := scratchOf(p)
+	sys := s.systems
+	s.systems = nil
+	if cap(sys) < n {
+		sys = make([]localSystem, n)
+	}
+	return sys[:n]
+}
+
+// releaseSystems returns every line-solve slice and the systems slice
+// itself to the processor's pool. Call it only after the solutions have
+// been copied out of the systems.
+func releaseSystems(p *machine.Proc, systems []localSystem) {
+	s := scratchOf(p)
+	for j := range systems {
+		sys := &systems[j]
+		s.give(sys.b)
+		s.give(sys.a)
+		s.give(sys.c)
+		s.give(sys.f)
+		s.give(sys.x)
+		systems[j] = localSystem{}
+	}
+	s.systems = systems[:0]
+}
+
 // log2Exact returns log2(p) for exact powers of two and ok=false otherwise.
 func log2Exact(p int) (int, bool) {
 	if p <= 0 || p&(p-1) != 0 {
@@ -94,8 +197,14 @@ func solvePipeline(p *machine.Proc, g *topology.Grid, sc machine.Scope, systems 
 		}
 	}
 
-	roles := mapping.roles(me, k)
-	saved := make(map[[2]int]*treeBlock) // (level, system) -> reduced block
+	scr := scratchOf(p)
+	roles := scr.rolesOf(mapping, me, k)
+	// saved maps (level, system) -> reduced block. The map lives in the
+	// processor's scratch: every entry is deleted during substitution, so
+	// it is empty between calls (cleared defensively in case an aborted
+	// run left entries behind).
+	saved := scr.saved
+	clear(saved)
 	scopeOf := func(j, level int) machine.Scope { return sc.Child(level, j) }
 
 	// sendUp mails a block's two boundary rows to the level above, in a
@@ -162,7 +271,7 @@ func solvePipeline(p *machine.Proc, g *topology.Grid, sc machine.Scope, systems 
 			level, blk := role[0], role[1]
 			if j := t - level; j >= 0 && j < m {
 				rows := recvRows(j, level, blk)
-				tb := &treeBlock{}
+				tb := scr.takeBlock()
 				for r := 0; r < 4; r++ {
 					tb.b[r], tb.a[r], tb.c[r], tb.f[r] = rows[r][0], rows[r][1], rows[r][2], rows[r][3]
 				}
@@ -195,6 +304,7 @@ func solvePipeline(p *machine.Proc, g *topology.Grid, sc machine.Scope, systems 
 				var x4 [4]float64
 				kernels.BackSubstitute(p, tb.b[:], tb.a[:], tb.c[:], tb.f[:], xF, xL, x4[:])
 				sendDown(j, level, blk, x4)
+				scr.giveBlock(tb)
 			}
 		}
 		// 5. Local back-substitution of system t-2k (all processors).

@@ -13,16 +13,19 @@ import (
 // buildLocal copies the owned rows of the 1-D arrays into a localSystem.
 // Constant-coefficient systems pass b0/a0/c0 with nil coefficient arrays,
 // mirroring the paper's tric. The first and last global rows get zeroed
-// outer couplings.
+// outer couplings. The five slices come from the processor's pooled solver
+// scratch; callers return them with releaseSystems once the solution has
+// been copied out.
 func buildLocal(p *machine.Proc, x, f, b, a, cc *darray.Array, b0, a0, c0 float64) localSystem {
 	n := f.Extent(0)
 	ln := f.LocalSize(0)
+	scr := scratchOf(p)
 	sys := localSystem{
-		b: make([]float64, ln),
-		a: make([]float64, ln),
-		c: make([]float64, ln),
-		f: make([]float64, ln),
-		x: make([]float64, ln),
+		b: scr.take(ln),
+		a: scr.take(ln),
+		c: scr.take(ln),
+		f: scr.take(ln),
+		x: scr.take(ln),
 	}
 	f.CopyOwned1(sys.f)
 	if b != nil {
@@ -64,22 +67,27 @@ func TriC(c *kf.Ctx, x, f *darray.Array, b0, a0, c0 float64) error {
 }
 
 func solveOne(c *kf.Ctx, sys localSystem, x *darray.Array) error {
-	if err := solvePipeline(c.P, c.G, c.NextScope(), []localSystem{sys}, false, ShuffleMapping); err != nil {
+	systems := takeSystems(c.P, 1)
+	systems[0] = sys
+	if err := solvePipeline(c.P, c.G, c.NextScope(), systems, false, ShuffleMapping); err != nil {
 		return err
 	}
-	x.SetOwned1(sys.x)
-	c.P.Compute(len(sys.x))
+	x.SetOwned1(systems[0].x)
+	c.P.Compute(len(systems[0].x))
+	releaseSystems(c.P, systems)
 	return nil
 }
 
 // TriTraced is Tri with step marks emitted into the machine's trace sink,
 // used by the Figure 3 and Figure 5 generators.
 func TriTraced(c *kf.Ctx, x, f, b, a, cc *darray.Array) error {
-	sys := buildLocal(c.P, x, f, b, a, cc, 0, 0, 0)
-	if err := solvePipeline(c.P, c.G, c.NextScope(), []localSystem{sys}, true, ShuffleMapping); err != nil {
+	systems := takeSystems(c.P, 1)
+	systems[0] = buildLocal(c.P, x, f, b, a, cc, 0, 0, 0)
+	if err := solvePipeline(c.P, c.G, c.NextScope(), systems, true, ShuffleMapping); err != nil {
 		return err
 	}
-	x.SetOwned1(sys.x)
+	x.SetOwned1(systems[0].x)
+	releaseSystems(c.P, systems)
 	return nil
 }
 
@@ -98,7 +106,7 @@ func MTriCTraced(c *kf.Ctx, xs, fs []*darray.Array, b0, a0, c0 float64, marks bo
 	if len(xs) != len(fs) {
 		return fmt.Errorf("tridiag: %d solution arrays for %d right-hand sides", len(xs), len(fs))
 	}
-	systems := make([]localSystem, len(xs))
+	systems := takeSystems(c.P, len(xs))
 	for j := range xs {
 		systems[j] = buildLocal(c.P, xs[j], fs[j], nil, nil, nil, b0, a0, c0)
 	}
@@ -109,6 +117,7 @@ func MTriCTraced(c *kf.Ctx, xs, fs []*darray.Array, b0, a0, c0 float64, marks bo
 		xs[j].SetOwned1(systems[j].x)
 		c.P.Compute(len(systems[j].x))
 	}
+	releaseSystems(c.P, systems)
 	return nil
 }
 
@@ -118,7 +127,9 @@ func MTriCTraced(c *kf.Ctx, xs, fs []*darray.Array, b0, a0, c0 float64, marks bo
 // nodes. Grid and scope are explicit so it can run inside doall bodies
 // whose context is already bound to the line's grid slice.
 func TriCDirichletOn(p *machine.Proc, g *topology.Grid, sc machine.Scope, x, f *darray.Array, b0, a0, c0 float64) error {
-	sys := buildLocal(p, x, f, nil, nil, nil, b0, a0, c0)
+	systems := takeSystems(p, 1)
+	systems[0] = buildLocal(p, x, f, nil, nil, nil, b0, a0, c0)
+	sys := &systems[0]
 	n := f.Extent(0)
 	if ln := len(sys.a); ln > 0 {
 		if f.Lower(0) == 0 {
@@ -128,11 +139,12 @@ func TriCDirichletOn(p *machine.Proc, g *topology.Grid, sc machine.Scope, x, f *
 			sys.b[ln-1], sys.a[ln-1], sys.c[ln-1], sys.f[ln-1] = 0, 1, 0, 0
 		}
 	}
-	if err := solvePipeline(p, g, sc, []localSystem{sys}, false, ShuffleMapping); err != nil {
+	if err := solvePipeline(p, g, sc, systems, false, ShuffleMapping); err != nil {
 		return err
 	}
 	x.SetOwned1(sys.x)
 	p.Compute(len(sys.x))
+	releaseSystems(p, systems)
 	return nil
 }
 
@@ -144,7 +156,7 @@ func MTriCOn(p *machine.Proc, g *topology.Grid, sc machine.Scope, xs, fs []*darr
 	if len(xs) != len(fs) {
 		return fmt.Errorf("tridiag: %d solution arrays for %d right-hand sides", len(xs), len(fs))
 	}
-	systems := make([]localSystem, len(xs))
+	systems := takeSystems(p, len(xs))
 	for j := range xs {
 		systems[j] = buildLocal(p, xs[j], fs[j], nil, nil, nil, b0, a0, c0)
 	}
@@ -155,13 +167,14 @@ func MTriCOn(p *machine.Proc, g *topology.Grid, sc machine.Scope, xs, fs []*darr
 		xs[j].SetOwned1(systems[j].x)
 		p.Compute(len(systems[j].x))
 	}
+	releaseSystems(p, systems)
 	return nil
 }
 
 // MTri is the variable-coefficient pipelined solver: system j has
 // coefficient arrays bs[j], as[j], cs[j].
 func MTri(c *kf.Ctx, xs, fs, bs, as, cs []*darray.Array) error {
-	systems := make([]localSystem, len(xs))
+	systems := takeSystems(c.P, len(xs))
 	for j := range xs {
 		systems[j] = buildLocal(c.P, xs[j], fs[j], bs[j], as[j], cs[j], 0, 0, 0)
 	}
@@ -172,6 +185,7 @@ func MTri(c *kf.Ctx, xs, fs, bs, as, cs []*darray.Array) error {
 		xs[j].SetOwned1(systems[j].x)
 		c.P.Compute(len(systems[j].x))
 	}
+	releaseSystems(c.P, systems)
 	return nil
 }
 
@@ -236,7 +250,7 @@ func MTriCMapped(c *kf.Ctx, xs, fs []*darray.Array, b0, a0, c0 float64, mapping 
 	if len(xs) != len(fs) {
 		return fmt.Errorf("tridiag: %d solution arrays for %d right-hand sides", len(xs), len(fs))
 	}
-	systems := make([]localSystem, len(xs))
+	systems := takeSystems(c.P, len(xs))
 	for j := range xs {
 		systems[j] = buildLocal(c.P, xs[j], fs[j], nil, nil, nil, b0, a0, c0)
 	}
@@ -247,5 +261,6 @@ func MTriCMapped(c *kf.Ctx, xs, fs []*darray.Array, b0, a0, c0 float64, mapping 
 		xs[j].SetOwned1(systems[j].x)
 		c.P.Compute(len(systems[j].x))
 	}
+	releaseSystems(c.P, systems)
 	return nil
 }
