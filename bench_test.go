@@ -115,6 +115,10 @@ func BenchmarkE9InspectorExecutor(b *testing.B) {
 // round trip (mailbox, virtual clocks, tracing off).
 func BenchmarkMachinePingPong(b *testing.B) { benchkit.MachinePingPong(b) }
 
+// BenchmarkMachinePingPongFederated measures the same round trip across a
+// federation link (per-node mailbox + link counters).
+func BenchmarkMachinePingPongFederated(b *testing.B) { benchkit.MachinePingPongFederated(b) }
+
 // BenchmarkHaloExchange2D measures one ghost exchange of a 256x256 block
 // array on a 2x2 grid.
 func BenchmarkHaloExchange2D(b *testing.B) { benchkit.HaloExchange2D(b) }
@@ -163,6 +167,12 @@ func BenchmarkTriParallel8(b *testing.B) {
 // BenchmarkJacobiKF1Iteration measures one KF1 Jacobi iteration, n=64 on a
 // 2x2 grid.
 func BenchmarkJacobiKF1Iteration(b *testing.B) { benchkit.JacobiKF1Iteration(b) }
+
+// BenchmarkJacobi64Proc and BenchmarkJacobi256Proc measure one KF1 Jacobi
+// iteration at 64 (shared transport) and 256 (federated transport)
+// simulated processors.
+func BenchmarkJacobi64Proc(b *testing.B)  { benchkit.Jacobi64Proc(b) }
+func BenchmarkJacobi256Proc(b *testing.B) { benchkit.Jacobi256Proc(b) }
 
 func BenchmarkA1MappingAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {

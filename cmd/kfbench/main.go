@@ -11,8 +11,9 @@
 //	kfbench -bench -o B.json -compare A.json   # ... and fail on regressions
 //
 // The -bench mode measures the host-side cost of the runtime's hot paths
-// (halo exchange, ADI, Jacobi at 4 and 64 processors, message ping-pong)
-// with allocation counts and writes a JSON snapshot, so successive PRs
+// (halo exchange, ADI, Jacobi at 4, 64 and 256 processors, message
+// ping-pong over the shared and federated transports) with allocation
+// counts and writes a JSON snapshot, so successive PRs
 // accumulate a perf trajectory that can be diffed mechanically. With
 // -compare the snapshot is diffed against a previous BENCH_<n>.json and the
 // command exits nonzero when any benchmark's allocs/op grew, or its ns/op

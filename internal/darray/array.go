@@ -112,6 +112,7 @@ type Array struct {
 	secs        map[sectionKey]*Array   // Section views by (dim, index)
 	haloScheds  map[int]*sched.Schedule // compiled halo exchanges by dims key
 	gatherPlans map[int]*gatherPlan     // compiled gathers by root index
+	sig         string                  // memoized layout signature (see layoutSig)
 
 	// Owned-walk scratch, bound on first use (to the inline buffers below
 	// when the dimensionality fits) and reused by every subsequent

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/machine"
+	"repro/internal/sched"
 	"repro/internal/topology"
 )
 
@@ -298,6 +299,42 @@ func (a *Array) SetOwned1(src []float64) {
 	}
 }
 
+// IndexRuns1 compiles a list of owned global indices of a one-dimensional
+// array (or section) into contiguous storage runs, merging adjacent
+// offsets: a sorted index list over a contiguously owned stride-1
+// dimension collapses into O(gaps) runs, while strided layouts (a cyclic
+// dimension, a section with a fixed innermost dimension) degenerate to
+// per-index runs. It is the inspector half behind run-coalesced irregular
+// serves: compile once, then PackRuns per pass. Every index must be owned
+// by the calling processor.
+func (a *Array) IndexRuns1(indices []int) []sched.Run {
+	a.mustParticipate()
+	if a.Dims() != 1 {
+		panic("darray: IndexRuns1 requires a 1-D array or section")
+	}
+	if len(indices) == 0 {
+		return nil
+	}
+	runs := make([]sched.Run, 0, 8)
+	for _, i := range indices {
+		runs = appendRun(runs, a.fixedOff+a.woff(0, i))
+	}
+	return runs
+}
+
+// PackRuns copies the values of the given storage runs into dst in run
+// order — the executor half of a compiled irregular serve — and returns
+// the number of values copied. dst must hold them all.
+func (a *Array) PackRuns(runs []sched.Run, dst []float64) int {
+	a.mustParticipate()
+	data := a.st.data
+	k := 0
+	for _, r := range runs {
+		k += copy(dst[k:], data[r.Off:r.Off+r.Len])
+	}
+	return k
+}
+
 // GatherTo assembles the full array (or section) on the processor at
 // row-major index rootIdx of the array's grid, returning a dense row-major
 // slice of the free dimensions there and nil on all other processors. Every
@@ -449,6 +486,11 @@ func (a *Array) memberOwnedEach(m int, visit func(idx []int)) {
 // This is the mechanism behind the paper's claim C3: changing a dist clause
 // is a one-line change, and the "compiler" (here, this routine) re-derives
 // all communication.
+//
+// The move schedule is compiled once per (source layout, destination
+// layout) pair and cached on the processor, so repeated ping-pong
+// redistribution between two layouts (an out-of-place FFT transpose, say)
+// replays the compiled data motion instead of re-deriving it per call.
 func (a *Array) Redistribute(sc machine.Scope, g *topology.Grid, spec Spec) *Array {
 	b := NewOn(a.st.p, g, spec)
 	moveContents(sc, a, b)
@@ -465,7 +507,7 @@ func moveContents(sc machine.Scope, src, dst *Array) {
 		}
 	}
 	if scheduling {
-		s := compileMove(src, dst)
+		s := moveScheduleFor(src, dst)
 		var srcData, dstData []float64
 		if src.st.member {
 			srcData = src.st.data

@@ -1,0 +1,286 @@
+package darray
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+// Randomized schedule-equivalence suite: hundreds of seeded cases draw a
+// grid, an array layout (Block/Cyclic/BlockAligned/Star dimensions, random
+// extents and halos, optional sections) and a program built from
+// ExchangeHalo, GatherTo and Redistribute, then require the compiled
+// schedule replay to be bit-identical — values, message counts, byte
+// counts, per-processor virtual times — to the direct derivation it was
+// compiled from. This is the fuzz layer over the hand-picked cases in
+// sched_equiv_test.go: layouts nobody thought to write down still must not
+// diverge.
+
+// fzRng is a splitmix64 generator; cases derive everything from one seed so
+// every simulated processor (and both runs of a case) sees one layout.
+type fzRng struct{ s uint64 }
+
+func (r *fzRng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *fzRng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// fzCase is one generated scenario, fixed before the machine runs.
+type fzCase struct {
+	gridShape  []int
+	spec       Spec
+	respec     Spec // redistribute target (same extents)
+	secDim     int  // dimension fixed by the section op, -1 for none
+	secIdx     int
+	gatherRoot int
+	seed       uint64
+}
+
+// genCase draws a random but always-legal scenario: the number of non-Star
+// dimensions equals the grid dimensionality (or is zero), halos only sit on
+// contiguous distributions.
+func genCase(r *fzRng) fzCase {
+	gdims := 1 + r.intn(2)
+	shape := make([]int, gdims)
+	for i := range shape {
+		shape[i] = 2 + r.intn(2)
+	}
+	nd := gdims + r.intn(4-gdims)
+	if nd > 3 {
+		nd = 3
+	}
+
+	drawDists := func(withHalo bool) ([]dist.Dist, []int) {
+		// Choose which dims carry the grid axes: gdims distinct dims,
+		// in ascending order (axes are assigned in dim order).
+		distributed := make([]bool, nd)
+		if r.intn(10) > 0 { // 10%: fully replicated (all Star)
+			left := gdims
+			for d := 0; d < nd; d++ {
+				if left > 0 && (nd-d == left || r.intn(2) == 1) {
+					distributed[d] = true
+					left--
+				}
+			}
+		}
+		dists := make([]dist.Dist, nd)
+		halos := make([]int, nd)
+		for d := 0; d < nd; d++ {
+			if !distributed[d] {
+				dists[d] = dist.Star{}
+				continue
+			}
+			switch r.intn(4) {
+			case 0, 1:
+				dists[d] = dist.Block{}
+			case 2:
+				dists[d] = dist.Cyclic{}
+			case 3:
+				s := 2 << r.intn(2) // stride 2 or 4
+				dists[d] = dist.BlockAligned{RootExtent: 0, Stride: s}
+			}
+			if _, contig := dists[d].(dist.Contiguous); contig && withHalo {
+				halos[d] = r.intn(3)
+			}
+		}
+		return dists, halos
+	}
+
+	extents := make([]int, nd)
+	for d := range extents {
+		extents[d] = 1 + r.intn(12)
+	}
+	bindAligned := func(dists []dist.Dist) {
+		for d, dd := range dists {
+			if ba, ok := dd.(dist.BlockAligned); ok {
+				ba.RootExtent = extents[d] * ba.Stride
+				dists[d] = ba
+			}
+		}
+	}
+	dists, halos := drawDists(true)
+	bindAligned(dists)
+	reDists, reHalos := drawDists(true)
+	bindAligned(reDists)
+
+	gsize := 1
+	for _, s := range shape {
+		gsize *= s
+	}
+	c := fzCase{
+		gridShape:  shape,
+		spec:       Spec{Extents: extents, Dists: dists, Halo: halos},
+		respec:     Spec{Extents: extents, Dists: reDists, Halo: reHalos},
+		secDim:     -1,
+		gatherRoot: r.intn(gsize),
+		seed:       r.next(),
+	}
+	if nd >= 2 && r.intn(2) == 1 {
+		c.secDim = r.intn(nd)
+		c.secIdx = r.intn(extents[c.secDim])
+	}
+	return c
+}
+
+// runFzCase executes the scenario's collectives on one processor and
+// returns everything observable: local blocks (ghosts included) after each
+// phase and every gather result.
+func (c fzCase) run(p *machine.Proc, g *topology.Grid) []float64 {
+	sc := machine.RootScope().Child(int(c.seed&0xffff), -1)
+	a := New(p, g, c.spec)
+	a.FillOwned(func(idx []int) float64 {
+		v := float64(c.seed % 97)
+		for _, i := range idx {
+			v = v*31 + float64(i)
+		}
+		return v
+	})
+
+	haloed := false
+	for d, h := range c.spec.Halo {
+		if h > 0 && !isStar(c.spec.Dists[d]) {
+			haloed = true
+		}
+	}
+	var out []float64
+	if haloed {
+		a.ExchangeHalo(sc.Child(1, -1))
+		// Mutate owned cells so the second exchange moves fresh data
+		// through the same compiled schedule.
+		a.FillOwned(func(idx []int) float64 { return a.At(idx...) + 1 })
+		a.ExchangeHalo(sc.Child(2, -1))
+		out = append(out, snapshotLocal(a)...)
+	}
+
+	if c.secDim >= 0 {
+		sec := a.Section(c.secDim, c.secIdx)
+		if sec.Participates() {
+			secHalo := false
+			for d, h := range c.spec.Halo {
+				if d != c.secDim && h > 0 && !isStar(c.spec.Dists[d]) {
+					secHalo = true
+				}
+			}
+			if secHalo {
+				sec.ExchangeHalo(sc.Child(3, -1))
+			}
+			if got := sec.GatherTo(sc.Child(4, -1), 0); got != nil {
+				out = append(out, got...)
+			}
+		}
+	}
+
+	if got := a.GatherTo(sc.Child(5, -1), c.gatherRoot); got != nil {
+		out = append(out, got...)
+	}
+
+	b := a.Redistribute(sc.Child(6, -1), g, c.respec)
+	out = append(out, snapshotLocal(b)...)
+	// Ping back to the original layout: the round trip must restore the
+	// owned contents exactly.
+	back := b.Redistribute(sc.Child(7, -1), g, c.spec)
+	out = append(out, snapshotLocal(back)...)
+	return out
+}
+
+func isStar(d dist.Dist) bool {
+	_, ok := d.(dist.Star)
+	return ok
+}
+
+func TestRandomizedScheduleEquivalence(t *testing.T) {
+	cases := 250
+	if testing.Short() {
+		cases = 50
+	}
+	for ci := 0; ci < cases; ci++ {
+		r := &fzRng{s: 0xC0FFEE ^ uint64(ci)*0x9e3779b97f4a7c15}
+		c := genCase(r)
+		name := fmt.Sprintf("case%03d/%v_%s", ci, c.gridShape, specName(c.spec))
+		g := topology.New(c.gridShape...)
+		assertEquivalent(t, name, g.Size(), func(p *machine.Proc) []float64 {
+			return c.run(p, g)
+		})
+		if t.Failed() {
+			t.Fatalf("stopping at first diverging case: %s", name)
+		}
+	}
+}
+
+// TestRandomizedCrossTransport runs a sample of the same scenarios on the
+// federated transport and requires bit-identical outcomes versus the shared
+// one — the darray-level face of the machine package's conformance battery.
+func TestRandomizedCrossTransport(t *testing.T) {
+	cases := 40
+	if testing.Short() {
+		cases = 10
+	}
+	for ci := 0; ci < cases; ci++ {
+		r := &fzRng{s: 0xBEEF ^ uint64(ci)*0xbf58476d1ce4e5b9}
+		c := genCase(r)
+		g := topology.New(c.gridShape...)
+		n := g.Size()
+		run := func(m *machine.Machine) capture {
+			cap := capture{
+				clocks: make([]float64, n),
+				stats:  make([]machine.Stats, n),
+				data:   make([][]float64, n),
+			}
+			err := m.Run(func(p *machine.Proc) error {
+				cap.data[p.Rank()] = c.run(p, g)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("case %d: %v", ci, err)
+			}
+			for i := 0; i < n; i++ {
+				cap.clocks[i] = m.ProcClock(i)
+				cap.stats[i] = m.ProcStats(i)
+			}
+			return cap
+		}
+		shared := run(machine.New(n, machine.IPSC2()))
+		nodes := 1
+		for _, cand := range []int{n, 2} {
+			if n%cand == 0 && cand > 1 {
+				nodes = cand
+			}
+		}
+		fed := run(machine.NewFederated(n, nodes, machine.IPSC2()))
+		for rk := 0; rk < n; rk++ {
+			if shared.clocks[rk] != fed.clocks[rk] || shared.stats[rk] != fed.stats[rk] {
+				t.Fatalf("case %d rank %d: federated transport diverged (clock %v vs %v)",
+					ci, rk, shared.clocks[rk], fed.clocks[rk])
+			}
+			for k := range shared.data[rk] {
+				if shared.data[rk][k] != fed.data[rk][k] {
+					t.Fatalf("case %d rank %d: payload[%d] %v vs %v",
+						ci, rk, k, shared.data[rk][k], fed.data[rk][k])
+				}
+			}
+		}
+	}
+}
+
+// specName renders a compact layout description for subtest names.
+func specName(s Spec) string {
+	out := ""
+	for d, dd := range s.Dists {
+		if d > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%d:%s", s.Extents[d], dd.Name())
+		if s.Halo[d] > 0 {
+			out += fmt.Sprintf("+h%d", s.Halo[d])
+		}
+	}
+	return out
+}

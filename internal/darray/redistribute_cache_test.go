@@ -1,0 +1,126 @@
+package darray
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// Redistribute compiles its move schedule per (source layout, destination
+// layout) pair and caches it on the processor: an FFT-transpose-style
+// ping-pong between a row and a column distribution must compile exactly
+// two schedules on the first round trip and replay them on every later
+// one. These tests pin the cache's existence (exact entry count), its
+// payoff (second-and-later calls allocate strictly less than a compiling
+// call) and its correctness (the round trip keeps restoring the data).
+func TestRedistributeScheduleCache(t *testing.T) {
+	g := topology.New1D(4)
+	m := machine.New(4, machine.ZeroComm())
+	rowSpec := Spec{
+		Extents: []int{16, 12},
+		Dists:   []dist.Dist{dist.Block{}, dist.Star{}},
+	}
+	colSpec := Spec{
+		Extents: []int{16, 12},
+		Dists:   []dist.Dist{dist.Star{}, dist.Block{}},
+	}
+	err := m.Run(func(p *machine.Proc) error {
+		a := New(p, g, rowSpec)
+		fillPattern(a)
+		sc := machine.RootScope()
+		it := 0
+		pong := func() {
+			b := a.Redistribute(sc.Child(it, 0), g, colSpec)
+			a = b.Redistribute(sc.Child(it, 1), g, rowSpec)
+			it++
+		}
+		pong() // first round trip compiles both directions
+
+		cache := p.Scratch(moveCacheKey{}, func() any {
+			return make(map[string]*sched.Schedule)
+		}).(map[string]*sched.Schedule)
+		if len(cache) != 2 {
+			t.Errorf("after one round trip: %d cached schedules, want 2 (row->col, col->row)", len(cache))
+		}
+
+		warm := testing.AllocsPerRun(20, pong)
+		if len(cache) != 2 {
+			t.Errorf("after %d round trips: %d cached schedules, want still 2", it, len(cache))
+		}
+		cold := testing.AllocsPerRun(20, func() {
+			for k := range cache {
+				delete(cache, k)
+			}
+			pong()
+		})
+		if !(warm < cold) {
+			t.Errorf("cached round trip allocates %v/op, no better than the compiling %v/op", warm, cold)
+		}
+
+		// The data survived every trip.
+		bad := 0
+		a.OwnedEach(func(idx []int) {
+			want := 1.0
+			for _, gi := range idx {
+				want = want*1000 + float64(gi)
+			}
+			if a.At(idx...) != want {
+				bad++
+			}
+		})
+		if bad > 0 {
+			t.Errorf("%d owned cells corrupted by ping-pong redistribution", bad)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLayoutSigDiscriminates pins the cache key: views that must not share
+// a schedule get distinct signatures, equal layouts get equal ones.
+func TestLayoutSigDiscriminates(t *testing.T) {
+	g := topology.New(2, 2)
+	m := machine.New(4, machine.ZeroComm())
+	err := m.Run(func(p *machine.Proc) error {
+		mk := func(spec Spec) *Array { return New(p, g, spec) }
+		blockBlock := Spec{
+			Extents: []int{8, 8},
+			Dists:   []dist.Dist{dist.Block{}, dist.Block{}},
+		}
+		a := mk(blockBlock)
+		b := mk(blockBlock)
+		if a.layoutSig() != b.layoutSig() {
+			t.Error("identical layouts got distinct signatures")
+		}
+		variants := []Spec{
+			{Extents: []int{8, 9}, Dists: []dist.Dist{dist.Block{}, dist.Block{}}},
+			{Extents: []int{8, 8}, Dists: []dist.Dist{dist.Cyclic{}, dist.Block{}}},
+			{Extents: []int{8, 8}, Dists: []dist.Dist{dist.Block{}, dist.Block{}}, Halo: []int{1, 0}},
+			{Extents: []int{8, 8}, Dists: []dist.Dist{dist.BlockAligned{RootExtent: 16, Stride: 2}, dist.Block{}}},
+			{Extents: []int{8, 8}, Dists: []dist.Dist{dist.BlockAligned{RootExtent: 32, Stride: 4}, dist.Block{}}},
+		}
+		seen := map[string]bool{a.layoutSig(): true}
+		for i, spec := range variants {
+			s := mk(spec).layoutSig()
+			if seen[s] {
+				t.Errorf("variant %d: signature collides with a different layout", i)
+			}
+			seen[s] = true
+		}
+		// A section differs from its parent, and from its sibling.
+		if s := a.Section(0, 1).layoutSig(); seen[s] {
+			t.Error("section signature collides with a root layout")
+		} else if s == a.Section(0, 2).layoutSig() {
+			t.Error("distinct sections share a signature")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

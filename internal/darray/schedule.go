@@ -2,6 +2,7 @@ package darray
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/dist"
 	"repro/internal/machine"
@@ -309,6 +310,63 @@ func (a *Array) gatherToScheduled(sc machine.Scope, rootIdx int) []float64 {
 }
 
 // --- Redistribute --------------------------------------------------------
+
+// layoutSig returns a string identifying everything a compiled move
+// schedule depends on for this processor: the root grid's rank mapping
+// (shape, origin, strides), and per store dimension the extent,
+// distribution (type and parameters), halo width and section fixing. Two
+// views with equal signatures produce identical pack/move/unpack layouts on
+// this processor, so the signature pair keys the Redistribute schedule
+// cache. The signature is memoized on the view.
+func (a *Array) layoutSig() string {
+	if a.sig != "" {
+		return a.sig
+	}
+	st := a.st
+	g := st.rootGrid
+	var sb strings.Builder
+	base := g.RankAt(0)
+	fmt.Fprintf(&sb, "g%v@%d", g.Shape(), base)
+	// Recover the grid's per-dimension rank strides (sliced grids keep
+	// parent strides, so shape and origin alone do not pin the mapping).
+	coord := make([]int, g.Dims())
+	for d := 0; d < g.Dims(); d++ {
+		if g.Extent(d) > 1 {
+			coord[d] = 1
+			fmt.Fprintf(&sb, "s%d", g.Rank(coord...)-base)
+			coord[d] = 0
+		}
+	}
+	for sd := range st.extents {
+		fmt.Fprintf(&sb, ";%d:%T%v:h%d:f%d",
+			st.extents[sd], st.dists[sd], st.dists[sd], st.halo[sd], a.pfix[sd])
+	}
+	a.sig = sb.String()
+	return a.sig
+}
+
+// moveCacheKey is the Proc.Scratch key of the per-processor Redistribute
+// schedule cache.
+type moveCacheKey struct{}
+
+// moveScheduleFor returns the compiled move schedule for src -> dst,
+// caching it per (source layout, destination layout) pair in the
+// processor's scratch. Redistribute builds a fresh destination array per
+// call, but ping-pong redistribution (an out-of-place FFT transpose, say)
+// cycles between the same two layouts — the second and every later trip
+// replays the first trip's schedule instead of re-deriving the data motion.
+func moveScheduleFor(src, dst *Array) *sched.Schedule {
+	cache := src.st.p.Scratch(moveCacheKey{}, func() any {
+		return make(map[string]*sched.Schedule)
+	}).(map[string]*sched.Schedule)
+	key := src.layoutSig() + ">" + dst.layoutSig()
+	if s, ok := cache[key]; ok {
+		return s
+	}
+	s := compileMove(src, dst)
+	cache[key] = s
+	return s
+}
 
 // compileMove is the Redistribute inspector: it derives, once, the complete
 // data motion from src's layout to dst's — per-destination pack runs in

@@ -46,6 +46,7 @@ func All() []Result {
 		A2Estimator(),
 		A3Cyclic(),
 		S1Scale64(),
+		S2Transport256(),
 	}
 }
 

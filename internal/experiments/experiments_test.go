@@ -248,3 +248,25 @@ func TestS1Scale64(t *testing.T) {
 			r.Metrics["jacobi_msgs_p16"], r.Metrics["jacobi_msgs_p64"])
 	}
 }
+
+func TestS2Transport256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-processor experiment skipped in short mode")
+	}
+	r := S2Transport256()
+	for _, key := range []string{"s2_jacobi_identical", "s2_adi_identical"} {
+		if r.Metrics[key] != 1 {
+			t.Errorf("%s: the federated transport diverged from the shared one", key)
+		}
+	}
+	if r.Metrics["s2_internode_match"] != 1 {
+		t.Error("measured inter-node traffic disagrees with perfest's prediction")
+	}
+	if r.Metrics["s2_links_symmetric"] != 1 {
+		t.Error("per-iteration link traffic is not a symmetric nearest-neighbour pattern")
+	}
+	if !(r.Metrics["s2_speedup_64_to_256"] > 1) {
+		t.Errorf("256 processors should beat 64 on this problem, got speedup %v",
+			r.Metrics["s2_speedup_64_to_256"])
+	}
+}

@@ -2,8 +2,10 @@ package kf
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/darray"
+	"repro/internal/sched"
 )
 
 // Gathered holds the result of a runtime gather: a read-only view of
@@ -37,9 +39,14 @@ func (g *Gathered) At(i int) float64 {
 type GatherPlan struct {
 	a     *darray.Array
 	me    int
-	need  [][]int // per grid member: global indices fetched from them
-	serve [][]int // per grid member: global indices shipped to them
-	res   *Gathered
+	need  [][]int // per grid member: global indices fetched from them (ascending)
+	serve [][]int // per grid member: global indices shipped to them (ascending)
+	// serveRuns is the run-coalesced executor form of serve: each peer's
+	// index list compiled into contiguous storage runs, so replay packs
+	// with block copies instead of one At1 call per index — large
+	// irregular serves cost O(runs), not O(indices).
+	serveRuns [][]sched.Run
+	res       *Gathered
 }
 
 // InspectGather is the inspector: every processor of the array's grid
@@ -62,13 +69,17 @@ func (c *Ctx) InspectGather(a *darray.Array, indices []int) *GatherPlan {
 	}
 	n := g.Size()
 	pl := &GatherPlan{
-		a:     a,
-		me:    me,
-		need:  make([][]int, n),
-		serve: make([][]int, n),
+		a:         a,
+		me:        me,
+		need:      make([][]int, n),
+		serve:     make([][]int, n),
+		serveRuns: make([][]sched.Run, n),
 	}
 
-	// Bucket the needed indices by owner.
+	// Bucket the needed indices by owner, then sort each bucket: both
+	// sides of a stream agree on ascending index order, which is what
+	// lets the server compile its serve list into contiguous storage
+	// runs. Counts and bytes are unchanged by the ordering.
 	need := make([][]float64, n) // index lists as float64 payloads
 	seen := make(map[int]bool)
 	for _, i := range indices {
@@ -78,8 +89,13 @@ func (c *Ctx) InspectGather(a *darray.Array, indices []int) *GatherPlan {
 		}
 		seen[i] = true
 		owner := a.OwnerIndex(0, i)
-		need[owner] = append(need[owner], float64(i))
 		pl.need[owner] = append(pl.need[owner], i)
+	}
+	for q := range pl.need {
+		sort.Ints(pl.need[q])
+		for _, i := range pl.need[q] {
+			need[q] = append(need[q], float64(i))
+		}
 	}
 
 	// Phase 1: send request lists to every other member (empty lists
@@ -90,8 +106,9 @@ func (c *Ctx) InspectGather(a *darray.Array, indices []int) *GatherPlan {
 		}
 		p.Send(g.RankAt(q), sc.Tag(1), need[q])
 	}
-	// Serve requests: record each peer's index list and reply with the
-	// requested values, in request order.
+	// Serve requests: record each peer's (ascending) index list, compile
+	// it into storage runs, and reply with the requested values in
+	// request order.
 	for q := 0; q < n; q++ {
 		if q == me {
 			continue
@@ -105,9 +122,10 @@ func (c *Ctx) InspectGather(a *darray.Array, indices []int) *GatherPlan {
 				panic(fmt.Sprintf("kf: processor %d asked for index %d not owned here", g.RankAt(q), i))
 			}
 			serve[k] = i
-			out[k] = a.At1(i)
 		}
 		pl.serve[q] = serve
+		pl.serveRuns[q] = a.IndexRuns1(serve)
+		a.PackRuns(pl.serveRuns[q], out)
 		p.ReleaseBuf(req)
 		p.Send(g.RankAt(q), sc.Tag(2), out)
 	}
@@ -138,9 +156,10 @@ func (pl *GatherPlan) Gathered() *Gathered { return pl.res }
 // data motion, no index lists — and returns the refreshed Gathered view.
 // Peers that need nothing from each other exchange no message (the compiled
 // index sets make that knowledge symmetric), so replay costs strictly less
-// traffic than re-inspection. All processors of the plan's grid must call
-// it collectively, in the same program order; a warmed replay performs no
-// heap allocation.
+// traffic than re-inspection. Serves pack through the compiled storage
+// runs with block copies, not per-index element reads. All processors of
+// the plan's grid must call it collectively, in the same program order; a
+// warmed replay performs no heap allocation.
 func (pl *GatherPlan) Gather(c *Ctx) *Gathered {
 	sc := c.NextScope()
 	a := pl.a
@@ -152,9 +171,7 @@ func (pl *GatherPlan) Gather(c *Ctx) *Gathered {
 			continue
 		}
 		buf := p.AcquireBuf(len(pl.serve[q]))
-		for k, i := range pl.serve[q] {
-			buf[k] = a.At1(i)
-		}
+		a.PackRuns(pl.serveRuns[q], buf)
 		p.SendOwned(g.RankAt(q), sc.Tag(2), buf)
 	}
 	for q := 0; q < n; q++ {

@@ -1,0 +1,165 @@
+package kf
+
+import (
+	"testing"
+
+	"repro/internal/darray"
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+// The run-coalesced GatherPlan executor must be observably identical to the
+// per-index one it replaced — same message counts, same bytes, same values
+// — while packing each serve list as a handful of block copies.
+
+// coalesceNeed is the deterministic request set of grid member me: strided,
+// out of order, with duplicates.
+func coalesceNeed(me, extent int) []int {
+	var need []int
+	for k := 0; k < 24; k++ {
+		need = append(need, (me*13+k*7)%extent)
+		if k%5 == 0 {
+			need = append(need, (me*13+k*7)%extent) // duplicate
+		}
+	}
+	// A contiguous window far from home, to give the coalescer runs.
+	base := ((me + 2) * extent / 4) % extent
+	for i := 0; i < 8 && base+i < extent; i++ {
+		need = append(need, base+i)
+	}
+	return need
+}
+
+func TestGatherReplayTrafficMatchesIndexCensus(t *testing.T) {
+	const p, extent = 4, 64
+	g := topology.New1D(p)
+	spec := darray.Spec{Extents: []int{extent}, Dists: []dist.Dist{dist.Block{}}}
+
+	// Host-side census of the expected replay traffic: for every ordered
+	// (owner -> requester) pair, one message carrying the requester's
+	// distinct non-owned indices held by that owner. Block ownership of
+	// `extent` over p procs: owner = Block{}.Owner.
+	expMsgs, expWords := 0, 0
+	for me := 0; me < p; me++ {
+		per := map[int]map[int]bool{}
+		for _, i := range coalesceNeed(me, extent) {
+			owner := dist.Block{}.Owner(i, extent, p)
+			if owner == me {
+				continue
+			}
+			if per[owner] == nil {
+				per[owner] = map[int]bool{}
+			}
+			per[owner][i] = true
+		}
+		for _, set := range per {
+			expMsgs++
+			expWords += len(set)
+		}
+	}
+
+	m := machine.New(p, machine.IPSC2())
+	sent := make([]machine.Stats, p)
+	err := Exec(m, g, func(c *Ctx) error {
+		x := c.NewArray(spec)
+		x.FillOwned(func(idx []int) float64 { return float64(idx[0] * 3) })
+		me, _ := g.Index(c.P.Rank())
+		need := coalesceNeed(me, extent)
+		pl := c.InspectGather(x, need)
+
+		// Refresh the array so replay must move current values.
+		x.FillOwned(func(idx []int) float64 { return float64(idx[0]*idx[0] + 1) })
+		before := c.P.Stats()
+		gath := pl.Gather(c)
+		after := c.P.Stats()
+		sent[c.P.Rank()] = machine.Stats{
+			MsgsSent:  after.MsgsSent - before.MsgsSent,
+			BytesSent: after.BytesSent - before.BytesSent,
+		}
+		for _, i := range need {
+			if want := float64(i*i + 1); gath.At(i) != want {
+				return errf("index %d: gathered %v, want %v", i, gath.At(i), want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs, bytes int64
+	for _, s := range sent {
+		msgs += s.MsgsSent
+		bytes += s.BytesSent
+	}
+	if msgs != int64(expMsgs) || bytes != int64(expWords*8) {
+		t.Errorf("replay traffic %d msgs / %d bytes, index census predicts %d / %d",
+			msgs, bytes, expMsgs, expWords*8)
+	}
+}
+
+func TestGatherServeListsCoalesceToRuns(t *testing.T) {
+	// A contiguous remote window over a block distribution must compile
+	// to a single storage run per serve list, not one run per index.
+	const p, extent = 4, 64
+	g := topology.New1D(p)
+	spec := darray.Spec{Extents: []int{extent}, Dists: []dist.Dist{dist.Block{}}}
+	m := machine.New(p, machine.ZeroComm())
+	err := Exec(m, g, func(c *Ctx) error {
+		x := c.NewArray(spec)
+		x.FillOwned(func(idx []int) float64 { return float64(idx[0]) })
+		me, _ := g.Index(c.P.Rank())
+		// Everyone reads the right neighbour's whole block.
+		nb := (me + 1) % p
+		var need []int
+		for i := nb * extent / p; i < (nb+1)*extent/p; i++ {
+			need = append(need, i)
+		}
+		pl := c.InspectGather(x, need)
+		left := (me + p - 1) % p
+		for q, runs := range pl.serveRuns {
+			switch {
+			case q == left:
+				if len(runs) != 1 || runs[0].Len != extent/p {
+					return errf("serve to member %d: %v, want one run of %d", q, runs, extent/p)
+				}
+			case len(runs) != 0:
+				return errf("unexpected serve runs to member %d: %v", q, runs)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherReplayZeroAllocs(t *testing.T) {
+	// Like every pooled-buffer path, the zero-allocation guarantee holds
+	// for size-balanced traffic (each released receive buffer can back a
+	// later send): every processor fetches its right neighbour's whole
+	// block, so sends and receives carry equal payloads.
+	const p, extent = 4, 256
+	g := topology.New1D(p)
+	spec := darray.Spec{Extents: []int{extent}, Dists: []dist.Dist{dist.Block{}}}
+	m := machine.New(p, machine.ZeroComm())
+	err := Exec(m, g, func(c *Ctx) error {
+		x := c.NewArray(spec)
+		x.FillOwned(func(idx []int) float64 { return float64(idx[0]) })
+		me, _ := g.Index(c.P.Rank())
+		nb := (me + 1) % p
+		var need []int
+		for i := nb * extent / p; i < (nb+1)*extent/p; i++ {
+			need = append(need, i)
+		}
+		pl := c.InspectGather(x, need)
+		pl.Gather(c) // warm buffers and pools
+		if avg := testing.AllocsPerRun(50, func() { pl.Gather(c) }); avg != 0 {
+			return errf("warmed run-coalesced Gather: %v allocs per run, want 0", avg)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

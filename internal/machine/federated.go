@@ -1,0 +1,341 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// FederatedTransport partitions a machine's processors into nodes of equal
+// size — the NUMA-style multi-machine federation past the reach of one
+// shared mailbox array. Intra-node messages go through the node's own
+// mailbox (one lock per node, private to its processors); inter-node
+// messages are routed through a per-ordered-node-pair link that serializes
+// delivery, so each directed node pair behaves like one FIFO network
+// channel and carries byte/message counters — the numbers a performance
+// estimator needs to price node interconnect traffic.
+//
+// Virtual time is still charged by the machine's single cost model, so a
+// program's clocks, statistics and results are bit-identical on a
+// FederatedTransport and a SharedTransport; the conformance suite and the
+// S2 experiment hold both transports to that. The federation changes the
+// host-side delivery structure (and exposes the link census), not the
+// simulated machine's semantics.
+type FederatedTransport struct {
+	n       int
+	nnodes  int
+	perNode int
+	nodes   []nodeBox
+	links   []link // directed node pairs, row-major [src*nnodes+dst]
+	coord   Coordinator
+	down    atomic.Bool
+	bar     hostBarrier
+}
+
+// fedKey matches receives to sends inside one node's shared mailbox:
+// point-to-point by destination rank, source rank and tag (the same
+// (src, tag) stream discipline as the shared transport, with the receiving
+// endpoint made explicit because the mailbox is shared by the node).
+type fedKey struct {
+	dst int
+	src int
+	tag Tag
+}
+
+// nodeBox is one node's incoming message state: a single queue map guarded
+// by one lock for all of the node's processors, with one condition variable
+// per local processor for targeted wakeups.
+type nodeBox struct {
+	mu     sync.Mutex
+	queues map[fedKey][]message
+	spare  [][]message
+	// Per local processor (index = rank - node*perNode): the stream the
+	// processor is parked on, if any.
+	conds   []*sync.Cond
+	awaits  []fedKey
+	waiting []bool
+}
+
+// link is one directed inter-node channel. Delivery holds the link lock,
+// so messages crossing the same node pair are handed to the destination
+// node in send order — an honest stand-in for a FIFO network link — and the
+// counters census every byte that would cross the interconnect.
+type link struct {
+	mu    sync.Mutex
+	msgs  int64
+	bytes int64
+}
+
+// NewFederatedTransport returns a transport with n endpoints partitioned
+// into nnodes equal nodes (nnodes must divide n). Node k owns ranks
+// [k*n/nnodes, (k+1)*n/nnodes).
+func NewFederatedTransport(n, nnodes int) *FederatedTransport {
+	if n <= 0 {
+		panic(fmt.Sprintf("machine: transport endpoint count must be positive, got %d", n))
+	}
+	if nnodes <= 0 || n%nnodes != 0 {
+		panic(fmt.Sprintf("machine: federation of %d processors needs a positive node count dividing it, got %d", n, nnodes))
+	}
+	t := &FederatedTransport{
+		n:       n,
+		nnodes:  nnodes,
+		perNode: n / nnodes,
+		nodes:   make([]nodeBox, nnodes),
+		links:   make([]link, nnodes*nnodes),
+	}
+	for i := range t.nodes {
+		nb := &t.nodes[i]
+		nb.queues = make(map[fedKey][]message)
+		nb.conds = make([]*sync.Cond, t.perNode)
+		nb.awaits = make([]fedKey, t.perNode)
+		nb.waiting = make([]bool, t.perNode)
+		for j := range nb.conds {
+			nb.conds[j] = sync.NewCond(&nb.mu)
+		}
+	}
+	t.bar.init(n)
+	return t
+}
+
+// Size returns the number of endpoints.
+func (t *FederatedTransport) Size() int { return t.n }
+
+// Nodes returns the number of federation nodes.
+func (t *FederatedTransport) Nodes() int { return t.nnodes }
+
+// ProcsPerNode returns the number of processors on each node.
+func (t *FederatedTransport) ProcsPerNode() int { return t.perNode }
+
+// NodeOf returns the node owning the given rank.
+func (t *FederatedTransport) NodeOf(rank int) int { return rank / t.perNode }
+
+// Bind installs the machine's coordinator (nil for standalone use).
+func (t *FederatedTransport) Bind(c Coordinator) { t.coord = c }
+
+// Down reports whether the transport has been aborted since the last Reset.
+func (t *FederatedTransport) Down() bool { return t.down.Load() }
+
+// LinkTraffic returns the message and byte counts carried by the directed
+// link from node src to node dst since the last Reset. Counts are a
+// deterministic function of the program (every inter-node message crosses
+// exactly one link), so they can be asserted exactly.
+func (t *FederatedTransport) LinkTraffic(src, dst int) (msgs, bytes int64) {
+	l := &t.links[src*t.nnodes+dst]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.msgs, l.bytes
+}
+
+// InterNodeTraffic returns the total message and byte counts that crossed
+// node boundaries since the last Reset.
+func (t *FederatedTransport) InterNodeTraffic() (msgs, bytes int64) {
+	for i := range t.links {
+		l := &t.links[i]
+		l.mu.Lock()
+		msgs += l.msgs
+		bytes += l.bytes
+		l.mu.Unlock()
+	}
+	return msgs, bytes
+}
+
+// deliver places the message in dst's node mailbox and wakes dst if it is
+// parked on exactly this stream.
+func (t *FederatedTransport) deliver(k fedKey, msg message) {
+	nb := &t.nodes[k.dst/t.perNode]
+	li := k.dst % t.perNode
+	nb.mu.Lock()
+	q, ok := nb.queues[k]
+	if !ok && len(nb.spare) > 0 {
+		q = nb.spare[len(nb.spare)-1]
+		nb.spare = nb.spare[:len(nb.spare)-1]
+	}
+	nb.queues[k] = append(q, msg)
+	if nb.waiting[li] && nb.awaits[li] == k {
+		nb.conds[li].Signal()
+	}
+	nb.mu.Unlock()
+}
+
+// Send routes a message: directly into the destination node's mailbox for
+// intra-node traffic, through the (srcNode, dstNode) link — counted and
+// order-preserved under the link lock — for inter-node traffic.
+func (t *FederatedTransport) Send(src, dst int, tag Tag, data []float64, arrival float64) {
+	k := fedKey{dst: dst, src: src, tag: tag}
+	msg := message{data: data, arrival: arrival}
+	sn, dn := src/t.perNode, dst/t.perNode
+	if sn == dn {
+		t.deliver(k, msg)
+		return
+	}
+	l := &t.links[sn*t.nnodes+dn]
+	l.mu.Lock()
+	l.msgs++
+	l.bytes += int64(len(data) * wordBytes)
+	t.deliver(k, msg)
+	l.mu.Unlock()
+}
+
+// Recv blocks the calling endpoint until a message matching (src, tag) is
+// available in its node's mailbox, then returns it. ok is false if the
+// transport went down while waiting.
+func (t *FederatedTransport) Recv(dst, src int, tag Tag) ([]float64, float64, bool) {
+	nb := &t.nodes[dst/t.perNode]
+	li := dst % t.perNode
+	k := fedKey{dst: dst, src: src, tag: tag}
+	nb.mu.Lock()
+	if msg, ok := nb.takeLocked(k); ok {
+		nb.mu.Unlock()
+		return msg.data, msg.arrival, true
+	}
+	if t.down.Load() {
+		nb.mu.Unlock()
+		return nil, 0, false
+	}
+	nb.awaits[li] = k
+	nb.waiting[li] = true
+	nb.mu.Unlock()
+
+	if t.coord != nil {
+		t.coord.Blocked()
+	}
+
+	nb.mu.Lock()
+	for {
+		if msg, ok := nb.takeLocked(k); ok {
+			nb.waiting[li] = false
+			nb.mu.Unlock()
+			if t.coord != nil {
+				t.coord.Unblocked()
+			}
+			return msg.data, msg.arrival, true
+		}
+		if t.down.Load() {
+			nb.waiting[li] = false
+			nb.mu.Unlock()
+			if t.coord != nil {
+				t.coord.Unblocked()
+			}
+			return nil, 0, false
+		}
+		nb.conds[li].Wait()
+	}
+}
+
+// takeLocked removes the oldest message matching k from the node mailbox,
+// recycling drained queue slices. Caller holds nb.mu.
+func (nb *nodeBox) takeLocked(k fedKey) (message, bool) {
+	q := nb.queues[k]
+	if len(q) == 0 {
+		return message{}, false
+	}
+	msg := q[0]
+	copy(q, q[1:])
+	q[len(q)-1] = message{}
+	q = q[:len(q)-1]
+	if len(q) == 0 {
+		delete(nb.queues, k)
+		nb.spare = append(nb.spare, q)
+	} else {
+		nb.queues[k] = q
+	}
+	return msg, true
+}
+
+// Barrier parks the calling endpoint until all endpoints arrive.
+func (t *FederatedTransport) Barrier(rank int) bool {
+	if rank < 0 || rank >= t.n {
+		panic(fmt.Sprintf("machine: barrier from invalid rank %d", rank))
+	}
+	return t.bar.await(&t.down)
+}
+
+// Reset clears all node mailboxes, waiter state, link counters and the down
+// flag, keeping allocated capacity.
+func (t *FederatedTransport) Reset() {
+	for i := range t.nodes {
+		nb := &t.nodes[i]
+		for k, q := range nb.queues {
+			for j := range q {
+				q[j] = message{}
+			}
+			delete(nb.queues, k)
+			nb.spare = append(nb.spare, q[:0])
+		}
+		for j := range nb.waiting {
+			nb.waiting[j] = false
+			nb.awaits[j] = fedKey{}
+		}
+	}
+	for i := range t.links {
+		t.links[i].msgs = 0
+		t.links[i].bytes = 0
+	}
+	t.bar.reset()
+	t.down.Store(false)
+}
+
+// Abort marks the transport down and wakes every blocked receiver.
+func (t *FederatedTransport) Abort() {
+	t.down.Store(true)
+	for i := range t.nodes {
+		nb := &t.nodes[i]
+		nb.mu.Lock()
+		for _, c := range nb.conds {
+			c.Broadcast()
+		}
+		nb.mu.Unlock()
+	}
+	t.bar.wake()
+}
+
+// CheckStalled takes every node lock (in node order) for a consistent
+// snapshot and flags a deadlock when all live processors are parked with no
+// matching pending message anywhere. See SharedTransport.CheckStalled for
+// the protocol; the federated version differs only in where waiters and
+// queues live.
+func (t *FederatedTransport) CheckStalled() bool {
+	if t.coord == nil {
+		return false
+	}
+	for i := range t.nodes {
+		t.nodes[i].mu.Lock()
+	}
+	stalled := false
+	if !t.down.Load() {
+		if live := t.coord.ConfirmStall(); live > 0 {
+			waiting := 0
+			canProceed := false
+			for i := range t.nodes {
+				nb := &t.nodes[i]
+				for j, w := range nb.waiting {
+					if !w {
+						continue
+					}
+					waiting++
+					if len(nb.queues[nb.awaits[j]]) > 0 {
+						canProceed = true
+					}
+				}
+			}
+			if waiting >= live && !canProceed {
+				stalled = true
+				t.down.Store(true)
+			}
+		}
+	}
+	if stalled {
+		for i := range t.nodes {
+			for _, c := range t.nodes[i].conds {
+				c.Broadcast()
+			}
+		}
+	}
+	for i := range t.nodes {
+		t.nodes[i].mu.Unlock()
+	}
+	if stalled {
+		t.bar.wake()
+	}
+	return stalled
+}

@@ -14,13 +14,17 @@
 // other's array data directly; all sharing flows through Send/Recv, which is
 // what lets the higher layers (internal/darray, internal/kf) account every
 // byte a real compiler-generated message-passing program would move.
+//
+// Message delivery itself is delegated to a pluggable Transport: the default
+// SharedTransport delivers through one per-receiver mailbox array, while
+// FederatedTransport partitions the processors into nodes joined by counted
+// FIFO links. Programs behave bit-identically on any conforming transport.
 package machine
 
 import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 )
 
 // ErrDeadlock is reported by Run when every live processor is blocked in
@@ -33,27 +37,84 @@ type Machine struct {
 	cost  CostModel
 	sink  Sink
 	procs []*Proc
-	boxes []mailbox // one per processor, individually locked
+	tr    Transport
 
-	dmu     sync.Mutex  // guards blocked and live
-	blocked int         // processors currently waiting in Recv
-	live    int         // processors still executing the current Run body
-	down    atomic.Bool // deadlock detected or abort requested
+	dmu     sync.Mutex // guards blocked and live
+	blocked int        // processors currently waiting in Recv
+	live    int        // processors still executing the current Run body
+
+	// coord adapts the machine to the transport's Coordinator interface
+	// without exposing the callbacks as Machine methods (and without
+	// allocating: &m.coord shares the machine's allocation).
+	coord coordinator
 }
 
-// New returns a machine with n processors governed by the given cost model.
+// coordinator implements Coordinator on behalf of its Machine.
+type coordinator struct{ m *Machine }
+
+// Blocked counts a processor parked in Recv; when every live processor is
+// parked the stall check runs.
+func (c *coordinator) Blocked() {
+	m := c.m
+	m.dmu.Lock()
+	m.blocked++
+	suspicious := m.blocked >= m.live
+	m.dmu.Unlock()
+	if suspicious {
+		m.tr.CheckStalled()
+	}
+}
+
+// Unblocked counts a parked processor's resume.
+func (c *coordinator) Unblocked() {
+	m := c.m
+	m.dmu.Lock()
+	m.blocked--
+	m.dmu.Unlock()
+}
+
+// ConfirmStall is called by the transport's CheckStalled with all transport
+// locks held: it re-checks, under the machine's counter lock, that every
+// live processor is currently counted as blocked, returning the live count
+// (or -1 to veto).
+func (c *coordinator) ConfirmStall() int {
+	m := c.m
+	m.dmu.Lock()
+	defer m.dmu.Unlock()
+	if m.live > 0 && m.blocked >= m.live {
+		return m.live
+	}
+	return -1
+}
+
+// New returns a machine with n processors governed by the given cost model,
+// communicating over a shared-memory mailbox transport.
 func New(n int, cost CostModel) *Machine {
+	return NewWithTransport(NewSharedTransport(n), cost)
+}
+
+// NewFederated returns a machine whose n processors are partitioned into
+// nodes equal nodes communicating over counted inter-node links; see
+// FederatedTransport. Programs produce bit-identical results and virtual
+// times on New and NewFederated machines of the same size.
+func NewFederated(n, nodes int, cost CostModel) *Machine {
+	return NewWithTransport(NewFederatedTransport(n, nodes), cost)
+}
+
+// NewWithTransport returns a machine over an explicit transport; the
+// processor count is the transport's endpoint count. The transport must be
+// exclusive to this machine (Bind is called here).
+func NewWithTransport(t Transport, cost CostModel) *Machine {
+	n := t.Size()
 	if n <= 0 {
 		panic(fmt.Sprintf("machine: processor count must be positive, got %d", n))
 	}
-	m := &Machine{n: n, cost: cost}
+	m := &Machine{n: n, cost: cost, tr: t}
+	m.coord.m = m
+	t.Bind(&m.coord)
 	m.procs = make([]*Proc, n)
-	m.boxes = make([]mailbox, n)
 	for i := range m.procs {
 		m.procs[i] = newProc(m, i)
-		mb := &m.boxes[i]
-		mb.cond = sync.NewCond(&mb.mu)
-		mb.queues = make(map[msgKey][]message)
 	}
 	return m
 }
@@ -68,11 +129,16 @@ func (m *Machine) Size() int { return m.n }
 // Cost returns the machine's cost model.
 func (m *Machine) Cost() CostModel { return m.cost }
 
+// Transport returns the machine's message transport, so callers can reach
+// transport-specific observability (for example FederatedTransport's link
+// traffic counters).
+func (m *Machine) Transport() Transport { return m.tr }
+
 // Run executes body once per processor, each on its own goroutine, and waits
 // for all of them. It returns the first non-nil error produced by any body
 // (by rank order), or an error wrapping ErrDeadlock if the processors
-// deadlock. Clocks, counters and mailboxes are reset at the start of each
-// Run, so a Machine may be reused for successive independent programs.
+// deadlock. Clocks, counters and the transport are reset at the start of
+// each Run, so a Machine may be reused for successive independent programs.
 //
 // A panic inside body on any processor is recovered and returned as an
 // error; the remaining processors are woken and terminated.
@@ -81,10 +147,7 @@ func (m *Machine) Run(body func(p *Proc) error) error {
 	m.blocked = 0
 	m.live = m.n
 	m.dmu.Unlock()
-	m.down.Store(false)
-	for i := range m.boxes {
-		m.boxes[i].reset()
-	}
+	m.tr.Reset()
 	for _, p := range m.procs {
 		p.reset()
 	}
@@ -104,7 +167,7 @@ func (m *Machine) Run(body func(p *Proc) error) error {
 						return
 					}
 					errs[p.rank] = fmt.Errorf("machine: processor %d panicked: %v", p.rank, r)
-					m.abortAll()
+					m.tr.Abort()
 				}
 			}()
 			errs[p.rank] = body(p)
@@ -158,14 +221,8 @@ func (m *Machine) retire() {
 	suspicious := m.live > 0 && m.blocked >= m.live
 	m.dmu.Unlock()
 	if suspicious {
-		m.checkDeadlock()
+		m.tr.CheckStalled()
 	}
-}
-
-// abortAll wakes all blocked processors so they can terminate after a panic.
-func (m *Machine) abortAll() {
-	m.down.Store(true)
-	m.wakeAll()
 }
 
 // procAbort carries a structured per-processor failure through the panic

@@ -1,6 +1,10 @@
 package machine
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // message is a delivered-but-not-yet-received payload with its virtual
 // arrival time at the destination.
@@ -78,34 +82,81 @@ func (mb *mailbox) reset() {
 	mb.await = msgKey{}
 }
 
-// recv blocks the calling processor until a message matching k is available
-// in dst's mailbox, then returns it. The second result is false if the
-// machine went down (deadlock or abort) while waiting.
-func (m *Machine) recv(dst int, k msgKey) (message, bool) {
-	mb := &m.boxes[dst]
+// SharedTransport is the single-machine message substrate: one individually
+// locked mailbox per receiving processor, shared-memory delivery with no
+// intermediate hops. It is the default transport of machine.New and the
+// zero-allocation fast path — a warmed ping-pong performs no heap
+// allocation, which the conformance suite pins.
+type SharedTransport struct {
+	boxes []mailbox
+	coord Coordinator
+	down  atomic.Bool
+	bar   hostBarrier
+}
+
+// NewSharedTransport returns a shared-memory transport with n endpoints.
+func NewSharedTransport(n int) *SharedTransport {
+	if n <= 0 {
+		panic(fmt.Sprintf("machine: transport endpoint count must be positive, got %d", n))
+	}
+	t := &SharedTransport{boxes: make([]mailbox, n)}
+	for i := range t.boxes {
+		mb := &t.boxes[i]
+		mb.cond = sync.NewCond(&mb.mu)
+		mb.queues = make(map[msgKey][]message)
+	}
+	t.bar.init(n)
+	return t
+}
+
+// Size returns the number of endpoints.
+func (t *SharedTransport) Size() int { return len(t.boxes) }
+
+// Bind installs the machine's coordinator (nil for standalone use).
+func (t *SharedTransport) Bind(c Coordinator) { t.coord = c }
+
+// Down reports whether the transport has been aborted since the last Reset.
+func (t *SharedTransport) Down() bool { return t.down.Load() }
+
+// Send delivers a message and wakes the destination if it is waiting for
+// exactly this stream. Only the destination's mailbox lock is taken, so
+// concurrent sends to different receivers proceed in parallel.
+func (t *SharedTransport) Send(src, dst int, tag Tag, data []float64, arrival float64) {
+	mb := &t.boxes[dst]
+	k := msgKey{src: src, tag: tag}
+	mb.mu.Lock()
+	mb.putLocked(k, message{data: data, arrival: arrival})
+	if mb.waiting && mb.await == k {
+		mb.cond.Signal()
+	}
+	mb.mu.Unlock()
+}
+
+// Recv blocks the calling endpoint until a message matching (src, tag) is
+// available in dst's mailbox, then returns it. ok is false if the transport
+// went down (deadlock or abort) while waiting.
+func (t *SharedTransport) Recv(dst, src int, tag Tag) ([]float64, float64, bool) {
+	mb := &t.boxes[dst]
+	k := msgKey{src: src, tag: tag}
 	mb.mu.Lock()
 	if msg, ok := mb.takeLocked(k); ok {
 		mb.mu.Unlock()
-		return msg, true
+		return msg.data, msg.arrival, true
 	}
-	if m.down.Load() {
+	if t.down.Load() {
 		mb.mu.Unlock()
-		return message{}, false
+		return nil, 0, false
 	}
-	// Slow path: publish what we are waiting for, then count ourselves
-	// blocked. The order matters: once the blocked count reaches the
-	// live count, the deadlock detector must be able to see every
+	// Slow path: publish what we are waiting for, then report ourselves
+	// blocked. The order matters: once the machine's blocked count
+	// reaches its live count, CheckStalled must be able to see every
 	// blocked processor's awaited key.
 	mb.await = k
 	mb.waiting = true
 	mb.mu.Unlock()
 
-	m.dmu.Lock()
-	m.blocked++
-	suspicious := m.blocked >= m.live
-	m.dmu.Unlock()
-	if suspicious {
-		m.checkDeadlock()
+	if t.coord != nil {
+		t.coord.Blocked()
 	}
 
 	mb.mu.Lock()
@@ -113,37 +164,53 @@ func (m *Machine) recv(dst int, k msgKey) (message, bool) {
 		if msg, ok := mb.takeLocked(k); ok {
 			mb.waiting = false
 			mb.mu.Unlock()
-			m.dmu.Lock()
-			m.blocked--
-			m.dmu.Unlock()
-			return msg, true
+			if t.coord != nil {
+				t.coord.Unblocked()
+			}
+			return msg.data, msg.arrival, true
 		}
-		if m.down.Load() {
+		if t.down.Load() {
 			mb.waiting = false
 			mb.mu.Unlock()
-			m.dmu.Lock()
-			m.blocked--
-			m.dmu.Unlock()
-			return message{}, false
+			if t.coord != nil {
+				t.coord.Unblocked()
+			}
+			return nil, 0, false
 		}
 		mb.cond.Wait()
 	}
 }
 
-// send delivers a message and wakes the destination if it is waiting for
-// exactly this stream. Only the destination's mailbox lock is taken, so
-// concurrent sends to different receivers proceed in parallel.
-func (m *Machine) send(dst int, k msgKey, msg message) {
-	mb := &m.boxes[dst]
-	mb.mu.Lock()
-	mb.putLocked(k, msg)
-	if mb.waiting && mb.await == k {
-		mb.cond.Signal()
+// Barrier parks the calling endpoint until all endpoints arrive.
+func (t *SharedTransport) Barrier(rank int) bool {
+	if rank < 0 || rank >= len(t.boxes) {
+		panic(fmt.Sprintf("machine: barrier from invalid rank %d", rank))
 	}
-	mb.mu.Unlock()
+	return t.bar.await(&t.down)
 }
 
-// checkDeadlock flags a deadlock when every live processor is blocked and
+// Reset clears all mailboxes and the down flag, keeping capacity.
+func (t *SharedTransport) Reset() {
+	for i := range t.boxes {
+		t.boxes[i].reset()
+	}
+	t.bar.reset()
+	t.down.Store(false)
+}
+
+// Abort marks the transport down and wakes every blocked receiver.
+func (t *SharedTransport) Abort() {
+	t.down.Store(true)
+	for i := range t.boxes {
+		mb := &t.boxes[i]
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+	t.bar.wake()
+}
+
+// CheckStalled flags a deadlock when every live processor is blocked and
 // none of them has a pending message matching its awaited key. It takes all
 // mailbox locks (in rank order) to get a consistent snapshot; with every
 // lock held, "all live processors waiting and no matches anywhere" is a
@@ -152,47 +219,44 @@ func (m *Machine) send(dst int, k msgKey, msg message) {
 // A processor that has been woken but not yet re-counted shows
 // waiting==false, which keeps the waiting count below live and prevents a
 // false positive while it finishes proceeding.
-func (m *Machine) checkDeadlock() {
-	for i := range m.boxes {
-		m.boxes[i].mu.Lock()
+func (t *SharedTransport) CheckStalled() bool {
+	if t.coord == nil {
+		return false
 	}
-	m.dmu.Lock()
-	deadlocked := false
-	if !m.down.Load() && m.live > 0 && m.blocked >= m.live {
-		waiting := 0
-		canProceed := false
-		for i := range m.boxes {
-			mb := &m.boxes[i]
-			if !mb.waiting {
-				continue
+	for i := range t.boxes {
+		t.boxes[i].mu.Lock()
+	}
+	stalled := false
+	if !t.down.Load() {
+		if live := t.coord.ConfirmStall(); live > 0 {
+			waiting := 0
+			canProceed := false
+			for i := range t.boxes {
+				mb := &t.boxes[i]
+				if !mb.waiting {
+					continue
+				}
+				waiting++
+				if len(mb.queues[mb.await]) > 0 {
+					canProceed = true
+				}
 			}
-			waiting++
-			if len(mb.queues[mb.await]) > 0 {
-				canProceed = true
+			if waiting >= live && !canProceed {
+				stalled = true
+				t.down.Store(true)
 			}
 		}
-		if waiting >= m.live && !canProceed {
-			deadlocked = true
-			m.down.Store(true)
+	}
+	if stalled {
+		for i := range t.boxes {
+			t.boxes[i].cond.Broadcast()
 		}
 	}
-	m.dmu.Unlock()
-	if deadlocked {
-		for i := range m.boxes {
-			m.boxes[i].cond.Broadcast()
-		}
+	for i := range t.boxes {
+		t.boxes[i].mu.Unlock()
 	}
-	for i := range m.boxes {
-		m.boxes[i].mu.Unlock()
+	if stalled {
+		t.bar.wake()
 	}
-}
-
-// wakeAll unblocks every waiting processor after the down flag is set.
-func (m *Machine) wakeAll() {
-	for i := range m.boxes {
-		mb := &m.boxes[i]
-		mb.mu.Lock()
-		mb.cond.Broadcast()
-		mb.mu.Unlock()
-	}
+	return stalled
 }

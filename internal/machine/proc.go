@@ -167,7 +167,7 @@ func (p *Proc) SendOwned(dst int, tag Tag, data []float64) {
 	p.stats.CommTime += p.m.cost.SendOverhead
 	bytes := len(data) * wordBytes
 	arrival := p.clock + p.m.cost.MessageTime(bytes)
-	p.m.send(dst, msgKey{src: p.rank, tag: tag}, message{data: data, arrival: arrival})
+	p.m.tr.Send(p.rank, dst, tag, data, arrival)
 	p.stats.MsgsSent++
 	p.stats.BytesSent += int64(bytes)
 	p.emit(Event{Proc: p.rank, Kind: EvSend, Start: start, End: p.clock, Peer: dst, Bytes: bytes})
@@ -192,21 +192,21 @@ func (p *Proc) Recv(src int, tag Tag) []float64 {
 	if src < 0 || src >= p.m.n {
 		panic(fmt.Sprintf("machine: proc %d receiving from invalid rank %d", p.rank, src))
 	}
-	msg, ok := p.m.recv(p.rank, msgKey{src: src, tag: tag})
+	data, arrival, ok := p.m.tr.Recv(p.rank, src, tag)
 	if !ok {
 		panic(procAbort{err: fmt.Errorf("processor %d waiting on (src=%d, tag=%#x): %w", p.rank, src, tag, ErrDeadlock)})
 	}
-	if msg.arrival > p.clock {
-		p.stats.IdleTime += msg.arrival - p.clock
-		p.emit(Event{Proc: p.rank, Kind: EvIdle, Start: p.clock, End: msg.arrival, Peer: src})
-		p.clock = msg.arrival
+	if arrival > p.clock {
+		p.stats.IdleTime += arrival - p.clock
+		p.emit(Event{Proc: p.rank, Kind: EvIdle, Start: p.clock, End: arrival, Peer: src})
+		p.clock = arrival
 	}
 	start := p.clock
 	p.clock += p.m.cost.RecvOverhead
 	p.stats.CommTime += p.m.cost.RecvOverhead
 	p.stats.MsgsRecv++
-	p.emit(Event{Proc: p.rank, Kind: EvRecv, Start: start, End: p.clock, Peer: src, Bytes: len(msg.data) * wordBytes})
-	return msg.data
+	p.emit(Event{Proc: p.rank, Kind: EvRecv, Start: start, End: p.clock, Peer: src, Bytes: len(data) * wordBytes})
+	return data
 }
 
 // RecvValue receives a single float64; a convenience wrapper around Recv.

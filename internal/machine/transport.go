@@ -1,0 +1,156 @@
+package machine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Transport is the communication substrate of a Machine: it moves message
+// payloads between processor endpoints and implements the blocked-receiver
+// bookkeeping the machine's deadlock detector relies on. The Machine layers
+// virtual-time accounting (clocks, overheads, stats, tracing) on top; a
+// Transport only stores, matches and delivers.
+//
+// Message matching follows the machine's tag discipline: a receive matches
+// the oldest pending message with the same (source, tag) pair addressed to
+// the receiving endpoint, so every (src, dst, tag) stream is FIFO and
+// distinct streams never interact. Any implementation holding that contract
+// (and the rest of the conformance battery in transport_conformance_test.go)
+// can carry the whole runtime — compiled communication schedules replay
+// unchanged, with bit-identical virtual times, on every conforming
+// transport.
+//
+// Two implementations ship with the package: SharedTransport (one
+// per-receiver mailbox array, the single-machine fast path) and
+// FederatedTransport (processors partitioned into nodes, inter-node traffic
+// routed through per-node-pair ordered links — the NUMA-style federation
+// that is the door to a real network transport).
+type Transport interface {
+	// Size returns the number of processor endpoints.
+	Size() int
+
+	// Send delivers data from endpoint src to endpoint dst on the
+	// (src, tag) stream, with the given virtual arrival time. It never
+	// blocks indefinitely and may be called concurrently from every
+	// endpoint. Ownership of data passes to the transport (and then to
+	// the receiver).
+	Send(src, dst int, tag Tag, data []float64, arrival float64)
+
+	// Recv blocks until a message on the (src, tag) stream addressed to
+	// dst is available and returns its payload and arrival time. The ok
+	// result is false when the transport went down (abort or detected
+	// stall) while waiting. Only dst's goroutine may receive for dst.
+	Recv(dst, src int, tag Tag) (data []float64, arrival float64, ok bool)
+
+	// Barrier blocks the calling endpoint until every endpoint has
+	// entered the same barrier generation, then releases them together.
+	// It is a host-level fence with no virtual-time cost — the hook a
+	// networked transport needs for epoch alignment — and reports false
+	// when the transport went down while waiting. Virtual-time barriers
+	// belong to the coll package.
+	//
+	// A processor parked in Barrier is not counted by the machine's
+	// deadlock detector: a program in which some processors sit in a
+	// Barrier that others will never reach (because they are stuck in an
+	// unsatisfiable Recv) hangs rather than returning ErrDeadlock. Only
+	// every endpoint entering the same barrier is a correct use.
+	Barrier(rank int) bool
+
+	// Reset clears all in-flight messages, waiter state, traffic
+	// counters and the down flag, keeping allocated capacity, so a
+	// transport can be reused across Machine.Run calls.
+	Reset()
+
+	// Abort marks the transport down and wakes every blocked receiver
+	// and barrier waiter; their calls return ok=false. Subsequent
+	// receives fail fast until Reset.
+	Abort()
+
+	// Down reports whether the transport has been aborted (or has
+	// detected a stall) since the last Reset.
+	Down() bool
+
+	// CheckStalled decides, atomically with respect to all sends and
+	// receives, whether the machine has deadlocked. With every internal
+	// lock held it asks the bound coordinator's ConfirmStall, which
+	// returns the number of live processors if all of them are counted
+	// as blocked (and -1 to veto the check). If at least that many
+	// receivers are parked with no pending message matching their
+	// awaited stream, no future send can ever occur: the transport marks
+	// itself down, wakes everyone, and returns true. With no coordinator
+	// bound it reports false.
+	CheckStalled() bool
+
+	// Bind installs the machine's coordinator. It is called once, before
+	// any traffic; nil is legal for standalone (testing) use.
+	Bind(c Coordinator)
+}
+
+// Coordinator is the owning machine's face toward its transport: the
+// callbacks a Transport must invoke around blocking waits so parked
+// processors can be counted for deadlock detection. Machine implements it
+// without per-call allocation; a standalone transport may run with none.
+type Coordinator interface {
+	// Blocked is called after a receiver has published the stream it is
+	// waiting for, before it parks. No transport locks are held.
+	Blocked()
+	// Unblocked is called after a parked receiver resumes (with a
+	// message or on a down transport). No transport locks are held.
+	Unblocked()
+	// ConfirmStall is called by CheckStalled with every transport lock
+	// held: it returns the live processor count if all live processors
+	// are currently counted as blocked, and -1 to veto the stall check.
+	ConfirmStall() int
+}
+
+// hostBarrier is the generation-counted barrier shared by the bundled
+// transports. It synchronizes host goroutines, not virtual clocks.
+type hostBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	arrived int
+	gen     uint64
+}
+
+func (b *hostBarrier) init(size int) {
+	b.size = size
+	b.cond = sync.NewCond(&b.mu)
+}
+
+// await parks the caller until all size endpoints have arrived, reporting
+// false if down was raised while waiting.
+func (b *hostBarrier) await(down *atomic.Bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if down.Load() {
+		return false
+	}
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.size {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return true
+	}
+	for b.gen == gen && !down.Load() {
+		b.cond.Wait()
+	}
+	return b.gen != gen
+}
+
+// wake releases barrier waiters after the down flag is set.
+func (b *hostBarrier) wake() {
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// reset clears arrival state (waiters from an aborted Run have all exited
+// by the time a Machine resets its transport).
+func (b *hostBarrier) reset() {
+	b.mu.Lock()
+	b.arrived = 0
+	b.mu.Unlock()
+}

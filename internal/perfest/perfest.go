@@ -104,6 +104,21 @@ func TriSolve(cost machine.CostModel, n, p int) Estimate {
 	}
 }
 
+// JacobiInterNode predicts the per-iteration node-interconnect traffic of
+// the KF1 Jacobi iteration on a p x p processor grid federated across
+// `nodes` nodes of consecutive ranks (row-major, so each node owns p/nodes
+// whole grid rows; nodes must divide p). Only the dimension-0 halo
+// exchanges that straddle a node boundary cross the interconnect: per
+// boundary, every grid column trades one message each way, each carrying
+// one local row of n/p values. Dimension-1 exchanges stay inside a grid
+// row and therefore inside a node. The counts are exact and validated
+// against FederatedTransport's link counters by experiment S2.
+func JacobiInterNode(n, p, nodes int) (msgs, bytes int) {
+	msgs = 2 * p * (nodes - 1)
+	bytes = msgs * (n / p) * wordBytes
+	return msgs, bytes
+}
+
 // GatherMsgs returns the message count of darray.GatherTo on a grid of
 // size gp: every non-root member sends one message.
 func GatherMsgs(gp int) int { return gp - 1 }

@@ -66,6 +66,22 @@ func TestCollectiveHelpers(t *testing.T) {
 	}
 }
 
+func TestJacobiInterNode(t *testing.T) {
+	// One node: nothing crosses the interconnect.
+	if m, b := JacobiInterNode(256, 16, 1); m != 0 || b != 0 {
+		t.Errorf("single node: %d msgs / %d bytes, want 0 / 0", m, b)
+	}
+	// 16x16 grid over 4 nodes: 3 boundaries x 16 columns x 2 directions,
+	// each message one local row of 16 values.
+	if m, b := JacobiInterNode(256, 16, 4); m != 96 || b != 96*16*8 {
+		t.Errorf("4 nodes: %d msgs / %d bytes, want 96 / %d", m, b, 96*16*8)
+	}
+	// Every grid row its own node: all dimension-0 halo traffic crosses.
+	if m, _ := JacobiInterNode(128, 8, 8); m != 2*8*7 {
+		t.Errorf("per-row nodes: %d msgs, want %d", m, 2*8*7)
+	}
+}
+
 func TestEstimatesScaleMonotonically(t *testing.T) {
 	// Property: more iterations mean proportionally more messages and
 	// never less time.

@@ -13,6 +13,12 @@
 // performs no derivation and, in steady state, no heap allocation — the same
 // messages, in the same order, with the same byte counts as the direct
 // derivation it was compiled from, so virtual times are bit-identical.
+//
+// Schedules speak only to machine.Proc's Send/Recv, never to a delivery
+// mechanism, so a compiled schedule replays unchanged — same messages, same
+// virtual times — on any machine.Transport (shared-memory mailboxes or the
+// node-federated transport); the machine package's conformance suite and
+// experiment S2 hold every transport to that.
 package sched
 
 import (
