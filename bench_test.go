@@ -119,6 +119,12 @@ func BenchmarkMachinePingPong(b *testing.B) { benchkit.MachinePingPong(b) }
 // federation link (per-node mailbox + link counters).
 func BenchmarkMachinePingPongFederated(b *testing.B) { benchkit.MachinePingPongFederated(b) }
 
+// BenchmarkMachinePingPongFederatedPriced adds the hierarchical cost
+// model's per-link price lookup to the federated round trip.
+func BenchmarkMachinePingPongFederatedPriced(b *testing.B) {
+	benchkit.MachinePingPongFederatedPriced(b)
+}
+
 // BenchmarkHaloExchange2D measures one ghost exchange of a 256x256 block
 // array on a 2x2 grid.
 func BenchmarkHaloExchange2D(b *testing.B) { benchkit.HaloExchange2D(b) }
@@ -173,6 +179,10 @@ func BenchmarkJacobiKF1Iteration(b *testing.B) { benchkit.JacobiKF1Iteration(b) 
 // simulated processors.
 func BenchmarkJacobi64Proc(b *testing.B)  { benchkit.Jacobi64Proc(b) }
 func BenchmarkJacobi256Proc(b *testing.B) { benchkit.Jacobi256Proc(b) }
+
+// BenchmarkJacobi1024ProcPriced measures a whole fixed-work Jacobi run at
+// 1024 simulated processors on a 16-node federation with per-link pricing.
+func BenchmarkJacobi1024ProcPriced(b *testing.B) { benchkit.Jacobi1024ProcPriced(b) }
 
 func BenchmarkA1MappingAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {

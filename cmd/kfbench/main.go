@@ -9,13 +9,16 @@
 //	kfbench -list                          # list experiment IDs
 //	kfbench -bench -o B.json               # run the perf snapshot and write JSON
 //	kfbench -bench -o B.json -compare A.json   # ... and fail on regressions
+//	kfbench -bench -o B.json -compare latest   # ... against the highest BENCH_<n>.json
 //
 // The -bench mode measures the host-side cost of the runtime's hot paths
-// (halo exchange, ADI, Jacobi at 4, 64 and 256 processors, message
-// ping-pong over the shared and federated transports) with allocation
-// counts and writes a JSON snapshot, so successive PRs
-// accumulate a perf trajectory that can be diffed mechanically. With
-// -compare the snapshot is diffed against a previous BENCH_<n>.json and the
+// (halo exchange, ADI, Jacobi at 4, 64, 256 and 1024 processors, message
+// ping-pong over the shared, federated and cost-priced federated
+// transports) with allocation counts and writes a JSON snapshot, so
+// successive PRs accumulate a perf trajectory that can be diffed
+// mechanically. With -compare the snapshot is diffed against a previous
+// BENCH_<n>.json — or against the highest-numbered committed snapshot when
+// given the literal value "latest", so CI need never name one — and the
 // command exits nonzero when any benchmark's allocs/op grew, or its ns/op
 // grew by more than 25%.
 package main
@@ -36,7 +39,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	bench := flag.Bool("bench", false, "run the perf snapshot benchmarks and write JSON")
 	out := flag.String("o", "BENCH_1.json", "output path for -bench JSON ('-' for stdout)")
-	compare := flag.String("compare", "", "previous BENCH_<n>.json to diff against; regressions exit nonzero")
+	compare := flag.String("compare", "", "previous BENCH_<n>.json to diff against ('latest' auto-discovers the highest-numbered one); regressions exit nonzero")
 	nsTol := flag.Float64("ns-tol", benchkit.NsTolerance,
 		"relative ns/op growth tolerated by -compare (allocs/op always tolerates none); raise when comparing across machines")
 	flag.Parse()
@@ -75,6 +78,25 @@ func main() {
 }
 
 func runBench(out, compare string, nsTol float64) error {
+	// Resolve "latest" and load the baseline before anything is written,
+	// so the freshly saved output can never become its own baseline —
+	// not even when -o names the current latest snapshot to re-record it
+	// in place.
+	var prev benchkit.SnapshotFile
+	if compare == "latest" {
+		resolved, err := benchkit.LatestSnapshot(".")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "comparing against latest snapshot %s\n", resolved)
+		compare = resolved
+	}
+	if compare != "" {
+		var err error
+		if prev, err = benchkit.Load(compare); err != nil {
+			return err
+		}
+	}
 	snap := benchkit.SnapshotFile{
 		Date:      time.Now().UTC().Format(time.RFC3339),
 		GoVersion: benchkit.GoVersion(),
@@ -96,10 +118,6 @@ func runBench(out, compare string, nsTol float64) error {
 	}
 	if compare == "" {
 		return nil
-	}
-	prev, err := benchkit.Load(compare)
-	if err != nil {
-		return err
 	}
 	failed := 0
 	for _, d := range benchkit.Compare(prev, snap, nsTol) {

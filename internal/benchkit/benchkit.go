@@ -9,7 +9,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"regexp"
 	"runtime"
+	"strconv"
 	"testing"
 
 	"repro/internal/darray"
@@ -64,6 +67,35 @@ func Save(path string, s SnapshotFile) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
+// snapshotName matches committed perf snapshots: BENCH_<n>.json.
+var snapshotName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// LatestSnapshot returns the path of the highest-numbered BENCH_<n>.json in
+// dir — the snapshot a compare run should diff against, so CI does not need
+// to name (and PRs do not need to edit) the current snapshot explicitly.
+func LatestSnapshot(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := snapshotName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil || n <= bestN {
+			continue
+		}
+		best, bestN = e.Name(), n
+	}
+	if best == "" {
+		return "", fmt.Errorf("benchkit: no BENCH_<n>.json snapshot in %s", dir)
+	}
+	return filepath.Join(dir, best), nil
+}
+
 // Delta describes one benchmark's change versus a previous snapshot.
 type Delta struct {
 	Name                  string
@@ -79,18 +111,31 @@ const NsTolerance = 0.25
 
 // AllocsTolerance is the relative allocs/op growth tolerated. Allocation
 // counts are deterministic on the runtime's steady-state paths — a
-// zero-alloc or single-digit pin tolerates no growth at all (1% of a small
-// count floors to zero) — but whole-program benchmarks at hundreds of
-// simulated processors carry O(concurrent mailbox keys) scheduling noise,
-// which the 1% band absorbs without letting a real regression through.
+// zero-alloc pin tolerates no growth at all — but whole-program benchmarks
+// carry noise: hundreds of simulated processors add O(concurrent mailbox
+// keys) scheduling jitter (absorbed by the 1% band), and small nonzero
+// counts are one-off setup costs amortized over b.N, which round up or
+// down by one from run to run (absorbed by the one-alloc floor below).
 const AllocsTolerance = 0.01
+
+// allocsSlack returns the absolute allocs/op growth tolerated over a
+// previous count: zero pins stay exact, any nonzero count gets at least
+// the one-alloc rounding slack.
+func allocsSlack(prev int64) int64 {
+	if prev == 0 {
+		return 0
+	}
+	if s := int64(float64(prev) * AllocsTolerance); s > 1 {
+		return s
+	}
+	return 1
+}
 
 // Compare matches cur against prev by benchmark name and flags
 // regressions: ns/op grown beyond nsTol, or allocs/op grown beyond
-// AllocsTolerance (which floors to zero growth for small counts, so
-// zero-alloc pins stay exact). Benchmarks missing from prev are reported
-// without judgment; benchmarks present in prev but dropped from cur count
-// as regressions, so coverage cannot silently shrink.
+// allocsSlack (zero-alloc pins stay exact). Benchmarks missing from prev
+// are reported without judgment; benchmarks present in prev but dropped
+// from cur count as regressions, so coverage cannot silently shrink.
 func Compare(prev, cur SnapshotFile, nsTol float64) []Delta {
 	prevBy := make(map[string]Result, len(prev.Results))
 	for _, r := range prev.Results {
@@ -109,7 +154,7 @@ func Compare(prev, cur SnapshotFile, nsTol float64) []Delta {
 		}
 		d.PrevNs, d.PrevAllocs = p.NsPerOp, p.AllocsPerOp
 		switch {
-		case r.AllocsPerOp > p.AllocsPerOp+int64(float64(p.AllocsPerOp)*AllocsTolerance):
+		case r.AllocsPerOp > p.AllocsPerOp+allocsSlack(p.AllocsPerOp):
 			d.Regression = true
 			d.Reason = fmt.Sprintf("allocs/op grew %d -> %d", p.AllocsPerOp, r.AllocsPerOp)
 		case p.NsPerOp > 0 && r.NsPerOp > p.NsPerOp*(1+nsTol):
@@ -150,8 +195,10 @@ func Snapshot() []Bench {
 		{"JacobiKF1Iteration", JacobiKF1Iteration},
 		{"MachinePingPong", MachinePingPong},
 		{"MachinePingPongFederated", MachinePingPongFederated},
+		{"MachinePingPongFederatedPriced", MachinePingPongFederatedPriced},
 		{"Jacobi64Proc", Jacobi64Proc},
 		{"Jacobi256Proc", Jacobi256Proc},
+		{"Jacobi1024ProcPriced", Jacobi1024ProcPriced},
 	}
 }
 
@@ -185,6 +232,33 @@ func MachinePingPong(b *testing.B) {
 func MachinePingPongFederated(b *testing.B) {
 	b.ReportAllocs()
 	m := machine.NewFederated(2, 2, machine.ZeroComm())
+	b.ResetTimer()
+	err := m.Run(func(p *machine.Proc) error {
+		other := 1 - p.Rank()
+		for i := 0; i < b.N; i++ {
+			if p.Rank() == 0 {
+				p.SendValue(other, 1, 1)
+				p.RecvValue(other, 2)
+			} else {
+				p.RecvValue(other, 1)
+				p.SendValue(other, 2, 1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// MachinePingPongFederatedPriced measures the round trip across a priced
+// federation link: the per-link cost lookup (the hierarchical half of the
+// cost model) on top of the federated delivery path. The virtual prices
+// differ from MachinePingPongFederated; the host-side cost should not.
+func MachinePingPongFederatedPriced(b *testing.B) {
+	b.ReportAllocs()
+	cost := machine.CostModel{Latency: 1e-6, BytePeriod: 1e-9}.WithInterNode(4, 8)
+	m := machine.NewFederated(2, 2, cost)
 	b.ResetTimer()
 	err := m.Run(func(p *machine.Proc) error {
 		other := 1 - p.Rank()
@@ -276,6 +350,25 @@ func Jacobi256Proc(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m := machine.NewFederated(256, 4, machine.ZeroComm())
 		if _, err := jacobi.KF1(m, g, x0, f, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Jacobi1024ProcPriced measures a short KF1 Jacobi run (1 iteration,
+// n=256) at 1024 simulated processors on a 16-node federation under a
+// hierarchical cost model — the S3 scaling target with per-link pricing on
+// every send. Like Jacobi256Proc, each op is one whole fixed-size run, so
+// allocs/op is b.N-independent and the snapshot gate can hold it steady.
+func Jacobi1024ProcPriced(b *testing.B) {
+	b.ReportAllocs()
+	x0, f := jacobi.Problem(256)
+	g := topology.New(32, 32)
+	cost := machine.CostModel{Latency: 1e-6, BytePeriod: 1e-9}.WithInterNode(4, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := machine.NewFederated(1024, 16, cost)
+		if _, err := jacobi.KF1(m, g, x0, f, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,64 @@
+package benchkit
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLatestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{
+		"BENCH_1.json", "BENCH_4.json", "BENCH_12.json",
+		"BENCH_x.json", "BENCH_3.json.bak", "notes.md",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LatestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric, not lexicographic: 12 beats 4.
+	if want := filepath.Join(dir, "BENCH_12.json"); got != want {
+		t.Errorf("LatestSnapshot = %q, want %q", got, want)
+	}
+}
+
+func TestCompareAllocsSlack(t *testing.T) {
+	prev := SnapshotFile{Results: []Result{
+		{Name: "zeroPin", AllocsPerOp: 0},
+		{Name: "smallCount", AllocsPerOp: 5},
+		{Name: "bigCount", AllocsPerOp: 20000},
+	}}
+	cur := SnapshotFile{Results: []Result{
+		{Name: "zeroPin", AllocsPerOp: 1},      // zero pins are exact: regression
+		{Name: "smallCount", AllocsPerOp: 6},   // amortization rounding: ok
+		{Name: "bigCount", AllocsPerOp: 20600}, // beyond the 1% band: regression
+	}}
+	want := map[string]bool{"zeroPin": true, "smallCount": false, "bigCount": true}
+	for _, d := range Compare(prev, cur, NsTolerance) {
+		if d.Regression != want[d.Name] {
+			t.Errorf("%s: regression=%v, want %v (%s)", d.Name, d.Regression, want[d.Name], d.Reason)
+		}
+	}
+}
+
+func TestLatestSnapshotEmpty(t *testing.T) {
+	if _, err := LatestSnapshot(t.TempDir()); err == nil {
+		t.Fatal("LatestSnapshot of a snapshotless dir did not error")
+	}
+}
+
+func TestLatestSnapshotRepoRoot(t *testing.T) {
+	// The repository itself must always resolve (the CI compare step
+	// depends on it), and what it resolves must parse as a snapshot.
+	path, err := LatestSnapshot("../..")
+	if err != nil {
+		t.Fatalf("repo root has no discoverable snapshot: %v", err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("latest snapshot %s does not parse: %v", path, err)
+	}
+}

@@ -47,6 +47,7 @@ func All() []Result {
 		A3Cyclic(),
 		S1Scale64(),
 		S2Transport256(),
+		S3Hierarchical1024(),
 	}
 }
 

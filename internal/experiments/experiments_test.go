@@ -270,3 +270,37 @@ func TestS2Transport256(t *testing.T) {
 			r.Metrics["s2_speedup_64_to_256"])
 	}
 }
+
+func TestS3Hierarchical1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-processor experiment skipped in short mode")
+	}
+	r := S3Hierarchical1024()
+	for _, key := range []string{"s3_jacobi_identical", "s3_adi_identical"} {
+		if r.Metrics[key] != 1 {
+			t.Errorf("%s: values or message census diverged across transports", key)
+		}
+	}
+	if r.Metrics["s3_jacobi_surcharge_exact"] != 1 {
+		t.Error("jacobi federated surcharge disagrees with perfest's exact recurrence")
+	}
+	if r.Metrics["s3_adi_surcharge_ok"] != 1 {
+		t.Error("madi federated surcharge outside the estimator's documented tolerance")
+	}
+	if r.Metrics["s3_internode_census_match"] != 1 {
+		t.Error("measured inter-node traffic disagrees with perfest's enumeration")
+	}
+	if r.Metrics["s3_jacobi_knee"] != 1 {
+		t.Error("the 16->64 node step should dwarf the 4->16 one (the NUMA knee)")
+	}
+	// The hierarchy must actually price something: every multi-node
+	// federation runs strictly slower than the shared machine.
+	for _, nodes := range []int{4, 16, 64} {
+		if !(r.Metrics[keyf("s3_jacobi_time_nodes%d", nodes)] > r.Metrics["s3_jacobi_time_shared"]) {
+			t.Errorf("jacobi at %d nodes not slower than shared", nodes)
+		}
+		if !(r.Metrics[keyf("s3_adi_time_nodes%d", nodes)] > r.Metrics["s3_adi_time_shared"]) {
+			t.Errorf("madi at %d nodes not slower than shared", nodes)
+		}
+	}
+}

@@ -135,10 +135,9 @@ func TestGatherServeListsCoalesceToRuns(t *testing.T) {
 }
 
 func TestGatherReplayZeroAllocs(t *testing.T) {
-	// Like every pooled-buffer path, the zero-allocation guarantee holds
-	// for size-balanced traffic (each released receive buffer can back a
-	// later send): every processor fetches its right neighbour's whole
-	// block, so sends and receives carry equal payloads.
+	// Size-balanced traffic: every processor fetches its right
+	// neighbour's whole block, so sends and receives carry equal
+	// payloads and recycle through each processor's own free lists.
 	const p, extent = 4, 256
 	g := topology.New1D(p)
 	spec := darray.Spec{Extents: []int{extent}, Dists: []dist.Dist{dist.Block{}}}
@@ -156,6 +155,53 @@ func TestGatherReplayZeroAllocs(t *testing.T) {
 		pl.Gather(c) // warm buffers and pools
 		if avg := testing.AllocsPerRun(50, func() { pl.Gather(c) }); avg != 0 {
 			return errf("warmed run-coalesced Gather: %v allocs per run, want 0", avg)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherReplayAsymmetricZeroAllocs(t *testing.T) {
+	// Asymmetric traffic: each processor's serve size differs from its
+	// request size (proc i fetches sz[i] values from its right
+	// neighbour, so it serves sz[i-1] but receives sz[i]). Every buffer
+	// a processor ships is released on a peer that never sends that
+	// size, so zero-allocation replay depends on the machine-wide tier
+	// of the size-classed pool routing capacity back to the processors
+	// that consume it — the exact pin the old first-fit pool could not
+	// hold (it healed only when scan order happened to ship spare
+	// capacity where it was needed).
+	const p, extent = 4, 256
+	sz := [p]int{3, 61, 7, 64} // distinct classes, none balanced
+	g := topology.New1D(p)
+	spec := darray.Spec{Extents: []int{extent}, Dists: []dist.Dist{dist.Block{}}}
+	m := machine.New(p, machine.ZeroComm())
+	err := Exec(m, g, func(c *Ctx) error {
+		x := c.NewArray(spec)
+		x.FillOwned(func(idx []int) float64 { return float64(idx[0]) })
+		me, _ := g.Index(c.P.Rank())
+		nb := (me + 1) % p
+		var need []int
+		for i := nb * extent / p; i < nb*extent/p+sz[me]; i++ {
+			need = append(need, i)
+		}
+		pl := c.InspectGather(x, need)
+		// Warm until the pool's per-processor tier has overflowed its
+		// stranded classes into the machine-wide tier (localKeep
+		// releases per class), after which replay capacity circulates
+		// sender <- shared tier <- receiver indefinitely.
+		for w := 0; w < 12; w++ {
+			pl.Gather(c)
+		}
+		if avg := testing.AllocsPerRun(50, func() { pl.Gather(c) }); avg != 0 {
+			return errf("warmed asymmetric Gather: %v allocs per run, want 0", avg)
+		}
+		for _, i := range need {
+			if got := pl.Gathered().At(i); got != float64(i) {
+				return errf("index %d: gathered %v after replays, want %v", i, got, float64(i))
+			}
 		}
 		return nil
 	})

@@ -8,6 +8,11 @@ package machine
 //
 //	t + SendOverhead + Latency + b*BytePeriod
 //
+// On a hierarchical transport the Latency and BytePeriod terms of a message
+// crossing node boundaries are scaled by the crossed link's LinkCost (see
+// InterNodeCost); the transport's MessageTime method decides which link a
+// message crosses.
+//
 // The receiver, executing a matching Recv at local time t', resumes at
 //
 //	max(t', arrival) + RecvOverhead
@@ -26,12 +31,108 @@ type CostModel struct {
 	SendOverhead float64
 	// RecvOverhead is processor time consumed by completing a receive.
 	RecvOverhead float64
+	// InterNode, when non-nil, prices messages that cross node boundaries
+	// on a hierarchical transport: Latency and BytePeriod are scaled by
+	// the crossed link's LinkCost. A nil table is the flat model — every
+	// message pays the same price regardless of the delivering transport's
+	// topology.
+	InterNode *InterNodeCost
 }
 
 // MessageTime returns the end-to-end transfer time for a message of b bytes,
-// excluding sender and receiver overheads.
+// excluding sender and receiver overheads, at the flat (intra-node) price.
 func (c CostModel) MessageTime(b int) float64 {
 	return c.Latency + float64(b)*c.BytePeriod
+}
+
+// LinkCost scales the flat communication terms for messages crossing one
+// directed inter-node link of a hierarchical machine. The multipliers apply
+// to CostModel.Latency and CostModel.BytePeriod respectively; {1, 1} prices
+// a link exactly like intra-node traffic.
+type LinkCost struct {
+	// Latency multiplies CostModel.Latency on this link.
+	Latency float64
+	// Byte multiplies CostModel.BytePeriod on this link.
+	Byte float64
+}
+
+// InterNodeCost extends a flat CostModel with hierarchical per-link pricing:
+// a message that crosses from node a to node b pays the flat model's terms
+// scaled by the link's LinkCost. It is the cost-model half of the NUMA-style
+// federation — FederatedTransport knows which link a message crosses,
+// InterNodeCost knows what that link charges.
+type InterNodeCost struct {
+	// Default applies to every inter-node link without an explicit entry
+	// in Links.
+	Default LinkCost
+	// Links overrides Default for specific directed node pairs, keyed by
+	// [2]int{srcNode, dstNode}.
+	Links map[[2]int]LinkCost
+}
+
+// scale returns the link cost of the directed node pair (a, b).
+func (ic *InterNodeCost) scale(a, b int) LinkCost {
+	if ic.Links != nil {
+		if lc, ok := ic.Links[[2]int{a, b}]; ok {
+			return lc
+		}
+	}
+	return ic.Default
+}
+
+// LinkMessageTime returns the end-to-end transfer time for b bytes sent from
+// node src to node dst. Intra-node messages (src == dst) and models with no
+// InterNode table — the degenerate flat case — price every message with
+// MessageTime; inter-node messages pay the link-scaled latency and byte
+// period.
+func (c CostModel) LinkMessageTime(src, dst, b int) float64 {
+	if src == dst || c.InterNode == nil {
+		return c.MessageTime(b)
+	}
+	s := c.InterNode.scale(src, dst)
+	return c.Latency*s.Latency + float64(b)*c.BytePeriod*s.Byte
+}
+
+// InterNodeExtra returns the surcharge an inter-node message of b bytes
+// pays over the flat price on the default link (per-pair WithLink
+// overrides do not affect it) — the per-message quantity the performance
+// estimator charges each node-boundary crossing.
+func (c CostModel) InterNodeExtra(b int) float64 {
+	if c.InterNode == nil {
+		return 0
+	}
+	s := c.InterNode.Default
+	return c.Latency*(s.Latency-1) + float64(b)*c.BytePeriod*(s.Byte-1)
+}
+
+// WithInterNode returns a copy of c whose inter-node links all charge the
+// given latency and byte-period multipliers. Multipliers of 1 reproduce the
+// flat model; real node interconnects are slower than intra-node delivery,
+// so useful values are > 1.
+func (c CostModel) WithInterNode(latency, byte float64) CostModel {
+	c.InterNode = &InterNodeCost{Default: LinkCost{Latency: latency, Byte: byte}}
+	return c
+}
+
+// WithLink returns a copy of c in which the directed link from node src to
+// node dst charges lc, overriding the default inter-node cost (an
+// asymmetric or irregular interconnect: a slow uplink, a fast backbone
+// pair). The receiver's link table is copied, so cost models stay value
+// types.
+func (c CostModel) WithLink(src, dst int, lc LinkCost) CostModel {
+	in := InterNodeCost{Default: LinkCost{Latency: 1, Byte: 1}}
+	if c.InterNode != nil {
+		in.Default = c.InterNode.Default
+		in.Links = make(map[[2]int]LinkCost, len(c.InterNode.Links)+1)
+		for k, v := range c.InterNode.Links {
+			in.Links[k] = v
+		}
+	} else {
+		in.Links = make(map[[2]int]LinkCost, 1)
+	}
+	in.Links[[2]int{src, dst}] = lc
+	c.InterNode = &in
+	return c
 }
 
 // IPSC2 returns a cost model resembling a 1989 Intel iPSC/2 hypercube node:

@@ -1,0 +1,246 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinkMessageTimePricing(t *testing.T) {
+	flat := CostModel{Latency: 100, BytePeriod: 2}
+	hier := flat.WithInterNode(3, 5)
+
+	// Flat model: every pair prices identically, nodes notwithstanding.
+	if got, want := flat.LinkMessageTime(0, 1, 8), flat.MessageTime(8); got != want {
+		t.Errorf("flat inter-node price %v, want %v", got, want)
+	}
+	// Hierarchical: intra-node stays flat, inter-node scales both terms.
+	if got, want := hier.LinkMessageTime(2, 2, 8), flat.MessageTime(8); got != want {
+		t.Errorf("hierarchical intra-node price %v, want flat %v", got, want)
+	}
+	if got, want := hier.LinkMessageTime(0, 1, 8), 3*100.0+5*2.0*8; got != want {
+		t.Errorf("hierarchical inter-node price %v, want %v", got, want)
+	}
+	if got, want := hier.InterNodeExtra(8), (3-1)*100.0+(5-1)*2.0*8; got != want {
+		t.Errorf("inter-node extra %v, want %v", got, want)
+	}
+	// Unit multipliers are the degenerate flat case.
+	if got, want := flat.WithInterNode(1, 1).LinkMessageTime(0, 3, 16), flat.MessageTime(16); got != want {
+		t.Errorf("unit multipliers price %v, want flat %v", got, want)
+	}
+}
+
+func TestWithLinkOverride(t *testing.T) {
+	base := CostModel{Latency: 10, BytePeriod: 1}
+	c := base.WithInterNode(2, 2).WithLink(0, 1, LinkCost{Latency: 7, Byte: 3})
+	if got, want := c.LinkMessageTime(0, 1, 8), 7*10.0+3*1.0*8; got != want {
+		t.Errorf("overridden link price %v, want %v", got, want)
+	}
+	// The override is directed; the reverse link keeps the default.
+	if got, want := c.LinkMessageTime(1, 0, 8), 2*10.0+2*1.0*8; got != want {
+		t.Errorf("reverse link price %v, want default %v", got, want)
+	}
+	// WithLink on a flat model defaults the other links to unit scale.
+	c2 := base.WithLink(1, 2, LinkCost{Latency: 4, Byte: 4})
+	if got, want := c2.LinkMessageTime(0, 1, 8), base.MessageTime(8); got != want {
+		t.Errorf("unconfigured link price %v, want flat %v", got, want)
+	}
+	// Value semantics: deriving c2 must not have touched c's table.
+	if got, want := c.LinkMessageTime(1, 2, 8), 2*10.0+2*1.0*8; got != want {
+		t.Errorf("WithLink mutated its receiver: link 1->2 prices %v, want %v", got, want)
+	}
+	// InterNodeExtra is the default link's surcharge: per-pair overrides
+	// (even of link (0,1)) must not leak into it.
+	want := (2-1)*10.0 + (2-1)*1.0*8
+	if got := c.InterNodeExtra(8); got != want {
+		t.Errorf("InterNodeExtra with a (0,1) override = %v, want default-link %v", got, want)
+	}
+	if got := base.InterNodeExtra(8); got != 0 {
+		t.Errorf("flat model InterNodeExtra = %v, want 0", got)
+	}
+}
+
+// TestFederatedHierarchicalArrival pins the exact clock arithmetic of a
+// priced inter-node message: the receiver's idle time is the link-scaled
+// arrival, not the flat one.
+func TestFederatedHierarchicalArrival(t *testing.T) {
+	cost := CostModel{Latency: 100, BytePeriod: 1, SendOverhead: 1, RecvOverhead: 1}.WithInterNode(3, 2)
+	check := func(t *testing.T, m *Machine, wantArrival float64) {
+		t.Helper()
+		err := m.Run(func(p *Proc) error {
+			if p.Rank() == 0 {
+				p.Send(1, 1, make([]float64, 4)) // 32 bytes
+				return nil
+			}
+			got := p.Recv(0, 1)
+			p.ReleaseBuf(got)
+			// clock = arrival + RecvOverhead when the receiver waited.
+			if want := wantArrival + 1; math.Abs(p.Clock()-want) > 1e-12 {
+				t.Errorf("receiver clock %v, want %v", p.Clock(), want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two nodes of one processor each: the message crosses the link and
+	// pays 1 (send overhead) + 3*100 + 2*1*32.
+	check(t, NewFederated(2, 2, cost), 1+3*100+2*32)
+	// One node: intra-node message, flat price.
+	check(t, NewFederated(2, 1, cost), 1+100+32)
+	// Shared transport: always flat, even with the table installed.
+	check(t, New(2, cost), 1+100+32)
+}
+
+// TestConformanceHierarchicalDivergence is the value-equality-but-
+// time-divergence battery: under a hierarchical cost model every transport
+// still produces bit-identical values and message/byte censuses, but
+// multi-node federations run honestly slower virtual clocks than the
+// shared (single-node) machine, by exactly the inter-node surcharge of
+// their link crossings.
+func TestConformanceHierarchicalDivergence(t *testing.T) {
+	const n = 8
+	cost := IPSC2().WithInterNode(4, 8)
+	type result struct {
+		values  []float64
+		stats   []Stats
+		elapsed float64
+	}
+	results := map[string]result{}
+	for _, tc := range conformanceTransports {
+		m := NewWithTransport(tc.mk(n), cost)
+		values, stats, elapsed, err := conformanceProgram(m)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		results[tc.name] = result{values: values, stats: stats, elapsed: elapsed}
+	}
+	ref := results["shared"]
+	for name, cur := range results {
+		for r := 0; r < n; r++ {
+			if cur.values[r] != ref.values[r] {
+				t.Errorf("%s: rank %d value %v != shared's %v", name, r, cur.values[r], ref.values[r])
+			}
+			// The census — flops, messages, bytes — is transport-
+			// invariant; only the time-valued fields may move.
+			cs, rs := cur.stats[r], ref.stats[r]
+			if cs.Flops != rs.Flops || cs.MsgsSent != rs.MsgsSent ||
+				cs.BytesSent != rs.BytesSent || cs.MsgsRecv != rs.MsgsRecv {
+				t.Errorf("%s: rank %d census %+v != shared's %+v", name, r, cs, rs)
+			}
+		}
+	}
+	// A one-node federation has no inter-node link to charge.
+	if got := results["federated/1node"].elapsed; got != ref.elapsed {
+		t.Errorf("federated/1node elapsed %v != shared's %v", got, ref.elapsed)
+	}
+	// Multi-node federations must be strictly slower: the program's ring
+	// and fan-in both cross node boundaries.
+	for _, name := range []string{"federated/2nodes", "federated/pernode"} {
+		if got := results[name].elapsed; !(got > ref.elapsed) {
+			t.Errorf("%s elapsed %v, want > shared's %v", name, got, ref.elapsed)
+		}
+	}
+	// More boundaries cross more messages: per-processor nodes can only
+	// be slower than two-node halves for this all-pairs-ish pattern.
+	if two, per := results["federated/2nodes"].elapsed, results["federated/pernode"].elapsed; !(per > two) {
+		t.Errorf("federated/pernode elapsed %v, want > federated/2nodes %v", per, two)
+	}
+}
+
+// TestFederatedStressCheckStalledAbort hammers the deadlock detector and
+// Abort against live concurrent traffic: CheckStalled must never flag a
+// machine whose processors are making progress (the quiescent-state
+// deadlock tests cannot see this race), and Abort must cleanly take down a
+// storm in flight. Run under -race this exercises the lock ordering of
+// CheckStalled's all-node snapshot against concurrent sends.
+func TestFederatedStressCheckStalledAbort(t *testing.T) {
+	const n, rounds = 8, 300
+	m := NewFederated(n, 4, ZeroComm())
+	tr := m.Transport().(*FederatedTransport)
+
+	stop := make(chan struct{})
+	hammered := make(chan struct{})
+	go func() {
+		defer close(hammered)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if tr.CheckStalled() {
+					return
+				}
+			}
+		}
+	}()
+	err := m.Run(func(p *Proc) error {
+		// All-to-all ping storm crossing every link both ways.
+		me := p.Rank()
+		for r := 0; r < rounds; r++ {
+			dst := (me + 1 + r%(n-1)) % n
+			p.SendValue(dst, TagOf(uint16(r)), float64(me*rounds+r))
+		}
+		for r := 0; r < rounds; r++ {
+			src := (me - 1 - r%(n-1) + 2*n) % n
+			if v := p.RecvValue(src, TagOf(uint16(r))); v != float64(src*rounds+r) {
+				t.Errorf("rank %d round %d: got %v from %d", me, r, v, src)
+			}
+		}
+		return nil
+	})
+	close(stop)
+	<-hammered
+	if err != nil {
+		t.Fatalf("storm under CheckStalled hammering: %v", err)
+	}
+	if tr.Down() {
+		t.Fatal("CheckStalled flagged a live machine as stalled")
+	}
+
+	// Abort in flight: receivers blocked on never-sent messages while the
+	// hammer keeps probing; everyone must unblock with an error.
+	m.Run(func(p *Proc) error { return nil }) // reset
+	stop2 := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop2:
+				return
+			default:
+				tr.CheckStalled()
+			}
+		}
+	}()
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Run(func(p *Proc) error {
+			// Odd ranks chat forever with even partners until the
+			// abort; even ranks wait on a message that never comes.
+			if p.Rank()%2 == 0 {
+				p.Recv((p.Rank()+1)%n, TagOf(0x7fff))
+				return nil
+			}
+			for i := 0; ; i++ {
+				p.SendValue((p.Rank()+2)%n, TagOf(uint16(i%100)), 1)
+				if tr.Down() {
+					return nil
+				}
+			}
+		})
+	}()
+	// Let the storm build, then pull the plug.
+	for {
+		if msgs, _ := tr.InterNodeTraffic(); msgs > 100 {
+			break
+		}
+	}
+	tr.Abort()
+	if err := <-done; err == nil {
+		t.Fatal("aborted run returned nil error")
+	}
+	close(stop2)
+	if !tr.Down() {
+		t.Fatal("transport not down after Abort")
+	}
+}

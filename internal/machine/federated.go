@@ -15,12 +15,14 @@ import (
 // channel and carries byte/message counters — the numbers a performance
 // estimator needs to price node interconnect traffic.
 //
-// Virtual time is still charged by the machine's single cost model, so a
-// program's clocks, statistics and results are bit-identical on a
-// FederatedTransport and a SharedTransport; the conformance suite and the
-// S2 experiment hold both transports to that. The federation changes the
-// host-side delivery structure (and exposes the link census), not the
-// simulated machine's semantics.
+// Under a flat cost model a program's clocks, statistics and results are
+// bit-identical on a FederatedTransport and a SharedTransport; the
+// conformance suite and the S2 experiment hold both transports to that.
+// With a hierarchical cost model (CostModel.InterNode) the federation
+// additionally prices inter-node messages at their link's latency and
+// bandwidth through MessageTime, so values and message counts stay
+// identical while virtual times honestly diverge — the NUMA effect the
+// paper's performance-estimation story needs the clock to see.
 type FederatedTransport struct {
 	n       int
 	nnodes  int
@@ -139,6 +141,15 @@ func (t *FederatedTransport) InterNodeTraffic() (msgs, bytes int64) {
 	return msgs, bytes
 }
 
+// MessageTime prices a message by the link it crosses: intra-node messages
+// pay the flat cost, inter-node messages pay the cost model's per-link
+// price. With a flat cost model (no InterNode table) every pair prices
+// identically to SharedTransport — the degenerate case the conformance
+// suite's bit-identical-times battery pins.
+func (t *FederatedTransport) MessageTime(cost CostModel, src, dst, b int) float64 {
+	return cost.LinkMessageTime(src/t.perNode, dst/t.perNode, b)
+}
+
 // deliver places the message in dst's node mailbox and wakes dst if it is
 // parked on exactly this stream.
 func (t *FederatedTransport) deliver(k fedKey, msg message) {
@@ -251,10 +262,14 @@ func (t *FederatedTransport) Barrier(rank int) bool {
 }
 
 // Reset clears all node mailboxes, waiter state, link counters and the down
-// flag, keeping allocated capacity.
+// flag, keeping allocated capacity. Each node and link lock is held while
+// its state is cleared, so a concurrent CheckStalled or link-counter reader
+// (a stress harness, a monitoring goroutine) observes either the old state
+// or the cleared one, never a torn mixture.
 func (t *FederatedTransport) Reset() {
 	for i := range t.nodes {
 		nb := &t.nodes[i]
+		nb.mu.Lock()
 		for k, q := range nb.queues {
 			for j := range q {
 				q[j] = message{}
@@ -266,10 +281,14 @@ func (t *FederatedTransport) Reset() {
 			nb.waiting[j] = false
 			nb.awaits[j] = fedKey{}
 		}
+		nb.mu.Unlock()
 	}
 	for i := range t.links {
-		t.links[i].msgs = 0
-		t.links[i].bytes = 0
+		l := &t.links[i]
+		l.mu.Lock()
+		l.msgs = 0
+		l.bytes = 0
+		l.mu.Unlock()
 	}
 	t.bar.reset()
 	t.down.Store(false)

@@ -38,6 +38,7 @@ type Machine struct {
 	sink  Sink
 	procs []*Proc
 	tr    Transport
+	bufs  sharedPool // machine-wide tier of the message buffer pool
 
 	dmu     sync.Mutex // guards blocked and live
 	blocked int        // processors currently waiting in Recv
@@ -95,8 +96,12 @@ func New(n int, cost CostModel) *Machine {
 
 // NewFederated returns a machine whose n processors are partitioned into
 // nodes equal nodes communicating over counted inter-node links; see
-// FederatedTransport. Programs produce bit-identical results and virtual
-// times on New and NewFederated machines of the same size.
+// FederatedTransport. Programs produce bit-identical results and message
+// censuses on New and NewFederated machines of the same size; virtual
+// times are also bit-identical under a flat cost model, while a
+// hierarchical one (CostModel.InterNode) prices inter-node messages at
+// their link's latency and bandwidth, so federated clocks honestly exceed
+// shared ones by the interconnect surcharge.
 func NewFederated(n, nodes int, cost CostModel) *Machine {
 	return NewWithTransport(NewFederatedTransport(n, nodes), cost)
 }

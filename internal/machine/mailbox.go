@@ -118,6 +118,12 @@ func (t *SharedTransport) Bind(c Coordinator) { t.coord = c }
 // Down reports whether the transport has been aborted since the last Reset.
 func (t *SharedTransport) Down() bool { return t.down.Load() }
 
+// MessageTime prices every processor pair at the flat cost: the shared
+// transport is one node, so no message ever crosses an inter-node link.
+func (t *SharedTransport) MessageTime(cost CostModel, src, dst, b int) float64 {
+	return cost.MessageTime(b)
+}
+
 // Send delivers a message and wakes the destination if it is waiting for
 // exactly this stream. Only the destination's mailbox lock is taken, so
 // concurrent sends to different receivers proceed in parallel.
@@ -189,10 +195,15 @@ func (t *SharedTransport) Barrier(rank int) bool {
 	return t.bar.await(&t.down)
 }
 
-// Reset clears all mailboxes and the down flag, keeping capacity.
+// Reset clears all mailboxes and the down flag, keeping capacity. Each
+// mailbox lock is held while it is cleared, so a concurrent CheckStalled
+// never observes a torn mixture of old and cleared state.
 func (t *SharedTransport) Reset() {
 	for i := range t.boxes {
-		t.boxes[i].reset()
+		mb := &t.boxes[i]
+		mb.mu.Lock()
+		mb.reset()
+		mb.mu.Unlock()
 	}
 	t.bar.reset()
 	t.down.Store(false)

@@ -41,50 +41,75 @@ type Proc struct {
 	rank  int
 	clock float64
 	stats Stats
-	// pool recycles message payload buffers: AcquireBuf pops, ReleaseBuf
-	// pushes. Only the owning goroutine touches it, so it needs no lock.
-	// Buffers migrate between processors (acquired by the sender,
-	// released by the receiver); symmetric traffic like a halo exchange
-	// keeps every pool balanced, so steady-state messaging allocates
-	// nothing.
-	pool [][]float64
+	// local is the first tier of the size-classed message buffer pool:
+	// per-class free lists touched only by the owning goroutine, so the
+	// symmetric steady state (halo exchanges, ping-pongs — every release
+	// backs an equal-sized later acquire) recycles without taking a lock.
+	// Overflow and misses go through the machine-wide tier, which
+	// rebalances capacity between processors whose send and receive size
+	// profiles differ. See sharedPool.
+	local [numClasses][][]float64
 	// scratch holds per-processor state registered by runtime subsystems
 	// (solver scratch, compiled schedules) so derived state survives
 	// across calls without globals or locks. See Scratch.
 	scratch map[any]any
 }
 
-// poolCap bounds how many spare buffers a processor keeps; beyond it,
-// released buffers are dropped for the garbage collector.
-const poolCap = 256
-
 // AcquireBuf returns a message payload buffer of length n with unspecified
-// contents, reusing a previously released buffer when one is large enough.
-// Pass the filled buffer to SendOwned, or return it with ReleaseBuf.
+// contents, reusing a previously released buffer when one is available in
+// the processor's free lists or the machine-wide pool. Pass the filled
+// buffer to SendOwned, or return it with ReleaseBuf.
 func (p *Proc) AcquireBuf(n int) []float64 {
-	for i := len(p.pool) - 1; i >= 0; i-- {
-		if cap(p.pool[i]) >= n {
-			buf := p.pool[i]
-			last := len(p.pool) - 1
-			p.pool[i] = p.pool[last]
-			p.pool[last] = nil
-			p.pool = p.pool[:last]
+	if n <= 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	if c >= numClasses {
+		return make([]float64, n)
+	}
+	// First tier: the processor's own lists, exact class outward. Larger
+	// classes are legal backing (capacity rides the message to its
+	// receiver's pool, it is never wasted).
+	for cc := c; cc < numClasses; cc++ {
+		if l := len(p.local[cc]); l > 0 {
+			buf := p.local[cc][l-1]
+			p.local[cc][l-1] = nil
+			p.local[cc] = p.local[cc][:l-1]
 			return buf[:n]
 		}
 	}
-	return make([]float64, n)
+	// Second tier: the machine-wide classed lists.
+	if buf, ok := p.m.bufs.take(c); ok {
+		return buf[:n]
+	}
+	// Allocate the full class size so the buffer files cleanly wherever
+	// it is eventually released.
+	return make([]float64, 1<<c)[:n]
 }
 
-// ReleaseBuf returns a buffer to the processor's pool. It is only safe for
-// buffers no longer referenced anywhere else: a payload obtained from Recv
-// that the caller has fully consumed, or an AcquireBuf buffer that was
-// never sent. Releasing is optional; unreleased buffers are simply garbage
-// collected.
+// ReleaseBuf returns a buffer to the pool. It is only safe for buffers no
+// longer referenced anywhere else: a payload obtained from Recv that the
+// caller has fully consumed, or an AcquireBuf buffer that was never sent.
+// Releasing is optional; unreleased buffers are simply garbage collected.
+//
+// The buffer is filed by capacity class: the first localKeep of a class
+// stay on the releasing processor, the rest flow to the machine-wide tier
+// so capacity cannot strand on a processor that never sends that class —
+// the property that keeps asymmetric traffic (irregular gathers whose
+// serve and request sizes differ) allocation-free in steady state.
 func (p *Proc) ReleaseBuf(buf []float64) {
-	if cap(buf) == 0 || len(p.pool) >= poolCap {
+	c := capClass(cap(buf))
+	if c < 0 {
 		return
 	}
-	p.pool = append(p.pool, buf)
+	if l := &p.local[c]; len(*l) < localKeep {
+		if *l == nil {
+			*l = make([][]float64, 0, localKeep)
+		}
+		*l = append(*l, buf)
+		return
+	}
+	p.m.bufs.put(c, buf)
 }
 
 // Scratch returns the processor's scratch value registered under key,
@@ -166,7 +191,7 @@ func (p *Proc) SendOwned(dst int, tag Tag, data []float64) {
 	p.clock += p.m.cost.SendOverhead
 	p.stats.CommTime += p.m.cost.SendOverhead
 	bytes := len(data) * wordBytes
-	arrival := p.clock + p.m.cost.MessageTime(bytes)
+	arrival := p.clock + p.m.tr.MessageTime(p.m.cost, p.rank, dst, bytes)
 	p.m.tr.Send(p.rank, dst, tag, data, arrival)
 	p.stats.MsgsSent++
 	p.stats.BytesSent += int64(bytes)

@@ -36,6 +36,16 @@ type Transport interface {
 	// the receiver).
 	Send(src, dst int, tag Tag, data []float64, arrival float64)
 
+	// MessageTime returns the end-to-end transfer time (excluding sender
+	// and receiver overheads) for a message of b bytes from endpoint src
+	// to endpoint dst under cost — the arrival-time computation the
+	// machine threads through every Send. The transport knows which link
+	// the message crosses; the cost model knows what each link charges.
+	// Flat transports return cost.MessageTime(b) for every pair;
+	// FederatedTransport prices inter-node messages with the cost model's
+	// per-link table. Implementations must be pure and deterministic.
+	MessageTime(cost CostModel, src, dst, b int) float64
+
 	// Recv blocks until a message on the (src, tag) stream addressed to
 	// dst is available and returns its payload and arrival time. The ok
 	// result is false when the transport went down (abort or detected

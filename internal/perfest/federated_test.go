@@ -1,0 +1,169 @@
+package perfest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/jacobi"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+// runJacobi returns (elapsed, per-iteration msgs, per-iteration bytes) by
+// differencing two run lengths, which cancels the verification epilogue.
+func runJacobi(m *machine.Machine, n, p, i1, i2 int) (dElapsed float64, iterMsgs, iterBytes int64) {
+	x0, f := jacobi.Problem(n)
+	g := topology.New(p, p)
+	r1, err := jacobi.KF1(m, g, x0, f, i1)
+	if err != nil {
+		panic(err)
+	}
+	s1 := m.TotalStats()
+	r2, err := jacobi.KF1(m, g, x0, f, i2)
+	if err != nil {
+		panic(err)
+	}
+	s2 := m.TotalStats()
+	d := i2 - i1
+	return (r2.Elapsed - r1.Elapsed) / float64(d),
+		(s2.MsgsSent - s1.MsgsSent) / int64(d),
+		(s2.BytesSent - s1.BytesSent) / int64(d)
+}
+
+func TestJacobiCountsExactBalancedAndUnbalanced(t *testing.T) {
+	cost := machine.IPSC2()
+	for _, tc := range []struct{ n, p int }{
+		{32, 4}, // balanced: 4 | 32
+		{10, 3}, // unbalanced: blocks 3,3,4
+		{37, 4}, // unbalanced: blocks 9,9,9,10
+		{65, 8}, // unbalanced at scale
+		{7, 7},  // one point per processor... balanced edge
+		{11, 2}, // p=2 unbalanced
+	} {
+		m := machine.New(tc.p*tc.p, cost)
+		_, iterMsgs, iterBytes := runJacobi(m, tc.n, tc.p, 2, 5)
+		est := Jacobi(cost, tc.n, tc.p, 1)
+		if int64(est.Msgs) != iterMsgs || int64(est.Bytes) != iterBytes {
+			t.Errorf("n=%d p=%d: predicted %d msgs / %d bytes per iteration, simulator moved %d / %d",
+				tc.n, tc.p, est.Msgs, est.Bytes, iterMsgs, iterBytes)
+		}
+	}
+}
+
+func TestJacobiRejectsEmptyBlocks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Jacobi(p > n) did not panic")
+		}
+	}()
+	Jacobi(machine.IPSC2(), 4, 5, 1)
+}
+
+// elapsedOf runs the KF1 Jacobi loop and returns its Elapsed.
+func elapsedOf(m *machine.Machine, n, p, iters int) float64 {
+	x0, f := jacobi.Problem(n)
+	r, err := jacobi.KF1(m, topology.New(p, p), x0, f, iters)
+	if err != nil {
+		panic(err)
+	}
+	return r.Elapsed
+}
+
+func TestJacobiFederatedTimeMatchesSimulatorFlat(t *testing.T) {
+	// The finish-time recurrence must reproduce the simulator's loop time
+	// to floating-point noise — transients included, so short and long
+	// runs, balanced and unbalanced blocks, all match.
+	cost := machine.IPSC2()
+	for _, tc := range []struct{ n, p, iters int }{
+		{64, 4, 1}, {64, 4, 3}, {64, 4, 10}, {37, 4, 4}, {65, 8, 3},
+	} {
+		m := machine.New(tc.p*tc.p, cost)
+		got := elapsedOf(m, tc.n, tc.p, tc.iters)
+		pred := JacobiFederatedTime(cost, tc.n, tc.p, tc.iters, 1)
+		if d := relDiff(pred, got); d > 1e-9 {
+			t.Errorf("n=%d p=%d iters=%d: predicted %v, simulated %v (rel diff %v)",
+				tc.n, tc.p, tc.iters, pred, got, d)
+		}
+	}
+}
+
+func TestJacobiFederatedSurchargeMatchesSimulator(t *testing.T) {
+	cost := machine.IPSC2().WithInterNode(4, 8)
+	const n, iters = 64, 5
+	for _, tc := range []struct{ p, nodes int }{
+		{4, 2},  // whole-row nodes, 2 rows per node
+		{4, 4},  // one row per node: both dim-0 ghosts cross
+		{4, 8},  // half-row nodes: dim-1 seams cross too
+		{8, 4},  // larger grid
+		{8, 16}, // half-row nodes on the larger grid
+	} {
+		pp := tc.p * tc.p
+		eShared := elapsedOf(machine.New(pp, cost), n, tc.p, iters)
+		eFed := elapsedOf(machine.NewFederated(pp, tc.nodes, cost), n, tc.p, iters)
+		pred := JacobiFederatedSurcharge(cost, n, tc.p, iters, tc.nodes)
+		got := eFed - eShared
+		if d := relDiff(pred, got); d > 1e-9 {
+			t.Errorf("p=%d nodes=%d: predicted surcharge %v, simulated %v (rel diff %v)",
+				tc.p, tc.nodes, pred, got, d)
+		}
+		if !(eFed > eShared) {
+			t.Errorf("p=%d nodes=%d: federated loop %v not slower than shared %v",
+				tc.p, tc.nodes, eFed, eShared)
+		}
+	}
+}
+
+func TestJacobiInterNodeClosedFormAgreement(t *testing.T) {
+	// For whole-row federations the enumeration must reproduce the old
+	// closed form 2*p*(nodes-1) messages, 2*(nodes-1)*n words.
+	for _, tc := range []struct{ n, p, nodes int }{
+		{256, 16, 4}, {256, 16, 16}, {64, 8, 2}, {37, 4, 4},
+	} {
+		msgs, bytes := JacobiInterNode(tc.n, tc.p, tc.nodes)
+		if wantM := 2 * tc.p * (tc.nodes - 1); msgs != wantM {
+			t.Errorf("n=%d p=%d nodes=%d: %d msgs, closed form %d", tc.n, tc.p, tc.nodes, msgs, wantM)
+		}
+		if wantB := 2 * (tc.nodes - 1) * tc.n * wordBytes; bytes != wantB {
+			t.Errorf("n=%d p=%d nodes=%d: %d bytes, closed form %d", tc.n, tc.p, tc.nodes, bytes, wantB)
+		}
+	}
+}
+
+func TestFederatedEstimatesRejectBadNodeCounts(t *testing.T) {
+	// The estimator must reject exactly the federations the simulator's
+	// NewFederated would reject, instead of predicting a partition that
+	// cannot be built.
+	for name, fn := range map[string]func(){
+		"JacobiFederatedTime": func() { JacobiFederatedTime(machine.IPSC2(), 256, 32, 3, 3) },
+		"ADIFederated":        func() { ADIFederatedSurcharge(machine.IPSC2().WithInterNode(2, 2), 64, 32, 2048) },
+		"AllReduceFederated":  func() { AllReduceFederatedSurcharge(machine.IPSC2().WithInterNode(2, 2), 1024, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: node count not dividing the processor count did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReduceChainCross(t *testing.T) {
+	// Consecutive partition with power-of-two nodes: the chain crosses on
+	// exactly the strides >= processors-per-node.
+	for _, tc := range []struct{ pp, nodes, want int }{
+		{1024, 4, 2}, {1024, 16, 4}, {1024, 64, 6}, {16, 1, 0}, {16, 16, 4},
+	} {
+		if got := reduceChainCross(tc.pp, tc.nodes); got != tc.want {
+			t.Errorf("reduceChainCross(%d, %d) = %d, want %d", tc.pp, tc.nodes, got, tc.want)
+		}
+	}
+}

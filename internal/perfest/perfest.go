@@ -30,17 +30,31 @@ const wordBytes = 8
 // Jacobi predicts the iteration loop of the KF1 Jacobi program (Listing 3):
 // n x n points block/block-distributed on a p x p grid, iters iterations,
 // each iteration one two-dimensional halo exchange plus the five-flop
-// update per interior point.
+// update per interior point. p must not exceed n (an empty block has no
+// edge to exchange, and dist.Block never assigns one when p <= n).
+//
+// Counts are exact for balanced and unbalanced blocks alike: every
+// adjacent pair still trades two messages per line, and along each
+// dimension the per-line message sizes are the blocks of the perpendicular
+// dimension, which sum to n no matter how Block rounds them.
 func Jacobi(cost machine.CostModel, n, p, iters int) Estimate {
-	local := n / p
+	if p > n {
+		panic("perfest: Jacobi needs p <= n (processors would own empty blocks)")
+	}
 	// Messages: per dimension, every adjacent processor pair exchanges
 	// two messages per line of processors; p lines per dimension.
 	msgsPerIter := 4 * p * (p - 1)
-	bytesPerIter := msgsPerIter * local * wordBytes
+	// Bytes: per dimension, each of the p lines trades 2*(p-1) messages
+	// whose sizes are that line's perpendicular block sizes; summed over
+	// the p lines the block sizes cover all n indices exactly, balanced
+	// or not.
+	bytesPerIter := 4 * (p - 1) * n * wordBytes
 
 	// Critical path per iteration: the busiest processor posts its edge
 	// sends, waits one latency + transfer for the matching ghosts,
-	// completes its receives, then updates its interior points.
+	// completes its receives, then updates its interior points. The
+	// busiest processor owns a ceiling-sized block.
+	local := (n + p - 1) / p
 	nbrs := 4
 	switch {
 	case p == 1:
@@ -106,16 +120,31 @@ func TriSolve(cost machine.CostModel, n, p int) Estimate {
 
 // JacobiInterNode predicts the per-iteration node-interconnect traffic of
 // the KF1 Jacobi iteration on a p x p processor grid federated across
-// `nodes` nodes of consecutive ranks (row-major, so each node owns p/nodes
-// whole grid rows; nodes must divide p). Only the dimension-0 halo
-// exchanges that straddle a node boundary cross the interconnect: per
+// `nodes` nodes of consecutive ranks (row-major); nodes must divide p*p.
+// When each node owns whole grid rows (nodes <= p) only the dimension-0
+// halo exchanges that straddle a node boundary cross the interconnect: per
 // boundary, every grid column trades one message each way, each carrying
-// one local row of n/p values. Dimension-1 exchanges stay inside a grid
-// row and therefore inside a node. The counts are exact and validated
-// against FederatedTransport's link counters by experiment S2.
+// one local row. With more nodes than grid rows a node owns part of a row,
+// so every dimension-0 exchange crosses, plus the dimension-1 exchanges at
+// the intra-row seams. The counts are enumerated exactly — including
+// unbalanced blocks, whose message sizes per line sum to n — and validated
+// against FederatedTransport's link counters by experiments S2 and S3.
 func JacobiInterNode(n, p, nodes int) (msgs, bytes int) {
-	msgs = 2 * p * (nodes - 1)
-	bytes = msgs * (n / p) * wordBytes
+	checkNodes(p, nodes)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			// Dimension-0 neighbours trade one local row each way.
+			if i+1 < p && nodeOf(i, j, p, nodes) != nodeOf(i+1, j, p, nodes) {
+				msgs += 2
+				bytes += 2 * blockSize(j, n, p) * wordBytes
+			}
+			// Dimension-1 neighbours trade one local column each way.
+			if j+1 < p && nodeOf(i, j, p, nodes) != nodeOf(i, j+1, p, nodes) {
+				msgs += 2
+				bytes += 2 * blockSize(i, n, p) * wordBytes
+			}
+		}
+	}
 	return msgs, bytes
 }
 
