@@ -7,9 +7,19 @@
 //	kfbench                                # run everything
 //	kfbench E3 F5                          # run selected experiments
 //	kfbench -list                          # list experiment IDs
+//	kfbench -transport federated -nodes 4 E1   # run on a named transport
 //	kfbench -bench -o B.json               # run the perf snapshot and write JSON
 //	kfbench -bench -o B.json -compare A.json   # ... and fail on regressions
 //	kfbench -bench -o B.json -compare latest   # ... against the highest BENCH_<n>.json
+//
+// -transport selects, by registry name (machine.RegisterTransport), the
+// message-delivery substrate the experiments' systems are built on, and
+// -nodes the federation node count (clamped per system to a divisor of its
+// processor count, since the suite's machines come in many sizes). Values
+// and message censuses are transport-invariant under flat costs, so the
+// reported metrics must not move — running the suite this way exercises a
+// transport end to end. The scaling experiments (S1-S4) pin their own
+// transport arrangements and ignore the flag.
 //
 // The -bench mode measures the host-side cost of the runtime's hot paths
 // (halo exchange, ADI, Jacobi at 4, 64, 256 and 1024 processors, message
@@ -42,7 +52,28 @@ func main() {
 	compare := flag.String("compare", "", "previous BENCH_<n>.json to diff against ('latest' auto-discovers the highest-numbered one); regressions exit nonzero")
 	nsTol := flag.Float64("ns-tol", benchkit.NsTolerance,
 		"relative ns/op growth tolerated by -compare (allocs/op always tolerates none); raise when comparing across machines")
+	transport := flag.String("transport", "", "transport registry name the experiments' systems run on (default: per-experiment)")
+	nodes := flag.Int("nodes", 0, "federation node count for -transport (clamped to a divisor of each system's processor count)")
 	flag.Parse()
+
+	if *nodes != 0 && *transport == "" {
+		fmt.Fprintln(os.Stderr, "kfbench: -nodes requires -transport")
+		os.Exit(1)
+	}
+	if *transport != "" && *bench {
+		// The perf snapshot must measure the workload the committed
+		// BENCH_<n>.json baselines recorded; rerouting its experiment-
+		// driven benchmarks onto another transport would diff apples
+		// against oranges.
+		fmt.Fprintln(os.Stderr, "kfbench: -transport cannot be combined with -bench")
+		os.Exit(1)
+	}
+	if *transport != "" {
+		if err := experiments.SetTransport(*transport, *nodes); err != nil {
+			fmt.Fprintf(os.Stderr, "kfbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *bench {
 		if err := runBench(*out, *compare, *nsTol); err != nil {
@@ -52,10 +83,10 @@ func main() {
 		return
 	}
 
-	all := experiments.All()
+	suite := experiments.Suite()
 	if *list {
-		for _, r := range all {
-			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+		for _, e := range suite {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 		return
 	}
@@ -64,11 +95,13 @@ func main() {
 		want[strings.ToUpper(arg)] = true
 	}
 	ran := 0
-	for _, r := range all {
-		if len(want) > 0 && !want[r.ID] {
+	for _, e := range suite {
+		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		fmt.Println(experiments.Render(r))
+		// Selection filters the index before running, so asking for one
+		// experiment pays for one experiment.
+		fmt.Println(experiments.Render(e.Run()))
 		ran++
 	}
 	if ran == 0 {

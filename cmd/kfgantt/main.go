@@ -14,11 +14,10 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/core"
 	"repro/internal/darray"
 	"repro/internal/dist"
 	"repro/internal/kf"
-	"repro/internal/machine"
-	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/tridiag"
 )
@@ -31,11 +30,11 @@ func main() {
 	flag.Parse()
 
 	run := func(msys int) (*trace.Recorder, float64) {
-		m := machine.New(*procs, machine.IPSC2())
-		rec := trace.NewRecorder(*procs)
-		m.SetSink(rec)
-		g := topology.New1D(*procs)
-		err := kf.Exec(m, g, func(c *kf.Ctx) error {
+		sys, err := core.NewSystem(core.Grid(*procs), core.Trace())
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed, err := sys.Run(func(c *kf.Ctx) error {
 			xs := make([]*darray.Array, msys)
 			fs := make([]*darray.Array, msys)
 			for j := 0; j < msys; j++ {
@@ -50,7 +49,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		return rec, m.Elapsed()
+		return sys.Trace, elapsed
 	}
 
 	rec1, t1 := run(1)

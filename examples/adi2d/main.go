@@ -9,22 +9,26 @@ import (
 	"log"
 
 	"repro/internal/adi"
-	"repro/internal/machine"
-	"repro/internal/topology"
+	"repro/internal/core"
 )
 
 func main() {
 	par := adi.Params{N: 48, A: 1, B: 1, Iters: 10}
 	f := adi.TestProblem(par.N)
-	g := topology.New(2, 2)
 
-	m1 := machine.New(4, machine.IPSC2())
-	plain, err := adi.Parallel(m1, g, par, f, false)
+	sys1, err := core.NewSystem(core.Grid(2, 2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	m2 := machine.New(4, machine.IPSC2())
-	piped, err := adi.Parallel(m2, g, par, f, true)
+	plain, err := adi.Parallel(sys1.Machine, sys1.Procs, par, f, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys2, err := core.NewSystem(core.Grid(2, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	piped, err := adi.Parallel(sys2.Machine, sys2.Procs, par, f, true)
 	if err != nil {
 		log.Fatal(err)
 	}

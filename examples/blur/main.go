@@ -36,7 +36,7 @@ func main() {
 		}
 	}
 
-	sys, err := core.NewSystem(core.Config{GridShape: []int{2, 2}})
+	sys, err := core.NewSystem(core.Grid(2, 2))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,7 +18,7 @@ import (
 
 func main() {
 	const n, p = 256, 4
-	sys, err := core.NewSystem(core.Config{GridShape: []int{p}})
+	sys, err := core.NewSystem(core.Grid(p))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,29 +11,31 @@ import (
 	"log"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/darray"
 	"repro/internal/dist"
 	"repro/internal/kf"
-	"repro/internal/machine"
 	"repro/internal/multigrid"
-	"repro/internal/topology"
 )
 
 func main() {
 	const n = 16
 	type variant struct {
 		name       string
-		g          *topology.Grid
+		shape      []int
 		dx, dy, dz dist.Dist
 	}
 	for _, v := range []variant{
-		{"dist (*, block, block) on procs(2,2)", topology.New(2, 2), dist.Star{}, dist.Block{}, dist.Block{}},
-		{"dist (*, *, block)     on procs(4)  ", topology.New1D(4), dist.Star{}, dist.Star{}, dist.Block{}},
-		{"dist (block, block, *) on procs(2,2)", topology.New(2, 2), dist.Block{}, dist.Block{}, dist.Star{}},
+		{"dist (*, block, block) on procs(2,2)", []int{2, 2}, dist.Star{}, dist.Block{}, dist.Block{}},
+		{"dist (*, *, block)     on procs(4)  ", []int{4}, dist.Star{}, dist.Star{}, dist.Block{}},
+		{"dist (block, block, *) on procs(2,2)", []int{2, 2}, dist.Block{}, dist.Block{}, dist.Star{}},
 	} {
-		m := machine.New(4, machine.IPSC2())
+		sys, err := core.NewSystem(core.Grid(v.shape...))
+		if err != nil {
+			log.Fatal(err)
+		}
 		var hist []float64
-		err := kf.Exec(m, v.g, func(c *kf.Ctx) error {
+		elapsed, err := sys.Run(func(c *kf.Ctx) error {
 			halo := make([]int, 3)
 			for i, d := range []dist.Dist{v.dx, v.dy, v.dz} {
 				if _, isStar := d.(dist.Star); !isStar {
@@ -59,7 +61,7 @@ func main() {
 					math.Sin(math.Pi*x) * math.Sin(math.Pi*y) * math.Sin(math.Pi*z)
 			})
 			h := multigrid.Solve3(c, u, f, multigrid.Default3D(n, n, n), 5)
-			if c.P.Rank() == v.g.RankAt(0) {
+			if c.P.Rank() == c.G.RankAt(0) {
 				hist = h
 			}
 			return nil
@@ -67,14 +69,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		st := m.TotalStats()
+		st := sys.Stats()
 		fmt.Printf("%s\n", v.name)
 		fmt.Printf("  residuals:")
 		for _, r := range hist {
 			fmt.Printf(" %.2e", r)
 		}
 		fmt.Printf("\n  virtual time %.4fs, msgs %d, bytes %d\n\n",
-			m.Elapsed(), st.MsgsSent, st.BytesSent)
+			elapsed, st.MsgsSent, st.BytesSent)
 	}
 	fmt.Println("same solver source, three dist clauses — only the Spec line changed (claim C3)")
 }

@@ -15,7 +15,7 @@ import (
 
 func main() {
 	// A machine with a 1-D processor array of 4 nodes, iPSC/2-like costs.
-	sys, err := core.NewSystem(core.Config{GridShape: []int{4}})
+	sys, err := core.NewSystem(core.Grid(4))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,7 +22,7 @@ func main() {
 	h := 2 * math.Pi / float64(n-1)
 	target := func(x float64) float64 { return math.Sin(x) + 0.3*math.Cos(3*x) }
 
-	sys, err := core.NewSystem(core.Config{GridShape: []int{p}})
+	sys, err := core.NewSystem(core.Grid(p))
 	if err != nil {
 		log.Fatal(err)
 	}

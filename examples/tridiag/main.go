@@ -20,7 +20,7 @@ import (
 
 func main() {
 	const p, n = 8, 256
-	sys, err := core.NewSystem(core.Config{GridShape: []int{p}, EnableTrace: true})
+	sys, err := core.NewSystem(core.Grid(p), core.Trace())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -162,108 +162,15 @@ func residualNorm(par Params, u, f [][]float64) float64 {
 // line by line (Listing 7). Set pipelined to solve each slice's lines
 // through the pipelined multi-system solver instead (Listing 8's madi).
 func Parallel(m *machine.Machine, g *topology.Grid, par Params, f [][]float64, pipelined bool) (Result, error) {
-	n := par.N
-	h := par.h()
-	rho := par.rho()
-	ax := par.A / (h * h)
-	by := par.B / (h * h)
 	var res Result
 	err := kf.Exec(m, g, func(c *kf.Ctx) error {
-		spec := darray.Spec{
-			Extents: []int{n, n},
-			Dists:   []dist.Dist{dist.Block{}, dist.Block{}},
-			Halo:    []int{1, 1},
-		}
-		u := c.NewArray(spec)
-		ustar := c.NewArray(spec)
-		rhs := c.NewArray(spec)
-		fd := c.NewArray(spec)
-		u.Zero()
-		ustar.Zero()
-		rhs.Zero()
-		fd.Fill(func(idx []int) float64 { return f[idx[0]][idx[1]] })
-
-		stencilY := func(src *darray.Array, coef float64) func(cc *kf.Ctx, i, j int) {
-			return func(cc *kf.Ctx, i, j int) {
-				up, down := 0.0, 0.0
-				if j > 0 {
-					up = src.Old2(i, j-1)
-				}
-				if j < n-1 {
-					down = src.Old2(i, j+1)
-				}
-				rhs.Set2(i, j, (rho-2*coef)*src.Old2(i, j)+coef*(up+down)+fd.At2(i, j))
-				cc.P.Compute(6)
-			}
-		}
-		stencilX := func(src *darray.Array, coef float64) func(cc *kf.Ctx, i, j int) {
-			return func(cc *kf.Ctx, i, j int) {
-				left, right := 0.0, 0.0
-				if i > 0 {
-					left = src.Old2(i-1, j)
-				}
-				if i < n-1 {
-					right = src.Old2(i+1, j)
-				}
-				rhs.Set2(i, j, (rho-2*coef)*src.Old2(i, j)+coef*(left+right)+fd.At2(i, j))
-				cc.P.Compute(6)
-			}
-		}
-
-		// Compile every loop header once, outside the iteration loop —
-		// the hoisting a KF1 compiler performs: halo schedules, owned
-		// strips and iteration grids derive here, and the loop body only
-		// moves data.
-		all := kf.R(0, n-1)
-		sweep1 := c.Plan2(all, all, kf.OnOwner2(rhs), kf.Reads(u, 1))
-		sweep2 := c.Plan2(all, all, kf.OnOwner2(rhs), kf.Reads(ustar, 0))
-		residual := c.Plan2(all, all, kf.OnOwner2(u), kf.Reads(u))
-		solveX := c.Plan1(all, kf.OnOwnerSection(rhs, 1))
-		solveY := c.Plan1(all, kf.OnOwnerSection(rhs, 0))
-
-		for it := 0; it < par.Iters; it++ {
-			// Sweep 1 right-hand side: y-stencil of u.
-			sweep1.Run(stencilY(u, by))
-			// x-direction solves: columns j, each on the grid column
-			// slice owning it.
-			if pipelined {
-				solveLinesPipelined(c, ustar, rhs, 1, -ax, rho+2*ax, -ax)
-			} else {
-				solveX.Run(func(cc *kf.Ctx, j int) {
-					must(tridiag.TriC(cc, ustar.Section(1, j), rhs.Section(1, j), -ax, rho+2*ax, -ax))
-				})
-			}
-			// Sweep 2 right-hand side: x-stencil of u*.
-			sweep2.Run(stencilX(ustar, ax))
-			// y-direction solves: rows i on grid row slices.
-			if pipelined {
-				solveLinesPipelined(c, u, rhs, 0, -by, rho+2*by, -by)
-			} else {
-				solveY.Run(func(cc *kf.Ctx, i int) {
-					must(tridiag.TriC(cc, u.Section(0, i), rhs.Section(0, i), -by, rho+2*by, -by))
-				})
-			}
-			// Residual in the max norm.
-			worst := 0.0
-			residual.Run(func(cc *kf.Ctx, i, j int) {
-				lap := ax*(edge(u, i-1, j, n)-2*u.Old2(i, j)+edge(u, i+1, j, n)) +
-					by*(edge(u, i, j-1, n)-2*u.Old2(i, j)+edge(u, i, j+1, n))
-				if r := math.Abs(fd.At2(i, j) + lap); r > worst {
-					worst = r
-				}
-				cc.P.Compute(8)
-			})
-			rn := c.AllReduceMax(worst)
-			if c.GridIndex() == 0 {
-				res.ResNorm = append(res.ResNorm, rn)
-			}
-		}
-		elapsed := c.AllReduceMax(c.P.Clock())
+		flat, hist, elapsed := ParallelCtx(c, par, f, pipelined)
 		if c.GridIndex() == 0 {
+			res.ResNorm = hist
 			res.Elapsed = elapsed
 		}
-		flat := u.GatherTo(c.NextScope(), 0)
 		if c.P.Rank() == 0 {
+			n := par.N
 			out := make([][]float64, n)
 			for i := range out {
 				out[i] = flat[i*n : (i+1)*n]
@@ -274,6 +181,114 @@ func Parallel(m *machine.Machine, g *topology.Grid, par Params, f [][]float64, p
 	})
 	res.Stats = m.TotalStats()
 	return res, err
+}
+
+// ParallelCtx is the ADI iteration as a plain parallel subroutine body —
+// the declare-once form a core.Program wraps to run the identical
+// computation on any system. It returns the flat gathered solution on
+// rank 0 (nil elsewhere), the residual history on grid index 0, and the
+// iteration loop's elapsed virtual time (identical on every rank).
+func ParallelCtx(c *kf.Ctx, par Params, f [][]float64, pipelined bool) (flat, resNorm []float64, elapsed float64) {
+	n := par.N
+	h := par.h()
+	rho := par.rho()
+	ax := par.A / (h * h)
+	by := par.B / (h * h)
+	spec := darray.Spec{
+		Extents: []int{n, n},
+		Dists:   []dist.Dist{dist.Block{}, dist.Block{}},
+		Halo:    []int{1, 1},
+	}
+	u := c.NewArray(spec)
+	ustar := c.NewArray(spec)
+	rhs := c.NewArray(spec)
+	fd := c.NewArray(spec)
+	u.Zero()
+	ustar.Zero()
+	rhs.Zero()
+	fd.Fill(func(idx []int) float64 { return f[idx[0]][idx[1]] })
+
+	stencilY := func(src *darray.Array, coef float64) func(cc *kf.Ctx, i, j int) {
+		return func(cc *kf.Ctx, i, j int) {
+			up, down := 0.0, 0.0
+			if j > 0 {
+				up = src.Old2(i, j-1)
+			}
+			if j < n-1 {
+				down = src.Old2(i, j+1)
+			}
+			rhs.Set2(i, j, (rho-2*coef)*src.Old2(i, j)+coef*(up+down)+fd.At2(i, j))
+			cc.P.Compute(6)
+		}
+	}
+	stencilX := func(src *darray.Array, coef float64) func(cc *kf.Ctx, i, j int) {
+		return func(cc *kf.Ctx, i, j int) {
+			left, right := 0.0, 0.0
+			if i > 0 {
+				left = src.Old2(i-1, j)
+			}
+			if i < n-1 {
+				right = src.Old2(i+1, j)
+			}
+			rhs.Set2(i, j, (rho-2*coef)*src.Old2(i, j)+coef*(left+right)+fd.At2(i, j))
+			cc.P.Compute(6)
+		}
+	}
+
+	// Compile every loop header once, outside the iteration loop —
+	// the hoisting a KF1 compiler performs: halo schedules, owned
+	// strips and iteration grids derive here, and the loop body only
+	// moves data.
+	all := kf.R(0, n-1)
+	sweep1 := c.Plan2(all, all, kf.OnOwner2(rhs), kf.Reads(u, 1))
+	sweep2 := c.Plan2(all, all, kf.OnOwner2(rhs), kf.Reads(ustar, 0))
+	residual := c.Plan2(all, all, kf.OnOwner2(u), kf.Reads(u))
+	solveX := c.Plan1(all, kf.OnOwnerSection(rhs, 1))
+	solveY := c.Plan1(all, kf.OnOwnerSection(rhs, 0))
+
+	for it := 0; it < par.Iters; it++ {
+		// Sweep 1 right-hand side: y-stencil of u.
+		sweep1.Run(stencilY(u, by))
+		// x-direction solves: columns j, each on the grid column
+		// slice owning it.
+		if pipelined {
+			solveLinesPipelined(c, ustar, rhs, 1, -ax, rho+2*ax, -ax)
+		} else {
+			solveX.Run(func(cc *kf.Ctx, j int) {
+				must(tridiag.TriC(cc, ustar.Section(1, j), rhs.Section(1, j), -ax, rho+2*ax, -ax))
+			})
+		}
+		// Sweep 2 right-hand side: x-stencil of u*.
+		sweep2.Run(stencilX(ustar, ax))
+		// y-direction solves: rows i on grid row slices.
+		if pipelined {
+			solveLinesPipelined(c, u, rhs, 0, -by, rho+2*by, -by)
+		} else {
+			solveY.Run(func(cc *kf.Ctx, i int) {
+				must(tridiag.TriC(cc, u.Section(0, i), rhs.Section(0, i), -by, rho+2*by, -by))
+			})
+		}
+		// Residual in the max norm.
+		worst := 0.0
+		residual.Run(func(cc *kf.Ctx, i, j int) {
+			lap := ax*(edge(u, i-1, j, n)-2*u.Old2(i, j)+edge(u, i+1, j, n)) +
+				by*(edge(u, i, j-1, n)-2*u.Old2(i, j)+edge(u, i, j+1, n))
+			if r := math.Abs(fd.At2(i, j) + lap); r > worst {
+				worst = r
+			}
+			cc.P.Compute(8)
+		})
+		rn := c.AllReduceMax(worst)
+		if c.GridIndex() == 0 {
+			resNorm = append(resNorm, rn)
+		}
+	}
+	elapsed = c.AllReduceMax(c.P.Clock())
+	out := u.GatherTo(c.NextScope(), 0)
+	if c.P.Rank() == 0 {
+		flat = out
+	}
+	return flat, resNorm, elapsed
 }
 
 // edge reads the snapshot of u with zero Dirichlet boundary outside the

@@ -15,13 +15,13 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/darray"
 	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/jacobi"
 	"repro/internal/kf"
 	"repro/internal/machine"
-	"repro/internal/topology"
 )
 
 // Result is one benchmark's snapshot entry.
@@ -206,7 +206,7 @@ func Snapshot() []Bench {
 // trip (mailbox, virtual clocks, tracing off).
 func MachinePingPong(b *testing.B) {
 	b.ReportAllocs()
-	m := machine.New(2, machine.ZeroComm())
+	m := core.MustSystem(core.Grid(2), core.Cost(machine.ZeroComm())).Machine
 	b.ResetTimer()
 	err := m.Run(func(p *machine.Proc) error {
 		other := 1 - p.Rank()
@@ -231,7 +231,8 @@ func MachinePingPong(b *testing.B) {
 // per-node mailbox plus per-link counter overhead versus the shared path.
 func MachinePingPongFederated(b *testing.B) {
 	b.ReportAllocs()
-	m := machine.NewFederated(2, 2, machine.ZeroComm())
+	m := core.MustSystem(core.Grid(2), core.Transport("federated"), core.Nodes(2),
+		core.Cost(machine.ZeroComm())).Machine
 	b.ResetTimer()
 	err := m.Run(func(p *machine.Proc) error {
 		other := 1 - p.Rank()
@@ -258,7 +259,8 @@ func MachinePingPongFederated(b *testing.B) {
 func MachinePingPongFederatedPriced(b *testing.B) {
 	b.ReportAllocs()
 	cost := machine.CostModel{Latency: 1e-6, BytePeriod: 1e-9}.WithInterNode(4, 8)
-	m := machine.NewFederated(2, 2, cost)
+	m := core.MustSystem(core.Grid(2), core.Transport("federated"), core.Nodes(2),
+		core.Cost(cost)).Machine
 	b.ResetTimer()
 	err := m.Run(func(p *machine.Proc) error {
 		other := 1 - p.Rank()
@@ -282,9 +284,8 @@ func MachinePingPongFederatedPriced(b *testing.B) {
 // 2x2 grid.
 func HaloExchange2D(b *testing.B) {
 	b.ReportAllocs()
-	m := machine.New(4, machine.ZeroComm())
-	g := topology.New(2, 2)
-	err := kf.Exec(m, g, func(c *kf.Ctx) error {
+	sys := core.MustSystem(core.Grid(2, 2), core.Cost(machine.ZeroComm()))
+	_, err := sys.Run(func(c *kf.Ctx) error {
 		a := c.NewArray(darray.Spec{
 			Extents: []int{256, 256},
 			Dists:   []dist.Dist{dist.Block{}, dist.Block{}},
@@ -306,10 +307,9 @@ func HaloExchange2D(b *testing.B) {
 func JacobiKF1Iteration(b *testing.B) {
 	b.ReportAllocs()
 	x0, f := jacobi.Problem(64)
-	g := topology.New(2, 2)
 	b.ResetTimer()
-	m := machine.New(4, machine.ZeroComm())
-	if _, err := jacobi.KF1(m, g, x0, f, b.N); err != nil {
+	sys := core.MustSystem(core.Grid(2, 2), core.Cost(machine.ZeroComm()))
+	if _, err := jacobi.KF1(sys.Machine, sys.Procs, x0, f, b.N); err != nil {
 		b.Fatal(err)
 	}
 }
@@ -328,10 +328,9 @@ func E4ADI(b *testing.B) {
 func Jacobi64Proc(b *testing.B) {
 	b.ReportAllocs()
 	x0, f := jacobi.Problem(128)
-	g := topology.New(8, 8)
 	b.ResetTimer()
-	m := machine.New(64, machine.ZeroComm())
-	if _, err := jacobi.KF1(m, g, x0, f, b.N); err != nil {
+	sys := core.MustSystem(core.Grid(8, 8), core.Cost(machine.ZeroComm()))
+	if _, err := jacobi.KF1(sys.Machine, sys.Procs, x0, f, b.N); err != nil {
 		b.Fatal(err)
 	}
 }
@@ -345,11 +344,11 @@ func Jacobi64Proc(b *testing.B) {
 func Jacobi256Proc(b *testing.B) {
 	b.ReportAllocs()
 	x0, f := jacobi.Problem(256)
-	g := topology.New(16, 16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := machine.NewFederated(256, 4, machine.ZeroComm())
-		if _, err := jacobi.KF1(m, g, x0, f, 2); err != nil {
+		sys := core.MustSystem(core.Grid(16, 16), core.Transport("federated"), core.Nodes(4),
+			core.Cost(machine.ZeroComm()))
+		if _, err := jacobi.KF1(sys.Machine, sys.Procs, x0, f, 2); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -363,12 +362,12 @@ func Jacobi256Proc(b *testing.B) {
 func Jacobi1024ProcPriced(b *testing.B) {
 	b.ReportAllocs()
 	x0, f := jacobi.Problem(256)
-	g := topology.New(32, 32)
 	cost := machine.CostModel{Latency: 1e-6, BytePeriod: 1e-9}.WithInterNode(4, 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := machine.NewFederated(1024, 16, cost)
-		if _, err := jacobi.KF1(m, g, x0, f, 1); err != nil {
+		sys := core.MustSystem(core.Grid(32, 32), core.Transport("federated"), core.Nodes(16),
+			core.Cost(cost))
+		if _, err := jacobi.KF1(sys.Machine, sys.Procs, x0, f, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,15 +1,44 @@
-// Package core assembles the KF1 reproduction into a single convenient
-// entry point: a simulated loosely coupled machine plus a processor grid,
-// ready to execute parallel subroutines. It is the facade the examples and
-// command-line tools use; the underlying pieces live in internal/machine
-// (the simulated multicomputer), internal/topology (processor arrays),
-// internal/dist and internal/darray (distributed data), and internal/kf
-// (the language runtime: parsubs, doall loops, on-clauses).
+// Package core is the one entry point user code declares a simulated
+// machine through — the paper's "only one real processor declaration is
+// allowed in the whole program", grown into a configuration surface:
+// examples, experiments, benchmarks and command-line tools all construct
+// and run systems here, never against the lower layers directly.
+//
+// A System is declared with functional options:
+//
+//	sys, err := core.NewSystem(
+//	    core.Grid(4, 4),                    // the processor array
+//	    core.Transport("federated"),        // delivery substrate, by registry name
+//	    core.Nodes(4),                      // federation shape
+//	    core.LinkCosts(4, 8),               // price the node interconnect
+//	    core.Trace(),                       // record per-processor timelines
+//	)
+//
+// Every option is independent and optional except Grid; the defaults are a
+// shared-memory transport and the iPSC/2-like cost preset. Transports are
+// resolved by name through the registry in internal/machine
+// (machine.RegisterTransport), so a new substrate — a cross-process one,
+// say — reaches every caller of core with a single Register call and zero
+// facade edits.
+//
+// Programs separate the computation from the machine: declare once, run on
+// any System, and Compare two systems' runs for the loosely-coupled model's
+// central invariant — a program's meaning lives in its messages, so values
+// and message censuses must be bit-identical across transports while
+// virtual times honestly reflect what each machine charges. See Program,
+// Run and Compare.
+//
+// The underlying pieces remain in internal/machine (the simulated
+// multicomputer), internal/topology (processor arrays), internal/dist and
+// internal/darray (distributed data), and internal/kf (the language
+// runtime: parsubs, doall loops, on-clauses).
 package core
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/darray"
 	"repro/internal/kf"
 	"repro/internal/machine"
 	"repro/internal/topology"
@@ -17,21 +46,300 @@ import (
 )
 
 // System is a simulated machine with a declared processor array — the
-// paper's "only one real processor declaration is allowed in the whole
-// program".
+// paper's single machine declaration, from which the runtime derives
+// everything else.
+//
+// Run and RunProgram are the system's execution surface: they apply the
+// run-shaping options (DirectScheduling's derivation mode, the per-run
+// trace reset) around every execution. The exported Machine and Procs
+// fields are the low-level handles for driver wrappers that predate
+// Programs (jacobi.KF1(sys.Machine, sys.Procs, ...)); code driving the
+// Machine directly bypasses the run-shaping options by construction, so
+// systems declared with DirectScheduling or Trace should be executed
+// through Run/RunProgram.
 type System struct {
 	// Machine is the simulated multicomputer.
 	Machine *machine.Machine
 	// Procs is the full processor array ("the real estate agent").
 	Procs *topology.Grid
-	// Trace records per-processor timelines when tracing is enabled.
+	// Trace records per-processor timelines when the Trace option is on.
 	Trace *trace.Recorder
+
+	transport string
+	direct    bool
 }
 
-// Config selects the machine size, shape and cost model.
+// settings accumulates option state before validation.
+type settings struct {
+	shape     []int
+	transport string
+	nodes     int
+	nodesSet  bool
+	cost      machine.CostModel
+	trace     bool
+	direct    bool
+	linkSet   bool
+	linkLat   float64
+	linkByte  float64
+	links     []LinkSpec
+}
+
+// Option configures a System under construction. Options are applied in
+// order; later options override earlier ones where they overlap.
+type Option func(*settings) error
+
+// Grid declares the processor array shape, e.g. Grid(4) or Grid(2, 4); the
+// machine has exactly prod(shape) processors. Exactly what the paper's
+// processor declaration says, and the one option every System needs.
+func Grid(shape ...int) Option {
+	s := append([]int(nil), shape...)
+	return func(cfg *settings) error {
+		if len(s) == 0 {
+			return fmt.Errorf("core: Grid needs at least one extent")
+		}
+		for _, e := range s {
+			if e <= 0 {
+				return fmt.Errorf("core: Grid extents must be positive, got %v", s)
+			}
+		}
+		cfg.shape = s
+		return nil
+	}
+}
+
+// Transport selects the message-delivery substrate by its registry name
+// (machine.RegisterTransport): "shared" (the default) or "federated" ship
+// with the runtime; future transports resolve the same way. Unknown names
+// surface as errors from NewSystem.
+func Transport(name string) Option {
+	return func(cfg *settings) error {
+		if name == "" {
+			return fmt.Errorf("core: Transport needs a non-empty name (registered: %v)", machine.TransportNames())
+		}
+		cfg.transport = name
+		return nil
+	}
+}
+
+// Nodes sets the federation shape: the processors are partitioned into n
+// equal nodes joined by counted inter-node links. It requires a federating
+// transport — Nodes(2) on the shared transport is a configuration conflict
+// reported by NewSystem — and n must divide the processor count.
+func Nodes(n int) Option {
+	return func(cfg *settings) error {
+		if n < 1 {
+			return fmt.Errorf("core: Nodes must be at least 1, got %d", n)
+		}
+		cfg.nodes = n
+		cfg.nodesSet = true
+		return nil
+	}
+}
+
+// Cost sets the virtual-time cost model. The zero value keeps selecting
+// the iPSC/2-like preset, as it always has.
+func Cost(cm machine.CostModel) Option {
+	return func(cfg *settings) error {
+		cfg.cost = cm
+		return nil
+	}
+}
+
+// LinkSpec overrides the price of one directed inter-node link inside a
+// LinkCosts option: the latency and byte-period multipliers messages
+// crossing from node Src to node Dst pay instead of the sweep's defaults —
+// a slow uplink, or a fast backbone pair.
+type LinkSpec struct {
+	Src, Dst      int
+	Latency, Byte float64
+}
+
+// LinkCosts prices the node interconnect of a federating transport: every
+// inter-node message pays the cost model's Latency and BytePeriod scaled
+// by the given multipliers (links of a real federation are slower than
+// intra-node delivery, so useful values are > 1), with per-directed-link
+// overrides for asymmetric interconnects. It layers onto whatever Cost
+// selected and requires a transport that federates. Note that a
+// single-node federation (Nodes(1), the federated default) has no
+// inter-node links, so the pricing is accepted but charged nowhere — the
+// degenerate zero-surcharge case node sweeps deliberately include; set
+// Nodes(n >= 2) for the interconnect to exist.
+func LinkCosts(latency, bytePeriod float64, links ...LinkSpec) Option {
+	ls := append([]LinkSpec(nil), links...)
+	return func(cfg *settings) error {
+		cfg.linkSet = true
+		cfg.linkLat, cfg.linkByte = latency, bytePeriod
+		cfg.links = ls
+		return nil
+	}
+}
+
+// Trace attaches a per-processor timeline recorder, available as
+// System.Trace after construction.
+func Trace() Option {
+	return func(cfg *settings) error {
+		cfg.trace = true
+		return nil
+	}
+}
+
+// DirectScheduling makes the system derive all collective communication
+// directly on every call instead of replaying compiled schedules — the
+// verification mode of the inspector/executor split. Runs on a direct
+// system must be bit-identical to scheduled ones; Compare a system with
+// and without this option to check. The mode is applied by Run and
+// RunProgram; driving sys.Machine directly bypasses it (see System).
+func DirectScheduling() Option {
+	return func(cfg *settings) error {
+		cfg.direct = true
+		return nil
+	}
+}
+
+// NewSystem builds a simulated system from the given options. Grid is
+// required; everything else defaults (shared transport, one node, iPSC/2
+// costs, no trace, scheduled communication). Conflicting or invalid
+// options — Nodes on a non-federating transport, LinkCosts without a
+// federation, an unregistered transport name, a node count that does not
+// divide the processor count — are reported as errors, never panics.
+func NewSystem(opts ...Option) (*System, error) {
+	cfg := settings{transport: "shared", nodes: 1}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if len(cfg.shape) == 0 {
+		return nil, fmt.Errorf("core: no processor grid declared (use core.Grid)")
+	}
+	cost := cfg.cost
+	if cost.IsZero() {
+		cost = machine.IPSC2()
+	}
+	if cfg.linkSet {
+		if cfg.linkLat <= 0 || cfg.linkByte <= 0 {
+			return nil, fmt.Errorf("core: LinkCosts multipliers must be positive, got (%g, %g)", cfg.linkLat, cfg.linkByte)
+		}
+		for _, l := range cfg.links {
+			if l.Src < 0 || l.Src >= cfg.nodes || l.Dst < 0 || l.Dst >= cfg.nodes {
+				return nil, fmt.Errorf("core: LinkSpec %d->%d outside the federation's %d nodes", l.Src, l.Dst, cfg.nodes)
+			}
+			if l.Src == l.Dst {
+				return nil, fmt.Errorf("core: LinkSpec %d->%d prices an intra-node path, which never crosses a link", l.Src, l.Dst)
+			}
+			if l.Latency <= 0 || l.Byte <= 0 {
+				return nil, fmt.Errorf("core: LinkSpec %d->%d multipliers must be positive, got (%g, %g)", l.Src, l.Dst, l.Latency, l.Byte)
+			}
+		}
+		cost = cost.WithInterNode(cfg.linkLat, cfg.linkByte)
+		for _, l := range cfg.links {
+			cost = cost.WithLink(l.Src, l.Dst, machine.LinkCost{Latency: l.Latency, Byte: l.Byte})
+		}
+	}
+	g := topology.New(cfg.shape...)
+	tr, err := machine.NewTransportByName(cfg.transport, g.Size(), cfg.nodes)
+	if err != nil {
+		return nil, err
+	}
+	_, federates := tr.(nodeCounter)
+	if cfg.nodesSet && cfg.nodes > 1 && !federates {
+		return nil, fmt.Errorf("core: Nodes(%d) set but transport %q does not federate", cfg.nodes, cfg.transport)
+	}
+	if cfg.linkSet && !federates {
+		return nil, fmt.Errorf("core: LinkCosts set but transport %q does not federate (inter-node links would never be crossed)", cfg.transport)
+	}
+	m := machine.NewWithTransport(tr, cost)
+	sys := &System{
+		Machine:   m,
+		Procs:     g,
+		transport: cfg.transport,
+		direct:    cfg.direct,
+	}
+	if cfg.trace {
+		sys.Trace = trace.NewRecorder(g.Size())
+		m.SetSink(sys.Trace)
+	}
+	return sys, nil
+}
+
+// MustSystem is NewSystem for benchmarks, experiments and tools whose
+// configuration is static and whose only sensible response to a
+// misconfiguration is to stop: it panics on error.
+func MustSystem(opts ...Option) *System {
+	sys, err := NewSystem(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// TransportName returns the registry name the system's transport was
+// resolved under.
+func (s *System) TransportName() string { return s.transport }
+
+// nodeCounter is the capability a transport exposes when it partitions
+// processors into nodes; FederatedTransport (and any future multi-node
+// transport) implements it. linkCounters in program.go extends it with
+// the per-link traffic counters the censuses read.
+type nodeCounter interface{ Nodes() int }
+
+// Nodes returns the federation's node count (1 on non-federating
+// transports).
+func (s *System) Nodes() int {
+	if f, ok := s.Machine.Transport().(nodeCounter); ok {
+		return f.Nodes()
+	}
+	return 1
+}
+
+// Run executes body as a parallel subroutine over the full processor array
+// and returns the virtual elapsed time. Like the machine's clocks and
+// counters, the trace recorder (when attached) is reset at the start, so
+// a System runs any number of programs in sequence, each cleanly.
+func (s *System) Run(body func(c *kf.Ctx) error) (float64, error) {
+	restore := s.applyScheduling()
+	defer restore()
+	if s.Trace != nil {
+		s.Trace.Reset()
+	}
+	if err := kf.Exec(s.Machine, s.Procs, body); err != nil {
+		return 0, err
+	}
+	return s.Machine.Elapsed(), nil
+}
+
+// schedMu guards the darray scheduling switch, which is process-global: a
+// DirectScheduling run holds the write side for its whole duration, any
+// other run the read side, so concurrent systems never observe (or
+// clobber) another run's scheduling mode.
+var schedMu sync.RWMutex
+
+// applyScheduling flips the darray layer into direct derivation for the
+// duration of a run on a DirectScheduling system, returning the restore
+// function. Scheduled systems share the read lock and touch nothing.
+func (s *System) applyScheduling() func() {
+	if !s.direct {
+		schedMu.RLock()
+		return schedMu.RUnlock
+	}
+	schedMu.Lock()
+	prev := darray.SetScheduling(false)
+	return func() {
+		darray.SetScheduling(prev)
+		schedMu.Unlock()
+	}
+}
+
+// Stats returns the aggregate machine counters from the last Run.
+func (s *System) Stats() machine.Stats { return s.Machine.TotalStats() }
+
+// Config is the pre-options configuration struct.
+//
+// Deprecated: use NewSystem with functional options (Grid, Cost, Trace,
+// ...). Config covers only the flat shared-memory case and is kept for one
+// release as a shim; NewSystemFromConfig adapts it.
 type Config struct {
-	// GridShape is the processor array shape, e.g. [4] or [2, 4]. The
-	// machine has exactly prod(GridShape) processors.
+	// GridShape is the processor array shape, e.g. [4] or [2, 4].
 	GridShape []int
 	// Cost is the virtual-time cost model; the zero value selects the
 	// iPSC/2-like preset.
@@ -40,33 +348,26 @@ type Config struct {
 	EnableTrace bool
 }
 
-// NewSystem builds a simulated system per the config.
-func NewSystem(cfg Config) (*System, error) {
+// Options translates the legacy Config into the equivalent option list.
+//
+// Deprecated: pass options to NewSystem directly.
+func (cfg Config) Options() []Option {
+	opts := []Option{Grid(cfg.GridShape...)}
+	if !cfg.Cost.IsZero() {
+		opts = append(opts, Cost(cfg.Cost))
+	}
+	if cfg.EnableTrace {
+		opts = append(opts, Trace())
+	}
+	return opts
+}
+
+// NewSystemFromConfig builds a system from the legacy Config struct.
+//
+// Deprecated: use NewSystem(core.Grid(...), ...) directly.
+func NewSystemFromConfig(cfg Config) (*System, error) {
 	if len(cfg.GridShape) == 0 {
 		return nil, fmt.Errorf("core: empty grid shape")
 	}
-	g := topology.New(cfg.GridShape...)
-	cost := cfg.Cost
-	if cost == (machine.CostModel{}) {
-		cost = machine.IPSC2()
-	}
-	m := machine.New(g.Size(), cost)
-	sys := &System{Machine: m, Procs: g}
-	if cfg.EnableTrace {
-		sys.Trace = trace.NewRecorder(g.Size())
-		m.SetSink(sys.Trace)
-	}
-	return sys, nil
+	return NewSystem(cfg.Options()...)
 }
-
-// Run executes body as a parallel subroutine over the full processor array
-// and returns the virtual elapsed time.
-func (s *System) Run(body func(c *kf.Ctx) error) (float64, error) {
-	if err := kf.Exec(s.Machine, s.Procs, body); err != nil {
-		return 0, err
-	}
-	return s.Machine.Elapsed(), nil
-}
-
-// Stats returns the aggregate machine counters from the last Run.
-func (s *System) Stats() machine.Stats { return s.Machine.TotalStats() }

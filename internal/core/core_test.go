@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/darray"
@@ -10,7 +12,7 @@ import (
 )
 
 func TestNewSystemDefaults(t *testing.T) {
-	sys, err := NewSystem(Config{GridShape: []int{2, 3}})
+	sys, err := NewSystem(Grid(2, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,16 +25,133 @@ func TestNewSystemDefaults(t *testing.T) {
 	if sys.Trace != nil {
 		t.Error("trace should be off by default")
 	}
+	if sys.TransportName() != "shared" {
+		t.Errorf("default transport %q, want shared", sys.TransportName())
+	}
+	if _, ok := sys.Machine.Transport().(*machine.SharedTransport); !ok {
+		t.Errorf("default transport resolved to %T", sys.Machine.Transport())
+	}
+	if sys.Nodes() != 1 {
+		t.Errorf("shared system reports %d nodes", sys.Nodes())
+	}
 }
 
-func TestNewSystemRejectsEmptyShape(t *testing.T) {
-	if _, err := NewSystem(Config{}); err == nil {
+func TestEveryOptionTogether(t *testing.T) {
+	sys, err := NewSystem(
+		Grid(4, 4),
+		Transport("federated"),
+		Nodes(4),
+		Cost(machine.Balanced()),
+		LinkCosts(4, 8, LinkSpec{Src: 0, Dst: 1, Latency: 16, Byte: 32}),
+		Trace(),
+		DirectScheduling(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Machine.Size() != 16 {
+		t.Errorf("size %d", sys.Machine.Size())
+	}
+	ft, ok := sys.Machine.Transport().(*machine.FederatedTransport)
+	if !ok {
+		t.Fatalf("transport %T, want federated", sys.Machine.Transport())
+	}
+	if ft.Nodes() != 4 || sys.Nodes() != 4 {
+		t.Errorf("nodes %d/%d, want 4", ft.Nodes(), sys.Nodes())
+	}
+	cost := sys.Machine.Cost()
+	if cost.FlopTime != machine.Balanced().FlopTime {
+		t.Error("Cost option not applied")
+	}
+	if cost.InterNode == nil {
+		t.Fatal("LinkCosts not applied")
+	}
+	want := machine.Balanced().WithInterNode(4, 8).
+		WithLink(0, 1, machine.LinkCost{Latency: 16, Byte: 32})
+	if cost.LinkMessageTime(0, 1, 100) != want.LinkMessageTime(0, 1, 100) ||
+		cost.LinkMessageTime(1, 0, 100) != want.LinkMessageTime(1, 0, 100) {
+		t.Error("LinkCosts overrides not equivalent to WithInterNode+WithLink")
+	}
+	if sys.Trace == nil {
+		t.Error("Trace option not applied")
+	}
+	if !sys.direct {
+		t.Error("DirectScheduling option not applied")
+	}
+}
+
+func TestOptionErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+		want string // substring of the error
+	}{
+		{"no grid", nil, "no processor grid"},
+		{"empty grid", []Option{Grid()}, "at least one extent"},
+		{"bad extent", []Option{Grid(4, 0)}, "positive"},
+		{"unknown transport", []Option{Grid(4), Transport("ipc")}, "ipc"},
+		{"empty transport", []Option{Grid(4), Transport("")}, "non-empty"},
+		{"nodes on shared", []Option{Grid(4), Nodes(2)}, "does not federate"},
+		{"nodes zero", []Option{Grid(4), Nodes(0)}, "at least 1"},
+		{"nodes not dividing", []Option{Grid(3), Transport("federated"), Nodes(2)}, "dividing"},
+		{"linkcosts on shared", []Option{Grid(4), LinkCosts(4, 8)}, "LinkCosts"},
+		{"linkcosts bad multiplier", []Option{Grid(4), Transport("federated"), Nodes(2), LinkCosts(0, 8)}, "positive"},
+		{"linkspec out of range", []Option{Grid(4), Transport("federated"), Nodes(2),
+			LinkCosts(4, 8, LinkSpec{Src: 7, Dst: 0, Latency: 2, Byte: 2})}, "outside"},
+		{"linkspec intra-node", []Option{Grid(4), Transport("federated"), Nodes(2),
+			LinkCosts(4, 8, LinkSpec{Src: 1, Dst: 1, Latency: 2, Byte: 2})}, "intra-node"},
+		{"linkspec bad multiplier", []Option{Grid(4), Transport("federated"), Nodes(2),
+			LinkCosts(4, 8, LinkSpec{Src: 0, Dst: 1, Latency: -1, Byte: 2})}, "positive"},
+	}
+	for _, tc := range cases {
+		_, err := NewSystem(tc.opts...)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestCostZeroValueKeepsPreset(t *testing.T) {
+	// The explicit zero model still selects the iPSC/2 preset — the
+	// Config-era behavior, preserved through CostModel.IsZero.
+	sys, err := NewSystem(Grid(2), Cost(machine.CostModel{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Machine.Cost() != machine.IPSC2() {
+		t.Error("zero cost model should select the IPSC2 preset")
+	}
+}
+
+func TestLaterOptionsWin(t *testing.T) {
+	sys, err := NewSystem(Grid(8), Transport("federated"), Nodes(4), Transport("shared"), Nodes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.TransportName() != "shared" {
+		t.Errorf("transport %q, want shared (later option wins)", sys.TransportName())
+	}
+}
+
+func TestConfigShim(t *testing.T) {
+	sys, err := NewSystemFromConfig(Config{GridShape: []int{4}, Cost: machine.Uniform(), EnableTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Machine.Size() != 4 || sys.Machine.Cost() != machine.Uniform() || sys.Trace == nil {
+		t.Error("Config shim did not reproduce the options path")
+	}
+	if _, err := NewSystemFromConfig(Config{}); err == nil {
 		t.Fatal("empty shape accepted")
 	}
 }
 
 func TestRunAndStats(t *testing.T) {
-	sys, err := NewSystem(Config{GridShape: []int{4}, Cost: machine.Uniform(), EnableTrace: true})
+	sys, err := NewSystem(Grid(4), Cost(machine.Uniform()), Trace())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,5 +173,226 @@ func TestRunAndStats(t *testing.T) {
 	}
 	if sys.Trace == nil || sys.Trace.BusyTime(0) == 0 {
 		t.Error("trace not recording")
+	}
+}
+
+// shiftProgram is a small deterministic program: a halo'd block array, one
+// owner-computes shift sweep, gather to rank 0.
+func shiftProgram(n int, extraFlops int) *Program {
+	return &Program{
+		Name: "shift",
+		Body: func(c *kf.Ctx) (Output, error) {
+			a := c.NewArray(darray.Spec{
+				Extents: []int{n},
+				Dists:   []dist.Dist{dist.Block{}},
+				Halo:    []int{1},
+			})
+			a.FillOwned(func(idx []int) float64 { return float64(idx[0] * idx[0]) })
+			c.Doall1(kf.R(0, n-2), kf.OnOwner1(a), []kf.LoopOpt{kf.Reads(a)},
+				func(cc *kf.Ctx, i int) {
+					a.Set1(i, a.Old1(i+1))
+					cc.P.Compute(1 + extraFlops)
+				})
+			elapsed := c.AllReduceMax(c.P.Clock())
+			flat := a.GatherTo(c.NextScope(), 0)
+			var out Output
+			out.Elapsed = elapsed
+			if c.P.Rank() == 0 {
+				out.Values = flat
+			}
+			return out, nil
+		},
+	}
+}
+
+func TestRunProgramCollectsValuesAndCensus(t *testing.T) {
+	sys, err := NewSystem(Grid(4), Cost(machine.Uniform()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.RunProgram(shiftProgram(16, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Values) != 16 {
+		t.Fatalf("values %v", run.Values)
+	}
+	for i := 0; i < 15; i++ {
+		if run.Values[i] != float64((i+1)*(i+1)) {
+			t.Errorf("value[%d] = %v", i, run.Values[i])
+		}
+	}
+	if run.Stats.MsgsSent == 0 {
+		t.Error("census empty")
+	}
+	if !(run.Elapsed > 0) || run.Elapsed > run.MachineElapsed {
+		t.Errorf("elapsed %v vs machine %v", run.Elapsed, run.MachineElapsed)
+	}
+	if run.Links != nil {
+		t.Error("shared system should have no link census")
+	}
+}
+
+func TestCompareTransportsIdentical(t *testing.T) {
+	shared, err := NewSystem(Grid(4), Cost(machine.Uniform()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := NewSystem(Grid(4), Transport("federated"), Nodes(2), Cost(machine.Uniform()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(shiftProgram(16, 0), shared, fed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Identical || !cmp.ValuesIdentical || !cmp.CensusIdentical {
+		t.Errorf("flat transports must be bit-identical: %+v", cmp)
+	}
+	if !cmp.TimesIdentical {
+		t.Errorf("flat cost model: times must be identical too: %+v", cmp)
+	}
+	if cmp.B.Links == nil {
+		t.Fatal("federated run carries no link census")
+	}
+	if msgs, bytes := cmp.B.Links.Total(); msgs == 0 || bytes == 0 {
+		t.Errorf("2-node federation census empty: %d msgs / %d bytes", msgs, bytes)
+	}
+	if cmp.A.Links != nil {
+		t.Error("shared run should carry no link census")
+	}
+}
+
+func TestCompareDetectsPerturbedRun(t *testing.T) {
+	sysA, err := NewSystem(Grid(4), Cost(machine.Uniform()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB, err := NewSystem(Grid(4), Cost(machine.Uniform()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sysA.RunProgram(shiftProgram(16, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the computation (extra flops shift the census and times
+	// but not the values)...
+	perturbed, err := sysB.RunProgram(shiftProgram(16, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := CompareRuns(base, perturbed)
+	if cmp.Identical || cmp.CensusIdentical || cmp.TimesIdentical {
+		t.Errorf("perturbed flop count not detected: %+v", cmp)
+	}
+	if !cmp.ValuesIdentical {
+		t.Error("values should still agree when only compute is perturbed")
+	}
+	// ...and perturb the problem size (values diverge too).
+	sysC, err := NewSystem(Grid(4), Cost(machine.Uniform()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := sysC.RunProgram(shiftProgram(20, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp = CompareRuns(base, other)
+	if cmp.ValuesIdentical || cmp.Identical {
+		t.Errorf("perturbed values not detected: %+v", cmp)
+	}
+}
+
+func TestDirectSchedulingBitIdentical(t *testing.T) {
+	sched, err := NewSystem(Grid(4), Cost(machine.IPSC2()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := NewSystem(Grid(4), Cost(machine.IPSC2()), DirectScheduling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(shiftProgram(16, 0), sched, direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Identical || !cmp.TimesIdentical {
+		t.Errorf("direct derivation must be bit-identical to schedule replay: %+v", cmp)
+	}
+	// The global scheduling switch must be restored after the run.
+	if prev := darray.SetScheduling(true); !prev {
+		t.Error("DirectScheduling leaked the global scheduling switch")
+	}
+}
+
+func TestDirectSchedulingConcurrentRuns(t *testing.T) {
+	// The scheduling switch is process-global; direct runs must be
+	// serialized against scheduled ones so concurrent systems — the
+	// natural use of declare-once Programs — neither race on it nor
+	// leave the process stuck in direct mode.
+	prog := shiftProgram(16, 0)
+	mk := func(opts ...Option) *System {
+		sys, err := NewSystem(append([]Option{Grid(4), Cost(machine.ZeroComm())}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	direct := mk(DirectScheduling())
+	sched := mk()
+	var wg sync.WaitGroup
+	var errs [2]error
+	for round := 0; round < 10; round++ {
+		wg.Add(2)
+		go func() { defer wg.Done(); _, errs[0] = direct.RunProgram(prog) }()
+		go func() { defer wg.Done(); _, errs[1] = sched.RunProgram(prog) }()
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if prev := darray.SetScheduling(true); !prev {
+		t.Error("concurrent direct/scheduled runs left the process in direct mode")
+	}
+}
+
+func TestRunProgramErrors(t *testing.T) {
+	sys, err := NewSystem(Grid(2), Cost(machine.ZeroComm()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunProgram(nil); err == nil {
+		t.Error("nil program accepted")
+	}
+	if _, err := sys.RunProgram(&Program{Name: "empty"}); err == nil {
+		t.Error("bodyless program accepted")
+	}
+}
+
+func TestLinkCensusSub(t *testing.T) {
+	fed, err := NewSystem(Grid(4), Transport("federated"), Nodes(2), Cost(machine.ZeroComm()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fed.RunProgram(shiftProgram(16, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fed.RunProgram(shiftProgram(16, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := b.Links.Sub(a.Links)
+	if diff == nil {
+		t.Fatal("Sub returned nil for matching censuses")
+	}
+	if msgs, bytes := diff.Total(); msgs != 0 || bytes != 0 {
+		t.Errorf("identical runs should difference to zero, got %d msgs / %d bytes", msgs, bytes)
+	}
+	if b.Links.Sub(nil) != nil {
+		t.Error("Sub with nil should be nil")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"repro/internal/core"
 	"repro/internal/darray"
 	"repro/internal/dist"
 	"repro/internal/jacobi"
@@ -9,8 +10,6 @@ import (
 	"repro/internal/machine"
 	"repro/internal/perfest"
 	"repro/internal/report"
-	"repro/internal/topology"
-	"repro/internal/trace"
 	"repro/internal/tridiag"
 )
 
@@ -41,9 +40,8 @@ func A1Mapping() Result {
 }
 
 func runMapped(p, n, msys int, mapping tridiag.Mapping) float64 {
-	m := machine.New(p, machine.IPSC2())
-	g := topology.New1D(p)
-	err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+	sys := newSys([]int{p})
+	elapsed, err := sys.Run(func(ctx *kf.Ctx) error {
 		xs := make([]*darray.Array, msys)
 		fs := make([]*darray.Array, msys)
 		for j := 0; j < msys; j++ {
@@ -58,7 +56,7 @@ func runMapped(p, n, msys int, mapping tridiag.Mapping) float64 {
 	if err != nil {
 		panic(err)
 	}
-	return m.Elapsed()
+	return elapsed
 }
 
 // A2Estimator exercises the performance-estimation tool the paper's
@@ -77,12 +75,12 @@ func A2Estimator() Result {
 		const n, p, iters = 32, 2, 10
 		est := perfest.Jacobi(cost, n, p, iters)
 		x0, f := jacobi.Problem(n)
-		m := machine.New(p*p, cost)
-		res, err := jacobi.KF1(m, topology.New(p, p), x0, f, iters)
+		sys := newSys([]int{p, p}, core.Cost(cost))
+		res, err := jacobi.KF1(sys.Machine, sys.Procs, x0, f, iters)
 		if err != nil {
 			panic(err)
 		}
-		st := m.TotalStats()
+		st := sys.Stats()
 		// Exclude the verification gather/reduce from the measured
 		// messages: the estimator predicts the iteration loop only.
 		iterMsgs := st.MsgsSent - int64(perfest.GatherMsgs(p*p)) - int64(perfest.AllReduceMsgs(p*p))
@@ -151,12 +149,10 @@ func A3Cyclic() Result {
 		{"block", dist.Block{}},
 		{"cyclic", dist.Cyclic{}},
 	} {
-		m := machine.New(p, machine.Balanced())
-		rec := traceNew(p)
-		m.SetSink(rec)
-		g := topology.New1D(p)
+		sys := newSys([]int{p}, core.Cost(machine.Balanced()), core.Trace())
+		rec := sys.Trace
 		var flat []float64
-		err := kf.Exec(m, g, func(c *kf.Ctx) error {
+		elapsed, err := sys.Run(func(c *kf.Ctx) error {
 			ad := c.NewArray(darray.Spec{
 				Extents: []int{n, n},
 				Dists:   []dist.Dist{dist.Star{}, v.d},
@@ -190,8 +186,8 @@ func A3Cyclic() Result {
 				max = bt
 			}
 		}
-		tbl.AddRow(v.name, m.Elapsed(), max/min, agreement)
-		metrics[keyf("time_%s", v.name)] = m.Elapsed()
+		tbl.AddRow(v.name, elapsed, max/min, agreement)
+		metrics[keyf("time_%s", v.name)] = elapsed
 		metrics[keyf("imbalance_%s", v.name)] = max / min
 	}
 	tbl.AddNote("paper: 'a cyclic distribution, especially useful in numerical linear algebra'")
@@ -230,5 +226,3 @@ func randMatrixA3(seed uint64, n int) []float64 {
 	}
 	return a
 }
-
-func traceNew(p int) *trace.Recorder { return trace.NewRecorder(p) }

@@ -11,7 +11,90 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
 )
+
+// transportCfg is the package-wide transport selection: kfbench's
+// -transport and -nodes flags route every system built through newSys onto
+// a named transport, exercising the whole experiment suite over any
+// registered substrate (values and message censuses are transport-
+// invariant, so the metrics must not move under a flat cost model).
+var transportCfg struct {
+	name  string
+	nodes int
+}
+
+// SetTransport selects the transport every newSys-built experiment system
+// runs on, by registry name. nodes is the requested federation node count;
+// because the suite's machines come in many sizes, each system clamps it
+// to gcd(nodes, processor count) so it always divides. An empty name
+// restores the per-experiment defaults. Unknown names and federation
+// shapes the transport rejects are reported as errors.
+func SetTransport(name string, nodes int) error {
+	if name == "" {
+		transportCfg.name, transportCfg.nodes = "", 0
+		return nil
+	}
+	if nodes < 0 {
+		return fmt.Errorf("experiments: negative node count %d", nodes)
+	}
+	probe := nodes
+	if probe < 1 {
+		probe = 1
+	}
+	// Probe the registry with an n the node count trivially divides, so
+	// "unknown transport" and "transport does not federate" both surface
+	// here instead of as a panic mid-experiment.
+	if _, err := machine.NewTransportByName(name, probe, probe); err != nil {
+		return err
+	}
+	transportCfg.name, transportCfg.nodes = name, nodes
+	return nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// newSys declares the experiment's system on the given processor grid
+// shape — iPSC/2 costs and the shared transport unless the extra options
+// (or a kfbench -transport selection) say otherwise. Experiments panic on
+// misconfiguration, as they do on any internal failure.
+func newSys(shape []int, opts ...core.Option) *core.System {
+	all := []core.Option{core.Grid(shape...)}
+	if transportCfg.name != "" {
+		size := 1
+		for _, e := range shape {
+			size *= e
+		}
+		nodes := transportCfg.nodes
+		if nodes < 1 {
+			nodes = 1
+		}
+		all = append(all, core.Transport(transportCfg.name), core.Nodes(gcd(nodes, size)))
+	}
+	all = append(all, opts...)
+	return mustSys(all...)
+}
+
+// mustSys builds a system from explicit options only — for the scaling
+// experiments (S1-S4) whose entire point is a specific transport
+// arrangement, which a global -transport selection must not disturb.
+func mustSys(opts ...core.Option) *core.System { return core.MustSystem(opts...) }
+
+// runProg runs prog on sys, panicking on failure (experiment style).
+func runProg(sys *core.System, prog *core.Program) core.Run {
+	run, err := sys.RunProgram(prog)
+	if err != nil {
+		panic(err)
+	}
+	return run
+}
 
 // Result is one experiment's output.
 type Result struct {
@@ -25,30 +108,53 @@ type Result struct {
 	Metrics map[string]float64
 }
 
+// Entry indexes one experiment without running it: selection and listing
+// stay cheap no matter how heavy the suite grows.
+type Entry struct {
+	// ID is the experiment identifier from DESIGN.md (F1..F5, E1..E9,
+	// A1..A3, S1..S4).
+	ID string
+	// Title is the one-line description (matches the Result's Title).
+	Title string
+	// Run executes the experiment.
+	Run func() Result
+}
+
+// Suite returns the experiment index in index order.
+func Suite() []Entry {
+	return []Entry{
+		{"F1", "first reduction step of the substructured tridiagonal solver (Figure 1)", F1FirstReduction},
+		{"F2", "reduction of four rows of a tridiagonal system (Figure 2)", F2FourRowReduction},
+		{"F3", "dataflow graph of the substructured algorithm (Figure 3)", F3Dataflow},
+		{"F4", "substitution phase recovers the sequential solution (Figure 4)", F4Substitution},
+		{"F5", "shuffle/unshuffle mapping of the dataflow graph (Figure 5)", F5Mapping},
+		{"E1", "Jacobi: sequential vs message passing vs KF1 (Listings 1-3, claim C2)", E1Jacobi},
+		{"E2", "parallel tridiagonal solver scaling (Listing 4)", E2Tri},
+		{"E3", "pipelining multiple tridiagonal systems (Listing 6, claim C4)", E3Pipeline},
+		{"E4", "ADI iteration built from parallel tridiagonal kernels (Listing 7)", E4ADI},
+		{"E5", "pipelined ADI (madi) vs line-at-a-time ADI (claim C4)", E5MADI},
+		{"E6", "multigrid with zebra relaxation and semicoarsening (Listings 9-11)", E6Multigrid},
+		{"E7", "distribution choice ablation for MG3 (Section 5 discussion, claim C3)", E7Distribution},
+		{"E8", "code size: message passing vs sequential vs KF1 (claim C1)", E8CodeSize},
+		{"E9", "implicit communication: compiled exchange vs runtime gathering (Section 2)", E9Inspector},
+		{"A1", "ablation: shuffle/unshuffle vs left-packed dataflow mapping (Figure 5 design choice)", A1Mapping},
+		{"A2", "performance estimator vs simulator (the tool Section 2 promises)", A2Estimator},
+		{"A3", "block vs cyclic columns for dense LU (Section 2's cyclic motivation)", A3Cyclic},
+		{"S1", "64-processor scaling and schedule-replay equivalence", S1Scale64},
+		{"S2", "256-processor federation and transport equivalence", S2Transport256},
+		{"S3", "1024-processor federation with per-link cost model", S3Hierarchical1024},
+		{"S4", "per-link cost asymmetry: slow uplinks and fast backbones", S4LinkAsymmetry},
+	}
+}
+
 // All runs every experiment in index order.
 func All() []Result {
-	return []Result{
-		F1FirstReduction(),
-		F2FourRowReduction(),
-		F3Dataflow(),
-		F4Substitution(),
-		F5Mapping(),
-		E1Jacobi(),
-		E2Tri(),
-		E3Pipeline(),
-		E4ADI(),
-		E5MADI(),
-		E6Multigrid(),
-		E7Distribution(),
-		E8CodeSize(),
-		E9Inspector(),
-		A1Mapping(),
-		A2Estimator(),
-		A3Cyclic(),
-		S1Scale64(),
-		S2Transport256(),
-		S3Hierarchical1024(),
+	entries := Suite()
+	out := make([]Result, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.Run())
 	}
+	return out
 }
 
 // Render formats a result for terminal output.

@@ -176,13 +176,78 @@ func TestE9InspectorOverheadShape(t *testing.T) {
 	}
 }
 
+func TestS4LinkAsymmetry(t *testing.T) {
+	r := S4LinkAsymmetry()
+	if r.Metrics["s4_identical"] != 1 {
+		t.Error("link asymmetry changed values or message censuses")
+	}
+	if r.Metrics["s4_perfest_exact"] != 1 {
+		t.Error("an elapsed time disagrees with perfest's per-link finish-time recurrence")
+	}
+	if r.Metrics["s4_uplink_monotone"] != 1 {
+		t.Error("slowing the uplink should never speed the run")
+	}
+	if r.Metrics["s4_uplink_slows"] != 1 {
+		t.Error("a 32x uplink should run strictly slower than the uniform federation")
+	}
+	if r.Metrics["s4_backbone_helps"] != 1 {
+		t.Error("repricing the backbone down must never slow the run")
+	}
+	if r.Metrics["s4_backbone_gain"] < 0 {
+		t.Errorf("backbone gain %v negative", r.Metrics["s4_backbone_gain"])
+	}
+	// Every federation pays a real surcharge over the shared machine.
+	for _, k := range []string{"uplink1x", "uplink2x", "uplink8x", "uplink32x", "backbone"} {
+		if !(r.Metrics[keyf("s4_time_%s", k)] > r.Metrics["s4_time_shared"]) {
+			t.Errorf("%s not slower than shared", k)
+		}
+	}
+}
+
+// TestTransportSelection smokes the kfbench -transport path: the whole
+// point of resolving transports by registry name is that any experiment's
+// values and censuses are invariant under a flat-cost transport swap.
+func TestTransportSelection(t *testing.T) {
+	if err := SetTransport("no-such-transport", 1); err == nil {
+		t.Error("unknown transport accepted")
+	}
+	if err := SetTransport("shared", 4); err == nil {
+		t.Error("shared transport accepted a federation")
+	}
+	base := E1Jacobi()
+	if err := SetTransport("federated", 4); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := SetTransport("", 0); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	fed := E1Jacobi()
+	for k, v := range base.Metrics {
+		if fed.Metrics[k] != v {
+			t.Errorf("metric %s moved under the federated transport: %v -> %v", k, v, fed.Metrics[k])
+		}
+	}
+}
+
 func TestAllRunAndRender(t *testing.T) {
-	for _, r := range All() {
+	entries := Suite()
+	results := All()
+	if len(results) != len(entries) {
+		t.Fatalf("Suite has %d entries, All produced %d results", len(entries), len(results))
+	}
+	for i, r := range results {
 		if r.ID == "" || r.Title == "" || r.Text == "" {
 			t.Errorf("experiment %q incomplete", r.ID)
 		}
 		if s := Render(r); !strings.Contains(s, r.ID) {
 			t.Errorf("render of %s missing ID", r.ID)
+		}
+		// The lazy index must describe exactly what running it produces.
+		if entries[i].ID != r.ID || entries[i].Title != r.Title {
+			t.Errorf("Suite entry %d (%s, %q) disagrees with its Result (%s, %q)",
+				i, entries[i].ID, entries[i].Title, r.ID, r.Title)
 		}
 	}
 }

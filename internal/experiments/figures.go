@@ -5,12 +5,12 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/darray"
 	"repro/internal/dist"
 	"repro/internal/kernels"
 	"repro/internal/kf"
 	"repro/internal/machine"
-	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/tridiag"
 )
@@ -149,14 +149,11 @@ func F2FourRowReduction() Result {
 }
 
 // runTraced solves one random system on p processors with step marks and
-// returns the recorder and machine.
-func runTraced(p, n int) (*trace.Recorder, *machine.Machine) {
-	m := machine.New(p, machine.IPSC2())
-	rec := trace.NewRecorder(p)
-	m.SetSink(rec)
-	g := topology.New1D(p)
+// returns the recorder and the virtual elapsed time.
+func runTraced(p, n int) (*trace.Recorder, float64) {
+	sys := newSys([]int{p}, core.Trace())
 	b, a, c, f := randTridiag(7, n)
-	err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+	elapsed, err := sys.Run(func(ctx *kf.Ctx) error {
 		mk := func(v []float64) *darray.Array {
 			arr := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
 			arr.OwnedRuns(func(idx []int, vals []float64) { copy(vals, v[idx[0]:]) })
@@ -168,7 +165,7 @@ func runTraced(p, n int) (*trace.Recorder, *machine.Machine) {
 	if err != nil {
 		panic(err)
 	}
-	return rec, m
+	return sys.Trace, elapsed
 }
 
 // F3Dataflow regenerates Figure 3: the dataflow graph of the substructured
@@ -207,9 +204,8 @@ func F4Substitution() Result {
 		b, a, c, f := randTridiag(uint64(p)*101, n)
 		want := tridiag.SolveSeq(b, a, c, f)
 		var got []float64
-		m := machine.New(p, machine.ZeroComm())
-		g := topology.New1D(p)
-		err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+		sys := newSys([]int{p}, core.Cost(machine.ZeroComm()))
+		_, err := sys.Run(func(ctx *kf.Ctx) error {
 			mk := func(v []float64) *darray.Array {
 				arr := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
 				arr.OwnedRuns(func(idx []int, vals []float64) { copy(vals, v[idx[0]:]) })
@@ -250,18 +246,15 @@ func F5Mapping() Result {
 	const p, n, msys = 8, 128, 8
 	var sb strings.Builder
 
-	rec, m := runTraced(p, n)
+	rec, elapsed1 := runTraced(p, n)
 	steps, active := rec.StepActivity("step:")
 	sb.WriteString("one system (Listing 4): levels occupy disjoint processor groups\n")
 	sb.WriteString(trace.ActivityTable(steps, active))
-	uSingle := rec.MeanUtilization(m.Elapsed())
+	uSingle := rec.MeanUtilization(elapsed1)
 
 	// Pipelined: msys systems through MTriC with marks.
-	m2 := machine.New(p, machine.IPSC2())
-	rec2 := trace.NewRecorder(p)
-	m2.SetSink(rec2)
-	g := topology.New1D(p)
-	err := kf.Exec(m2, g, func(ctx *kf.Ctx) error {
+	sys2 := newSys([]int{p}, core.Trace())
+	elapsed2, err := sys2.Run(func(ctx *kf.Ctx) error {
 		xs := make([]*darray.Array, msys)
 		fs := make([]*darray.Array, msys)
 		for j := 0; j < msys; j++ {
@@ -280,10 +273,10 @@ func F5Mapping() Result {
 	if err != nil {
 		panic(err)
 	}
-	steps2, active2 := rec2.StepActivity("step:")
+	steps2, active2 := sys2.Trace.StepActivity("step:")
 	fmt.Fprintf(&sb, "\n%d systems pipelined (Listing 6): groups overlap in time\n", msys)
 	sb.WriteString(trace.ActivityTable(steps2, active2))
-	uPipe := rec2.MeanUtilization(m2.Elapsed())
+	uPipe := sys2.Trace.MeanUtilization(elapsed2)
 	fmt.Fprintf(&sb, "mean utilization: single %.3f, pipelined %.3f\n", uSingle, uPipe)
 	return Result{
 		ID:    "F5",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/darray"
 	"repro/internal/dist"
 	"repro/internal/jacobi"
@@ -11,7 +12,6 @@ import (
 	"repro/internal/loc"
 	"repro/internal/machine"
 	"repro/internal/report"
-	"repro/internal/topology"
 )
 
 // E1Jacobi compares the three Jacobi implementations (Listings 1-3):
@@ -25,14 +25,13 @@ func E1Jacobi() Result {
 	tbl := report.NewTable("Jacobi three ways, n=32, 10 iterations, 2x2 processors (iPSC/2 costs)",
 		"variant", "virtual time (s)", "msgs", "bytes", "max |diff| vs sequential")
 
-	g := topology.New(2, 2)
-	m1 := machine.New(4, machine.IPSC2())
-	mp, err := jacobi.MessagePassing(m1, g, x0, f, niter)
+	sysMP := newSys([]int{2, 2})
+	mp, err := jacobi.MessagePassing(sysMP.Machine, sysMP.Procs, x0, f, niter)
 	if err != nil {
 		panic(err)
 	}
-	m2 := machine.New(4, machine.IPSC2())
-	k1, err := jacobi.KF1(m2, g, x0, f, niter)
+	sysKF := newSys([]int{2, 2})
+	k1, err := jacobi.KF1(sysKF.Machine, sysKF.Procs, x0, f, niter)
 	if err != nil {
 		panic(err)
 	}
@@ -65,8 +64,8 @@ func E1Jacobi() Result {
 	var t1 float64
 	var s4 float64
 	for _, p := range []int{1, 2, 4} {
-		m := machine.New(p*p, machine.Balanced())
-		res, err := jacobi.KF1(m, topology.New(p, p), x0b, fb, 4)
+		sys := newSys([]int{p, p}, core.Cost(machine.Balanced()))
+		res, err := jacobi.KF1(sys.Machine, sys.Procs, x0b, fb, 4)
 		if err != nil {
 			panic(err)
 		}
@@ -133,9 +132,8 @@ func E8CodeSize() Result {
 func E9Inspector() Result {
 	const n, p = 256, 8
 	run := func(irregular bool) (elapsed float64, stats machine.Stats, flat []float64) {
-		m := machine.New(p, machine.IPSC2())
-		g := topology.New1D(p)
-		err := kf.Exec(m, g, func(c *kf.Ctx) error {
+		sys := newSys([]int{p})
+		elapsed, err := sys.Run(func(c *kf.Ctx) error {
 			a := c.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}, Halo: []int{1}})
 			a.FillOwned(func(idx []int) float64 { return float64(idx[0] * idx[0] % 97) })
 			if irregular {
@@ -166,7 +164,7 @@ func E9Inspector() Result {
 		if err != nil {
 			panic(err)
 		}
-		return m.Elapsed(), m.TotalStats(), flat
+		return elapsed, sys.Stats(), flat
 	}
 	tC, sC, fC := run(false)
 	tI, sI, fI := run(true)

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"repro/internal/adi"
+	"repro/internal/core"
+	"repro/internal/jacobi"
+	"repro/internal/kf"
+)
+
+// The scaling experiments (S1-S4) all ask the same question — does the
+// same program mean the same thing on a different machine? — so their
+// workloads are declared once here as core.Programs and run on whatever
+// System each experiment builds, replacing the per-experiment jacobiOn /
+// adiOn wrappers that used to hand-wire machines.
+
+// jacobiProgram declares the KF1 Jacobi iteration (len(x0) x len(x0)
+// points, iters sweeps) as a core.Program: values are the gathered
+// solution from rank 0, elapsed is the iteration loop's finish time
+// (excluding the verification gather).
+func jacobiProgram(x0, f [][]float64, iters int) *core.Program {
+	return &core.Program{
+		Name: keyf("jacobi-n%d-x%d", len(x0), iters),
+		Body: func(c *kf.Ctx) (core.Output, error) {
+			flat, elapsed := jacobi.KF1Ctx(c, x0, f, iters)
+			return core.Output{Values: flat, Elapsed: elapsed}, nil
+		},
+	}
+}
+
+// adiProgram declares the ADI iteration (pipelined = the paper's madi) as
+// a core.Program; values are the gathered final interior solution.
+func adiProgram(par adi.Params, f [][]float64, pipelined bool) *core.Program {
+	name := "adi"
+	if pipelined {
+		name = "madi"
+	}
+	return &core.Program{
+		Name: keyf("%s-n%d-x%d", name, par.N, par.Iters),
+		Body: func(c *kf.Ctx) (core.Output, error) {
+			flat, _, elapsed := adi.ParallelCtx(c, par, f, pipelined)
+			return core.Output{Values: flat, Elapsed: elapsed}, nil
+		},
+	}
+}

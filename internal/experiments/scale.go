@@ -2,106 +2,65 @@ package experiments
 
 import (
 	"repro/internal/adi"
-	"repro/internal/darray"
+	"repro/internal/core"
 	"repro/internal/jacobi"
-	"repro/internal/machine"
 	"repro/internal/report"
-	"repro/internal/topology"
 )
 
 // S1Scale64 pushes the runtime past the paper's 4-16 processor runs: Jacobi
 // on 2x2, 4x4 and 8x8 (64-processor) grids, plus a 64-processor pipelined
 // ADI run — and proves the inspector/executor machinery is semantically
-// invisible at that scale by running the 8x8 cases twice, once replaying
-// compiled schedules and once deriving all communication directly, and
-// requiring identical virtual times, message counts, byte counts and
-// results.
+// invisible at that scale by comparing the same Program on two 8x8 systems,
+// one replaying compiled schedules and one (core.DirectScheduling) deriving
+// all communication directly, and requiring identical virtual times,
+// message counts, byte counts and results.
 func S1Scale64() Result {
 	const n, iters = 128, 4
 	x0, f := jacobi.Problem(n)
+	prog := jacobiProgram(x0, f, iters)
 	tbl := report.NewTable("Jacobi n=128, 4 iterations (iPSC/2 costs), compiled schedules",
 		"grid", "procs", "time (s)", "speedup vs 2x2", "msgs", "bytes")
 	metrics := map[string]float64{}
 
-	type run struct {
-		elapsed float64
-		stats   machine.Stats
-		x       [][]float64
-	}
-	jacobiOn := func(p int) run {
-		m := machine.New(p*p, machine.IPSC2())
-		res, err := jacobi.KF1(m, topology.New(p, p), x0, f, iters)
-		if err != nil {
-			panic(err)
-		}
-		return run{elapsed: res.Elapsed, stats: res.Stats, x: res.X}
-	}
-
 	var t2 float64
 	for _, p := range []int{2, 4, 8} {
-		r := jacobiOn(p)
+		r := runProg(mustSys(core.Grid(p, p)), prog)
 		if p == 2 {
-			t2 = r.elapsed
+			t2 = r.Elapsed
 		}
-		tbl.AddRow(sprintf("%dx%d", p, p), p*p, r.elapsed, t2/r.elapsed, r.stats.MsgsSent, r.stats.BytesSent)
-		metrics[keyf("jacobi_time_p%d", p*p)] = r.elapsed
-		metrics[keyf("jacobi_msgs_p%d", p*p)] = float64(r.stats.MsgsSent)
+		tbl.AddRow(sprintf("%dx%d", p, p), p*p, r.Elapsed, t2/r.Elapsed, r.Stats.MsgsSent, r.Stats.BytesSent)
+		metrics[keyf("jacobi_time_p%d", p*p)] = r.Elapsed
+		metrics[keyf("jacobi_msgs_p%d", p*p)] = float64(r.Stats.MsgsSent)
 	}
 
 	// Schedule-replay equivalence at 64 processors: the compiled path must
 	// be bit-identical to direct derivation.
-	sched64 := jacobiOn(8)
-	prev := darray.SetScheduling(false)
-	direct64 := jacobiOn(8)
-	darray.SetScheduling(prev)
-	identical := 1.0
-	if sched64.elapsed != direct64.elapsed ||
-		sched64.stats != direct64.stats {
-		identical = 0
+	cmp, err := core.Compare(prog,
+		mustSys(core.Grid(8, 8)),
+		mustSys(core.Grid(8, 8), core.DirectScheduling()))
+	if err != nil {
+		panic(err)
 	}
-	for i := range sched64.x {
-		for j := range sched64.x[i] {
-			if sched64.x[i][j] != direct64.x[i][j] {
-				identical = 0
-			}
-		}
-	}
-	metrics["jacobi64_schedule_identical"] = identical
+	metrics["jacobi64_schedule_identical"] = boolMetric(cmp.Identical && cmp.TimesIdentical)
 
 	// 64-processor pipelined ADI (madi): every 8-processor grid slice
 	// pipelines its lines through the substructured solver.
-	adiRun := func() run {
-		m := machine.New(64, machine.IPSC2())
-		par := adi.Params{N: 64, A: 1, B: 1, Iters: 2}
-		res, err := adi.Parallel(m, topology.New(8, 8), par, adi.TestProblem(par.N), true)
-		if err != nil {
-			panic(err)
-		}
-		return run{elapsed: res.Elapsed, stats: res.Stats, x: res.U}
+	par := adi.Params{N: 64, A: 1, B: 1, Iters: 2}
+	aprog := adiProgram(par, adi.TestProblem(par.N), true)
+	acmp, err := core.Compare(aprog,
+		mustSys(core.Grid(8, 8)),
+		mustSys(core.Grid(8, 8), core.DirectScheduling()))
+	if err != nil {
+		panic(err)
 	}
-	adiSched := adiRun()
-	prev = darray.SetScheduling(false)
-	adiDirect := adiRun()
-	darray.SetScheduling(prev)
-	adiIdentical := 1.0
-	if adiSched.elapsed != adiDirect.elapsed || adiSched.stats != adiDirect.stats {
-		adiIdentical = 0
-	}
-	for i := range adiSched.x {
-		for j := range adiSched.x[i] {
-			if adiSched.x[i][j] != adiDirect.x[i][j] {
-				adiIdentical = 0
-			}
-		}
-	}
-	metrics["adi64_schedule_identical"] = adiIdentical
-	metrics["adi64_time"] = adiSched.elapsed
-	metrics["adi64_msgs"] = float64(adiSched.stats.MsgsSent)
+	metrics["adi64_schedule_identical"] = boolMetric(acmp.Identical && acmp.TimesIdentical)
+	metrics["adi64_time"] = acmp.A.Elapsed
+	metrics["adi64_msgs"] = float64(acmp.A.Stats.MsgsSent)
 
 	tbl.AddNote("8x8 schedule replay vs direct derivation: jacobi identical=%v, madi identical=%v",
-		identical == 1, adiIdentical == 1)
+		metrics["jacobi64_schedule_identical"] == 1, metrics["adi64_schedule_identical"] == 1)
 	tbl.AddNote("64-proc pipelined ADI (n=64, 2 iters): %.4g s, %d msgs",
-		adiSched.elapsed, adiSched.stats.MsgsSent)
+		acmp.A.Elapsed, acmp.A.Stats.MsgsSent)
 	return Result{
 		ID:      "S1",
 		Title:   "64-processor scaling and schedule-replay equivalence",

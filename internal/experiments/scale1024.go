@@ -2,107 +2,92 @@ package experiments
 
 import (
 	"repro/internal/adi"
+	"repro/internal/core"
 	"repro/internal/jacobi"
 	"repro/internal/machine"
 	"repro/internal/perfest"
 	"repro/internal/report"
-	"repro/internal/topology"
 )
 
 // S3Hierarchical1024 scales the runtime to 1024 simulated processors (a
 // 32x32 grid) under a hierarchical cost model that prices the node
 // interconnect: inter-node messages pay 4x the latency and 8x the byte
-// period of intra-node ones. Sweeping the federation across 1, 4, 16 and
-// 64 nodes, Jacobi and pipelined ADI must produce bit-identical solutions
-// and message/byte censuses on every transport — the program's meaning
-// lives in its messages — while the federated virtual times diverge from
-// the shared baseline by exactly the inter-node surcharge the performance
-// estimator predicts statically: to floating-point tolerance for Jacobi
-// (whose halo recurrence perfest evaluates exactly) and to a documented
-// critical-path tolerance for the madi pipeline. The elapsed-versus-nodes
-// curve is the NUMA knee: whole-row federations pay one boundary ghost per
-// iteration, but once nodes outnumber grid rows (64 nodes = half-row
-// nodes) every dimension-0 exchange and the intra-row seams cross the
-// interconnect and the curve turns sharply up.
+// period of intra-node ones (core.LinkCosts). Sweeping the federation
+// across 1, 4, 16 and 64 nodes, the same Jacobi and pipelined ADI Programs
+// must produce bit-identical solutions and message/byte censuses on every
+// transport — the program's meaning lives in its messages — while the
+// federated virtual times diverge from the shared baseline by exactly the
+// inter-node surcharge the performance estimator predicts statically: to
+// floating-point tolerance for Jacobi (whose halo recurrence perfest
+// evaluates exactly) and to a documented critical-path tolerance for the
+// madi pipeline. The elapsed-versus-nodes curve is the NUMA knee:
+// whole-row federations pay one boundary ghost per iteration, but once
+// nodes outnumber grid rows (64 nodes = half-row nodes) every dimension-0
+// exchange and the intra-row seams cross the interconnect and the curve
+// turns sharply up.
 func S3Hierarchical1024() Result {
 	const (
 		n, p, iters = 256, 32, 3
 		adiN        = 64
-		pp          = p * p
 		adiTol      = 0.25 // madi pipeline overlap slack; Jacobi is exact
 	)
-	cost := machine.IPSC2().WithInterNode(4, 8)
+	const linkLat, linkByte = 4, 8
+	cost := machine.IPSC2().WithInterNode(linkLat, linkByte)
 	nodeSweep := []int{1, 4, 16, 64}
 	metrics := map[string]float64{}
 	tbl := report.NewTable("1024-processor hierarchical federation (iPSC/2 costs, inter-node 4x latency / 8x byte period)",
 		"program", "nodes", "time (s)", "vs shared", "surcharge predicted", "identical")
 
-	type trun struct {
-		elapsed float64
-		stats   machine.Stats
-		x       [][]float64
-	}
-	sameValuesAndCensus := func(a, b trun) bool {
-		if a.stats.MsgsSent != b.stats.MsgsSent || a.stats.BytesSent != b.stats.BytesSent ||
-			a.stats.MsgsRecv != b.stats.MsgsRecv || a.stats.Flops != b.stats.Flops {
-			return false
-		}
-		for i := range a.x {
-			for j := range a.x[i] {
-				if a.x[i][j] != b.x[i][j] {
-					return false
-				}
-			}
-		}
-		return true
+	// fedSys declares one swept federation: the shared iPSC/2 model plus
+	// the interconnect pricing, layered on by LinkCosts.
+	fedSys := func(nodes int) *core.System {
+		return mustSys(core.Grid(p, p),
+			core.Transport("federated"), core.Nodes(nodes),
+			core.LinkCosts(linkLat, linkByte))
 	}
 
 	// Jacobi across the node sweep.
-	g := topology.New(p, p)
 	x0, f := jacobi.Problem(n)
-	jacobiOn := func(m *machine.Machine, iters int) trun {
-		res, err := jacobi.KF1(m, g, x0, f, iters)
-		if err != nil {
-			panic(err)
-		}
-		return trun{elapsed: res.Elapsed, stats: res.Stats, x: res.X}
-	}
-	shared := jacobiOn(machine.New(pp, cost), iters)
-	tbl.AddRow("jacobi 32x32", "shared", shared.elapsed, 1.0, 0.0, true)
-	metrics["s3_jacobi_time_shared"] = shared.elapsed
+	jp := jacobiProgram(x0, f, iters)
+	shared := runProg(mustSys(core.Grid(p, p), core.Cost(cost)), jp)
+	tbl.AddRow("jacobi 32x32", "shared", shared.Elapsed, 1.0, 0.0, true)
+	metrics["s3_jacobi_time_shared"] = shared.Elapsed
 	allIdentical, surchargeExact := 1.0, 1.0
 	for _, nodes := range nodeSweep {
-		fed := jacobiOn(machine.NewFederated(pp, nodes, cost), iters)
-		ident := sameValuesAndCensus(shared, fed)
-		if !ident {
+		fed := runProg(fedSys(nodes), jp)
+		cmp := core.CompareRuns(shared, fed)
+		if !cmp.Identical {
 			allIdentical = 0
 		}
 		pred := perfest.JacobiFederatedSurcharge(cost, n, p, iters, nodes)
-		got := fed.elapsed - shared.elapsed
-		if relErr(pred, got) > 1e-9 && !(pred == 0 && got == 0) {
+		got := fed.Elapsed - shared.Elapsed
+		// Zero measured surcharge only matches a zero prediction —
+		// relErr's measured==0 convention must not let a transport that
+		// stopped charging links pass as "exact".
+		exact := (pred == 0 && got == 0) || (got != 0 && relErr(pred, got) <= 1e-9)
+		if !exact {
 			surchargeExact = 0
 		}
-		tbl.AddRow("jacobi 32x32", nodes, fed.elapsed, fed.elapsed/shared.elapsed, pred, ident)
-		metrics[keyf("s3_jacobi_time_nodes%d", nodes)] = fed.elapsed
+		tbl.AddRow("jacobi 32x32", nodes, fed.Elapsed, fed.Elapsed/shared.Elapsed, pred, cmp.Identical)
+		metrics[keyf("s3_jacobi_time_nodes%d", nodes)] = fed.Elapsed
 		metrics[keyf("s3_jacobi_surcharge_nodes%d", nodes)] = got
 	}
 	metrics["s3_jacobi_identical"] = allIdentical
 	metrics["s3_jacobi_surcharge_exact"] = surchargeExact
 
-	// Per-iteration link census on the 64-node federation (differencing
+	// Per-iteration link census on the swept federations (differencing
 	// two run lengths cancels the gather/reduce epilogue), against the
 	// estimator's exact enumeration — including the intra-row seams that
 	// only exist past the whole-row regime.
 	censusMatch := 1.0
+	jpLong := jacobiProgram(x0, f, iters+2)
 	for _, nodes := range []int{4, 64} {
-		mf := machine.NewFederated(pp, nodes, cost)
-		tr := mf.Transport().(*machine.FederatedTransport)
-		jacobiOn(mf, iters)
-		msgsA, bytesA := tr.InterNodeTraffic()
-		jacobiOn(mf, iters+2)
-		msgsB, bytesB := tr.InterNodeTraffic()
-		gotMsgs := int(msgsB-msgsA) / 2
-		gotBytes := int(bytesB-bytesA) / 2
+		sys := fedSys(nodes)
+		runA := runProg(sys, jp)
+		runB := runProg(sys, jpLong)
+		dMsgs, dBytes := runB.Links.Sub(runA.Links).Total()
+		gotMsgs := int(dMsgs) / 2
+		gotBytes := int(dBytes) / 2
 		wantMsgs, wantBytes := perfest.JacobiInterNode(n, p, nodes)
 		if gotMsgs != wantMsgs || gotBytes != wantBytes {
 			censusMatch = 0
@@ -113,25 +98,19 @@ func S3Hierarchical1024() Result {
 	metrics["s3_internode_census_match"] = censusMatch
 
 	// Pipelined ADI (madi) across the node sweep.
-	adiOn := func(m *machine.Machine) trun {
-		par := adi.Params{N: adiN, A: 1, B: 1, Iters: 2}
-		res, err := adi.Parallel(m, g, par, adi.TestProblem(par.N), true)
-		if err != nil {
-			panic(err)
-		}
-		return trun{elapsed: res.Elapsed, stats: res.Stats, x: res.U}
-	}
-	adiShared := adiOn(machine.New(pp, cost))
-	tbl.AddRow("madi 32x32", "shared", adiShared.elapsed, 1.0, 0.0, true)
-	metrics["s3_adi_time_shared"] = adiShared.elapsed
+	par := adi.Params{N: adiN, A: 1, B: 1, Iters: 2}
+	ap := adiProgram(par, adi.TestProblem(par.N), true)
+	adiShared := runProg(mustSys(core.Grid(p, p), core.Cost(cost)), ap)
+	tbl.AddRow("madi 32x32", "shared", adiShared.Elapsed, 1.0, 0.0, true)
+	metrics["s3_adi_time_shared"] = adiShared.Elapsed
 	adiIdentical, adiSurchargeOK := 1.0, 1.0
 	for _, nodes := range nodeSweep {
-		fed := adiOn(machine.NewFederated(pp, nodes, cost))
-		ident := sameValuesAndCensus(adiShared, fed)
-		if !ident {
+		fed := runProg(fedSys(nodes), ap)
+		cmp := core.CompareRuns(adiShared, fed)
+		if !cmp.Identical {
 			adiIdentical = 0
 		}
-		got := fed.elapsed - adiShared.elapsed
+		got := fed.Elapsed - adiShared.Elapsed
 		pred := 2 * perfest.ADIFederatedSurcharge(cost, adiN, p, nodes) // 2 iterations
 		switch {
 		case nodes == 1:
@@ -143,8 +122,8 @@ func S3Hierarchical1024() Result {
 				adiSurchargeOK = 0
 			}
 		}
-		tbl.AddRow("madi 32x32", nodes, fed.elapsed, fed.elapsed/adiShared.elapsed, pred, ident)
-		metrics[keyf("s3_adi_time_nodes%d", nodes)] = fed.elapsed
+		tbl.AddRow("madi 32x32", nodes, fed.Elapsed, fed.Elapsed/adiShared.Elapsed, pred, cmp.Identical)
+		metrics[keyf("s3_adi_time_nodes%d", nodes)] = fed.Elapsed
 		metrics[keyf("s3_adi_surcharge_nodes%d", nodes)] = got
 		metrics[keyf("s3_adi_surcharge_pred_nodes%d", nodes)] = pred
 	}

@@ -2,135 +2,89 @@ package experiments
 
 import (
 	"repro/internal/adi"
+	"repro/internal/core"
 	"repro/internal/jacobi"
-	"repro/internal/machine"
 	"repro/internal/perfest"
 	"repro/internal/report"
-	"repro/internal/topology"
 )
 
 // S2Transport256 scales the runtime to 256 simulated processors (a 16x16
-// grid) and proves the transport layer is semantically invisible: Jacobi
-// and pipelined ADI run once over the shared-memory mailbox transport and
-// once over a 4-node x 64-processor federation, and must produce
-// bit-identical solutions, virtual times and message statistics — the
-// loosely-coupled model's promise that an algorithm's meaning lives in its
-// messages, not in the machinery delivering them. The federation's link
-// counters are then validated exactly against perfest's combinatorial
-// prediction of the node-interconnect traffic.
+// grid) and proves the transport layer is semantically invisible: the same
+// Jacobi and pipelined-ADI Programs run once on the shared-memory mailbox
+// system and once on a 4-node x 64-processor federation (core.Compare),
+// and must produce bit-identical solutions, virtual times and message
+// statistics — the loosely-coupled model's promise that an algorithm's
+// meaning lives in its messages, not in the machinery delivering them. The
+// federation's link censuses are then validated exactly against perfest's
+// combinatorial prediction of the node-interconnect traffic.
 func S2Transport256() Result {
 	const n, p, nodes, iters = 256, 16, 4, 3
 	x0, f := jacobi.Problem(n)
-	g := topology.New(p, p)
 	metrics := map[string]float64{}
 
-	type trun struct {
-		elapsed float64
-		stats   machine.Stats
-		x       [][]float64
-	}
-	jacobiOn := func(m *machine.Machine, g *topology.Grid, iters int) trun {
-		res, err := jacobi.KF1(m, g, x0, f, iters)
-		if err != nil {
-			panic(err)
-		}
-		return trun{elapsed: res.Elapsed, stats: res.Stats, x: res.X}
-	}
-	sameRun := func(a, b trun) float64 {
-		if a.elapsed != b.elapsed || a.stats != b.stats {
-			return 0
-		}
-		for i := range a.x {
-			for j := range a.x[i] {
-				if a.x[i][j] != b.x[i][j] {
-					return 0
-				}
-			}
-		}
-		return 1
+	shared := mustSys(core.Grid(p, p))
+	fed := mustSys(core.Grid(p, p), core.Transport("federated"), core.Nodes(nodes))
+	sameRun := func(cmp core.Comparison) float64 {
+		return boolMetric(cmp.Identical && cmp.TimesIdentical)
 	}
 
 	tbl := report.NewTable("256-processor transport equivalence (iPSC/2 costs)",
 		"program", "transport", "time (s)", "msgs", "bytes")
 
 	// Jacobi across transports.
-	shared := jacobiOn(machine.New(p*p, machine.IPSC2()), g, iters)
-	fed := jacobiOn(machine.NewFederated(p*p, nodes, machine.IPSC2()), g, iters)
-	tbl.AddRow("jacobi 16x16", "shared", shared.elapsed, shared.stats.MsgsSent, shared.stats.BytesSent)
-	tbl.AddRow("jacobi 16x16", "federated 4x64", fed.elapsed, fed.stats.MsgsSent, fed.stats.BytesSent)
-	metrics["s2_jacobi_identical"] = sameRun(shared, fed)
-	metrics["s2_jacobi_time_p256"] = shared.elapsed
-	metrics["s2_jacobi_msgs_p256"] = float64(shared.stats.MsgsSent)
+	jp := jacobiProgram(x0, f, iters)
+	cmpJ, err := core.Compare(jp, shared, fed)
+	if err != nil {
+		panic(err)
+	}
+	tbl.AddRow("jacobi 16x16", "shared", cmpJ.A.Elapsed, cmpJ.A.Stats.MsgsSent, cmpJ.A.Stats.BytesSent)
+	tbl.AddRow("jacobi 16x16", "federated 4x64", cmpJ.B.Elapsed, cmpJ.B.Stats.MsgsSent, cmpJ.B.Stats.BytesSent)
+	metrics["s2_jacobi_identical"] = sameRun(cmpJ)
+	metrics["s2_jacobi_time_p256"] = cmpJ.A.Elapsed
+	metrics["s2_jacobi_msgs_p256"] = float64(cmpJ.A.Stats.MsgsSent)
 
 	// Pipelined ADI (the paper's madi) across transports.
-	adiOn := func(m *machine.Machine) trun {
-		par := adi.Params{N: 64, A: 1, B: 1, Iters: 2}
-		res, err := adi.Parallel(m, g, par, adi.TestProblem(par.N), true)
-		if err != nil {
-			panic(err)
-		}
-		return trun{elapsed: res.Elapsed, stats: res.Stats, x: res.U}
+	par := adi.Params{N: 64, A: 1, B: 1, Iters: 2}
+	cmpA, err := core.Compare(adiProgram(par, adi.TestProblem(par.N), true), shared, fed)
+	if err != nil {
+		panic(err)
 	}
-	adiShared := adiOn(machine.New(p*p, machine.IPSC2()))
-	adiFed := adiOn(machine.NewFederated(p*p, nodes, machine.IPSC2()))
-	tbl.AddRow("madi 16x16", "shared", adiShared.elapsed, adiShared.stats.MsgsSent, adiShared.stats.BytesSent)
-	tbl.AddRow("madi 16x16", "federated 4x64", adiFed.elapsed, adiFed.stats.MsgsSent, adiFed.stats.BytesSent)
-	metrics["s2_adi_identical"] = sameRun(adiShared, adiFed)
-	metrics["s2_adi_time_p256"] = adiShared.elapsed
+	tbl.AddRow("madi 16x16", "shared", cmpA.A.Elapsed, cmpA.A.Stats.MsgsSent, cmpA.A.Stats.BytesSent)
+	tbl.AddRow("madi 16x16", "federated 4x64", cmpA.B.Elapsed, cmpA.B.Stats.MsgsSent, cmpA.B.Stats.BytesSent)
+	metrics["s2_adi_identical"] = sameRun(cmpA)
+	metrics["s2_adi_time_p256"] = cmpA.A.Elapsed
 
 	// Scaling: the same problem on 64 and 256 processors.
-	s64 := jacobiOn(machine.New(64, machine.IPSC2()), topology.New(8, 8), iters)
-	metrics["s2_speedup_64_to_256"] = s64.elapsed / shared.elapsed
+	s64 := runProg(mustSys(core.Grid(8, 8)), jp)
+	metrics["s2_speedup_64_to_256"] = s64.Elapsed / cmpJ.A.Elapsed
 	tbl.AddNote("jacobi n=%d, %d iters: 8x8 %.4gs -> 16x16 %.4gs (%.2fx)",
-		n, iters, s64.elapsed, shared.elapsed, s64.elapsed/shared.elapsed)
+		n, iters, s64.Elapsed, cmpJ.A.Elapsed, s64.Elapsed/cmpJ.A.Elapsed)
 
 	// Link census: run the federated Jacobi at two iteration counts and
-	// difference the interconnect counters, isolating the per-iteration
+	// difference the per-run link censuses, isolating the per-iteration
 	// inter-node traffic from the one-off reduction/gather epilogue; the
 	// result must match perfest's combinatorial prediction exactly.
-	mf := machine.NewFederated(p*p, nodes, machine.IPSC2())
-	tr := mf.Transport().(*machine.FederatedTransport)
-	linkSnap := func() (msgs, bytes [][]int64) {
-		msgs = make([][]int64, nodes)
-		bytes = make([][]int64, nodes)
-		for a := 0; a < nodes; a++ {
-			msgs[a] = make([]int64, nodes)
-			bytes[a] = make([]int64, nodes)
-			for b := 0; b < nodes; b++ {
-				msgs[a][b], bytes[a][b] = tr.LinkTraffic(a, b)
-			}
-		}
-		return msgs, bytes
-	}
-	jacobiOn(mf, g, iters)
-	msgsA, bytesA := tr.InterNodeTraffic()
-	linkMsgsA, linkBytesA := linkSnap()
-	jacobiOn(mf, g, iters+2)
-	msgsB, bytesB := tr.InterNodeTraffic()
-	linkMsgsB, linkBytesB := linkSnap()
-	gotMsgs := int(msgsB-msgsA) / 2
-	gotBytes := int(bytesB-bytesA) / 2
+	runA := runProg(fed, jp)
+	runB := runProg(fed, jacobiProgram(x0, f, iters+2))
+	diff := runB.Links.Sub(runA.Links)
+	dMsgs, dBytes := diff.Total()
+	gotMsgs := int(dMsgs) / 2
+	gotBytes := int(dBytes) / 2
 	wantMsgs, wantBytes := perfest.JacobiInterNode(n, p, nodes)
-	match := 1.0
-	if gotMsgs != wantMsgs || gotBytes != wantBytes {
-		match = 0
-	}
-	metrics["s2_internode_match"] = match
+	metrics["s2_internode_match"] = boolMetric(gotMsgs == wantMsgs && gotBytes == wantBytes)
 	metrics["s2_internode_msgs_per_iter"] = float64(gotMsgs)
 	tbl.AddNote("inter-node traffic per iteration: %d msgs / %d bytes (perfest predicts %d / %d)",
 		gotMsgs, gotBytes, wantMsgs, wantBytes)
 
-	// Per-link structure of the per-iteration halo pattern (again by
-	// differencing the two runs, which cancels the epilogue's asymmetric
-	// reduce/gather funnel): adjacent node pairs trade identical counts
-	// in both directions, non-adjacent pairs never talk.
+	// Per-link structure of the per-iteration halo pattern (the same
+	// differencing cancels the epilogue's asymmetric reduce/gather
+	// funnel): adjacent node pairs trade identical counts in both
+	// directions, non-adjacent pairs never talk.
 	symmetric := 1.0
 	for a := 0; a < nodes; a++ {
 		for b := 0; b < nodes; b++ {
-			dm := linkMsgsB[a][b] - linkMsgsA[a][b]
-			db := linkBytesB[a][b] - linkBytesA[a][b]
-			rm := linkMsgsB[b][a] - linkMsgsA[b][a]
-			rb := linkBytesB[b][a] - linkBytesA[b][a]
+			dm, db := diff.Msgs[a][b], diff.Bytes[a][b]
+			rm, rb := diff.Msgs[b][a], diff.Bytes[b][a]
 			switch {
 			case a == b:
 			case a+1 == b || b+1 == a:

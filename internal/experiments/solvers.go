@@ -1,12 +1,12 @@
 package experiments
 
 import (
+	"repro/internal/core"
 	"repro/internal/darray"
 	"repro/internal/dist"
 	"repro/internal/kf"
 	"repro/internal/machine"
 	"repro/internal/report"
-	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/tridiag"
 )
@@ -14,10 +14,9 @@ import (
 // triOnce solves one random n-row system on p processors under the given
 // cost model and returns the virtual time and machine statistics.
 func triOnce(p, n int, cost machine.CostModel) (float64, machine.Stats) {
-	m := machine.New(p, cost)
-	g := topology.New1D(p)
+	sys := newSys([]int{p}, core.Cost(cost))
 	b, a, c, f := randTridiag(31, n)
-	err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+	elapsed, err := sys.Run(func(ctx *kf.Ctx) error {
 		mk := func(v []float64) *darray.Array {
 			arr := ctx.NewArray(darray.Spec{Extents: []int{n}, Dists: []dist.Dist{dist.Block{}}})
 			vv := v
@@ -30,7 +29,7 @@ func triOnce(p, n int, cost machine.CostModel) (float64, machine.Stats) {
 	if err != nil {
 		panic(err)
 	}
-	return m.Elapsed(), m.TotalStats()
+	return elapsed, sys.Stats()
 }
 
 // E2Tri sweeps the substructured solver over processor counts on two cost
@@ -70,9 +69,8 @@ func E3Pipeline() Result {
 		"systems", "one-at-a-time (s)", "pipelined (s)", "ratio", "pipe utilization")
 	metrics := map[string]float64{}
 	for _, msys := range []int{1, 2, 4, 8, 16, 32} {
-		tSeq := runMany(p, n, msys, false, nil)
-		rec := trace.NewRecorder(p)
-		tPipe := runMany(p, n, msys, true, rec)
+		tSeq, _ := runMany(p, n, msys, false, false)
+		tPipe, rec := runMany(p, n, msys, true, true)
 		util := rec.MeanUtilization(tPipe)
 		tbl.AddRow(msys, tSeq, tPipe, tSeq/tPipe, util)
 		metrics[keyf("ratio_m%d", msys)] = tSeq / tPipe
@@ -87,14 +85,15 @@ func E3Pipeline() Result {
 }
 
 // runMany solves msys constant-coefficient systems, pipelined or not, and
-// returns the virtual time.
-func runMany(p, n, msys int, pipelined bool, rec *trace.Recorder) float64 {
-	m := machine.New(p, machine.IPSC2())
-	if rec != nil {
-		m.SetSink(rec)
+// returns the virtual time plus the run's trace recorder when traced
+// (tracing is host-side cost only, so timing-only runs skip it).
+func runMany(p, n, msys int, pipelined, traced bool) (float64, *trace.Recorder) {
+	var opts []core.Option
+	if traced {
+		opts = append(opts, core.Trace())
 	}
-	g := topology.New1D(p)
-	err := kf.Exec(m, g, func(ctx *kf.Ctx) error {
+	sys := newSys([]int{p}, opts...)
+	elapsed, err := sys.Run(func(ctx *kf.Ctx) error {
 		xs := make([]*darray.Array, msys)
 		fs := make([]*darray.Array, msys)
 		for j := 0; j < msys; j++ {
@@ -117,7 +116,7 @@ func runMany(p, n, msys int, pipelined bool, rec *trace.Recorder) float64 {
 	if err != nil {
 		panic(err)
 	}
-	return m.Elapsed()
+	return elapsed, sys.Trace
 }
 
 func keyf(format string, args ...interface{}) string {

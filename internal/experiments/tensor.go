@@ -4,13 +4,13 @@ import (
 	"fmt"
 
 	"repro/internal/adi"
+	"repro/internal/core"
 	"repro/internal/darray"
 	"repro/internal/dist"
 	"repro/internal/kf"
 	"repro/internal/machine"
 	"repro/internal/multigrid"
 	"repro/internal/report"
-	"repro/internal/topology"
 )
 
 func sprintf(format string, args ...interface{}) string {
@@ -24,8 +24,8 @@ func E4ADI() Result {
 	f := adi.TestProblem(par.N)
 	seqU, seqHist := adi.Sequential(par, f)
 
-	m := machine.New(4, machine.IPSC2())
-	res, err := adi.Parallel(m, topology.New(2, 2), par, f, false)
+	sys := newSys([]int{2, 2})
+	res, err := adi.Parallel(sys.Machine, sys.Procs, par, f, false)
 	if err != nil {
 		panic(err)
 	}
@@ -72,14 +72,13 @@ func E5MADI() Result {
 	} {
 		par := adi.Params{N: cfg.n, A: 1, B: 1, Iters: 3}
 		f := adi.TestProblem(par.N)
-		g := topology.New(cfg.px, cfg.py)
-		m1 := machine.New(cfg.px*cfg.py, machine.IPSC2())
-		plain, err := adi.Parallel(m1, g, par, f, false)
+		sys1 := newSys([]int{cfg.px, cfg.py})
+		plain, err := adi.Parallel(sys1.Machine, sys1.Procs, par, f, false)
 		if err != nil {
 			panic(err)
 		}
-		m2 := machine.New(cfg.px*cfg.py, machine.IPSC2())
-		piped, err := adi.Parallel(m2, g, par, f, true)
+		sys2 := newSys([]int{cfg.px, cfg.py})
+		piped, err := adi.Parallel(sys2.Machine, sys2.Procs, par, f, true)
 		if err != nil {
 			panic(err)
 		}
@@ -103,21 +102,21 @@ func E6Multigrid() Result {
 	metrics := map[string]float64{}
 
 	// MG2 on 32x32, sequential and 4 processors.
-	hist2 := runMG2(1, topology.New1D(1), 32)
+	hist2 := runMG2(1, 32)
 	text += report.Series("MG2 32x32 residual (1 proc)", hist2)
 	f2 := hist2[len(hist2)-1] / hist2[len(hist2)-2]
 	metrics["mg2_factor"] = f2
 
-	hist2p := runMG2(4, topology.New1D(4), 32)
+	hist2p := runMG2(4, 32)
 	text += report.Series("MG2 32x32 residual (4 proc)", hist2p)
 	metrics["mg2_par_vs_seq"] = relDiff(hist2, hist2p)
 
 	// MG3 on 16^3 with 1 and 2 plane cycles.
-	hist3 := runMG3(1, topology.New1D(1), 16, dist.Star{}, dist.Star{}, dist.Block{}, 1)
+	hist3 := runMG3(1, 16, dist.Star{}, dist.Star{}, dist.Block{}, 1)
 	text += report.Series("MG3 16^3 residual (1 plane cycle) ", hist3)
 	metrics["mg3_factor_pc1"] = hist3[len(hist3)-1] / hist3[len(hist3)-2]
 
-	hist3b := runMG3(1, topology.New1D(1), 16, dist.Star{}, dist.Star{}, dist.Block{}, 2)
+	hist3b := runMG3(1, 16, dist.Star{}, dist.Star{}, dist.Block{}, 2)
 	text += report.Series("MG3 16^3 residual (2 plane cycles)", hist3b)
 	metrics["mg3_factor_pc2"] = hist3b[len(hist3b)-1] / hist3b[len(hist3b)-2]
 
@@ -148,10 +147,10 @@ func relDiff(a, b []float64) float64 {
 	return worst
 }
 
-func runMG2(nprocs int, g *topology.Grid, n int) []float64 {
+func runMG2(nprocs, n int) []float64 {
 	var hist []float64
-	m := machine.New(nprocs, machine.ZeroComm())
-	err := kf.Exec(m, g, func(c *kf.Ctx) error {
+	sys := newSys([]int{nprocs}, core.Cost(machine.ZeroComm()))
+	_, err := sys.Run(func(c *kf.Ctx) error {
 		u, f := mgProblem2(c, n)
 		h := multigrid.Solve2(c, u, f, multigrid.Default2D(n, n), 8)
 		if c.P.Rank() == 0 {
@@ -165,10 +164,10 @@ func runMG2(nprocs int, g *topology.Grid, n int) []float64 {
 	return hist
 }
 
-func runMG3(nprocs int, g *topology.Grid, n int, dx, dy, dz dist.Dist, planeCycles int) []float64 {
+func runMG3(nprocs, n int, dx, dy, dz dist.Dist, planeCycles int) []float64 {
 	var hist []float64
-	m := machine.New(nprocs, machine.ZeroComm())
-	err := kf.Exec(m, g, func(c *kf.Ctx) error {
+	sys := newSys([]int{nprocs}, core.Cost(machine.ZeroComm()))
+	_, err := sys.Run(func(c *kf.Ctx) error {
 		u, f := mgProblem3(c, n, dx, dy, dz)
 		par := multigrid.Default3D(n, n, n)
 		par.PlaneCycles = planeCycles
@@ -194,17 +193,17 @@ func E7Distribution() Result {
 	metrics := map[string]float64{}
 	type variant struct {
 		name       string
-		g          *topology.Grid
+		shape      []int
 		dx, dy, dz dist.Dist
 	}
 	for _, v := range []variant{
-		{"(*, block, block)", topology.New(2, 2), dist.Star{}, dist.Block{}, dist.Block{}},
-		{"(*, *, block)", topology.New1D(4), dist.Star{}, dist.Star{}, dist.Block{}},
-		{"(block, block, *)", topology.New(2, 2), dist.Block{}, dist.Block{}, dist.Star{}},
+		{"(*, block, block)", []int{2, 2}, dist.Star{}, dist.Block{}, dist.Block{}},
+		{"(*, *, block)", []int{4}, dist.Star{}, dist.Star{}, dist.Block{}},
+		{"(block, block, *)", []int{2, 2}, dist.Block{}, dist.Block{}, dist.Star{}},
 	} {
-		m := machine.New(4, machine.IPSC2())
+		sys := newSys(v.shape)
 		var final float64
-		err := kf.Exec(m, v.g, func(c *kf.Ctx) error {
+		elapsed, err := sys.Run(func(c *kf.Ctx) error {
 			u, f := mgProblem3(c, n, v.dx, v.dy, v.dz)
 			h := multigrid.Solve3(c, u, f, multigrid.Default3D(n, n, n), 2)
 			final = h[len(h)-1]
@@ -213,9 +212,9 @@ func E7Distribution() Result {
 		if err != nil {
 			panic(err)
 		}
-		st := m.TotalStats()
-		tbl.AddRow(v.name, v.g.String(), m.Elapsed(), st.MsgsSent, st.BytesSent, final)
-		metrics[keyf("time_%s", sanitize(v.name))] = m.Elapsed()
+		st := sys.Stats()
+		tbl.AddRow(v.name, sys.Procs.String(), elapsed, st.MsgsSent, st.BytesSent, final)
+		metrics[keyf("time_%s", sanitize(v.name))] = elapsed
 	}
 	tbl.AddNote("one-line dist change moves the parallelism between levels of the nested algorithm (claim C3)")
 	return Result{

@@ -67,38 +67,51 @@ func Sequential(x0, f [][]float64, niter int) [][]float64 {
 // distributed and the sweep is a two-dimensional doall with an
 // owner-computes on-clause. The returned grid is gathered onto rank 0.
 func KF1(m *machine.Machine, g *topology.Grid, x0, f [][]float64, niter int) (Result, error) {
-	n := len(x0)
 	var res Result
 	err := kf.Exec(m, g, func(c *kf.Ctx) error {
-		spec := darray.Spec{
-			Extents: []int{n, n},
-			Dists:   []dist.Dist{dist.Block{}, dist.Block{}},
-			Halo:    []int{1, 1},
-		}
-		x := c.NewArray(spec)
-		fd := c.NewArray(spec)
-		x.FillOwned(func(idx []int) float64 { return x0[idx[0]][idx[1]] })
-		fd.FillOwned(func(idx []int) float64 { return f[idx[0]][idx[1]] })
-		// The loop header — halo schedule, snapshots, owned strip — is
-		// compiled once; each pass only replays the data motion.
-		sweep := c.Plan2(kf.R(1, n-2), kf.R(1, n-2), kf.OnOwner2(x),
-			kf.Reads(x), kf.ReadsNoHalo(fd))
-		for it := 0; it < niter; it++ {
-			sweep.Run(func(cc *kf.Ctx, i, j int) {
-				x.Set2(i, j, 0.25*(x.Old2(i+1, j)+x.Old2(i-1, j)+x.Old2(i, j+1)+x.Old2(i, j-1))-fd.Old2(i, j))
-				cc.P.Compute(5)
-			})
-		}
-		elapsed := c.AllReduceMax(c.P.Clock())
-		flat := x.GatherTo(c.NextScope(), 0)
+		flat, elapsed := KF1Ctx(c, x0, f, niter)
 		if c.P.Rank() == 0 {
 			res.Elapsed = elapsed
-			res.X = unflatten(flat, n)
+			res.X = unflatten(flat, len(x0))
 		}
 		return nil
 	})
 	res.Stats = m.TotalStats()
 	return res, err
+}
+
+// KF1Ctx is the KF1 Jacobi iteration as a plain parallel subroutine body —
+// the declare-once form a core.Program wraps to run the identical
+// computation on any system. It returns the flat gathered solution on rank
+// 0 (nil elsewhere) and the iteration loop's elapsed virtual time
+// (excluding the verification gather; identical on every rank).
+func KF1Ctx(c *kf.Ctx, x0, f [][]float64, niter int) (flat []float64, elapsed float64) {
+	n := len(x0)
+	spec := darray.Spec{
+		Extents: []int{n, n},
+		Dists:   []dist.Dist{dist.Block{}, dist.Block{}},
+		Halo:    []int{1, 1},
+	}
+	x := c.NewArray(spec)
+	fd := c.NewArray(spec)
+	x.FillOwned(func(idx []int) float64 { return x0[idx[0]][idx[1]] })
+	fd.FillOwned(func(idx []int) float64 { return f[idx[0]][idx[1]] })
+	// The loop header — halo schedule, snapshots, owned strip — is
+	// compiled once; each pass only replays the data motion.
+	sweep := c.Plan2(kf.R(1, n-2), kf.R(1, n-2), kf.OnOwner2(x),
+		kf.Reads(x), kf.ReadsNoHalo(fd))
+	for it := 0; it < niter; it++ {
+		sweep.Run(func(cc *kf.Ctx, i, j int) {
+			x.Set2(i, j, 0.25*(x.Old2(i+1, j)+x.Old2(i-1, j)+x.Old2(i, j+1)+x.Old2(i, j-1))-fd.Old2(i, j))
+			cc.P.Compute(5)
+		})
+	}
+	elapsed = c.AllReduceMax(c.P.Clock())
+	out := x.GatherTo(c.NextScope(), 0)
+	if c.P.Rank() == 0 {
+		flat = out
+	}
+	return flat, elapsed
 }
 
 // Tags for the hand-written message passing version, one per edge

@@ -45,6 +45,15 @@ func (c CostModel) MessageTime(b int) float64 {
 	return c.Latency + float64(b)*c.BytePeriod
 }
 
+// IsZero reports whether c is the zero cost model — the value configuration
+// layers treat as "no model given, use the preset". It compares fields
+// explicitly rather than via ==, so it keeps compiling (and callers keep
+// working) if CostModel ever grows a non-comparable field.
+func (c CostModel) IsZero() bool {
+	return c.FlopTime == 0 && c.Latency == 0 && c.BytePeriod == 0 &&
+		c.SendOverhead == 0 && c.RecvOverhead == 0 && c.InterNode == nil
+}
+
 // LinkCost scales the flat communication terms for messages crossing one
 // directed inter-node link of a hierarchical machine. The multipliers apply
 // to CostModel.Latency and CostModel.BytePeriod respectively; {1, 1} prices

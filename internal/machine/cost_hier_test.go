@@ -107,13 +107,13 @@ func TestConformanceHierarchicalDivergence(t *testing.T) {
 		elapsed float64
 	}
 	results := map[string]result{}
-	for _, tc := range conformanceTransports {
-		m := NewWithTransport(tc.mk(n), cost)
+	for _, row := range conformanceRows(t, n) {
+		m := NewWithTransport(row.tr, cost)
 		values, stats, elapsed, err := conformanceProgram(m)
 		if err != nil {
-			t.Fatalf("%s: %v", tc.name, err)
+			t.Fatalf("%s: %v", row.name, err)
 		}
-		results[tc.name] = result{values: values, stats: stats, elapsed: elapsed}
+		results[row.name] = result{values: values, stats: stats, elapsed: elapsed}
 	}
 	ref := results["shared"]
 	for name, cur := range results {

@@ -1,0 +1,89 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TransportFactory builds a transport with n processor endpoints federated
+// into `nodes` nodes. Transports without a node concept (the shared mailbox
+// array) accept nodes <= 1 and reject anything larger; federating transports
+// validate that nodes divides n. Factories return errors, never panic: the
+// registry is the surface user-facing configuration flows through, and a bad
+// node count is a configuration mistake, not a programming one.
+type TransportFactory func(n, nodes int) (Transport, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]TransportFactory{}
+)
+
+// RegisterTransport adds a named transport constructor to the registry. The
+// facade (internal/core), the conformance suite and the benchmark tools all
+// resolve transports by these names, so a new transport — a cross-process
+// one, say — plugs into every one of them with a single Register call.
+// Registering an empty name, a nil factory, or a name twice panics: those
+// are programmer errors at package-init time, not runtime conditions.
+func RegisterTransport(name string, mk TransportFactory) {
+	if name == "" {
+		panic("machine: RegisterTransport with empty name")
+	}
+	if mk == nil {
+		panic(fmt.Sprintf("machine: RegisterTransport(%q) with nil factory", name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("machine: transport %q registered twice", name))
+	}
+	registry[name] = mk
+}
+
+// NewTransportByName builds the named transport with n endpoints in `nodes`
+// nodes. Unknown names and invalid (n, nodes) combinations return errors.
+func NewTransportByName(name string, n, nodes int) (Transport, error) {
+	registryMu.RLock()
+	mk := registry[name]
+	registryMu.RUnlock()
+	if mk == nil {
+		return nil, fmt.Errorf("machine: unknown transport %q (registered: %v)", name, TransportNames())
+	}
+	return mk(n, nodes)
+}
+
+// TransportNames returns the registered transport names, sorted.
+func TransportNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterTransport("shared", func(n, nodes int) (Transport, error) {
+		if n <= 0 {
+			return nil, fmt.Errorf("machine: transport needs a positive endpoint count, got %d", n)
+		}
+		if nodes > 1 {
+			return nil, fmt.Errorf("machine: the shared transport does not federate: %d nodes requested (use the \"federated\" transport)", nodes)
+		}
+		return NewSharedTransport(n), nil
+	})
+	RegisterTransport("federated", func(n, nodes int) (Transport, error) {
+		if n <= 0 {
+			return nil, fmt.Errorf("machine: transport needs a positive endpoint count, got %d", n)
+		}
+		if nodes <= 0 {
+			nodes = 1
+		}
+		if n%nodes != 0 {
+			return nil, fmt.Errorf("machine: a federation of %d processors needs a node count dividing it, got %d", n, nodes)
+		}
+		return NewFederatedTransport(n, nodes), nil
+	})
+}

@@ -1,0 +1,110 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryHasBundledTransports(t *testing.T) {
+	names := TransportNames()
+	for _, want := range []string{"shared", "federated"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry missing bundled transport %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestRegistryResolvesByName(t *testing.T) {
+	tr, err := NewTransportByName("shared", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.(*SharedTransport); !ok {
+		t.Errorf("shared resolved to %T", tr)
+	}
+	tr, err = NewTransportByName("federated", 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, ok := tr.(*FederatedTransport)
+	if !ok {
+		t.Fatalf("federated resolved to %T", tr)
+	}
+	if ft.Size() != 8 {
+		t.Errorf("federated size %d, want 8", ft.Size())
+	}
+}
+
+func TestRegistryLookupFailuresAreErrorsNotPanics(t *testing.T) {
+	if _, err := NewTransportByName("no-such-transport", 4, 1); err == nil {
+		t.Error("unknown transport name accepted")
+	} else if !strings.Contains(err.Error(), "no-such-transport") {
+		t.Errorf("error should name the missing transport: %v", err)
+	}
+	if _, err := NewTransportByName("shared", 4, 2); err == nil {
+		t.Error("shared transport accepted a 2-node federation")
+	}
+	if _, err := NewTransportByName("federated", 4, 3); err == nil {
+		t.Error("federated transport accepted a node count not dividing n")
+	}
+	if _, err := NewTransportByName("federated", 0, 1); err == nil {
+		t.Error("federated transport accepted zero endpoints")
+	}
+	if _, err := NewTransportByName("shared", -1, 1); err == nil {
+		t.Error("shared transport accepted negative endpoints")
+	}
+}
+
+func TestRegistryNodeDefaults(t *testing.T) {
+	// nodes <= 1 means "no federation": shared accepts it, federated
+	// builds a single-node federation.
+	for _, nodes := range []int{0, 1} {
+		if _, err := NewTransportByName("shared", 4, nodes); err != nil {
+			t.Errorf("shared with %d nodes: %v", nodes, err)
+		}
+		if _, err := NewTransportByName("federated", 4, nodes); err != nil {
+			t.Errorf("federated with %d nodes: %v", nodes, err)
+		}
+	}
+}
+
+func TestRegisterTransportGuards(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty name", func() { RegisterTransport("", func(n, nodes int) (Transport, error) { return nil, nil }) })
+	mustPanic("nil factory", func() { RegisterTransport("x", nil) })
+	mustPanic("duplicate", func() { RegisterTransport("shared", func(n, nodes int) (Transport, error) { return nil, nil }) })
+}
+
+func TestCostModelIsZero(t *testing.T) {
+	if !(CostModel{}).IsZero() {
+		t.Error("zero value not IsZero")
+	}
+	nonzero := []CostModel{
+		{FlopTime: 1},
+		{Latency: 1},
+		{BytePeriod: 1},
+		{SendOverhead: 1},
+		{RecvOverhead: 1},
+		CostModel{}.WithInterNode(4, 8),
+		IPSC2(),
+		Uniform(),
+	}
+	for i, c := range nonzero {
+		if c.IsZero() {
+			t.Errorf("case %d: %+v reported IsZero", i, c)
+		}
+	}
+}

@@ -14,22 +14,54 @@ import (
 // transport (a real network one, say) plugs into the suite by adding one
 // constructor row.
 
-// conformanceTransports is the table of transport constructors under test.
-// Each constructor must accept any n the battery uses (multiples of 4).
-var conformanceTransports = []struct {
+// transportRow is one registry-derived transport under test.
+type transportRow struct {
 	name string
-	mk   func(n int) Transport
-}{
-	{"shared", func(n int) Transport { return NewSharedTransport(n) }},
-	{"federated/1node", func(n int) Transport { return NewFederatedTransport(n, 1) }},
-	{"federated/2nodes", func(n int) Transport { return NewFederatedTransport(n, 2) }},
-	{"federated/pernode", func(n int) Transport { return NewFederatedTransport(n, n) }},
+	tr   Transport
+}
+
+// conformanceRows enumerates the transport registry into the battery's
+// table: every registered transport, at every federation shape it accepts
+// out of {1, 2, n} nodes (n must be a multiple of 4, as everywhere in the
+// battery). A future transport plugs into the whole suite by calling
+// machine.RegisterTransport — no test edits. Transports accepting exactly
+// one shape (the shared mailbox array) keep their bare registry name;
+// federating ones get one row per shape.
+func conformanceRows(tb testing.TB, n int) []transportRow {
+	tb.Helper()
+	var rows []transportRow
+	for _, name := range TransportNames() {
+		var accepted []transportRow
+		seen := map[int]bool{}
+		for _, shape := range []struct {
+			label string
+			nodes int
+		}{{"1node", 1}, {"2nodes", 2}, {"pernode", n}} {
+			if seen[shape.nodes] {
+				continue
+			}
+			seen[shape.nodes] = true
+			tr, err := NewTransportByName(name, n, shape.nodes)
+			if err != nil {
+				continue // this transport rejects the federation shape
+			}
+			accepted = append(accepted, transportRow{name: name + "/" + shape.label, tr: tr})
+		}
+		if len(accepted) == 0 {
+			tb.Fatalf("registered transport %q accepts none of the conformance federation shapes", name)
+		}
+		if len(accepted) == 1 {
+			accepted[0].name = name
+		}
+		rows = append(rows, accepted...)
+	}
+	return rows
 }
 
 func forEachTransport(t *testing.T, n int, f func(t *testing.T, tr Transport)) {
 	t.Helper()
-	for _, tc := range conformanceTransports {
-		t.Run(tc.name, func(t *testing.T) { f(t, tc.mk(n)) })
+	for _, row := range conformanceRows(t, n) {
+		t.Run(row.name, func(t *testing.T) { f(t, row.tr) })
 	}
 }
 
@@ -279,26 +311,26 @@ func TestConformanceCrossTransportIdentical(t *testing.T) {
 	}
 	var ref *result
 	var refName string
-	for _, tc := range conformanceTransports {
-		m := NewWithTransport(tc.mk(n), IPSC2())
+	for _, row := range conformanceRows(t, n) {
+		m := NewWithTransport(row.tr, IPSC2())
 		values, stats, elapsed, err := conformanceProgram(m)
 		if err != nil {
-			t.Fatalf("%s: %v", tc.name, err)
+			t.Fatalf("%s: %v", row.name, err)
 		}
 		cur := &result{values: values, stats: stats, elapsed: elapsed}
 		if ref == nil {
-			ref, refName = cur, tc.name
+			ref, refName = cur, row.name
 			continue
 		}
 		if cur.elapsed != ref.elapsed {
-			t.Errorf("%s: elapsed %v != %s's %v", tc.name, cur.elapsed, refName, ref.elapsed)
+			t.Errorf("%s: elapsed %v != %s's %v", row.name, cur.elapsed, refName, ref.elapsed)
 		}
 		for r := 0; r < n; r++ {
 			if cur.values[r] != ref.values[r] {
-				t.Errorf("%s: rank %d value %v != %v", tc.name, r, cur.values[r], ref.values[r])
+				t.Errorf("%s: rank %d value %v != %v", row.name, r, cur.values[r], ref.values[r])
 			}
 			if cur.stats[r] != ref.stats[r] {
-				t.Errorf("%s: rank %d stats %+v != %+v", tc.name, r, cur.stats[r], ref.stats[r])
+				t.Errorf("%s: rank %d stats %+v != %+v", row.name, r, cur.stats[r], ref.stats[r])
 			}
 		}
 	}
