@@ -8,6 +8,8 @@
 //	kfbench E3 F5                          # run selected experiments
 //	kfbench -list                          # list experiment IDs
 //	kfbench -transport federated -nodes 4 E1   # run on a named transport
+//	kfbench -chaos scenarios/smoke.json E1     # run under injected faults
+//	kfbench -chaos s.json -seed 7 -chaos-report R.json E1  # override seed, save report
 //	kfbench -bench -o B.json               # run the perf snapshot and write JSON
 //	kfbench -bench -o B.json -compare A.json   # ... and fail on regressions
 //	kfbench -bench -o B.json -compare latest   # ... against the highest BENCH_<n>.json
@@ -18,8 +20,19 @@
 // processor count, since the suite's machines come in many sizes). Values
 // and message censuses are transport-invariant under flat costs, so the
 // reported metrics must not move — running the suite this way exercises a
-// transport end to end. The scaling experiments (S1-S4) pin their own
+// transport end to end. The scaling experiments (S1-S5) pin their own
 // transport arrangements and ignore the flag.
+//
+// -chaos loads a fault-injection scenario (see internal/chaos for the JSON
+// format) and runs the selected experiments on a chaos-wrapped transport:
+// "chaos:shared" by default, or the chaos-wrapped variant of whatever
+// -transport names. Faults are drawn from seeded PRNG streams — the same
+// scenario and seed reproduce the same drops, delays and duplications
+// exactly — and -seed overrides the scenario file's seed without editing
+// it. Values and censuses must still not move: the runtime retransmits lost
+// messages and absorbs duplicates, so a completing run means the same thing
+// it means fault-free. The aggregated fault/recovery report is printed
+// after the suite, and -chaos-report writes it as JSON.
 //
 // The -bench mode measures the host-side cost of the runtime's hot paths
 // (halo exchange, ADI, Jacobi at 4, 64, 256 and 1024 processors, message
@@ -34,6 +47,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +56,7 @@ import (
 	"time"
 
 	"repro/internal/benchkit"
+	"repro/internal/chaos"
 	"repro/internal/experiments"
 )
 
@@ -54,6 +69,9 @@ func main() {
 		"relative ns/op growth tolerated by -compare (allocs/op always tolerates none); raise when comparing across machines")
 	transport := flag.String("transport", "", "transport registry name the experiments' systems run on (default: per-experiment)")
 	nodes := flag.Int("nodes", 0, "federation node count for -transport (clamped to a divisor of each system's processor count)")
+	chaosFile := flag.String("chaos", "", "fault-injection scenario JSON; experiments run on the chaos-wrapped transport")
+	seed := flag.Int64("seed", 0, "override the -chaos scenario's seed")
+	chaosReport := flag.String("chaos-report", "", "write the aggregated fault/recovery report JSON here after the run ('-' for stdout)")
 	flag.Parse()
 
 	if *nodes != 0 && *transport == "" {
@@ -68,8 +86,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kfbench: -transport cannot be combined with -bench")
 		os.Exit(1)
 	}
+	if *chaosFile != "" && *bench {
+		fmt.Fprintln(os.Stderr, "kfbench: -chaos cannot be combined with -bench (the perf baselines are fault-free)")
+		os.Exit(1)
+	}
+	if *chaosFile == "" && (*chaosReport != "" || seedSet()) {
+		fmt.Fprintln(os.Stderr, "kfbench: -seed and -chaos-report require -chaos")
+		os.Exit(1)
+	}
 	if *transport != "" {
 		if err := experiments.SetTransport(*transport, *nodes); err != nil {
+			fmt.Fprintf(os.Stderr, "kfbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *chaosFile != "" {
+		sc, err := chaos.Load(*chaosFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kfbench: %v\n", err)
+			os.Exit(1)
+		}
+		if seedSet() {
+			sc.Seed = *seed
+		}
+		if err := experiments.SetChaos(sc); err != nil {
 			fmt.Fprintf(os.Stderr, "kfbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -108,6 +148,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kfbench: no experiments matched %v\n", flag.Args())
 		os.Exit(1)
 	}
+	if rep, ok := experiments.ChaosReport(); ok {
+		fmt.Fprintf(os.Stderr, "chaos %q (seed %d): %d sends, %d faults injected (%d drops, %d outage holds, %d dups, %d delays, %d brownouts), %d recovered (%d retransmits, %d dups absorbed) over %d retry rounds\n",
+			rep.Name, rep.Seed, rep.Sends, rep.Injected(), rep.Drops, rep.OutageHolds, rep.Dups, rep.Delays, rep.Brownouts,
+			rep.Recovered(), rep.Retransmits, rep.Absorbed, rep.RetryRounds)
+		if *chaosReport != "" {
+			if err := writeChaosReport(*chaosReport, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "kfbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// seedSet reports whether -seed was passed explicitly (0 is a legal seed).
+func seedSet() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			set = true
+		}
+	})
+	return set
+}
+
+// writeChaosReport marshals the aggregated fault/recovery report to path
+// ('-' for stdout).
+func writeChaosReport(path string, rep chaos.Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func runBench(out, compare string, nsTol float64) error {

@@ -1,0 +1,353 @@
+// Package chaos declares fault-injection scenarios for the simulated
+// machine's transports and the reports they produce. A Scenario is pure
+// data — message drop/delay/duplication rates, link brownout windows, node
+// outage windows and the retry policy the runtime survives them with — read
+// from a JSON file (kfbench -chaos scenario.json) or declared in code
+// (core.Chaos). Everything a scenario injects is drawn from seeded,
+// per-directed-pair PRNG streams, so a run under a given seed is exactly
+// reproducible: the same messages are dropped, delayed and duplicated, the
+// same retries fire, and the Report comes out bit-identical.
+//
+// The injection machinery itself lives in internal/machine (ChaosTransport,
+// registered as "chaos:<base>"); this package holds only the configuration
+// and reporting vocabulary so every layer — core options, experiments,
+// kfbench flags — speaks the same one.
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Default retry policy, applied by WithDefaults when a scenario leaves the
+// fields zero. The timescales suit the iPSC/2-like cost preset (350 us
+// message latency): a lost message costs about three latencies before its
+// first retransmission.
+const (
+	// DefaultRecvTimeout is the virtual time a receiver waits on a lost
+	// message before the sender's retransmission is modeled as firing.
+	DefaultRecvTimeout = 1e-3
+	// DefaultRetryBackoff is the extra virtual delay added per further
+	// failed retransmission (linear backoff).
+	DefaultRetryBackoff = 5e-4
+	// DefaultMaxRetries is the per-message retransmission budget; a
+	// message still undelivered after this many retries aborts the run.
+	DefaultMaxRetries = 8
+)
+
+// LinkFaults overrides the scenario-wide fault rates for one directed
+// node pair (on a non-federating base transport every processor is its own
+// node, so Src and Dst are processor ranks there). The override replaces
+// all four rates for messages crossing that pair.
+type LinkFaults struct {
+	Src      int     `json:"src"`
+	Dst      int     `json:"dst"`
+	Drop     float64 `json:"drop"`
+	Dup      float64 `json:"dup"`
+	Delay    float64 `json:"delay"`
+	DelayMax float64 `json:"delay_max"`
+}
+
+// Brownout is a windowed delay spike on a link: messages whose fault-free
+// arrival falls inside [Start, End) virtual seconds pay Extra additional
+// latency. Src or Dst of -1 matches any node.
+type Brownout struct {
+	Src   int     `json:"src"`
+	Dst   int     `json:"dst"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	Extra float64 `json:"extra"`
+}
+
+// Outage takes one node down for a virtual-time window: messages to or from
+// its processors whose fault-free arrival falls inside [Start, End) are
+// lost, and their retransmissions deliver no earlier than End — the node's
+// restart.
+type Outage struct {
+	Node  int     `json:"node"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// Scenario is one fault-injection configuration. The zero value injects
+// nothing: a chaos-wrapped transport under the zero scenario is
+// bit-identical (values, censuses, virtual times) to its base transport,
+// which the conformance battery pins.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name,omitempty"`
+	// Seed drives every fault stream; the same seed reproduces the same
+	// faults, retries and report exactly.
+	Seed int64 `json:"seed"`
+
+	// Drop, Dup and Delay are per-message fault probabilities applied to
+	// every directed pair unless a Links entry overrides them. A delayed
+	// message's extra latency is drawn uniformly from [0, DelayMax).
+	Drop     float64 `json:"drop,omitempty"`
+	Dup      float64 `json:"dup,omitempty"`
+	Delay    float64 `json:"delay,omitempty"`
+	DelayMax float64 `json:"delay_max,omitempty"`
+
+	// Links are per-directed-node-pair overrides of the rates above.
+	Links []LinkFaults `json:"links,omitempty"`
+	// Brownouts are windowed delay spikes; Outages are node down/restart
+	// windows.
+	Brownouts []Brownout `json:"brownouts,omitempty"`
+	Outages   []Outage   `json:"outages,omitempty"`
+
+	// RecvTimeout, RetryBackoff and MaxRetries are the survival policy:
+	// a lost message is retransmitted when the machine stalls on it,
+	// arriving RecvTimeout (plus linear backoff per further attempt)
+	// after it originally would have; a message still lost after
+	// MaxRetries retransmissions aborts the whole machine. Zero values
+	// select the Default* constants.
+	RecvTimeout  float64 `json:"recv_timeout,omitempty"`
+	RetryBackoff float64 `json:"retry_backoff,omitempty"`
+	MaxRetries   int     `json:"max_retries,omitempty"`
+}
+
+// Active reports whether the scenario injects any fault at all. An inactive
+// scenario lets the chaos transport run as a pure pass-through.
+func (s Scenario) Active() bool {
+	if s.Drop > 0 || s.Dup > 0 || s.Delay > 0 {
+		return true
+	}
+	for _, l := range s.Links {
+		if l.Drop > 0 || l.Dup > 0 || l.Delay > 0 {
+			return true
+		}
+	}
+	return len(s.Brownouts) > 0 || len(s.Outages) > 0
+}
+
+// WithDefaults returns the scenario with the zero retry-policy fields
+// replaced by the Default* constants.
+func (s Scenario) WithDefaults() Scenario {
+	if s.RecvTimeout <= 0 {
+		s.RecvTimeout = DefaultRecvTimeout
+	}
+	if s.RetryBackoff <= 0 {
+		s.RetryBackoff = DefaultRetryBackoff
+	}
+	if s.MaxRetries <= 0 {
+		s.MaxRetries = DefaultMaxRetries
+	}
+	return s
+}
+
+// Validate reports the first configuration mistake: probabilities outside
+// [0, 1], delay rates without a magnitude, inverted windows, negative node
+// indices where none make sense.
+func (s Scenario) Validate() error {
+	checkProb := func(what string, p float64) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("chaos: %s probability %g outside [0, 1]", what, p)
+		}
+		return nil
+	}
+	checkRates := func(where string, drop, dup, delay, delayMax float64) error {
+		if err := checkProb(where+" drop", drop); err != nil {
+			return err
+		}
+		if err := checkProb(where+" dup", dup); err != nil {
+			return err
+		}
+		if err := checkProb(where+" delay", delay); err != nil {
+			return err
+		}
+		if delay > 0 && delayMax <= 0 {
+			return fmt.Errorf("chaos: %s delay probability %g needs a positive delay_max", where, delay)
+		}
+		if delayMax < 0 {
+			return fmt.Errorf("chaos: %s delay_max %g is negative", where, delayMax)
+		}
+		return nil
+	}
+	if err := checkRates("scenario", s.Drop, s.Dup, s.Delay, s.DelayMax); err != nil {
+		return err
+	}
+	for i, l := range s.Links {
+		if l.Src < 0 || l.Dst < 0 {
+			return fmt.Errorf("chaos: links[%d] addresses negative node %d->%d", i, l.Src, l.Dst)
+		}
+		if l.Src == l.Dst {
+			return fmt.Errorf("chaos: links[%d] addresses the intra-node pair %d->%d; per-link overrides apply to directed pairs of distinct nodes", i, l.Src, l.Dst)
+		}
+		if err := checkRates(fmt.Sprintf("links[%d]", i), l.Drop, l.Dup, l.Delay, l.DelayMax); err != nil {
+			return err
+		}
+	}
+	for i, b := range s.Brownouts {
+		if b.Src < -1 || b.Dst < -1 {
+			return fmt.Errorf("chaos: brownouts[%d] node below -1 (use -1 for any)", i)
+		}
+		if b.Start < 0 || b.End <= b.Start {
+			return fmt.Errorf("chaos: brownouts[%d] window [%g, %g) is empty or negative", i, b.Start, b.End)
+		}
+		if b.Extra <= 0 {
+			return fmt.Errorf("chaos: brownouts[%d] needs a positive extra delay, got %g", i, b.Extra)
+		}
+	}
+	for i, o := range s.Outages {
+		if o.Node < 0 {
+			return fmt.Errorf("chaos: outages[%d] addresses negative node %d", i, o.Node)
+		}
+		if o.Start < 0 || o.End <= o.Start {
+			return fmt.Errorf("chaos: outages[%d] window [%g, %g) is empty or negative", i, o.Start, o.End)
+		}
+	}
+	if s.RecvTimeout < 0 || s.RetryBackoff < 0 || s.MaxRetries < 0 {
+		return fmt.Errorf("chaos: retry policy fields must be non-negative (recv_timeout=%g, retry_backoff=%g, max_retries=%d)",
+			s.RecvTimeout, s.RetryBackoff, s.MaxRetries)
+	}
+	return nil
+}
+
+// Parse decodes a scenario from JSON, rejecting unknown fields (a typoed
+// rate silently injecting nothing is the worst kind of chaos config bug)
+// and validating the result.
+func Parse(data []byte) (Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("chaos: parsing scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("chaos: reading scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// StreamRef names one message stream — (sender, receiver, tag) — in a
+// report: the first dropped message, or the one whose retry budget ran out.
+type StreamRef struct {
+	Src      int    `json:"src"`
+	Dst      int    `json:"dst"`
+	Tag      uint64 `json:"tag"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+func (r StreamRef) String() string {
+	return fmt.Sprintf("(src=%d, dst=%d, tag=%#x)", r.Src, r.Dst, r.Tag)
+}
+
+// Report is the fault/recovery census of one run under a scenario: what was
+// injected, what the runtime recovered, and how hard it had to retry. Under
+// a fixed seed the report is a deterministic function of the program — the
+// reproducibility contract kfbench's -chaos mode and the S5 experiment pin.
+type Report struct {
+	// Name and Seed identify the scenario the report was produced under.
+	Name string `json:"name,omitempty"`
+	Seed int64  `json:"seed"`
+
+	// Sends counts messages entering the chaos layer.
+	Sends int64 `json:"sends"`
+	// Injected faults: lost messages (Drops), messages held by a node
+	// outage window (OutageHolds), duplicated messages (Dups), jittered
+	// messages (Delays) and brownout-window hits (Brownouts).
+	Drops       int64 `json:"drops"`
+	OutageHolds int64 `json:"outage_holds"`
+	Dups        int64 `json:"dups"`
+	Delays      int64 `json:"delays"`
+	Brownouts   int64 `json:"brownouts"`
+
+	// Recovery: Retransmits counts lost messages eventually delivered,
+	// Absorbed counts duplicate deliveries discarded by receive-side
+	// dedup, RetryRounds counts global-stall recovery passes and
+	// RetryAttempts every retransmission attempt including failed ones.
+	Retransmits   int64 `json:"retransmits"`
+	Absorbed      int64 `json:"absorbed"`
+	RetryRounds   int64 `json:"retry_rounds"`
+	RetryAttempts int64 `json:"retry_attempts"`
+	// RetryHistogram[k] counts messages recovered on their k-th
+	// transmission attempt (index 0 is unused: attempt 1 is the first
+	// retransmission after the initial loss).
+	RetryHistogram []int64 `json:"retry_histogram,omitempty"`
+
+	// Aborted is set when a retry budget ran out and the machine was
+	// taken down; Failure names the stream that exhausted it. FirstDrop
+	// names the first message the scenario lost.
+	Aborted   bool       `json:"aborted,omitempty"`
+	FirstDrop *StreamRef `json:"first_drop,omitempty"`
+	Failure   *StreamRef `json:"failure,omitempty"`
+}
+
+// Injected sums every injected fault.
+func (r Report) Injected() int64 {
+	return r.Drops + r.OutageHolds + r.Dups + r.Delays + r.Brownouts
+}
+
+// Recovered sums the faults the runtime absorbed: retransmitted losses and
+// deduplicated copies.
+func (r Report) Recovered() int64 { return r.Retransmits + r.Absorbed }
+
+// Clone returns a deep copy (the histogram is the only reference field).
+func (r Report) Clone() Report {
+	if r.RetryHistogram != nil {
+		r.RetryHistogram = append([]int64(nil), r.RetryHistogram...)
+	}
+	if r.FirstDrop != nil {
+		fd := *r.FirstDrop
+		r.FirstDrop = &fd
+	}
+	if r.Failure != nil {
+		f := *r.Failure
+		r.Failure = &f
+	}
+	return r
+}
+
+// Add folds another report into this one (summing counters, merging the
+// histogram, keeping the earliest FirstDrop/Failure) and returns the sum —
+// how per-run reports aggregate into a whole-suite one.
+func (r Report) Add(o Report) Report {
+	out := r.Clone()
+	if out.Name == "" {
+		out.Name = o.Name
+	}
+	if out.Seed == 0 {
+		out.Seed = o.Seed
+	}
+	out.Sends += o.Sends
+	out.Drops += o.Drops
+	out.OutageHolds += o.OutageHolds
+	out.Dups += o.Dups
+	out.Delays += o.Delays
+	out.Brownouts += o.Brownouts
+	out.Retransmits += o.Retransmits
+	out.Absorbed += o.Absorbed
+	out.RetryRounds += o.RetryRounds
+	out.RetryAttempts += o.RetryAttempts
+	for len(out.RetryHistogram) < len(o.RetryHistogram) {
+		out.RetryHistogram = append(out.RetryHistogram, 0)
+	}
+	for i, c := range o.RetryHistogram {
+		out.RetryHistogram[i] += c
+	}
+	out.Aborted = out.Aborted || o.Aborted
+	if out.FirstDrop == nil && o.FirstDrop != nil {
+		fd := *o.FirstDrop
+		out.FirstDrop = &fd
+	}
+	if out.Failure == nil && o.Failure != nil {
+		f := *o.Failure
+		out.Failure = &f
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	// A typoed rate silently injecting nothing is the worst chaos config
+	// bug, so unknown keys are hard errors.
+	if _, err := Parse([]byte(`{"seed": 1, "dorp": 0.5}`)); err == nil {
+		t.Error("typoed field accepted")
+	}
+	sc, err := Parse([]byte(`{"name": "x", "seed": 9, "drop": 0.25, "delay": 0.5, "delay_max": 0.001}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "x" || sc.Seed != 9 || sc.Drop != 0.25 || sc.DelayMax != 0.001 {
+		t.Errorf("parsed %+v", sc)
+	}
+}
+
+func TestLoadReportsPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"drop": 7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("out-of-range drop accepted")
+	} else if !strings.Contains(err.Error(), "bad.json") {
+		t.Errorf("error should name the file: %v", err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestValidateCatchesEachMistake(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   Scenario
+		want string
+	}{
+		{"drop range", Scenario{Drop: 1.1}, "probability"},
+		{"dup range", Scenario{Dup: -0.1}, "probability"},
+		{"delay without max", Scenario{Delay: 0.5}, "delay_max"},
+		{"negative delay max", Scenario{DelayMax: -1}, "negative"},
+		{"link self pair", Scenario{Links: []LinkFaults{{Src: 2, Dst: 2, Drop: 0.1}}}, "intra-node"},
+		{"link negative node", Scenario{Links: []LinkFaults{{Src: -1, Dst: 0}}}, "negative"},
+		{"link bad rate", Scenario{Links: []LinkFaults{{Src: 0, Dst: 1, Drop: 2}}}, "probability"},
+		{"brownout empty window", Scenario{Brownouts: []Brownout{{Start: 2, End: 2, Extra: 1}}}, "empty"},
+		{"brownout no extra", Scenario{Brownouts: []Brownout{{Start: 0, End: 1}}}, "extra"},
+		{"brownout below any", Scenario{Brownouts: []Brownout{{Src: -2, Start: 0, End: 1, Extra: 1}}}, "-1"},
+		{"outage negative node", Scenario{Outages: []Outage{{Node: -1, Start: 0, End: 1}}}, "negative"},
+		{"outage inverted window", Scenario{Outages: []Outage{{Node: 0, Start: 3, End: 1}}}, "empty"},
+		{"negative retries", Scenario{MaxRetries: -1}, "non-negative"},
+	}
+	for _, tc := range cases {
+		err := tc.sc.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.want)
+		}
+	}
+	if err := (Scenario{}).Validate(); err != nil {
+		t.Errorf("zero scenario rejected: %v", err)
+	}
+}
+
+func TestActiveAndDefaults(t *testing.T) {
+	if (Scenario{}).Active() {
+		t.Error("zero scenario claims to inject")
+	}
+	if (Scenario{Seed: 7, RecvTimeout: 1}).Active() {
+		t.Error("retry policy alone is not injection")
+	}
+	for _, sc := range []Scenario{
+		{Drop: 0.1},
+		{Links: []LinkFaults{{Src: 0, Dst: 1, Dup: 0.1}}},
+		{Brownouts: []Brownout{{Start: 0, End: 1, Extra: 1}}},
+		{Outages: []Outage{{Node: 0, Start: 0, End: 1}}},
+	} {
+		if !sc.Active() {
+			t.Errorf("%+v not active", sc)
+		}
+	}
+	d := (Scenario{}).WithDefaults()
+	if d.RecvTimeout != DefaultRecvTimeout || d.RetryBackoff != DefaultRetryBackoff || d.MaxRetries != DefaultMaxRetries {
+		t.Errorf("defaults not applied: %+v", d)
+	}
+	keep := Scenario{RecvTimeout: 2, RetryBackoff: 3, MaxRetries: 4}.WithDefaults()
+	if keep.RecvTimeout != 2 || keep.RetryBackoff != 3 || keep.MaxRetries != 4 {
+		t.Errorf("explicit policy overwritten: %+v", keep)
+	}
+}
+
+func TestReportCloneIsDeep(t *testing.T) {
+	r := Report{
+		RetryHistogram: []int64{0, 3, 1},
+		FirstDrop:      &StreamRef{Src: 1, Dst: 2, Tag: 5},
+		Failure:        &StreamRef{Src: 3, Dst: 4, Tag: 9},
+	}
+	c := r.Clone()
+	c.RetryHistogram[1] = 99
+	c.FirstDrop.Src = 99
+	c.Failure.Dst = 99
+	if r.RetryHistogram[1] != 3 || r.FirstDrop.Src != 1 || r.Failure.Dst != 4 {
+		t.Errorf("Clone shares state with the original: %+v", r)
+	}
+}
+
+func TestReportAddMergesCounters(t *testing.T) {
+	a := Report{Name: "a", Seed: 7, Sends: 10, Drops: 2, Retransmits: 2, RetryHistogram: []int64{0, 2}}
+	b := Report{Sends: 5, Drops: 1, Dups: 3, Absorbed: 3, Retransmits: 1,
+		RetryHistogram: []int64{0, 0, 1}, Aborted: true,
+		FirstDrop: &StreamRef{Src: 1, Dst: 2, Tag: 8}}
+	sum := a.Add(b)
+	if sum.Name != "a" || sum.Seed != 7 {
+		t.Errorf("labels lost: %+v", sum)
+	}
+	if sum.Sends != 15 || sum.Drops != 3 || sum.Dups != 3 || sum.Absorbed != 3 || sum.Retransmits != 3 {
+		t.Errorf("counters wrong: %+v", sum)
+	}
+	if !reflect.DeepEqual(sum.RetryHistogram, []int64{0, 2, 1}) {
+		t.Errorf("histogram merge wrong: %v", sum.RetryHistogram)
+	}
+	if !sum.Aborted || sum.FirstDrop == nil || sum.FirstDrop.Src != 1 {
+		t.Errorf("abort state lost: %+v", sum)
+	}
+	if sum.Injected() != 3+3 || sum.Recovered() != 3+3 {
+		t.Errorf("Injected=%d Recovered=%d", sum.Injected(), sum.Recovered())
+	}
+	// Add never mutates its receiver.
+	if a.Sends != 10 || len(a.RetryHistogram) != 2 {
+		t.Errorf("Add mutated the receiver: %+v", a)
+	}
+}
+
+func TestStreamRefString(t *testing.T) {
+	got := StreamRef{Src: 3, Dst: 7, Tag: 0x2a}.String()
+	if got != "(src=3, dst=7, tag=0x2a)" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/machine"
+)
+
+func TestChaosOptionRequiresChaosTransport(t *testing.T) {
+	// Chaos on an unwrapped transport is a configuration conflict; the error
+	// must point at the chaos-wrapped name that would work.
+	_, err := NewSystem(Grid(4), Chaos(chaos.Scenario{Seed: 1, Drop: 0.1}))
+	if err == nil {
+		t.Fatal("Chaos on the shared transport accepted")
+	}
+	if !strings.Contains(err.Error(), "chaos:shared") {
+		t.Errorf("error should suggest the chaos-wrapped transport: %v", err)
+	}
+	_, err = NewSystem(Grid(4), Transport("federated"), Nodes(2), Chaos(chaos.Scenario{Seed: 1, Drop: 0.1}))
+	if err == nil || !strings.Contains(err.Error(), "chaos:federated") {
+		t.Errorf("error should suggest chaos:federated: %v", err)
+	}
+}
+
+func TestChaosOptionValidatesScenario(t *testing.T) {
+	_, err := NewSystem(Grid(4), Transport("chaos:shared"), Chaos(chaos.Scenario{Drop: 1.5}))
+	if err == nil {
+		t.Fatal("drop probability 1.5 accepted")
+	}
+	if !strings.Contains(err.Error(), "probability") {
+		t.Errorf("error should name the bad probability: %v", err)
+	}
+}
+
+func TestChaosSharedKeepsSharedCapabilities(t *testing.T) {
+	// Capability checks see through the wrapper: chaos:shared must reject
+	// federation-only options exactly like shared, and carry no link census.
+	if _, err := NewSystem(Grid(4), Transport("chaos:shared"), Nodes(2)); err == nil {
+		t.Error("chaos:shared accepted Nodes(2)")
+	}
+	if _, err := NewSystem(Grid(4), Transport("chaos:shared"), LinkCosts(4, 8)); err == nil {
+		t.Error("chaos:shared accepted LinkCosts")
+	}
+	sys := MustSystem(Grid(4), Transport("chaos:shared"))
+	run, err := sys.RunProgram(shiftProgram(16, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Links != nil {
+		t.Error("chaos:shared run carries a phantom link census")
+	}
+}
+
+func TestChaosZeroFaultBitIdenticalToBase(t *testing.T) {
+	// The inactive wrapper is a pure pass-through: values, censuses and
+	// virtual times bit-identical to the unwrapped base.
+	base := MustSystem(Grid(4))
+	wrapped := MustSystem(Grid(4), Transport("chaos:shared"))
+	cmp, err := Compare(shiftProgram(16, 0), base, wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Identical || !cmp.TimesIdentical {
+		t.Errorf("inactive chaos wrapper diverged from base: %+v", cmp)
+	}
+}
+
+func TestChaosFaultedRunValuesIdenticalTimesDiverge(t *testing.T) {
+	base := MustSystem(Grid(4))
+	faulted := MustSystem(Grid(4), Transport("chaos:shared"),
+		Chaos(chaos.Scenario{Name: "core", Seed: 11, Drop: 0.1, Dup: 0.05}))
+	cmp, err := Compare(shiftProgram(16, 0), base, faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Identical {
+		t.Errorf("faults changed the program's meaning: %+v", cmp)
+	}
+	rep, ok := faulted.ChaosReport()
+	if !ok {
+		t.Fatal("chaos system reports no chaos")
+	}
+	if rep.Injected() == 0 {
+		t.Fatal("scenario injected nothing; the comparison proved nothing")
+	}
+	if rep.Drops > 0 && !(cmp.B.Elapsed > cmp.A.Elapsed) {
+		t.Errorf("recovered drops should cost virtual time: %v vs %v", cmp.B.Elapsed, cmp.A.Elapsed)
+	}
+}
+
+func TestChaosReportAccessors(t *testing.T) {
+	plain := MustSystem(Grid(2))
+	if _, ok := plain.ChaosReport(); ok {
+		t.Error("plain system claims a chaos report")
+	}
+	if _, ok := plain.ChaosTotalReport(); ok {
+		t.Error("plain system claims a cumulative chaos report")
+	}
+
+	sys := MustSystem(Grid(4), Transport("chaos:shared"),
+		Chaos(chaos.Scenario{Name: "acc", Seed: 2, Drop: 0.1}))
+	if _, err := sys.RunProgram(shiftProgram(16, 0)); err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := sys.ChaosReport()
+	if !ok || rep.Sends == 0 {
+		t.Fatalf("per-run report missing or empty: %+v (ok=%v)", rep, ok)
+	}
+	if rep.Name != "acc" || rep.Seed != 2 {
+		t.Errorf("report not labeled with the scenario: %+v", rep)
+	}
+	// A second pooled run folds into the cumulative report.
+	if _, err := sys.RunProgram(shiftProgram(16, 0)); err != nil {
+		t.Fatal(err)
+	}
+	total, ok := sys.ChaosTotalReport()
+	if !ok || total.Sends != 2*rep.Sends {
+		t.Errorf("cumulative Sends = %d, want %d", total.Sends, 2*rep.Sends)
+	}
+}
+
+func TestChaosAbortSurfacesThroughRunProgram(t *testing.T) {
+	// A retry-budget exhaustion must surface from RunProgram as a structured
+	// error, not a hang or a bare deadlock.
+	sys := MustSystem(Grid(2), Transport("chaos:shared"),
+		Chaos(chaos.Scenario{Name: "doom", Seed: 1, Drop: 1, MaxRetries: 1}))
+	_, err := sys.RunProgram(shiftProgram(16, 0))
+	if err == nil {
+		t.Fatal("unrecoverable loss completed")
+	}
+	if !strings.Contains(err.Error(), "retry") && !strings.Contains(err.Error(), "budget") {
+		t.Errorf("error should describe the exhausted retry budget: %v", err)
+	}
+	rep, _ := sys.ChaosReport()
+	if !rep.Aborted || rep.Failure == nil {
+		t.Errorf("abort not recorded in the report: %+v", rep)
+	}
+	// The machine is clean for reuse after an abort: install a survivable
+	// scenario and the same pooled system completes again.
+	ct := sys.Machine.Transport().(*machine.ChaosTransport)
+	if err := ct.SetScenario(chaos.Scenario{Name: "calm", Seed: 1, Drop: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunProgram(shiftProgram(16, 0)); err != nil {
+		t.Errorf("system not reusable after a fault abort: %v", err)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/darray"
 	"repro/internal/kf"
 	"repro/internal/machine"
@@ -82,6 +83,8 @@ type settings struct {
 	linkLat   float64
 	linkByte  float64
 	links     []LinkSpec
+	chaosSet  bool
+	chaosSc   chaos.Scenario
 }
 
 // Option configures a System under construction. Options are applied in
@@ -174,6 +177,21 @@ func LinkCosts(latency, bytePeriod float64, links ...LinkSpec) Option {
 	}
 }
 
+// Chaos installs a fault-injection scenario (see internal/chaos) on the
+// system's transport. It requires a chaos-wrapped transport — select one
+// with Transport("chaos:<base>"), e.g. Transport("chaos:federated") — and
+// reports a configuration error otherwise. The scenario is validated and
+// its retry-policy defaults applied by NewSystem; per-run and cumulative
+// fault/recovery reports are read back with System.ChaosReport and
+// System.ChaosTotalReport.
+func Chaos(sc chaos.Scenario) Option {
+	return func(cfg *settings) error {
+		cfg.chaosSet = true
+		cfg.chaosSc = sc
+		return nil
+	}
+}
+
 // Trace attaches a per-processor timeline recorder, available as
 // System.Trace after construction.
 func Trace() Option {
@@ -241,12 +259,23 @@ func NewSystem(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, federates := tr.(nodeCounter)
+	// Capability checks see through the chaos wrapper: chaos:shared must
+	// fail federation-only options exactly like shared does.
+	_, federates := unwrapTransport(tr).(nodeCounter)
 	if cfg.nodesSet && cfg.nodes > 1 && !federates {
 		return nil, fmt.Errorf("core: Nodes(%d) set but transport %q does not federate", cfg.nodes, cfg.transport)
 	}
 	if cfg.linkSet && !federates {
 		return nil, fmt.Errorf("core: LinkCosts set but transport %q does not federate (inter-node links would never be crossed)", cfg.transport)
+	}
+	if cfg.chaosSet {
+		ct, ok := tr.(*machine.ChaosTransport)
+		if !ok {
+			return nil, fmt.Errorf("core: Chaos set but transport %q injects nothing: select a chaos-wrapped transport, e.g. Transport(%q)", cfg.transport, machine.ChaosPrefix+cfg.transport)
+		}
+		if err := ct.SetScenario(cfg.chaosSc); err != nil {
+			return nil, err
+		}
 	}
 	m := machine.NewWithTransport(tr, cost)
 	sys := &System{
@@ -283,6 +312,16 @@ func (s *System) TransportName() string { return s.transport }
 // the per-link traffic counters the censuses read.
 type nodeCounter interface{ Nodes() int }
 
+// unwrapTransport sees through a chaos wrapper to the base transport, so
+// capability checks (does it federate? does it count links?) answer for the
+// transport that actually delivers.
+func unwrapTransport(tr machine.Transport) machine.Transport {
+	if ct, ok := tr.(*machine.ChaosTransport); ok {
+		return ct.Base()
+	}
+	return tr
+}
+
 // Nodes returns the federation's node count (1 on non-federating
 // transports).
 func (s *System) Nodes() int {
@@ -290,6 +329,27 @@ func (s *System) Nodes() int {
 		return f.Nodes()
 	}
 	return 1
+}
+
+// ChaosReport returns the fault/recovery report of the most recent run on a
+// chaos-wrapped transport, and whether the system has one. Call it after
+// Run/RunProgram and before the next run (each run resets the per-run
+// report).
+func (s *System) ChaosReport() (chaos.Report, bool) {
+	if ct, ok := s.Machine.Transport().(*machine.ChaosTransport); ok {
+		return ct.Report(), true
+	}
+	return chaos.Report{}, false
+}
+
+// ChaosTotalReport returns the fault/recovery report accumulated over every
+// run since the system's scenario was installed, including the most recent
+// one.
+func (s *System) ChaosTotalReport() (chaos.Report, bool) {
+	if ct, ok := s.Machine.Transport().(*machine.ChaosTransport); ok {
+		return ct.TotalReport(), true
+	}
+	return chaos.Report{}, false
 }
 
 // Run executes body as a parallel subroutine over the full processor array

@@ -105,9 +105,13 @@ type linkCounters interface {
 }
 
 // linkCensus snapshots the system transport's per-link counters, nil when
-// the transport has no notion of links.
+// the transport has no notion of links. The chaos wrapper is unwrapped
+// first: chaos:shared has no links (no phantom one-node census), while
+// chaos:federated censuses the base's counters — which, under an active
+// scenario, include injected duplicates, because those genuinely cross the
+// wire.
 func (s *System) linkCensus() *LinkCensus {
-	f, ok := s.Machine.Transport().(linkCounters)
+	f, ok := unwrapTransport(s.Machine.Transport()).(linkCounters)
 	if !ok {
 		return nil
 	}

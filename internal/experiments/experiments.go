@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/machine"
 )
@@ -61,12 +62,63 @@ func gcd(a, b int) int {
 	return a
 }
 
+// chaosCfg is the package-wide fault-injection selection: kfbench's -chaos
+// flag routes every newSys-built experiment system through a chaos-wrapped
+// transport running the given scenario, and tracks those systems so the
+// suite's fault/recovery reports can be aggregated afterwards.
+var chaosCfg struct {
+	set     bool
+	sc      chaos.Scenario
+	systems []*core.System
+}
+
+// SetChaos installs a fault scenario on every system newSys builds from now
+// on: the selected transport (default "shared") is replaced by its
+// chaos-wrapped variant and the scenario applied. The scaling experiments
+// (S1-S5), which declare their transports explicitly, are not disturbed —
+// their entire point is a specific arrangement. Call ClearChaos (or a fresh
+// process) to restore fault-free runs.
+func SetChaos(sc chaos.Scenario) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	chaosCfg.set = true
+	chaosCfg.sc = sc
+	chaosCfg.systems = nil
+	return nil
+}
+
+// ClearChaos restores fault-free experiment systems and drops the tracked
+// reports.
+func ClearChaos() {
+	chaosCfg.set = false
+	chaosCfg.sc = chaos.Scenario{}
+	chaosCfg.systems = nil
+}
+
+// ChaosReport aggregates the fault/recovery reports of every chaos-wrapped
+// system built since SetChaos — the whole-suite census kfbench writes out.
+// ok is false when no scenario is installed.
+func ChaosReport() (rep chaos.Report, ok bool) {
+	if !chaosCfg.set {
+		return chaos.Report{}, false
+	}
+	rep = chaos.Report{Name: chaosCfg.sc.Name, Seed: chaosCfg.sc.Seed}
+	for _, sys := range chaosCfg.systems {
+		if r, sysOK := sys.ChaosTotalReport(); sysOK {
+			rep = rep.Add(r)
+		}
+	}
+	return rep, true
+}
+
 // newSys declares the experiment's system on the given processor grid
 // shape — iPSC/2 costs and the shared transport unless the extra options
 // (or a kfbench -transport selection) say otherwise. Experiments panic on
 // misconfiguration, as they do on any internal failure.
 func newSys(shape []int, opts ...core.Option) *core.System {
 	all := []core.Option{core.Grid(shape...)}
+	name := transportCfg.name
 	if transportCfg.name != "" {
 		size := 1
 		for _, e := range shape {
@@ -76,10 +128,23 @@ func newSys(shape []int, opts ...core.Option) *core.System {
 		if nodes < 1 {
 			nodes = 1
 		}
-		all = append(all, core.Transport(transportCfg.name), core.Nodes(gcd(nodes, size)))
+		if chaosCfg.set && !strings.HasPrefix(name, machine.ChaosPrefix) {
+			name = machine.ChaosPrefix + name
+		}
+		all = append(all, core.Transport(name), core.Nodes(gcd(nodes, size)))
+	} else if chaosCfg.set {
+		name = machine.ChaosPrefix + "shared"
+		all = append(all, core.Transport(name))
+	}
+	if chaosCfg.set {
+		all = append(all, core.Chaos(chaosCfg.sc))
 	}
 	all = append(all, opts...)
-	return mustSys(all...)
+	sys := mustSys(all...)
+	if chaosCfg.set {
+		chaosCfg.systems = append(chaosCfg.systems, sys)
+	}
+	return sys
 }
 
 // mustSys builds a system from explicit options only — for the scaling
@@ -144,6 +209,7 @@ func Suite() []Entry {
 		{"S2", "256-processor federation and transport equivalence", S2Transport256},
 		{"S3", "1024-processor federation with per-link cost model", S3Hierarchical1024},
 		{"S4", "per-link cost asymmetry: slow uplinks and fast backbones", S4LinkAsymmetry},
+		{"S5", "256-processor chaos: seeded faults, recovery, bit-identical values", S5ChaosRecovery},
 	}
 }
 

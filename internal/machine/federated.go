@@ -313,7 +313,15 @@ func (t *FederatedTransport) Abort() {
 // matching pending message anywhere. See SharedTransport.CheckStalled for
 // the protocol; the federated version differs only in where waiters and
 // queues live.
-func (t *FederatedTransport) CheckStalled() bool {
+func (t *FederatedTransport) CheckStalled() bool { return t.stallCheck(true) }
+
+// probeStalled evaluates the stall condition without declaring it; see
+// SharedTransport.probeStalled.
+func (t *FederatedTransport) probeStalled() bool { return t.stallCheck(false) }
+
+// stallCheck is the shared body of CheckStalled (declare=true) and
+// probeStalled (declare=false).
+func (t *FederatedTransport) stallCheck(declare bool) bool {
 	if t.coord == nil {
 		return false
 	}
@@ -339,11 +347,11 @@ func (t *FederatedTransport) CheckStalled() bool {
 			}
 			if waiting >= live && !canProceed {
 				stalled = true
-				t.down.Store(true)
 			}
 		}
 	}
-	if stalled {
+	if stalled && declare {
+		t.down.Store(true)
 		for i := range t.nodes {
 			for _, c := range t.nodes[i].conds {
 				c.Broadcast()
@@ -353,7 +361,7 @@ func (t *FederatedTransport) CheckStalled() bool {
 	for i := range t.nodes {
 		t.nodes[i].mu.Unlock()
 	}
-	if stalled {
+	if stalled && declare {
 		t.bar.wake()
 	}
 	return stalled

@@ -230,7 +230,18 @@ func (t *SharedTransport) Abort() {
 // A processor that has been woken but not yet re-counted shows
 // waiting==false, which keeps the waiting count below live and prevents a
 // false positive while it finishes proceeding.
-func (t *SharedTransport) CheckStalled() bool {
+func (t *SharedTransport) CheckStalled() bool { return t.stallCheck(true) }
+
+// probeStalled evaluates the full stall condition without declaring the
+// transport down or waking anyone — the non-destructive confirmation the
+// chaos layer uses to distinguish "stalled on a lost message" from a true
+// deadlock before deciding between retransmission and declaration.
+func (t *SharedTransport) probeStalled() bool { return t.stallCheck(false) }
+
+// stallCheck is the shared body of CheckStalled (declare=true: mark down
+// and wake everyone on a stall) and probeStalled (declare=false: evaluate
+// only).
+func (t *SharedTransport) stallCheck(declare bool) bool {
 	if t.coord == nil {
 		return false
 	}
@@ -254,11 +265,11 @@ func (t *SharedTransport) CheckStalled() bool {
 			}
 			if waiting >= live && !canProceed {
 				stalled = true
-				t.down.Store(true)
 			}
 		}
 	}
-	if stalled {
+	if stalled && declare {
+		t.down.Store(true)
 		for i := range t.boxes {
 			t.boxes[i].cond.Broadcast()
 		}
@@ -266,7 +277,7 @@ func (t *SharedTransport) CheckStalled() bool {
 	for i := range t.boxes {
 		t.boxes[i].mu.Unlock()
 	}
-	if stalled {
+	if stalled && declare {
 		t.bar.wake()
 	}
 	return stalled

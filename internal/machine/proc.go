@@ -219,7 +219,16 @@ func (p *Proc) Recv(src int, tag Tag) []float64 {
 	}
 	data, arrival, ok := p.m.tr.Recv(p.rank, src, tag)
 	if !ok {
-		panic(procAbort{err: fmt.Errorf("processor %d waiting on (src=%d, tag=%#x): %w", p.rank, src, tag, ErrDeadlock)})
+		// Attribute the abort: a transport that took itself down for a
+		// richer reason than deadlock (a chaos retry budget exhausting)
+		// reports it through the DownReasoner extension.
+		cause := error(ErrDeadlock)
+		if dr, isDR := p.m.tr.(DownReasoner); isDR {
+			if r := dr.DownReason(); r != nil {
+				cause = r
+			}
+		}
+		panic(procAbort{err: fmt.Errorf("processor %d waiting on (src=%d, tag=%#x): %w", p.rank, src, tag, cause)})
 	}
 	if arrival > p.clock {
 		p.stats.IdleTime += arrival - p.clock

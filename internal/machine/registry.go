@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -29,6 +30,9 @@ func RegisterTransport(name string, mk TransportFactory) {
 	if name == "" {
 		panic("machine: RegisterTransport with empty name")
 	}
+	if strings.HasPrefix(name, ChaosPrefix) {
+		panic(fmt.Sprintf("machine: RegisterTransport(%q): the %q prefix is reserved for chaos-wrapped transports (register the base name; the wrapped variant comes for free)", name, ChaosPrefix))
+	}
 	if mk == nil {
 		panic(fmt.Sprintf("machine: RegisterTransport(%q) with nil factory", name))
 	}
@@ -41,8 +45,25 @@ func RegisterTransport(name string, mk TransportFactory) {
 }
 
 // NewTransportByName builds the named transport with n endpoints in `nodes`
-// nodes. Unknown names and invalid (n, nodes) combinations return errors.
+// nodes. A "chaos:<base>" name builds the base transport and wraps it in a
+// ChaosTransport (inactive until SetScenario installs faults). Unknown
+// names, malformed chaos: prefixes and invalid (n, nodes) combinations
+// return errors naming the registered alternatives.
 func NewTransportByName(name string, n, nodes int) (Transport, error) {
+	if strings.HasPrefix(name, ChaosPrefix) {
+		base := strings.TrimPrefix(name, ChaosPrefix)
+		if base == "" {
+			return nil, fmt.Errorf("machine: transport %q names no base to wrap: use \"chaos:<base>\" with a registered base (registered: %v)", name, TransportNames())
+		}
+		if strings.HasPrefix(base, ChaosPrefix) {
+			return nil, fmt.Errorf("machine: transport %q nests the %q prefix: the chaos wrapper applies exactly once (registered: %v)", name, ChaosPrefix, TransportNames())
+		}
+		bt, err := NewTransportByName(base, n, nodes)
+		if err != nil {
+			return nil, err
+		}
+		return NewChaosTransport(bt), nil
+	}
 	registryMu.RLock()
 	mk := registry[name]
 	registryMu.RUnlock()
@@ -52,14 +73,17 @@ func NewTransportByName(name string, n, nodes int) (Transport, error) {
 	return mk(n, nodes)
 }
 
-// TransportNames returns the registered transport names, sorted.
+// TransportNames returns the resolvable transport names, sorted: every
+// registered base plus its chaos-wrapped "chaos:<base>" variant, so the
+// conformance battery (and any registry-driven tooling) exercises the fault
+// layer automatically.
 func TransportNames() []string {
 	registryMu.RLock()
-	defer registryMu.RUnlock()
-	names := make([]string, 0, len(registry))
+	names := make([]string, 0, 2*len(registry))
 	for name := range registry {
-		names = append(names, name)
+		names = append(names, name, ChaosPrefix+name)
 	}
+	registryMu.RUnlock()
 	sort.Strings(names)
 	return names
 }

@@ -88,6 +88,78 @@ func TestRegisterTransportGuards(t *testing.T) {
 	mustPanic("duplicate", func() { RegisterTransport("shared", func(n, nodes int) (Transport, error) { return nil, nil }) })
 }
 
+func TestRegistryChaosVariants(t *testing.T) {
+	// Every registered base comes with a chaos-wrapped variant for free.
+	names := TransportNames()
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, base := range []string{"shared", "federated"} {
+		if !have[ChaosPrefix+base] {
+			t.Errorf("registry missing %q (have %v)", ChaosPrefix+base, names)
+		}
+	}
+
+	tr, err := NewTransportByName("chaos:shared", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, ok := tr.(*ChaosTransport)
+	if !ok {
+		t.Fatalf("chaos:shared resolved to %T", tr)
+	}
+	if _, ok := ct.Base().(*SharedTransport); !ok {
+		t.Errorf("chaos:shared wraps %T, want SharedTransport", ct.Base())
+	}
+	tr, err = NewTransportByName("chaos:federated", 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct = tr.(*ChaosTransport)
+	if ct.Size() != 8 || ct.Nodes() != 2 {
+		t.Errorf("chaos:federated size/nodes = %d/%d, want 8/2", ct.Size(), ct.Nodes())
+	}
+}
+
+func TestRegistryChaosPrefixMalformed(t *testing.T) {
+	// A bare "chaos:" names no base; the error must say so and list what is
+	// registered so the fix is obvious.
+	if _, err := NewTransportByName("chaos:", 4, 1); err == nil {
+		t.Error("bare chaos: prefix accepted")
+	} else if !strings.Contains(err.Error(), "no base") || !strings.Contains(err.Error(), "shared") {
+		t.Errorf("bare-prefix error should explain and list registered names: %v", err)
+	}
+	// The wrapper applies exactly once.
+	if _, err := NewTransportByName("chaos:chaos:shared", 4, 1); err == nil {
+		t.Error("nested chaos: prefix accepted")
+	} else if !strings.Contains(err.Error(), "nests") {
+		t.Errorf("nested-prefix error should explain: %v", err)
+	}
+	// An unknown base inside the prefix reports like any unknown transport.
+	if _, err := NewTransportByName("chaos:no-such", 4, 1); err == nil {
+		t.Error("chaos-wrapped unknown base accepted")
+	} else if !strings.Contains(err.Error(), "no-such") || !strings.Contains(err.Error(), "shared") {
+		t.Errorf("unknown-base error should name it and the alternatives: %v", err)
+	}
+	// Base-level validation still applies through the wrapper.
+	if _, err := NewTransportByName("chaos:shared", 4, 2); err == nil {
+		t.Error("chaos:shared accepted a 2-node federation")
+	}
+	if _, err := NewTransportByName("chaos:federated", 4, 3); err == nil {
+		t.Error("chaos:federated accepted a node count not dividing n")
+	}
+}
+
+func TestRegisterTransportRejectsReservedPrefix(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RegisterTransport accepted a chaos:-prefixed name")
+		}
+	}()
+	RegisterTransport("chaos:custom", func(n, nodes int) (Transport, error) { return nil, nil })
+}
+
 func TestCostModelIsZero(t *testing.T) {
 	if !(CostModel{}).IsZero() {
 		t.Error("zero value not IsZero")
