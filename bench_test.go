@@ -181,8 +181,13 @@ func BenchmarkJacobi64Proc(b *testing.B)  { benchkit.Jacobi64Proc(b) }
 func BenchmarkJacobi256Proc(b *testing.B) { benchkit.Jacobi256Proc(b) }
 
 // BenchmarkJacobi1024ProcPriced measures a whole fixed-work Jacobi run at
-// 1024 simulated processors on a 16-node federation with per-link pricing.
+// 1024 simulated processors on a 16-node federation with per-link pricing,
+// pooled and driven by the calendar executor.
 func BenchmarkJacobi1024ProcPriced(b *testing.B) { benchkit.Jacobi1024ProcPriced(b) }
+
+// BenchmarkJacobi16384Proc measures a whole fixed-work Jacobi run at 16384
+// simulated processors multiplexed over the calendar executor's worker pool.
+func BenchmarkJacobi16384Proc(b *testing.B) { benchkit.Jacobi16384Proc(b) }
 
 func BenchmarkA1MappingAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -8,6 +8,8 @@
 //	kfbench E3 F5                          # run selected experiments
 //	kfbench -list                          # list experiment IDs
 //	kfbench -transport federated -nodes 4 E1   # run on a named transport
+//	kfbench -executor calendar E1          # run on a named execution engine
+//	kfbench -cpuprofile cpu.pprof S6       # profile a run (also -memprofile)
 //	kfbench -chaos scenarios/smoke.json E1     # run under injected faults
 //	kfbench -chaos s.json -seed 7 -chaos-report R.json E1  # override seed, save report
 //	kfbench -bench -o B.json               # run the perf snapshot and write JSON
@@ -20,8 +22,18 @@
 // processor count, since the suite's machines come in many sizes). Values
 // and message censuses are transport-invariant under flat costs, so the
 // reported metrics must not move — running the suite this way exercises a
-// transport end to end. The scaling experiments (S1-S5) pin their own
+// transport end to end. The scaling experiments (S1-S6) pin their own
 // transport arrangements and ignore the flag.
+//
+// -executor selects, by registry name (machine.RegisterExecutor), the engine
+// driving every run: "goroutine" (the default) or "calendar" (virtual
+// processors multiplexed over a bounded worker pool in virtual-time order).
+// Values, censuses and virtual times are engine-invariant, so the reported
+// metrics must not move — running the suite this way exercises an engine
+// end to end.
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles of whatever the
+// invocation runs (experiments or -bench), for `go tool pprof`.
 //
 // -chaos loads a fault-injection scenario (see internal/chaos for the JSON
 // format) and runs the selected experiments on a chaos-wrapped transport:
@@ -51,6 +63,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -60,7 +74,11 @@ import (
 	"repro/internal/experiments"
 )
 
-func main() {
+// main defers to run so deferred profile writers execute before the process
+// exits (os.Exit skips defers).
+func main() { os.Exit(run()) }
+
+func run() int {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	bench := flag.Bool("bench", false, "run the perf snapshot benchmarks and write JSON")
 	out := flag.String("o", "BENCH_1.json", "output path for -bench JSON ('-' for stdout)")
@@ -69,6 +87,9 @@ func main() {
 		"relative ns/op growth tolerated by -compare (allocs/op always tolerates none); raise when comparing across machines")
 	transport := flag.String("transport", "", "transport registry name the experiments' systems run on (default: per-experiment)")
 	nodes := flag.Int("nodes", 0, "federation node count for -transport (clamped to a divisor of each system's processor count)")
+	executor := flag.String("executor", "", "execution engine registry name the experiments' systems run on (default: goroutine)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	chaosFile := flag.String("chaos", "", "fault-injection scenario JSON; experiments run on the chaos-wrapped transport")
 	seed := flag.Int64("seed", 0, "override the -chaos scenario's seed")
 	chaosReport := flag.String("chaos-report", "", "write the aggregated fault/recovery report JSON here after the run ('-' for stdout)")
@@ -76,7 +97,7 @@ func main() {
 
 	if *nodes != 0 && *transport == "" {
 		fmt.Fprintln(os.Stderr, "kfbench: -nodes requires -transport")
-		os.Exit(1)
+		return 1
 	}
 	if *transport != "" && *bench {
 		// The perf snapshot must measure the workload the committed
@@ -84,43 +105,74 @@ func main() {
 		// driven benchmarks onto another transport would diff apples
 		// against oranges.
 		fmt.Fprintln(os.Stderr, "kfbench: -transport cannot be combined with -bench")
-		os.Exit(1)
+		return 1
+	}
+	if *executor != "" && *bench {
+		// Same reasoning: each snapshot benchmark pins its own engine.
+		fmt.Fprintln(os.Stderr, "kfbench: -executor cannot be combined with -bench")
+		return 1
 	}
 	if *chaosFile != "" && *bench {
 		fmt.Fprintln(os.Stderr, "kfbench: -chaos cannot be combined with -bench (the perf baselines are fault-free)")
-		os.Exit(1)
+		return 1
 	}
 	if *chaosFile == "" && (*chaosReport != "" || seedSet()) {
 		fmt.Fprintln(os.Stderr, "kfbench: -seed and -chaos-report require -chaos")
-		os.Exit(1)
+		return 1
 	}
 	if *transport != "" {
 		if err := experiments.SetTransport(*transport, *nodes); err != nil {
 			fmt.Fprintf(os.Stderr, "kfbench: %v\n", err)
-			os.Exit(1)
+			return 1
+		}
+	}
+	if *executor != "" {
+		if err := experiments.SetExecutor(*executor); err != nil {
+			fmt.Fprintf(os.Stderr, "kfbench: %v\n", err)
+			return 1
 		}
 	}
 	if *chaosFile != "" {
 		sc, err := chaos.Load(*chaosFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "kfbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if seedSet() {
 			sc.Seed = *seed
 		}
 		if err := experiments.SetChaos(sc); err != nil {
 			fmt.Fprintf(os.Stderr, "kfbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kfbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "kfbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := writeMemProfile(*memprofile); err != nil {
+				fmt.Fprintf(os.Stderr, "kfbench: %v\n", err)
+			}
+		}()
 	}
 
 	if *bench {
 		if err := runBench(*out, *compare, *nsTol); err != nil {
 			fmt.Fprintf(os.Stderr, "kfbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	suite := experiments.Suite()
@@ -128,7 +180,7 @@ func main() {
 		for _, e := range suite {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 	want := map[string]bool{}
 	for _, arg := range flag.Args() {
@@ -146,7 +198,7 @@ func main() {
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "kfbench: no experiments matched %v\n", flag.Args())
-		os.Exit(1)
+		return 1
 	}
 	if rep, ok := experiments.ChaosReport(); ok {
 		fmt.Fprintf(os.Stderr, "chaos %q (seed %d): %d sends, %d faults injected (%d drops, %d outage holds, %d dups, %d delays, %d brownouts), %d recovered (%d retransmits, %d dups absorbed) over %d retry rounds\n",
@@ -155,10 +207,22 @@ func main() {
 		if *chaosReport != "" {
 			if err := writeChaosReport(*chaosReport, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "kfbench: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
+	return 0
+}
+
+// writeMemProfile records an up-to-date allocation profile at path.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize final allocation statistics
+	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
 // seedSet reports whether -seed was passed explicitly (0 is a legal seed).
@@ -207,9 +271,12 @@ func runBench(out, compare string, nsTol float64) error {
 			return err
 		}
 	}
+	gmp, ncpu := benchkit.HostParallelism()
 	snap := benchkit.SnapshotFile{
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: benchkit.GoVersion(),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  benchkit.GoVersion(),
+		GoMaxProcs: gmp,
+		NumCPU:     ncpu,
 	}
 	for _, bm := range benchkit.Snapshot() {
 		r := testing.Benchmark(bm.Fn)
@@ -228,6 +295,9 @@ func runBench(out, compare string, nsTol float64) error {
 	}
 	if compare == "" {
 		return nil
+	}
+	if warn := benchkit.ParallelismWarning(prev, snap); warn != "" {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", warn)
 	}
 	failed := 0
 	for _, d := range benchkit.Compare(prev, snap, nsTol) {

@@ -67,6 +67,7 @@ type System struct {
 	Trace *trace.Recorder
 
 	transport string
+	executor  string
 	direct    bool
 }
 
@@ -74,6 +75,7 @@ type System struct {
 type settings struct {
 	shape     []int
 	transport string
+	executor  string
 	nodes     int
 	nodesSet  bool
 	cost      machine.CostModel
@@ -120,6 +122,23 @@ func Transport(name string) Option {
 			return fmt.Errorf("core: Transport needs a non-empty name (registered: %v)", machine.TransportNames())
 		}
 		cfg.transport = name
+		return nil
+	}
+}
+
+// Executor selects the engine driving every run by its registry name
+// (machine.RegisterExecutor): "goroutine" (the default, one goroutine per
+// virtual processor) or "calendar" (a bounded worker pool resuming runnable
+// processors in virtual-time order); future engines resolve the same way.
+// Programs behave bit-identically on every engine — the conformance battery
+// in internal/machine pins it — so the choice is purely a host-performance
+// one. Unknown names surface as errors from NewSystem.
+func Executor(name string) Option {
+	return func(cfg *settings) error {
+		if name == "" {
+			return fmt.Errorf("core: Executor needs a non-empty name (registered: %v)", machine.ExecutorNames())
+		}
+		cfg.executor = name
 		return nil
 	}
 }
@@ -278,10 +297,18 @@ func NewSystem(opts ...Option) (*System, error) {
 		}
 	}
 	m := machine.NewWithTransport(tr, cost)
+	if cfg.executor != "" {
+		ex, err := machine.NewExecutorByName(cfg.executor)
+		if err != nil {
+			return nil, err
+		}
+		m.SetExecutor(ex)
+	}
 	sys := &System{
 		Machine:   m,
 		Procs:     g,
 		transport: cfg.transport,
+		executor:  m.ExecutorName(),
 		direct:    cfg.direct,
 	}
 	if cfg.trace {
@@ -305,6 +332,10 @@ func MustSystem(opts ...Option) *System {
 // TransportName returns the registry name the system's transport was
 // resolved under.
 func (s *System) TransportName() string { return s.transport }
+
+// ExecutorName returns the registry name of the engine driving the system's
+// runs ("goroutine" unless the Executor option selected another).
+func (s *System) ExecutorName() string { return s.executor }
 
 // nodeCounter is the capability a transport exposes when it partitions
 // processors into nodes; FederatedTransport (and any future multi-node

@@ -55,6 +55,27 @@ func SetTransport(name string, nodes int) error {
 	return nil
 }
 
+// executorCfg is the package-wide execution-engine selection: kfbench's
+// -executor flag routes every newSys-built experiment system onto a named
+// engine. Values, censuses and virtual times are engine-invariant, so the
+// metrics must not move.
+var executorCfg string
+
+// SetExecutor selects the execution engine every newSys-built experiment
+// system runs on, by registry name (machine.RegisterExecutor). An empty
+// name restores the default engine; unknown names are reported as errors.
+func SetExecutor(name string) error {
+	if name == "" {
+		executorCfg = ""
+		return nil
+	}
+	if _, err := machine.NewExecutorByName(name); err != nil {
+		return err
+	}
+	executorCfg = name
+	return nil
+}
+
 func gcd(a, b int) int {
 	for b != 0 {
 		a, b = b, a%b
@@ -139,6 +160,9 @@ func newSys(shape []int, opts ...core.Option) *core.System {
 	if chaosCfg.set {
 		all = append(all, core.Chaos(chaosCfg.sc))
 	}
+	if executorCfg != "" {
+		all = append(all, core.Executor(executorCfg))
+	}
 	all = append(all, opts...)
 	sys := mustSys(all...)
 	if chaosCfg.set {
@@ -210,6 +234,7 @@ func Suite() []Entry {
 		{"S3", "1024-processor federation with per-link cost model", S3Hierarchical1024},
 		{"S4", "per-link cost asymmetry: slow uplinks and fast backbones", S4LinkAsymmetry},
 		{"S5", "256-processor chaos: seeded faults, recovery, bit-identical values", S5ChaosRecovery},
+		{"S6", "16384 virtual processors on the calendar executor, engine equivalence", S6Calendar16384},
 	}
 }
 

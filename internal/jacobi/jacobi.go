@@ -80,26 +80,59 @@ func KF1(m *machine.Machine, g *topology.Grid, x0, f [][]float64, niter int) (Re
 	return res, err
 }
 
+// kf1Key identifies a processor's reusable KF1 Jacobi state in
+// Proc.Scratch, one per processor grid. Single pointer field on purpose:
+// pointer-shaped keys convert to the scratch map's `any` without
+// allocating, so cache hits are allocation-free.
+type kf1Key struct {
+	g *topology.Grid
+}
+
+// kf1State is the declaration half of KF1Ctx — the distributed arrays and
+// the compiled sweep plan — kept per processor across runs. It is bound to
+// the context and problem size that built it: arrays and plans carry that
+// context's scope discipline and the problem's extents, so a different
+// driving context or size must rebuild.
+type kf1State struct {
+	c     *kf.Ctx
+	n     int
+	x, fd *darray.Array
+	sweep *kf.Plan2
+}
+
 // KF1Ctx is the KF1 Jacobi iteration as a plain parallel subroutine body —
 // the declare-once form a core.Program wraps to run the identical
 // computation on any system. It returns the flat gathered solution on rank
 // 0 (nil elsewhere) and the iteration loop's elapsed virtual time
 // (excluding the verification gather; identical on every rank).
+//
+// The arrays and the compiled sweep header are cached per (processor, grid)
+// across runs when the same root context drives them repeatedly (which
+// kf.Exec arranges and reports via Ctx.Reused): repeated runs re-fill the
+// owned cells and replay the data motion without re-deriving distribution
+// or communication. First runs — every run on a freshly built machine —
+// build the state directly and skip the cache, so one-shot programs pay no
+// bookkeeping. Array construction and plan compilation consume no message
+// scopes, so cached and fresh runs are bit-identical.
 func KF1Ctx(c *kf.Ctx, x0, f [][]float64, niter int) (flat []float64, elapsed float64) {
 	n := len(x0)
-	spec := darray.Spec{
-		Extents: []int{n, n},
-		Dists:   []dist.Dist{dist.Block{}, dist.Block{}},
-		Halo:    []int{1, 1},
+	var x, fd *darray.Array
+	var sweep *kf.Plan2
+	if c.Reused() {
+		st := c.P.Scratch(kf1Key{c.G}, func() any { return &kf1State{} }).(*kf1State)
+		if st.c != c || st.n != n {
+			st.c, st.n = c, n
+			st.x, st.fd, st.sweep = kf1Build(c, n)
+		}
+		x, fd, sweep = st.x, st.fd, st.sweep
+	} else {
+		x, fd, sweep = kf1Build(c, n)
 	}
-	x := c.NewArray(spec)
-	fd := c.NewArray(spec)
+	// (Re)fill the owned cells every run; halo ghosts left over from a
+	// previous run are refreshed by the first sweep's exchange before any
+	// read.
 	x.FillOwned(func(idx []int) float64 { return x0[idx[0]][idx[1]] })
 	fd.FillOwned(func(idx []int) float64 { return f[idx[0]][idx[1]] })
-	// The loop header — halo schedule, snapshots, owned strip — is
-	// compiled once; each pass only replays the data motion.
-	sweep := c.Plan2(kf.R(1, n-2), kf.R(1, n-2), kf.OnOwner2(x),
-		kf.Reads(x), kf.ReadsNoHalo(fd))
 	for it := 0; it < niter; it++ {
 		sweep.Run(func(cc *kf.Ctx, i, j int) {
 			x.Set2(i, j, 0.25*(x.Old2(i+1, j)+x.Old2(i-1, j)+x.Old2(i, j+1)+x.Old2(i, j-1))-fd.Old2(i, j))
@@ -112,6 +145,22 @@ func KF1Ctx(c *kf.Ctx, x0, f [][]float64, niter int) (flat []float64, elapsed fl
 		flat = out
 	}
 	return flat, elapsed
+}
+
+// kf1Build is KF1Ctx's declaration half: the distributed arrays and the
+// compiled sweep header — halo schedule, snapshots, owned strip — derived
+// once; each pass only replays the data motion.
+func kf1Build(c *kf.Ctx, n int) (x, fd *darray.Array, sweep *kf.Plan2) {
+	spec := darray.Spec{
+		Extents: []int{n, n},
+		Dists:   []dist.Dist{dist.Block{}, dist.Block{}},
+		Halo:    []int{1, 1},
+	}
+	x = c.NewArray(spec)
+	fd = c.NewArray(spec)
+	sweep = c.Plan2(kf.R(1, n-2), kf.R(1, n-2), kf.OnOwner2(x),
+		kf.Reads(x), kf.ReadsNoHalo(fd))
+	return x, fd, sweep
 }
 
 // Tags for the hand-written message passing version, one per edge

@@ -65,6 +65,11 @@ type Ctx struct {
 	scope machine.Scope
 	seq   int
 
+	// runs counts Exec invocations served by this root context; reused
+	// reports whether the current run is a repeat (see Reused).
+	runs   int
+	reused bool
+
 	// plans memoizes compiled doall headers by (ranges, on-clause,
 	// read-set), so iterative loops written with plain Doall calls pay
 	// for communication derivation once — see plan.go. Child contexts
@@ -73,18 +78,41 @@ type Ctx struct {
 	plans map[planKey]any
 }
 
+// rootCtxKey identifies a processor's cached root context in Proc.Scratch:
+// one per grid the processor has executed subroutines on.
+type rootCtxKey struct{ g *topology.Grid }
+
 // Exec runs body as a parallel subroutine on grid g of machine m: one
 // invocation per member processor, each with its own Ctx. Processors outside
 // g idle. It returns the first error from any invocation (including
 // converted panics and deadlocks).
+//
+// The root context is cached per (processor, grid) across Exec calls: its
+// message scope and phase counter restart at the root every run (so scope
+// streams are identical whether the context is fresh or reused), while the
+// plan cache persists — an iterative driver re-running the same subroutine
+// pays for doall communication derivation once, not once per run.
 func Exec(m *machine.Machine, g *topology.Grid, body func(c *Ctx) error) error {
 	return m.Run(func(p *machine.Proc) error {
 		if !g.Contains(p.Rank()) {
 			return nil
 		}
-		return body(&Ctx{P: p, G: g, scope: machine.RootScope()})
+		c := p.Scratch(rootCtxKey{g}, func() any { return &Ctx{P: p, G: g} }).(*Ctx)
+		c.scope = machine.RootScope()
+		c.seq = 0
+		c.reused = c.runs > 0
+		c.runs++
+		return body(c)
 	})
 }
+
+// Reused reports whether the calling run is a repeat on this root context —
+// the same machine executing the same grid's subroutines again. Subroutine
+// bodies use it to decide when caching compiled state in Proc.Scratch will
+// ever pay off: a first run (every run on a freshly constructed machine)
+// skips the cache bookkeeping entirely, so one-shot programs pay nothing
+// for the reuse machinery. Always false on child contexts.
+func (c *Ctx) Reused() bool { return c.reused }
 
 // NextScope returns a fresh message scope for the next communication phase.
 // Every processor of the grid must call it the same number of times in the

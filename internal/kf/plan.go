@@ -300,8 +300,10 @@ func optsKey(opts []LoopOpt) (k [maxKeyOpts]optKey, n int8, ok bool) {
 
 // maxCachedPlans bounds the per-context plan cache: programs that
 // construct unbounded streams of distinct arrays (and doall over each
-// once) stop caching rather than retaining every header forever. Beyond
-// the cap, doalls compile a fresh plan per call — the pre-caching cost.
+// once) must not retain every header — and every keyed array view —
+// forever. At the cap the cache is emptied and refilled, so a persistent
+// context (the root contexts Exec reuses across runs) keeps caching its
+// current working set instead of pinning the first 256 headers it ever saw.
 const maxCachedPlans = 256
 
 // plans returns the per-context plan cache, creating it on first use.
@@ -312,11 +314,13 @@ func (c *Ctx) planCache() map[planKey]any {
 	return c.plans
 }
 
-// cachePlan stores a compiled plan unless the cache is at capacity.
+// cachePlan stores a compiled plan, emptying the cache first when it is at
+// capacity (see maxCachedPlans).
 func (c *Ctx) cachePlan(cache map[planKey]any, key planKey, pl any) {
-	if len(cache) < maxCachedPlans {
-		cache[key] = pl
+	if len(cache) >= maxCachedPlans {
+		clear(cache)
 	}
+	cache[key] = pl
 }
 
 func (c *Ctx) plan1For(r Range, on On1, opts []LoopOpt) *Plan1 {

@@ -1,0 +1,346 @@
+package machine
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// The cross-engine conformance battery: every registered execution engine
+// must drive every registered transport to bit-identical values, censuses
+// and virtual times — the machine is a Kahn network, so results are a
+// function of the program, not of which host thread ran which rank when.
+
+// setExecutorByName installs the named engine on m, failing the test on
+// resolution errors.
+func setExecutorByName(tb testing.TB, m *Machine, name string) {
+	tb.Helper()
+	ex, err := NewExecutorByName(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m.SetExecutor(ex)
+}
+
+func TestExecutorRegistry(t *testing.T) {
+	names := ExecutorNames()
+	want := map[string]bool{"goroutine": false, "calendar": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("executor %q missing from registry %v", n, names)
+		}
+	}
+	if _, err := NewExecutorByName("nonesuch"); err == nil ||
+		!strings.Contains(err.Error(), "calendar") {
+		t.Errorf("unknown-executor error should name the alternatives, got %v", err)
+	}
+	m := New(2, ZeroComm())
+	setExecutorByName(t, m, "calendar")
+	if m.ExecutorName() != "calendar" {
+		t.Errorf("ExecutorName = %q after installing calendar", m.ExecutorName())
+	}
+	m.SetExecutor(nil)
+	if m.ExecutorName() != "goroutine" {
+		t.Errorf("SetExecutor(nil) left %q, want the goroutine default", m.ExecutorName())
+	}
+}
+
+func TestExecutorCrossEngineIdentical(t *testing.T) {
+	// The conformance program must produce bit-identical values,
+	// per-processor statistics and elapsed virtual time on every
+	// (engine, transport) pair — chaos-wrapped transports included.
+	const n = 8
+	type result struct {
+		values  []float64
+		stats   []Stats
+		elapsed float64
+	}
+	ref := map[string]result{}
+	for _, engine := range ExecutorNames() {
+		for _, row := range conformanceRows(t, n) {
+			m := NewWithTransport(row.tr, IPSC2())
+			setExecutorByName(t, m, engine)
+			v, s, e, runErr := conformanceProgram(m)
+			if runErr != nil {
+				t.Fatalf("%s on %s: %v", engine, row.name, runErr)
+			}
+			cur := result{values: v, stats: s, elapsed: e}
+			prev, seen := ref[row.name]
+			if !seen {
+				ref[row.name] = cur
+				continue
+			}
+			if cur.elapsed != prev.elapsed {
+				t.Errorf("%s on %s: elapsed %v != reference %v", engine, row.name, cur.elapsed, prev.elapsed)
+			}
+			for r := 0; r < n; r++ {
+				if cur.values[r] != prev.values[r] {
+					t.Errorf("%s on %s: rank %d value %v != %v", engine, row.name, r, cur.values[r], prev.values[r])
+				}
+				if cur.stats[r] != prev.stats[r] {
+					t.Errorf("%s on %s: rank %d stats %+v != %+v", engine, row.name, r, cur.stats[r], prev.stats[r])
+				}
+			}
+		}
+	}
+}
+
+func TestCalendarSingleWorkerLiveness(t *testing.T) {
+	// With one worker token every blocking wait must hand the token to
+	// another rank — any lost wakeup or busy-wait deadlocks instantly.
+	// The program mixes receives (mailbox parking) with host barriers
+	// (barrier parking) across several generations; completing at all is
+	// the property under test, on top of value correctness. The
+	// conformance row for this liveness pin under GOMAXPROCS=1 is the
+	// CI race job's `-cpu 1` run of this whole package.
+	const n, rounds = 8, 5
+	m := New(n, Uniform())
+	m.SetExecutor(NewCalendarExecutor(1))
+	var gen atomic.Int32
+	err := m.Run(func(p *Proc) error {
+		next := (p.Rank() + 1) % n
+		prev := (p.Rank() + n - 1) % n
+		acc := float64(p.Rank())
+		for round := 0; round < rounds; round++ {
+			p.SendValue(next, TagOf(uint16(round)), acc)
+			acc += p.RecvValue(prev, TagOf(uint16(round)))
+			gen.Add(1)
+			if !m.Transport().Barrier(p.Rank()) {
+				t.Errorf("rank %d: barrier round %d reported down", p.Rank(), round)
+			}
+			if got := gen.Load(); got < int32((round+1)*n) {
+				t.Errorf("rank %d left barrier round %d with %d/%d entered", p.Rank(), round, got, (round+1)*n)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalendarWorkerCountsAndReuse(t *testing.T) {
+	// Every worker count from 1 to beyond GOMAXPROCS completes and computes
+	// the same values, and one executor instance is reusable across
+	// sequential runs on the same machine.
+	const n = 16
+	var want []float64
+	for _, workers := range []int{0, 1, 2, 3, n, 2 * n} {
+		m := New(n, ZeroComm())
+		m.SetExecutor(NewCalendarExecutor(workers))
+		for run := 0; run < 3; run++ {
+			got := make([]float64, n)
+			err := m.Run(func(p *Proc) error {
+				next := (p.Rank() + 1) % n
+				prev := (p.Rank() + n - 1) % n
+				p.SendValue(next, 1, float64(p.Rank()))
+				got[p.Rank()] = float64(p.Rank())*100 + p.RecvValue(prev, 1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d run %d: %v", workers, run, err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			for r := range got {
+				if got[r] != want[r] {
+					t.Errorf("workers=%d run %d: rank %d got %v want %v", workers, run, r, got[r], want[r])
+				}
+			}
+		}
+	}
+}
+
+func TestCalendarDeadlockDetection(t *testing.T) {
+	// The quiescence-triggered stall check must reach the same deadlock
+	// verdicts as the goroutine engine's all-blocked trigger.
+	for _, tr := range []Transport{NewSharedTransport(4), NewFederatedTransport(4, 2)} {
+		m := NewWithTransport(tr, Uniform())
+		setExecutorByName(t, m, "calendar")
+		// All-blocked cycle.
+		err := m.Run(func(p *Proc) error {
+			p.Recv((p.Rank()+1)%4, 0)
+			return nil
+		})
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("cycle: err = %v, want ErrDeadlock", err)
+		}
+		// Peer exits; the lone receiver can never be satisfied.
+		err = m.Run(func(p *Proc) error {
+			if p.Rank() == 3 {
+				p.Recv(0, 0)
+			}
+			return nil
+		})
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("peer exit: err = %v, want ErrDeadlock", err)
+		}
+		// The machine stays usable after both verdicts.
+		err = m.Run(func(p *Proc) error {
+			if p.Rank() == 0 {
+				p.SendValue(1, 1, 42)
+			}
+			if p.Rank() == 1 {
+				if v := p.RecvValue(0, 1); v != 42 {
+					t.Errorf("after deadlocks: got %v", v)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCalendarPanicPropagates(t *testing.T) {
+	// Rank 0 panics; everyone else blocks on a message only rank 0 could
+	// send, so the abort raised by the recovered panic must wake them.
+	// (Rank 0 because Run reports the first error in rank order — on the
+	// reference engine too, a lower-ranked waiter's abort error would win.)
+	m := New(4, ZeroComm())
+	setExecutorByName(t, m, "calendar")
+	err := m.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			panic("boom")
+		}
+		p.Recv(0, 9)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "processor 0 panicked: boom") {
+		t.Fatalf("err = %v, want the recovered panic from rank 0", err)
+	}
+}
+
+func TestCalendarChaosRecoveryBitIdentical(t *testing.T) {
+	// A lossy chaos transport under the calendar engine: retransmission
+	// must restore exactly the fault-free values, and — because fault
+	// draws come from per-pair PRNG streams independent of host
+	// interleaving — the whole chaotic run (values and virtual times)
+	// must match the same scenario under the goroutine engine.
+	const n, rounds = 4, 30
+	sc := chaos.Scenario{Name: "drop", Seed: 3, Drop: 0.1}
+
+	clean := New(n, IPSC2())
+	want := runRing(t, clean, n, rounds)
+
+	gm, _ := chaosMachine(t, "shared", n, 1, sc)
+	goroutineVals := runRing(t, gm, n, rounds)
+	goroutineElapsed := gm.Elapsed()
+
+	cm, ct := chaosMachine(t, "shared", n, 1, sc)
+	setExecutorByName(t, cm, "calendar")
+	calendarVals := runRing(t, cm, n, rounds)
+	calendarElapsed := cm.Elapsed()
+
+	for r := 0; r < n; r++ {
+		if calendarVals[r] != want[r] {
+			t.Errorf("rank %d: calendar chaos value %v != fault-free %v", r, calendarVals[r], want[r])
+		}
+		if calendarVals[r] != goroutineVals[r] {
+			t.Errorf("rank %d: calendar chaos value %v != goroutine chaos %v", r, calendarVals[r], goroutineVals[r])
+		}
+	}
+	if calendarElapsed != goroutineElapsed {
+		t.Errorf("calendar chaos elapsed %v != goroutine chaos %v", calendarElapsed, goroutineElapsed)
+	}
+	if rep := ct.Report(); rep.Drops == 0 {
+		t.Error("scenario injected no faults; the test exercised nothing")
+	}
+}
+
+func TestCalendarChaosFaultAbort(t *testing.T) {
+	// An exhausted retry budget declares ErrFaultAbort; the abort must
+	// wake parked continuations on both sides of the dead stream.
+	const n = 4
+	m, _ := chaosMachine(t, "shared", n, 1, chaos.Scenario{Name: "dead", Seed: 1, Drop: 1, MaxRetries: 1})
+	setExecutorByName(t, m, "calendar")
+	err := m.Run(func(p *Proc) error {
+		prog := ringProgram(n, 3)
+		prog(p)
+		return nil
+	})
+	if !errors.Is(err, ErrFaultAbort) {
+		t.Fatalf("err = %v, want ErrFaultAbort", err)
+	}
+}
+
+func TestCalendarPoolOwnershipStress(t *testing.T) {
+	// The worker pool must preserve the single-owner discipline of the
+	// per-processor buffer free lists: a rank's buffers are only ever
+	// touched from whichever worker goroutine currently holds its token,
+	// with a happens-before edge across every token handoff. Run under
+	// -race this would flag any unsynchronized handoff. More workers than
+	// GOMAXPROCS on small hosts keeps real preemption in play.
+	const n, rounds = 32, 20
+	m := New(n, ZeroComm())
+	m.SetExecutor(NewCalendarExecutor(4))
+	for run := 0; run < 2; run++ {
+		err := m.Run(func(p *Proc) error {
+			next := (p.Rank() + 1) % n
+			prev := (p.Rank() + n - 1) % n
+			for round := 0; round < rounds; round++ {
+				buf := p.AcquireBuf(8)
+				for i := range buf {
+					buf[i] = float64(p.Rank()*rounds + round)
+				}
+				p.Send(next, TagOf(uint16(round)), buf)
+				in := p.Recv(prev, TagOf(uint16(round)))
+				if in[0] != float64(prev*rounds+round) {
+					t.Errorf("rank %d round %d: got %v", p.Rank(), round, in[0])
+				}
+				p.ReleaseBuf(in)
+				if round%5 == 4 && !m.Transport().Barrier(p.Rank()) {
+					t.Errorf("rank %d: barrier down at round %d", p.Rank(), round)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+	}
+}
+
+func TestCalendarVirtualTimeOrder(t *testing.T) {
+	// The calendar grants its single token in virtual-time order: with
+	// every rank runnable at distinct clocks, the earliest clock runs
+	// first. Observable through a program where each rank stamps a
+	// sequence number on first execution after a clock-advancing phase.
+	const n = 6
+	m := New(n, Uniform())
+	m.SetExecutor(NewCalendarExecutor(1))
+	order := make([]int, 0, n)
+	err := m.Run(func(p *Proc) error {
+		// Spread the clocks: rank r computes (n-r) units, then everyone
+		// parks on a barrier; after release the calendar must grant
+		// tokens smallest-clock-first, i.e. in reverse rank order.
+		p.Compute((n - p.Rank()) * 100)
+		if !m.Transport().Barrier(p.Rank()) {
+			return errors.New("barrier down")
+		}
+		order = append(order, p.Rank())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != n {
+		t.Fatalf("recorded %d ranks, want %d", len(order), n)
+	}
+	for i, r := range order {
+		if r != n-1-i {
+			t.Fatalf("post-barrier execution order %v, want reverse rank order (clock order)", order)
+		}
+	}
+}

@@ -151,7 +151,8 @@ func (t *FederatedTransport) MessageTime(cost CostModel, src, dst, b int) float6
 }
 
 // deliver places the message in dst's node mailbox and wakes dst if it is
-// parked on exactly this stream.
+// parked on exactly this stream (through the machine's Parker when a
+// parking engine is driving; see SharedTransport.Send).
 func (t *FederatedTransport) deliver(k fedKey, msg message) {
 	nb := &t.nodes[k.dst/t.perNode]
 	li := k.dst % t.perNode
@@ -163,7 +164,11 @@ func (t *FederatedTransport) deliver(k fedKey, msg message) {
 	}
 	nb.queues[k] = append(q, msg)
 	if nb.waiting[li] && nb.awaits[li] == k {
-		nb.conds[li].Signal()
+		if pk := parkerOf(t.coord); pk != nil {
+			pk.Wake(k.dst)
+		} else {
+			nb.conds[li].Signal()
+		}
 	}
 	nb.mu.Unlock()
 }
@@ -211,6 +216,7 @@ func (t *FederatedTransport) Recv(dst, src int, tag Tag) ([]float64, float64, bo
 		t.coord.Blocked()
 	}
 
+	pk := parkerOf(t.coord)
 	nb.mu.Lock()
 	for {
 		if msg, ok := nb.takeLocked(k); ok {
@@ -229,7 +235,13 @@ func (t *FederatedTransport) Recv(dst, src int, tag Tag) ([]float64, float64, bo
 			}
 			return nil, 0, false
 		}
-		nb.conds[li].Wait()
+		if pk != nil {
+			nb.mu.Unlock()
+			pk.Park(dst)
+			nb.mu.Lock()
+		} else {
+			nb.conds[li].Wait()
+		}
 	}
 }
 
@@ -258,7 +270,7 @@ func (t *FederatedTransport) Barrier(rank int) bool {
 	if rank < 0 || rank >= t.n {
 		panic(fmt.Sprintf("machine: barrier from invalid rank %d", rank))
 	}
-	return t.bar.await(&t.down)
+	return t.bar.await(rank, &t.down, parkerOf(t.coord))
 }
 
 // Reset clears all node mailboxes, waiter state, link counters and the down
@@ -306,6 +318,9 @@ func (t *FederatedTransport) Abort() {
 		nb.mu.Unlock()
 	}
 	t.bar.wake()
+	if pk := parkerOf(t.coord); pk != nil {
+		pk.WakeAll()
+	}
 }
 
 // CheckStalled takes every node lock (in node order) for a consistent
@@ -363,6 +378,9 @@ func (t *FederatedTransport) stallCheck(declare bool) bool {
 	}
 	if stalled && declare {
 		t.bar.wake()
+		if pk := parkerOf(t.coord); pk != nil {
+			pk.WakeAll()
+		}
 	}
 	return stalled
 }

@@ -44,6 +44,13 @@ type Machine struct {
 	blocked int        // processors currently waiting in Recv
 	live    int        // processors still executing the current Run body
 
+	// exec is the engine driving Run (goroutine-per-proc by default);
+	// parker is non-nil while a parking engine's run is in flight, and
+	// errs is the pooled per-rank error slice reused across runs.
+	exec   Executor
+	parker Parker
+	errs   []error
+
 	// coord adapts the machine to the transport's Coordinator interface
 	// without exposing the callbacks as Machine methods (and without
 	// allocating: &m.coord shares the machine's allocation).
@@ -54,17 +61,24 @@ type Machine struct {
 type coordinator struct{ m *Machine }
 
 // Blocked counts a processor parked in Recv; when every live processor is
-// parked the stall check runs.
+// parked the stall check runs. Under a parking engine the count still
+// feeds ConfirmStall, but the trigger moves to the engine's quiescence
+// detection: with k workers multiplexing n ranks, blocked >= live is the
+// steady state, not a suspicion.
 func (c *coordinator) Blocked() {
 	m := c.m
 	m.dmu.Lock()
 	m.blocked++
-	suspicious := m.blocked >= m.live
+	suspicious := m.parker == nil && m.blocked >= m.live
 	m.dmu.Unlock()
 	if suspicious {
 		m.tr.CheckStalled()
 	}
 }
+
+// Parker exposes the active run's parking engine to the transports (nil
+// when the reference engine is driving); see the Parker interface.
+func (c *coordinator) Parker() Parker { return c.m.parker }
 
 // Unblocked counts a parked processor's resume.
 func (c *coordinator) Unblocked() {
@@ -114,7 +128,7 @@ func NewWithTransport(t Transport, cost CostModel) *Machine {
 	if n <= 0 {
 		panic(fmt.Sprintf("machine: processor count must be positive, got %d", n))
 	}
-	m := &Machine{n: n, cost: cost, tr: t}
+	m := &Machine{n: n, cost: cost, tr: t, exec: goroutineExecutor{}}
 	m.coord.m = m
 	t.Bind(&m.coord)
 	m.procs = make([]*Proc, n)
@@ -139,9 +153,24 @@ func (m *Machine) Cost() CostModel { return m.cost }
 // traffic counters).
 func (m *Machine) Transport() Transport { return m.tr }
 
-// Run executes body once per processor, each on its own goroutine, and waits
-// for all of them. It returns the first non-nil error produced by any body
-// (by rank order), or an error wrapping ErrDeadlock if the processors
+// SetExecutor selects the engine driving Run (see Executor); nil restores
+// the default goroutine-per-processor engine. It must not be called while
+// a Run is in flight, and the executor must be exclusive to this machine.
+func (m *Machine) SetExecutor(e Executor) {
+	if e == nil {
+		e = goroutineExecutor{}
+	}
+	m.exec = e
+}
+
+// ExecutorName returns the registry name of the engine driving Run.
+func (m *Machine) ExecutorName() string { return m.exec.Name() }
+
+// Run executes body once per processor under the machine's executor — one
+// goroutine per processor on the default engine, a virtual-time-ordered
+// worker pool on the calendar engine (see SetExecutor) — and waits for all
+// of them. It returns the first non-nil error produced by any body (by
+// rank order), or an error wrapping ErrDeadlock if the processors
 // deadlock. Clocks, counters and the transport are reset at the start of
 // each Run, so a Machine may be reused for successive independent programs.
 //
@@ -157,29 +186,19 @@ func (m *Machine) Run(body func(p *Proc) error) error {
 		p.reset()
 	}
 
-	errs := make([]error, m.n)
-	var wg sync.WaitGroup
-	wg.Add(m.n)
-	for i := 0; i < m.n; i++ {
-		p := m.procs[i]
-		go func() {
-			defer wg.Done()
-			defer m.retire()
-			defer func() {
-				if r := recover(); r != nil {
-					if abort, ok := r.(procAbort); ok {
-						errs[p.rank] = abort.err
-						return
-					}
-					errs[p.rank] = fmt.Errorf("machine: processor %d panicked: %v", p.rank, r)
-					m.tr.Abort()
-				}
-			}()
-			errs[p.rank] = body(p)
-		}()
+	if m.errs == nil {
+		m.errs = make([]error, m.n)
+	} else {
+		for i := range m.errs {
+			m.errs[i] = nil
+		}
 	}
-	wg.Wait()
-	for _, err := range errs {
+	// The engine publishes a Parker before spawning rank goroutines if it
+	// parks continuations; the reference engine leaves it nil.
+	m.parker = nil
+	m.exec.Execute(m, body, m.errs)
+	m.parker = nil
+	for _, err := range m.errs {
 		if err != nil {
 			return err
 		}
@@ -219,11 +238,12 @@ func (m *Machine) ProcClock(rank int) float64 { return m.procs[rank].clock }
 
 // retire marks the calling processor's body as finished and re-checks the
 // deadlock condition: processors still blocked can never be satisfied by a
-// processor that has exited.
+// processor that has exited. Under a parking engine the trigger is the
+// engine's quiescence detection instead (see coordinator.Blocked).
 func (m *Machine) retire() {
 	m.dmu.Lock()
 	m.live--
-	suspicious := m.live > 0 && m.blocked >= m.live
+	suspicious := m.parker == nil && m.live > 0 && m.blocked >= m.live
 	m.dmu.Unlock()
 	if suspicious {
 		m.tr.CheckStalled()

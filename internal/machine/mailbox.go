@@ -125,15 +125,22 @@ func (t *SharedTransport) MessageTime(cost CostModel, src, dst, b int) float64 {
 }
 
 // Send delivers a message and wakes the destination if it is waiting for
-// exactly this stream. Only the destination's mailbox lock is taken, so
-// concurrent sends to different receivers proceed in parallel.
+// exactly this stream — through the machine's Parker when a parking engine
+// is driving (moving dst from parked to runnable on the calendar), through
+// the mailbox condition variable otherwise. Only the destination's mailbox
+// lock is taken, so concurrent sends to different receivers proceed in
+// parallel.
 func (t *SharedTransport) Send(src, dst int, tag Tag, data []float64, arrival float64) {
 	mb := &t.boxes[dst]
 	k := msgKey{src: src, tag: tag}
 	mb.mu.Lock()
 	mb.putLocked(k, message{data: data, arrival: arrival})
 	if mb.waiting && mb.await == k {
-		mb.cond.Signal()
+		if pk := parkerOf(t.coord); pk != nil {
+			pk.Wake(dst)
+		} else {
+			mb.cond.Signal()
+		}
 	}
 	mb.mu.Unlock()
 }
@@ -165,6 +172,7 @@ func (t *SharedTransport) Recv(dst, src int, tag Tag) ([]float64, float64, bool)
 		t.coord.Blocked()
 	}
 
+	pk := parkerOf(t.coord)
 	mb.mu.Lock()
 	for {
 		if msg, ok := mb.takeLocked(k); ok {
@@ -183,7 +191,17 @@ func (t *SharedTransport) Recv(dst, src int, tag Tag) ([]float64, float64, bool)
 			}
 			return nil, 0, false
 		}
-		mb.cond.Wait()
+		if pk != nil {
+			// Park the rank's continuation with no locks held; a Wake
+			// that raced ahead (the message arrived between the checks
+			// above and here) returns immediately, and the loop
+			// re-checks either way.
+			mb.mu.Unlock()
+			pk.Park(dst)
+			mb.mu.Lock()
+		} else {
+			mb.cond.Wait()
+		}
 	}
 }
 
@@ -192,7 +210,7 @@ func (t *SharedTransport) Barrier(rank int) bool {
 	if rank < 0 || rank >= len(t.boxes) {
 		panic(fmt.Sprintf("machine: barrier from invalid rank %d", rank))
 	}
-	return t.bar.await(&t.down)
+	return t.bar.await(rank, &t.down, parkerOf(t.coord))
 }
 
 // Reset clears all mailboxes and the down flag, keeping capacity. Each
@@ -219,6 +237,9 @@ func (t *SharedTransport) Abort() {
 		mb.mu.Unlock()
 	}
 	t.bar.wake()
+	if pk := parkerOf(t.coord); pk != nil {
+		pk.WakeAll()
+	}
 }
 
 // CheckStalled flags a deadlock when every live processor is blocked and
@@ -279,6 +300,9 @@ func (t *SharedTransport) stallCheck(declare bool) bool {
 	}
 	if stalled && declare {
 		t.bar.wake()
+		if pk := parkerOf(t.coord); pk != nil {
+			pk.WakeAll()
+		}
 	}
 	return stalled
 }

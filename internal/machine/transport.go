@@ -121,6 +121,12 @@ type hostBarrier struct {
 	size    int
 	arrived int
 	gen     uint64
+	// waiters lists the ranks parked through a Parker on the current
+	// generation; the releasing arrival wakes each one. Under a parking
+	// engine a barrier waiter must yield its worker token — with one
+	// worker, a cond-blocked waiter would hold the only token and no
+	// later endpoint could ever arrive.
+	waiters []int
 }
 
 func (b *hostBarrier) init(size int) {
@@ -129,11 +135,14 @@ func (b *hostBarrier) init(size int) {
 }
 
 // await parks the caller until all size endpoints have arrived, reporting
-// false if down was raised while waiting.
-func (b *hostBarrier) await(down *atomic.Bool) bool {
+// false if down was raised while waiting. With a non-nil Parker the wait
+// parks through the engine (releasing the worker token) instead of the
+// condition variable; the down path needs no barrier-local wakeup because
+// whatever raised down broadcasts a WakeAll.
+func (b *hostBarrier) await(rank int, down *atomic.Bool, pk Parker) bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if down.Load() {
+		b.mu.Unlock()
 		return false
 	}
 	gen := b.gen
@@ -142,15 +151,35 @@ func (b *hostBarrier) await(down *atomic.Bool) bool {
 		b.arrived = 0
 		b.gen++
 		b.cond.Broadcast()
+		// Waking under b.mu keeps this generation's waiter list intact:
+		// a woken rank cannot re-enter await (and append to waiters)
+		// until this unlock.
+		for _, w := range b.waiters {
+			pk.Wake(w)
+		}
+		b.waiters = b.waiters[:0]
+		b.mu.Unlock()
 		return true
 	}
-	for b.gen == gen && !down.Load() {
-		b.cond.Wait()
+	if pk == nil {
+		for b.gen == gen && !down.Load() {
+			b.cond.Wait()
+		}
+		b.mu.Unlock()
+		return b.gen != gen
 	}
+	b.waiters = append(b.waiters, rank)
+	for b.gen == gen && !down.Load() {
+		b.mu.Unlock()
+		pk.Park(rank)
+		b.mu.Lock()
+	}
+	b.mu.Unlock()
 	return b.gen != gen
 }
 
-// wake releases barrier waiters after the down flag is set.
+// wake releases barrier waiters after the down flag is set (parked waiters
+// are woken by the abort/stall WakeAll broadcast).
 func (b *hostBarrier) wake() {
 	b.mu.Lock()
 	b.cond.Broadcast()
@@ -162,5 +191,6 @@ func (b *hostBarrier) wake() {
 func (b *hostBarrier) reset() {
 	b.mu.Lock()
 	b.arrived = 0
+	b.waiters = b.waiters[:0]
 	b.mu.Unlock()
 }
