@@ -282,7 +282,10 @@ type Report struct {
 
 	// Aborted is set when a retry budget ran out and the machine was
 	// taken down; Failure names the stream that exhausted it. FirstDrop
-	// names the first message the scenario lost.
+	// names the first message the scenario lost, in virtual time: the
+	// loss with the earliest fault-free arrival, ties broken by
+	// (src, dst, tag) stream order — a deterministic key, unlike the
+	// wall-clock order in which concurrent senders report losses.
 	Aborted   bool       `json:"aborted,omitempty"`
 	FirstDrop *StreamRef `json:"first_drop,omitempty"`
 	Failure   *StreamRef `json:"failure,omitempty"`

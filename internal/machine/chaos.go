@@ -60,8 +60,11 @@ type nodeLocator interface {
 // Report, regardless of host scheduling. The argument is the same
 // Kahn-network one the machine's determinism rests on: all sends from one
 // processor are program-ordered, so draws on a (src, dst) pair stream are
-// program-ordered too; and recovery runs only at confirmed global stalls,
-// which are unique quiescent states, in canonical (sorted) stream order.
+// program-ordered too; recovery runs only at confirmed global stalls,
+// which are unique quiescent states, in canonical (sorted) stream order;
+// and cross-stream report fields (FirstDrop) are computed at report time
+// from virtual-time keys, never from wall-clock arrival order at the
+// wrapper's lock.
 //
 // Faults apply only to messages crossing a node boundary — chaos happens on
 // the wire. On a non-federating base (chaos:shared) every rank is its own
@@ -119,6 +122,12 @@ type chaosStream struct {
 	recv int
 	dups []int
 	hold []heldMsg
+
+	// lost/lossAt record the stream's first-ever loss and the virtual
+	// arrival the lost message would have had; FirstDrop is computed from
+	// these at report time (see firstDropLocked).
+	lost   bool
+	lossAt float64
 }
 
 // heldMsg is one untransmitted message: either lost (attempts >= 1 counts
@@ -216,7 +225,7 @@ func (t *ChaosTransport) Scenario() chaos.Scenario {
 func (t *ChaosTransport) Report() chaos.Report {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.rep.Clone()
+	return t.reportLocked().Clone()
 }
 
 // TotalReport returns the report accumulated over every run since the last
@@ -225,7 +234,7 @@ func (t *ChaosTransport) Report() chaos.Report {
 func (t *ChaosTransport) TotalReport() chaos.Report {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.cum.Add(t.rep)
+	return t.cum.Add(t.reportLocked())
 }
 
 // DownReason attributes an abort to the exhausted retry budget that caused
@@ -279,7 +288,7 @@ func (t *ChaosTransport) Abort() { t.base.Abort() }
 func (t *ChaosTransport) Reset() {
 	if t.active.Load() {
 		t.mu.Lock()
-		t.cum = t.cum.Add(t.rep)
+		t.cum = t.cum.Add(t.reportLocked())
 		t.resetRunStateLocked()
 		t.mu.Unlock()
 	}
@@ -398,12 +407,12 @@ func (t *ChaosTransport) transmitLocked(sid streamID, st *chaosStream, data []fl
 	sn, dn := t.nodeOf(sid.src), t.nodeOf(sid.dst)
 	if floor, out := t.outageFloor(sn, dn, arrival); out {
 		t.rep.OutageHolds++
-		t.noteLossLocked(sid)
+		t.noteLossLocked(st, arrival)
 		return floor, false
 	}
 	if pr.drop > 0 && pr.next() < pr.drop {
 		t.rep.Drops++
-		t.noteLossLocked(sid)
+		t.noteLossLocked(st, arrival)
 		return 0, false
 	}
 	if pr.delay > 0 && pr.next() < pr.delay {
@@ -424,11 +433,62 @@ func (t *ChaosTransport) transmitLocked(sid streamID, st *chaosStream, data []fl
 	return 0, true
 }
 
-// noteLossLocked records the first lost message for the failure report.
-func (t *ChaosTransport) noteLossLocked(sid streamID) {
-	if t.rep.FirstDrop == nil {
-		t.rep.FirstDrop = &chaos.StreamRef{Src: sid.src, Dst: sid.dst, Tag: uint64(sid.tag)}
+// noteLossLocked records a stream's first-ever loss. Which rank's send
+// reaches the chaos layer first is a host-scheduling accident, so the
+// report's FirstDrop cannot be "first to acquire t.mu": each stream
+// remembers its own first loss (per-stream order IS deterministic — sends
+// on a stream are the sender's program order), and firstDropLocked picks
+// the canonical minimum at report time.
+func (t *ChaosTransport) noteLossLocked(st *chaosStream, arrival float64) {
+	if !st.lost {
+		st.lost = true
+		st.lossAt = arrival
 	}
+}
+
+// streamBefore is the canonical (src, dst, tag) stream order used for
+// recovery passes and FirstDrop tie-breaks.
+func streamBefore(a, b streamID) bool {
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	if a.dst != b.dst {
+		return a.dst < b.dst
+	}
+	return a.tag < b.tag
+}
+
+// firstDropLocked computes the run's canonical first loss: the lost
+// message with the earliest fault-free virtual arrival, ties broken by
+// stream order. Both keys are deterministic functions of the program and
+// seed, so the result is reproducible regardless of which rank's loss was
+// recorded first in wall-clock time. Caller holds t.mu.
+func (t *ChaosTransport) firstDropLocked() *chaos.StreamRef {
+	var (
+		best   streamID
+		bestAt float64
+		found  bool
+	)
+	for sid, st := range t.streams {
+		if !st.lost {
+			continue
+		}
+		if !found || st.lossAt < bestAt || (st.lossAt == bestAt && streamBefore(sid, best)) {
+			best, bestAt, found = sid, st.lossAt, true
+		}
+	}
+	if !found {
+		return nil
+	}
+	return &chaos.StreamRef{Src: best.src, Dst: best.dst, Tag: uint64(best.tag)}
+}
+
+// reportLocked returns the current run's report with FirstDrop
+// materialized from the per-stream loss ledgers. Caller holds t.mu.
+func (t *ChaosTransport) reportLocked() chaos.Report {
+	rep := t.rep
+	rep.FirstDrop = t.firstDropLocked()
+	return rep
 }
 
 // Send injects faults into one message, or queues it behind an earlier loss
@@ -545,7 +605,7 @@ func (t *ChaosTransport) CheckStalled() bool {
 // retry budget. Caller holds t.mu.
 func (t *ChaosTransport) failureErrorLocked(f chaos.StreamRef) error {
 	first := ""
-	if fd := t.rep.FirstDrop; fd != nil && *fd != (chaos.StreamRef{Src: f.Src, Dst: f.Dst, Tag: f.Tag}) {
+	if fd := t.firstDropLocked(); fd != nil && *fd != (chaos.StreamRef{Src: f.Src, Dst: f.Dst, Tag: f.Tag}) {
 		first = fmt.Sprintf("; first loss was on %v", *fd)
 	}
 	return fmt.Errorf("machine: message on %v lost %d times under scenario %q (seed %d), budget of %d retries exhausted%s: %w",
@@ -578,16 +638,7 @@ func (t *ChaosTransport) recoverLocked() (woke bool, fail *chaos.StreamRef) {
 			ids = append(ids, sid)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		a, b := ids[i], ids[j]
-		if a.src != b.src {
-			return a.src < b.src
-		}
-		if a.dst != b.dst {
-			return a.dst < b.dst
-		}
-		return a.tag < b.tag
-	})
+	sort.Slice(ids, func(i, j int) bool { return streamBefore(ids[i], ids[j]) })
 	for _, sid := range ids {
 		st := t.streams[sid]
 		for len(st.hold) > 0 {

@@ -204,6 +204,48 @@ func TestChaosAbortPropagationWakesEveryBlockedReceiver(t *testing.T) {
 	}
 }
 
+func TestChaosFirstDropDeterministicAcrossConcurrentStreams(t *testing.T) {
+	// Ranks 0 and 2 both lose a message, racing in wall-clock time to
+	// record the loss: which send reaches the chaos layer's lock first is a
+	// host-scheduling accident. FirstDrop must instead be the canonical
+	// earliest loss in virtual time — rank 2's send at clock zero beats
+	// rank 0's post-compute send despite (0, 1) sorting before (2, 3) —
+	// identically on every engine, on every run.
+	want := chaos.StreamRef{Src: 2, Dst: 3, Tag: 2}
+	for _, engine := range []string{"goroutine", "calendar"} {
+		for i := 0; i < 10; i++ {
+			sc := chaos.Scenario{Name: "loss-race", Seed: 7, Drop: 1, MaxRetries: 1}
+			m, ct := chaosMachine(t, "shared", 4, 1, sc)
+			e, err := NewExecutorByName(engine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.SetExecutor(e)
+			err = m.Run(func(p *Proc) error {
+				switch p.Rank() {
+				case 0:
+					p.Compute(1e6)
+					p.SendValue(1, Tag(2), 1)
+				case 1:
+					p.Recv(0, Tag(2))
+				case 2:
+					p.SendValue(3, Tag(2), 2)
+				case 3:
+					p.Recv(2, Tag(2))
+				}
+				return nil
+			})
+			if !errors.Is(err, ErrFaultAbort) {
+				t.Fatalf("%s run %d: err = %v, want ErrFaultAbort", engine, i, err)
+			}
+			rep := ct.Report()
+			if rep.FirstDrop == nil || *rep.FirstDrop != want {
+				t.Fatalf("%s run %d: FirstDrop = %+v, want %+v", engine, i, rep.FirstDrop, want)
+			}
+		}
+	}
+}
+
 func TestChaosSeedReproducibleAcrossPooledRuns(t *testing.T) {
 	// Machine.Run resets the transport at the start of every run; on a chaos
 	// transport that rewinds the PRNG streams to the seed-defined start, so a

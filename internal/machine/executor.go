@@ -262,7 +262,7 @@ func (e *calendarExecutor) Execute(m *Machine, body func(p *Proc) error, errs []
 
 	// Publish the parker before any rank goroutine exists, so transports
 	// route every blocking wait of this run through the calendar.
-	m.parker = e
+	m.setParker(e)
 
 	e.wg.Add(n)
 	for r := 0; r < n; r++ {

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrDeadlock is reported by Run when every live processor is blocked in
@@ -45,10 +46,13 @@ type Machine struct {
 	live    int        // processors still executing the current Run body
 
 	// exec is the engine driving Run (goroutine-per-proc by default);
-	// parker is non-nil while a parking engine's run is in flight, and
-	// errs is the pooled per-rank error slice reused across runs.
+	// parker holds the active engine's Parker while a parking engine's
+	// run is in flight (nil otherwise) — atomic because transports read
+	// it from Send/Abort/CheckStalled paths that may run on external
+	// goroutines while Run publishes or clears it — and errs is the
+	// pooled per-rank error slice reused across runs.
 	exec   Executor
-	parker Parker
+	parker atomic.Pointer[Parker]
 	errs   []error
 
 	// coord adapts the machine to the transport's Coordinator interface
@@ -69,7 +73,7 @@ func (c *coordinator) Blocked() {
 	m := c.m
 	m.dmu.Lock()
 	m.blocked++
-	suspicious := m.parker == nil && m.blocked >= m.live
+	suspicious := m.parker.Load() == nil && m.blocked >= m.live
 	m.dmu.Unlock()
 	if suspicious {
 		m.tr.CheckStalled()
@@ -78,7 +82,12 @@ func (c *coordinator) Blocked() {
 
 // Parker exposes the active run's parking engine to the transports (nil
 // when the reference engine is driving); see the Parker interface.
-func (c *coordinator) Parker() Parker { return c.m.parker }
+func (c *coordinator) Parker() Parker {
+	if p := c.m.parker.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 // Unblocked counts a parked processor's resume.
 func (c *coordinator) Unblocked() {
@@ -166,6 +175,18 @@ func (m *Machine) SetExecutor(e Executor) {
 // ExecutorName returns the registry name of the engine driving Run.
 func (m *Machine) ExecutorName() string { return m.exec.Name() }
 
+// setParker publishes the active run's parking engine to the transports
+// (nil clears it). Atomic so coordinator.Parker sees a consistent value
+// from any goroutine, including transport callbacks running outside the
+// rank goroutines.
+func (m *Machine) setParker(p Parker) {
+	if p == nil {
+		m.parker.Store(nil)
+		return
+	}
+	m.parker.Store(&p)
+}
+
 // Run executes body once per processor under the machine's executor — one
 // goroutine per processor on the default engine, a virtual-time-ordered
 // worker pool on the calendar engine (see SetExecutor) — and waits for all
@@ -193,11 +214,12 @@ func (m *Machine) Run(body func(p *Proc) error) error {
 			m.errs[i] = nil
 		}
 	}
-	// The engine publishes a Parker before spawning rank goroutines if it
-	// parks continuations; the reference engine leaves it nil.
-	m.parker = nil
+	// The engine publishes a Parker (via setParker) before spawning rank
+	// goroutines if it parks continuations; the reference engine leaves
+	// it nil.
+	m.setParker(nil)
 	m.exec.Execute(m, body, m.errs)
-	m.parker = nil
+	m.setParker(nil)
 	for _, err := range m.errs {
 		if err != nil {
 			return err
@@ -243,7 +265,7 @@ func (m *Machine) ProcClock(rank int) float64 { return m.procs[rank].clock }
 func (m *Machine) retire() {
 	m.dmu.Lock()
 	m.live--
-	suspicious := m.parker == nil && m.live > 0 && m.blocked >= m.live
+	suspicious := m.parker.Load() == nil && m.live > 0 && m.blocked >= m.live
 	m.dmu.Unlock()
 	if suspicious {
 		m.tr.CheckStalled()
