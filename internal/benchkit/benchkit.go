@@ -223,6 +223,7 @@ func Snapshot() []Bench {
 		{"MachinePingPong", MachinePingPong},
 		{"MachinePingPongFederated", MachinePingPongFederated},
 		{"MachinePingPongFederatedPriced", MachinePingPongFederatedPriced},
+		{"MachinePingPongIPC", MachinePingPongIPC},
 		{"Jacobi64Proc", Jacobi64Proc},
 		{"Jacobi256Proc", Jacobi256Proc},
 		{"Jacobi1024ProcPriced", Jacobi1024ProcPriced},
@@ -261,6 +262,53 @@ func MachinePingPongFederated(b *testing.B) {
 	b.ReportAllocs()
 	m := core.MustSystem(core.Grid(2), core.Transport("federated"), core.Nodes(2),
 		core.Cost(machine.ZeroComm())).Machine
+	b.ResetTimer()
+	err := m.Run(func(p *machine.Proc) error {
+		other := 1 - p.Rank()
+		for i := 0; i < b.N; i++ {
+			if p.Rank() == 0 {
+				p.SendValue(other, 1, 1)
+				p.RecvValue(other, 2)
+			} else {
+				p.RecvValue(other, 1)
+				p.SendValue(other, 2, 1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// MachinePingPongIPC measures one simulated message round trip where the
+// delivery crosses two OS processes: each message is framed, written to a
+// node worker's Unix socket, reflected back and decoded into a pooled
+// buffer. The gap to MachinePingPongFederated is the real price of the
+// process boundary (syscalls plus the wire codec; the codec itself is
+// allocation-free after warmup).
+func MachinePingPongIPC(b *testing.B) {
+	b.ReportAllocs()
+	sys := core.MustSystem(core.Grid(2), core.Transport("ipc"), core.Nodes(2),
+		core.Cost(machine.ZeroComm()))
+	defer sys.Close()
+	m := sys.Machine
+	// Warm up the worker processes and buffer pools off the clock.
+	if err := m.Run(func(p *machine.Proc) error {
+		other := 1 - p.Rank()
+		for i := 0; i < 64; i++ {
+			if p.Rank() == 0 {
+				p.SendValue(other, 1, 1)
+				p.RecvValue(other, 2)
+			} else {
+				p.RecvValue(other, 1)
+				p.SendValue(other, 2, 1)
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	err := m.Run(func(p *machine.Proc) error {
 		other := 1 - p.Rank()

@@ -36,6 +36,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/chaos"
@@ -336,6 +337,18 @@ func (s *System) TransportName() string { return s.transport }
 // ExecutorName returns the registry name of the engine driving the system's
 // runs ("goroutine" unless the Executor option selected another).
 func (s *System) ExecutorName() string { return s.executor }
+
+// Close releases any external resources the system's transport holds —
+// for the cross-process "ipc" transport that means shutting down its
+// worker processes and removing the socket directory. Transports without
+// external state (shared, federated) make this a no-op, so callers can
+// defer a Close on every system unconditionally. Idempotent.
+func (s *System) Close() error {
+	if c, ok := s.Machine.Transport().(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
 
 // nodeCounter is the capability a transport exposes when it partitions
 // processors into nodes; FederatedTransport (and any future multi-node

@@ -89,7 +89,7 @@ func TestOptionErrors(t *testing.T) {
 		{"no grid", nil, "no processor grid"},
 		{"empty grid", []Option{Grid()}, "at least one extent"},
 		{"bad extent", []Option{Grid(4, 0)}, "positive"},
-		{"unknown transport", []Option{Grid(4), Transport("ipc")}, "ipc"},
+		{"unknown transport", []Option{Grid(4), Transport("carrier-pigeon")}, "carrier-pigeon"},
 		{"empty transport", []Option{Grid(4), Transport("")}, "non-empty"},
 		{"nodes on shared", []Option{Grid(4), Nodes(2)}, "does not federate"},
 		{"nodes zero", []Option{Grid(4), Nodes(0)}, "at least 1"},

@@ -53,8 +53,12 @@ func S3Hierarchical1024() Result {
 	tbl.AddRow("jacobi 32x32", "shared", shared.Elapsed, 1.0, 0.0, true)
 	metrics["s3_jacobi_time_shared"] = shared.Elapsed
 	allIdentical, surchargeExact := 1.0, 1.0
+	var fed16 core.Run
 	for _, nodes := range nodeSweep {
 		fed := runProg(fedSys(nodes), jp)
+		if nodes == 16 {
+			fed16 = fed
+		}
 		cmp := core.CompareRuns(shared, fed)
 		if !cmp.Identical {
 			allIdentical = 0
@@ -74,6 +78,37 @@ func S3Hierarchical1024() Result {
 	}
 	metrics["s3_jacobi_identical"] = allIdentical
 	metrics["s3_jacobi_surcharge_exact"] = surchargeExact
+
+	// Cross-process spot check: the ipc transport under the same
+	// interconnect pricing must reproduce the federated 16-node run
+	// bit-for-bit — values, censuses, per-link traffic AND virtual times
+	// (both charge cost.LinkMessageTime on exactly the same messages).
+	ipcSys := mustSys(core.Grid(p, p),
+		core.Transport("ipc"), core.Nodes(16),
+		core.LinkCosts(linkLat, linkByte))
+	defer ipcSys.Close()
+	ipcRun := runProg(ipcSys, jp)
+	cmpIPC := core.CompareRuns(fed16, ipcRun)
+	linksEqual := fed16.Links != nil && ipcRun.Links != nil &&
+		fed16.Links.Nodes == ipcRun.Links.Nodes
+	if linksEqual {
+		for a := 0; a < fed16.Links.Nodes && linksEqual; a++ {
+			for b := 0; b < fed16.Links.Nodes; b++ {
+				if fed16.Links.Msgs[a][b] != ipcRun.Links.Msgs[a][b] ||
+					fed16.Links.Bytes[a][b] != ipcRun.Links.Bytes[a][b] {
+					linksEqual = false
+					break
+				}
+			}
+		}
+	}
+	metrics["s3_jacobi_ipc_identical"] = boolMetric(
+		cmpIPC.Identical && cmpIPC.TimesIdentical && linksEqual)
+	tbl.AddRow("jacobi 32x32", "ipc 16", ipcRun.Elapsed, ipcRun.Elapsed/shared.Elapsed,
+		perfest.JacobiFederatedSurcharge(cost, n, p, iters, 16),
+		cmpIPC.Identical && cmpIPC.TimesIdentical)
+	tbl.AddNote("cross-process check: ipc at 16 nodes matches federated 16 bit-for-bit (values/census/links/times) = %v",
+		metrics["s3_jacobi_ipc_identical"] == 1)
 
 	// Per-iteration link census on the swept federations (differencing
 	// two run lengths cancels the gather/reduce epilogue), against the

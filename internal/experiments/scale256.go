@@ -14,7 +14,9 @@ import (
 // system and once on a 4-node x 64-processor federation (core.Compare),
 // and must produce bit-identical solutions, virtual times and message
 // statistics — the loosely-coupled model's promise that an algorithm's
-// meaning lives in its messages, not in the machinery delivering them. The
+// meaning lives in its messages, not in the machinery delivering them. A
+// third run on the cross-process "ipc" transport (worker processes over
+// Unix sockets) must match the same baseline bit-for-bit. The
 // federation's link censuses are then validated exactly against perfest's
 // combinatorial prediction of the node-interconnect traffic.
 func S2Transport256() Result {
@@ -24,6 +26,8 @@ func S2Transport256() Result {
 
 	shared := mustSys(core.Grid(p, p))
 	fed := mustSys(core.Grid(p, p), core.Transport("federated"), core.Nodes(nodes))
+	ipc := mustSys(core.Grid(p, p), core.Transport("ipc"), core.Nodes(nodes))
+	defer ipc.Close()
 	sameRun := func(cmp core.Comparison) float64 {
 		return boolMetric(cmp.Identical && cmp.TimesIdentical)
 	}
@@ -39,6 +43,9 @@ func S2Transport256() Result {
 	}
 	tbl.AddRow("jacobi 16x16", "shared", cmpJ.A.Elapsed, cmpJ.A.Stats.MsgsSent, cmpJ.A.Stats.BytesSent)
 	tbl.AddRow("jacobi 16x16", "federated 4x64", cmpJ.B.Elapsed, cmpJ.B.Stats.MsgsSent, cmpJ.B.Stats.BytesSent)
+	cmpJI := core.CompareRuns(cmpJ.A, runProg(ipc, jp))
+	tbl.AddRow("jacobi 16x16", "ipc 4x64", cmpJI.B.Elapsed, cmpJI.B.Stats.MsgsSent, cmpJI.B.Stats.BytesSent)
+	metrics["s2_jacobi_ipc_identical"] = sameRun(cmpJI)
 	metrics["s2_jacobi_identical"] = sameRun(cmpJ)
 	metrics["s2_jacobi_time_p256"] = cmpJ.A.Elapsed
 	metrics["s2_jacobi_msgs_p256"] = float64(cmpJ.A.Stats.MsgsSent)
@@ -51,6 +58,9 @@ func S2Transport256() Result {
 	}
 	tbl.AddRow("madi 16x16", "shared", cmpA.A.Elapsed, cmpA.A.Stats.MsgsSent, cmpA.A.Stats.BytesSent)
 	tbl.AddRow("madi 16x16", "federated 4x64", cmpA.B.Elapsed, cmpA.B.Stats.MsgsSent, cmpA.B.Stats.BytesSent)
+	cmpAI := core.CompareRuns(cmpA.A, runProg(ipc, adiProgram(par, adi.TestProblem(par.N), true)))
+	tbl.AddRow("madi 16x16", "ipc 4x64", cmpAI.B.Elapsed, cmpAI.B.Stats.MsgsSent, cmpAI.B.Stats.BytesSent)
+	metrics["s2_adi_ipc_identical"] = sameRun(cmpAI)
 	metrics["s2_adi_identical"] = sameRun(cmpA)
 	metrics["s2_adi_time_p256"] = cmpA.A.Elapsed
 
@@ -100,8 +110,9 @@ func S2Transport256() Result {
 	}
 	metrics["s2_links_symmetric"] = symmetric
 
-	tbl.AddNote("transport equivalence: jacobi identical=%v, madi identical=%v",
-		metrics["s2_jacobi_identical"] == 1, metrics["s2_adi_identical"] == 1)
+	tbl.AddNote("transport equivalence: jacobi identical=%v (ipc %v), madi identical=%v (ipc %v)",
+		metrics["s2_jacobi_identical"] == 1, metrics["s2_jacobi_ipc_identical"] == 1,
+		metrics["s2_adi_identical"] == 1, metrics["s2_adi_ipc_identical"] == 1)
 	return Result{
 		ID:      "S2",
 		Title:   "256-processor federation and transport equivalence",

@@ -3,6 +3,7 @@ package machine
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -238,11 +239,28 @@ func (t *ChaosTransport) TotalReport() chaos.Report {
 }
 
 // DownReason attributes an abort to the exhausted retry budget that caused
-// it; nil when the transport went down for ordinary reasons.
+// it, falling back to the base transport's own reason (a lost IPC worker,
+// say) when the fault layer did not cause the abort itself.
 func (t *ChaosTransport) DownReason() error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.failure
+	failure := t.failure
+	t.mu.Unlock()
+	if failure != nil {
+		return failure
+	}
+	if dr, ok := t.base.(DownReasoner); ok {
+		return dr.DownReason()
+	}
+	return nil
+}
+
+// Close releases the base transport's external resources (the IPC
+// transport's worker processes); bases without a Close need none.
+func (t *ChaosTransport) Close() error {
+	if c, ok := t.base.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // resetRunStateLocked rewinds all fault-stream state — PRNG positions,

@@ -1,0 +1,898 @@
+package machine
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ErrWorkerLost is wrapped into the abort reason when an IPC worker process
+// dies (crash, kill, unexpected close) while the transport is live; the
+// wrapping error names the node, and Machine.Run surfaces it through the
+// failing processor's error.
+var ErrWorkerLost = errors.New("machine: ipc worker process lost")
+
+// stallRechecker is the optional coordinator extension the IPC transport
+// uses to re-run the machine's stall decision from its own delivery
+// goroutines: when the last in-flight frame drains, whichever transport
+// stack the machine actually runs (the chaos wrapper when present, so
+// retransmission fires too) must get another CheckStalled look, because the
+// rank whose Blocked() triggered the previous look could not see frames
+// that were still crossing the socket.
+type stallRechecker interface {
+	RecheckStall()
+}
+
+// bufPool is the optional coordinator extension giving transports access to
+// the machine-wide message buffer pool, so a transport that unpacks
+// payloads off a wire (rather than handing over the sender's own buffer)
+// can keep its steady state allocation-free: every serialized send releases
+// its buffer here and every decoded delivery reacquires one.
+type bufPool interface {
+	acquirePooled(n int) []float64
+	releasePooled(buf []float64)
+}
+
+// IPCTransport is the cross-process transport: the paper's loosely coupled
+// machine with the looseness made real. The coordinator process (the one
+// running Machine.Run) keeps every rank's mailbox and goroutine local —
+// rank bodies are Go closures and cannot cross a process boundary — and
+// forks one worker process per node (a hidden re-exec of the current
+// binary, see ipc_worker.go), each acting as that node's network daemon.
+// Every inter-node message is serialized into a wire.Frame, crosses a Unix
+// domain socket (TCP loopback where UDS is unavailable) to the destination
+// node's worker, and is reflected back as a Deliver frame before it can
+// enter the destination mailbox — so inter-node traffic pays two real
+// socket crossings and a full encode/decode round trip, while intra-node
+// traffic stays in process memory. Frames on one socket are FIFO, which
+// preserves the per-(src, tag) stream ordering the Transport contract
+// demands; per-stream determinism then makes values, censuses and virtual
+// times bit-identical to the shared and federated transports under a flat
+// cost model (MessageTime prices node pairs exactly as FederatedTransport
+// does, so a hierarchical CostModel.InterNode diverges identically too).
+//
+// Stall detection cannot take a global-lock snapshot across processes, so
+// CheckStalled runs a coordinator-driven two-phase probe; see stalledCheck.
+// Workers spawn lazily on the first inter-node send: a transport that never
+// crosses nodes (or is used standalone via Bind(nil)) costs no processes.
+type IPCTransport struct {
+	n       int
+	nnodes  int
+	perNode int
+	boxes   []mailbox
+	links   []link // directed node pairs, row-major [src*nnodes+dst]
+	coord   Coordinator
+	pool    bufPool
+	recheck stallRechecker
+	down    atomic.Bool
+	bar     hostBarrier
+
+	startMu   sync.Mutex // serializes start; guards startDone/startErr/cmds
+	startDone bool
+	startErr  error
+	started   atomic.Bool // true once workers are up; read on hot paths
+	dir       string
+	conns     []*ipcConn
+	cmds      []*exec.Cmd
+
+	// pmu guards the ack/fence/liveness fields of every ipcConn and pairs
+	// with pcond for the probe and reset fence waits.
+	pmu   sync.Mutex
+	pcond *sync.Cond
+
+	// probeMu serializes two-phase stall probes (and excludes them from
+	// reset fences); probeEpoch and resetGen advance under it and under
+	// the single-threaded Reset respectively.
+	probeMu    sync.Mutex
+	probeEpoch uint64
+	resetGen   uint64
+	snap1      []uint64 // probe snapshot scratch
+	snap2      []uint64
+
+	watch  chan struct{} // reader -> watcher: in-flight count hit zero
+	stopc  chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup // readers + watcher
+	procWg sync.WaitGroup // worker process reapers
+
+	reasonMu sync.Mutex
+	reason   error
+}
+
+// ipcConn is the coordinator's endpoint of one worker's socket.
+type ipcConn struct {
+	node int
+	c    net.Conn
+
+	// wmu serializes frame writes; sent is the per-socket Data sequence
+	// (incremented under wmu, read atomically by the in-flight check) and
+	// delivered counts Deliver frames already inserted into mailboxes
+	// (incremented by the reader). sent-delivered is the socket's
+	// in-flight frame count: Data and Deliver frames map one to one.
+	wmu       sync.Mutex
+	wscratch  []byte
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+
+	// Guarded by the transport's pmu.
+	ackEpoch uint64 // latest probe epoch acknowledged
+	ackRecv  uint64 // worker's received-frame counter at that epoch
+	ackFwd   uint64 // worker's forwarded-frame counter at that epoch
+	resetAck uint64 // latest reset generation acknowledged
+	dead     bool   // socket lost; skip fences, fail probes
+}
+
+// NewIPCTransport returns a cross-process transport with n endpoints
+// partitioned into nnodes equal nodes (nnodes must divide n). Worker
+// processes spawn on the first inter-node send; Close tears them down.
+func NewIPCTransport(n, nnodes int) *IPCTransport {
+	if n <= 0 {
+		panic(fmt.Sprintf("machine: transport endpoint count must be positive, got %d", n))
+	}
+	if nnodes <= 0 || n%nnodes != 0 {
+		panic(fmt.Sprintf("machine: ipc transport of %d processors needs a positive node count dividing it, got %d", n, nnodes))
+	}
+	t := &IPCTransport{
+		n:       n,
+		nnodes:  nnodes,
+		perNode: n / nnodes,
+		boxes:   make([]mailbox, n),
+		links:   make([]link, nnodes*nnodes),
+		watch:   make(chan struct{}, 1),
+		stopc:   make(chan struct{}),
+	}
+	for i := range t.boxes {
+		mb := &t.boxes[i]
+		mb.cond = sync.NewCond(&mb.mu)
+		mb.queues = make(map[msgKey][]message)
+	}
+	t.pcond = sync.NewCond(&t.pmu)
+	t.bar.init(n)
+	t.bar.onRelease = t.announceBarrier
+	return t
+}
+
+// Size returns the number of endpoints.
+func (t *IPCTransport) Size() int { return t.n }
+
+// Nodes returns the number of nodes (worker processes once started).
+func (t *IPCTransport) Nodes() int { return t.nnodes }
+
+// ProcsPerNode returns the number of processors on each node.
+func (t *IPCTransport) ProcsPerNode() int { return t.perNode }
+
+// NodeOf returns the node owning the given rank.
+func (t *IPCTransport) NodeOf(rank int) int { return rank / t.perNode }
+
+// Bind installs the machine's coordinator (nil for standalone use) and
+// picks up its optional pool and stall-recheck capabilities.
+func (t *IPCTransport) Bind(c Coordinator) {
+	t.coord = c
+	t.pool, _ = c.(bufPool)
+	t.recheck, _ = c.(stallRechecker)
+}
+
+// Down reports whether the transport has been aborted since the last Reset.
+func (t *IPCTransport) Down() bool { return t.down.Load() }
+
+// DownReason returns the structured cause of the current down state (a
+// wrapped ErrWorkerLost when a worker process died), or nil.
+func (t *IPCTransport) DownReason() error {
+	t.reasonMu.Lock()
+	defer t.reasonMu.Unlock()
+	return t.reason
+}
+
+// WorkerPIDs returns the process IDs of the spawned workers, in node order;
+// empty before the first inter-node send. It exists for observability and
+// for the crash-hardening tests, which kill a worker and assert the
+// structured failure.
+func (t *IPCTransport) WorkerPIDs() []int {
+	t.startMu.Lock()
+	defer t.startMu.Unlock()
+	pids := make([]int, 0, len(t.cmds))
+	for _, cmd := range t.cmds {
+		pids = append(pids, cmd.Process.Pid)
+	}
+	return pids
+}
+
+// LinkTraffic returns the message and byte counts carried by the directed
+// socket link from node src to node dst since the last Reset.
+func (t *IPCTransport) LinkTraffic(src, dst int) (msgs, bytes int64) {
+	l := &t.links[src*t.nnodes+dst]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.msgs, l.bytes
+}
+
+// InterNodeTraffic returns the total message and byte counts that crossed
+// node boundaries since the last Reset.
+func (t *IPCTransport) InterNodeTraffic() (msgs, bytes int64) {
+	for i := range t.links {
+		l := &t.links[i]
+		l.mu.Lock()
+		msgs += l.msgs
+		bytes += l.bytes
+		l.mu.Unlock()
+	}
+	return msgs, bytes
+}
+
+// MessageTime prices a message by the node pair it crosses, identically to
+// FederatedTransport: flat cost intra-node, the cost model's per-link price
+// inter-node. Identical pricing is what keeps virtual times bit-identical
+// across federated and ipc for the same program and cost model.
+func (t *IPCTransport) MessageTime(cost CostModel, src, dst, b int) float64 {
+	return cost.LinkMessageTime(src/t.perNode, dst/t.perNode, b)
+}
+
+// acquire supplies payload buffers for decoded Deliver frames from the
+// machine pool when bound, satisfying wire.ReadFrame's hook signature.
+func (t *IPCTransport) acquire(n int) []float64 {
+	if t.pool != nil {
+		return t.pool.acquirePooled(n)
+	}
+	return make([]float64, n)
+}
+
+// deliverLocal places a message in dst's mailbox and wakes dst if it is
+// waiting for exactly this stream — the same delivery step as
+// SharedTransport.Send, shared by the intra-node fast path and the reader
+// goroutines completing an inter-node crossing.
+func (t *IPCTransport) deliverLocal(src, dst int, tag Tag, data []float64, arrival float64) {
+	mb := &t.boxes[dst]
+	k := msgKey{src: src, tag: tag}
+	mb.mu.Lock()
+	mb.putLocked(k, message{data: data, arrival: arrival})
+	if mb.waiting && mb.await == k {
+		if pk := parkerOf(t.coord); pk != nil {
+			pk.Wake(dst)
+		} else {
+			mb.cond.Signal()
+		}
+	}
+	mb.mu.Unlock()
+}
+
+// Send routes a message: intra-node traffic goes straight to the mailbox;
+// inter-node traffic is serialized into a Data frame and written to the
+// destination node's worker socket (spawning the workers on first use).
+// The write and the sequence number are issued under the connection's write
+// lock, so the per-socket FIFO carries each (src, tag) stream in program
+// order; the sender's payload buffer is recycled through the machine pool
+// once encoded, balancing the buffers the readers acquire for deliveries.
+func (t *IPCTransport) Send(src, dst int, tag Tag, data []float64, arrival float64) {
+	sn, dn := src/t.perNode, dst/t.perNode
+	if sn == dn {
+		t.deliverLocal(src, dst, tag, data, arrival)
+		return
+	}
+	if err := t.ensureStarted(); err != nil {
+		panic(fmt.Sprintf("machine: ipc transport failed to start workers: %v", err))
+	}
+	l := &t.links[sn*t.nnodes+dn]
+	l.mu.Lock()
+	l.msgs++
+	l.bytes += int64(len(data) * wordBytes)
+	l.mu.Unlock()
+
+	cn := t.conns[dn]
+	cn.wmu.Lock()
+	f := wire.Frame{
+		Kind:    wire.KindData,
+		Src:     int32(src),
+		Dst:     int32(dst),
+		Tag:     uint64(tag),
+		Seq:     cn.sent.Add(1),
+		Arrival: arrival,
+		Payload: data,
+	}
+	err := wire.WriteFrame(cn.c, &cn.wscratch, &f)
+	cn.wmu.Unlock()
+	if err != nil {
+		if !t.closed.Load() {
+			t.workerFailed(cn, fmt.Errorf("send to node %d: %w", dn, err))
+		}
+		return
+	}
+	if t.pool != nil && data != nil {
+		t.pool.releasePooled(data)
+	}
+}
+
+// Recv blocks the calling endpoint until a message matching (src, tag) is
+// available in dst's mailbox; identical protocol to SharedTransport.Recv
+// (reader goroutines feed the same mailboxes the intra-node path uses).
+func (t *IPCTransport) Recv(dst, src int, tag Tag) ([]float64, float64, bool) {
+	mb := &t.boxes[dst]
+	k := msgKey{src: src, tag: tag}
+	mb.mu.Lock()
+	if msg, ok := mb.takeLocked(k); ok {
+		mb.mu.Unlock()
+		return msg.data, msg.arrival, true
+	}
+	if t.down.Load() {
+		mb.mu.Unlock()
+		return nil, 0, false
+	}
+	mb.await = k
+	mb.waiting = true
+	mb.mu.Unlock()
+
+	if t.coord != nil {
+		t.coord.Blocked()
+	}
+
+	pk := parkerOf(t.coord)
+	mb.mu.Lock()
+	for {
+		if msg, ok := mb.takeLocked(k); ok {
+			mb.waiting = false
+			mb.mu.Unlock()
+			if t.coord != nil {
+				t.coord.Unblocked()
+			}
+			return msg.data, msg.arrival, true
+		}
+		if t.down.Load() {
+			mb.waiting = false
+			mb.mu.Unlock()
+			if t.coord != nil {
+				t.coord.Unblocked()
+			}
+			return nil, 0, false
+		}
+		if pk != nil {
+			mb.mu.Unlock()
+			pk.Park(dst)
+			mb.mu.Lock()
+		} else {
+			mb.cond.Wait()
+		}
+	}
+}
+
+// Barrier parks the calling endpoint until all endpoints arrive; each
+// release is announced to the workers as a Barrier frame (epoch alignment
+// for the node daemons, best effort).
+func (t *IPCTransport) Barrier(rank int) bool {
+	if rank < 0 || rank >= t.n {
+		panic(fmt.Sprintf("machine: barrier from invalid rank %d", rank))
+	}
+	return t.bar.await(rank, &t.down, parkerOf(t.coord))
+}
+
+// announceBarrier broadcasts a released barrier generation to the workers.
+// Called under the barrier lock, so it must never take pmu or declare a
+// failure (an I/O error here will resurface on the next Send or probe).
+func (t *IPCTransport) announceBarrier(gen uint64) {
+	if !t.started.Load() {
+		return
+	}
+	f := wire.Frame{Kind: wire.KindBarrier, Seq: gen}
+	for _, cn := range t.conns {
+		cn.wmu.Lock()
+		_ = wire.WriteFrame(cn.c, &cn.wscratch, &f)
+		cn.wmu.Unlock()
+	}
+}
+
+// Reset clears all transport state between runs. With workers live it first
+// runs a reset fence: every worker receives a Reset frame, zeroes its frame
+// counters and acknowledges; socket FIFO guarantees any straggler Deliver
+// frames from the previous run land in the mailboxes before the ack, so
+// clearing the mailboxes after the fence leaves no stale message anywhere
+// in the pipeline and the counters on both sides restart aligned.
+func (t *IPCTransport) Reset() {
+	if t.started.Load() {
+		t.probeMu.Lock() // exclude stall probes while counters rewind
+		t.resetGen++
+		gen := t.resetGen
+		f := wire.Frame{Kind: wire.KindReset, Seq: gen}
+		for _, cn := range t.conns {
+			t.pmu.Lock()
+			dead := cn.dead
+			t.pmu.Unlock()
+			if dead {
+				continue
+			}
+			cn.wmu.Lock()
+			err := wire.WriteFrame(cn.c, &cn.wscratch, &f)
+			cn.wmu.Unlock()
+			if err != nil && !t.closed.Load() {
+				t.workerFailed(cn, fmt.Errorf("reset fence to node %d: %w", cn.node, err))
+			}
+		}
+		t.pmu.Lock()
+		for _, cn := range t.conns {
+			for cn.resetAck < gen && !cn.dead && !t.closed.Load() {
+				t.pcond.Wait()
+			}
+		}
+		for _, cn := range t.conns {
+			cn.sent.Store(0)
+			cn.delivered.Store(0)
+			cn.ackEpoch, cn.ackRecv, cn.ackFwd = 0, 0, 0
+		}
+		t.pmu.Unlock()
+		t.probeMu.Unlock()
+	}
+	for i := range t.boxes {
+		mb := &t.boxes[i]
+		mb.mu.Lock()
+		mb.reset()
+		mb.mu.Unlock()
+	}
+	for i := range t.links {
+		l := &t.links[i]
+		l.mu.Lock()
+		l.msgs = 0
+		l.bytes = 0
+		l.mu.Unlock()
+	}
+	t.bar.reset()
+	t.down.Store(false)
+	t.reasonMu.Lock()
+	t.reason = nil
+	t.reasonMu.Unlock()
+}
+
+// Abort marks the transport down and wakes every blocked receiver, barrier
+// waiter, probe waiter and parked rank; workers are notified best-effort.
+func (t *IPCTransport) Abort() {
+	t.down.Store(true)
+	for i := range t.boxes {
+		mb := &t.boxes[i]
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+	t.bar.wake()
+	if pk := parkerOf(t.coord); pk != nil {
+		pk.WakeAll()
+	}
+	if t.started.Load() {
+		f := wire.Frame{Kind: wire.KindAbort}
+		for _, cn := range t.conns {
+			cn.wmu.Lock()
+			cn.c.SetWriteDeadline(time.Now().Add(time.Second))
+			_ = wire.WriteFrame(cn.c, &cn.wscratch, &f)
+			cn.c.SetWriteDeadline(time.Time{})
+			cn.wmu.Unlock()
+		}
+	}
+	t.pmu.Lock()
+	t.pcond.Broadcast()
+	t.pmu.Unlock()
+}
+
+// inFlight returns the number of frames somewhere between a Send's socket
+// write and a reader's mailbox insert, across all workers. Nonzero means
+// the machine cannot be stalled yet: a delivery is coming, and the reader
+// that completes it re-triggers the stall check through the watcher.
+func (t *IPCTransport) inFlight() uint64 {
+	var inflight uint64
+	for _, cn := range t.conns {
+		inflight += cn.sent.Load() - cn.delivered.Load()
+	}
+	return inflight
+}
+
+// CheckStalled decides whether the machine has deadlocked; see stalledCheck
+// for the distributed protocol.
+func (t *IPCTransport) CheckStalled() bool { return t.stalledCheck(true) }
+
+// probeStalled evaluates the stall condition without declaring it — the
+// chaos layer's non-destructive confirmation hook.
+func (t *IPCTransport) probeStalled() bool { return t.stalledCheck(false) }
+
+// stalledCheck is the distributed stall decision. Before workers exist the
+// transport is a plain shared mailbox array and the local global-lock
+// snapshot is exact. With workers live, a local snapshot can miss frames
+// crossing the sockets, so a stall is declared only at a consistent
+// quiescent cut, established coordinator-driven in two phases:
+//
+//  1. Probe every worker (probeSnapshot) and require quiescence — each
+//     socket's written-frame count equals the worker's received count and
+//     the worker's forwarded count equals the coordinator's delivered
+//     count, i.e. zero frames in flight in either direction.
+//  2. Evaluate the local stall condition (all mailbox locks held, live
+//     count confirmed by the machine, no waiter has a matching pending
+//     message), then probe again and require the second snapshot to be
+//     quiescent and identical to the first.
+//
+// Two identical quiescent snapshots bracket the local evaluation: no frame
+// moved on any socket in the interval containing it, so the local snapshot
+// was complete — nothing was in flight that could still satisfy a waiter.
+// Any traffic between the snapshots changes a monotonic counter and forces
+// a retry (by returning false; the delivery that changed the counter wakes
+// a rank or re-triggers the check through the watcher). The final local
+// evaluation under declare re-verifies the condition before marking the
+// transport down, exactly like the single-process transports.
+func (t *IPCTransport) stalledCheck(declare bool) bool {
+	if t.coord == nil || t.down.Load() {
+		return false
+	}
+	if !t.started.Load() {
+		return t.localStall(declare)
+	}
+	if t.inFlight() != 0 {
+		return false
+	}
+	t.probeMu.Lock()
+	defer t.probeMu.Unlock()
+	var ok bool
+	t.snap1, ok = t.probeSnapshot(t.snap1[:0])
+	if !ok {
+		return false
+	}
+	if !t.localStall(false) {
+		return false
+	}
+	t.snap2, ok = t.probeSnapshot(t.snap2[:0])
+	if !ok || len(t.snap1) != len(t.snap2) {
+		return false
+	}
+	for i := range t.snap1 {
+		if t.snap1[i] != t.snap2[i] {
+			return false
+		}
+	}
+	return t.localStall(declare)
+}
+
+// probeSnapshot runs one probe round: a Probe frame to every worker, a wait
+// for every acknowledgement, then a counter cut appended to dst — per
+// worker, the socket's sent/delivered counters and the worker's
+// received/forwarded counters. ok is false when the cut is not quiescent
+// (some frame was in flight at ack time) or when a worker is unreachable,
+// the transport went down, or it was closed. Callers hold probeMu.
+func (t *IPCTransport) probeSnapshot(dst []uint64) ([]uint64, bool) {
+	t.probeEpoch++
+	epoch := t.probeEpoch
+	f := wire.Frame{Kind: wire.KindProbe, Seq: epoch}
+	for _, cn := range t.conns {
+		t.pmu.Lock()
+		dead := cn.dead
+		t.pmu.Unlock()
+		if dead {
+			return dst, false
+		}
+		cn.wmu.Lock()
+		err := wire.WriteFrame(cn.c, &cn.wscratch, &f)
+		cn.wmu.Unlock()
+		if err != nil {
+			if !t.closed.Load() {
+				t.workerFailed(cn, fmt.Errorf("stall probe to node %d: %w", cn.node, err))
+			}
+			return dst, false
+		}
+	}
+	quiescent := true
+	t.pmu.Lock()
+	for _, cn := range t.conns {
+		for cn.ackEpoch < epoch && !cn.dead && !t.closed.Load() && !t.down.Load() {
+			t.pcond.Wait()
+		}
+		if cn.dead || t.closed.Load() || t.down.Load() {
+			t.pmu.Unlock()
+			return dst, false
+		}
+		sent, delivered := cn.sent.Load(), cn.delivered.Load()
+		if sent != cn.ackRecv || delivered != cn.ackFwd {
+			quiescent = false
+		}
+		dst = append(dst, sent, delivered, cn.ackRecv, cn.ackFwd)
+	}
+	t.pmu.Unlock()
+	return dst, quiescent
+}
+
+// localStall is the in-process stall snapshot over the coordinator's
+// mailboxes — the same protocol as SharedTransport.stallCheck.
+func (t *IPCTransport) localStall(declare bool) bool {
+	for i := range t.boxes {
+		t.boxes[i].mu.Lock()
+	}
+	stalled := false
+	if !t.down.Load() {
+		if live := t.coord.ConfirmStall(); live > 0 {
+			waiting := 0
+			canProceed := false
+			for i := range t.boxes {
+				mb := &t.boxes[i]
+				if !mb.waiting {
+					continue
+				}
+				waiting++
+				if len(mb.queues[mb.await]) > 0 {
+					canProceed = true
+				}
+			}
+			if waiting >= live && !canProceed {
+				stalled = true
+			}
+		}
+	}
+	if stalled && declare {
+		t.down.Store(true)
+		for i := range t.boxes {
+			t.boxes[i].cond.Broadcast()
+		}
+	}
+	for i := range t.boxes {
+		t.boxes[i].mu.Unlock()
+	}
+	if stalled && declare {
+		t.bar.wake()
+		if pk := parkerOf(t.coord); pk != nil {
+			pk.WakeAll()
+		}
+	}
+	return stalled
+}
+
+// ensureStarted spawns the worker processes exactly once; a failed start is
+// sticky (the environment is not going to improve between sends).
+func (t *IPCTransport) ensureStarted() error {
+	if t.started.Load() {
+		return nil
+	}
+	t.startMu.Lock()
+	defer t.startMu.Unlock()
+	if t.startDone {
+		return t.startErr
+	}
+	t.startDone = true
+	t.startErr = t.start()
+	if t.startErr == nil {
+		t.started.Store(true)
+	}
+	return t.startErr
+}
+
+// start launches one worker per node and wires up the sockets: a listener
+// in a private temp directory (UDS, falling back to TCP loopback), a
+// re-exec of the current binary per node with the coordinates in the
+// environment, then an accept/Hello handshake mapping connections to
+// nodes. On success it starts the per-connection readers and the stall
+// watcher; on any failure it tears everything down and reports.
+func (t *IPCTransport) start() (err error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("resolve executable for worker re-exec: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "kfipc")
+	if err != nil {
+		return fmt.Errorf("ipc socket dir: %w", err)
+	}
+	network, addr := "unix", filepath.Join(dir, "coord.sock")
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		network = "tcp"
+		ln, err = net.Listen(network, "127.0.0.1:0")
+		if err != nil {
+			os.RemoveAll(dir)
+			return fmt.Errorf("ipc listener: %w", err)
+		}
+		addr = ln.Addr().String()
+	}
+	t.dir = dir
+
+	// Scrub any inherited worker coordinates (a worker can itself host an
+	// ipc machine in tests) before installing ours.
+	env := make([]string, 0, len(os.Environ())+3)
+	for _, kv := range os.Environ() {
+		switch {
+		case len(kv) > len(ipcEnvNet) && kv[:len(ipcEnvNet)+1] == ipcEnvNet+"=",
+			len(kv) > len(ipcEnvAddr) && kv[:len(ipcEnvAddr)+1] == ipcEnvAddr+"=",
+			len(kv) > len(ipcEnvNode) && kv[:len(ipcEnvNode)+1] == ipcEnvNode+"=":
+		default:
+			env = append(env, kv)
+		}
+	}
+	env = append(env, ipcEnvNet+"="+network, ipcEnvAddr+"="+addr)
+
+	t.cmds = make([]*exec.Cmd, 0, t.nnodes)
+	t.conns = make([]*ipcConn, t.nnodes)
+	fail := func(err error) error {
+		for _, cmd := range t.cmds {
+			cmd.Process.Kill()
+		}
+		t.procWg.Wait()
+		for _, cn := range t.conns {
+			if cn != nil {
+				cn.c.Close()
+			}
+		}
+		ln.Close()
+		os.RemoveAll(dir)
+		t.cmds, t.conns = nil, nil
+		return err
+	}
+	for node := 0; node < t.nnodes; node++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(env[:len(env):len(env)], ipcEnvNode+"="+strconv.Itoa(node))
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("spawn worker for node %d: %w", node, err))
+		}
+		t.cmds = append(t.cmds, cmd)
+		t.procWg.Add(1)
+		go func() {
+			defer t.procWg.Done()
+			cmd.Wait()
+		}()
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; i < t.nnodes; i++ {
+		type deadliner interface{ SetDeadline(time.Time) error }
+		if d, ok := ln.(deadliner); ok {
+			d.SetDeadline(deadline)
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("accept worker %d of %d: %w", i+1, t.nnodes, err))
+		}
+		c.SetReadDeadline(deadline)
+		var hello wire.Frame
+		var scratch []byte
+		if err := wire.ReadFrame(c, &hello, &scratch, nil); err != nil || hello.Kind != wire.KindHello {
+			c.Close()
+			return fail(fmt.Errorf("worker handshake: kind=%v err=%v", hello.Kind, err))
+		}
+		c.SetReadDeadline(time.Time{})
+		node := int(hello.Seq)
+		if node < 0 || node >= t.nnodes || t.conns[node] != nil {
+			c.Close()
+			return fail(fmt.Errorf("worker handshake: bad or duplicate node %d", node))
+		}
+		t.conns[node] = &ipcConn{node: node, c: c}
+	}
+	ln.Close() // all workers connected; nothing else may dial in
+	for _, cn := range t.conns {
+		t.wg.Add(1)
+		go t.readLoop(cn)
+	}
+	t.wg.Add(1)
+	go t.watchLoop()
+	return nil
+}
+
+// readLoop drains one worker's socket: Deliver frames complete inter-node
+// message crossings into the local mailboxes; ProbeAck and ResetAck frames
+// feed the waiters under pmu. It never evaluates the stall condition
+// itself — a reader blocked in a stall check could not drain the very acks
+// the check's probe waits for — delegating re-checks to the watcher.
+func (t *IPCTransport) readLoop(cn *ipcConn) {
+	defer t.wg.Done()
+	br := bufio.NewReaderSize(cn.c, 1<<16)
+	var scratch []byte
+	var f wire.Frame
+	for {
+		if err := wire.ReadFrame(br, &f, &scratch, t.acquire); err != nil {
+			if !t.closed.Load() {
+				t.workerFailed(cn, err)
+			}
+			return
+		}
+		switch f.Kind {
+		case wire.KindDeliver:
+			t.deliverLocal(int(f.Src), int(f.Dst), Tag(f.Tag), f.Payload, f.Arrival)
+			cn.delivered.Add(1)
+			if t.inFlight() == 0 {
+				// The pipeline just drained: whoever ran a stall check
+				// while this frame was in flight bailed on it, so have the
+				// watcher take another look.
+				select {
+				case t.watch <- struct{}{}:
+				default:
+				}
+			}
+		case wire.KindProbeAck:
+			t.pmu.Lock()
+			cn.ackEpoch, cn.ackRecv, cn.ackFwd = f.Seq, f.A, f.B
+			t.pcond.Broadcast()
+			t.pmu.Unlock()
+		case wire.KindResetAck:
+			t.pmu.Lock()
+			cn.resetAck = f.Seq
+			t.pcond.Broadcast()
+			t.pmu.Unlock()
+		default:
+			t.workerFailed(cn, fmt.Errorf("unexpected %v frame from node %d", f.Kind, cn.node))
+			return
+		}
+	}
+}
+
+// watchLoop re-runs the machine's stall decision whenever a reader reports
+// the in-flight count hitting zero. Routing through the coordinator makes
+// the check enter at the top of the machine's transport stack — the chaos
+// wrapper when present — so a drain can also trigger fault recovery, not
+// just deadlock declaration. Spurious triggers are harmless: the check
+// confirms every condition from scratch.
+func (t *IPCTransport) watchLoop() {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-t.stopc:
+			return
+		case <-t.watch:
+			if t.recheck != nil {
+				t.recheck.RecheckStall()
+			}
+		}
+	}
+}
+
+// workerFailed records a lost worker and takes the transport down with a
+// structured reason naming the node; first failure wins.
+func (t *IPCTransport) workerFailed(cn *ipcConn, cause error) {
+	t.pmu.Lock()
+	cn.dead = true
+	t.pcond.Broadcast()
+	t.pmu.Unlock()
+	t.reasonMu.Lock()
+	if t.reason == nil {
+		t.reason = fmt.Errorf("%w: node %d: %v", ErrWorkerLost, cn.node, cause)
+	}
+	t.reasonMu.Unlock()
+	t.Abort()
+}
+
+// Close shuts the worker fleet down (Shutdown frames, then socket close —
+// either is sufficient for a worker to exit; EOF alone covers a killed
+// coordinator) and releases sockets, goroutines and the temp directory.
+// The transport must not be used after Close. Close is idempotent.
+func (t *IPCTransport) Close() error {
+	if !t.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(t.stopc)
+	if t.started.Load() {
+		f := wire.Frame{Kind: wire.KindShutdown}
+		for _, cn := range t.conns {
+			cn.wmu.Lock()
+			cn.c.SetWriteDeadline(time.Now().Add(time.Second))
+			_ = wire.WriteFrame(cn.c, &cn.wscratch, &f)
+			cn.wmu.Unlock()
+			cn.c.Close()
+		}
+		t.pmu.Lock()
+		t.pcond.Broadcast()
+		t.pmu.Unlock()
+	}
+	t.wg.Wait()
+	t.procWg.Wait()
+	if t.dir != "" {
+		os.RemoveAll(t.dir)
+	}
+	return nil
+}
+
+func init() {
+	RegisterTransport("ipc", func(n, nodes int) (Transport, error) {
+		if n <= 0 {
+			return nil, fmt.Errorf("machine: transport needs a positive endpoint count, got %d", n)
+		}
+		if nodes <= 0 {
+			nodes = 1
+		}
+		if n%nodes != 0 {
+			return nil, fmt.Errorf("machine: an ipc federation of %d processors needs a node count dividing it, got %d", n, nodes)
+		}
+		return NewIPCTransport(n, nodes), nil
+	})
+}

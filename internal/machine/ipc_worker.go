@@ -1,0 +1,191 @@
+package machine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+
+	"repro/internal/wire"
+)
+
+// The IPC transport re-executes the running binary as its worker processes
+// (os.Executable with these variables set), so any program that imports this
+// package — kfbench, a test binary, a user tool — can host a node daemon
+// without a dedicated worker command. The hook below intercepts process
+// startup before main (or the test runner) ever runs.
+const (
+	ipcEnvNet  = "KF_IPC_NET"  // listener network: "unix" or "tcp"
+	ipcEnvAddr = "KF_IPC_ADDR" // listener address the worker dials back to
+	ipcEnvNode = "KF_IPC_NODE" // this worker's node index
+)
+
+func init() { maybeRunIPCWorker() }
+
+// maybeRunIPCWorker turns the process into an IPC node worker when the
+// coordinator's environment variables are present; it never returns in that
+// case. A plain process (no KF_IPC_NODE) returns immediately.
+func maybeRunIPCWorker() {
+	nodeStr, ok := os.LookupEnv(ipcEnvNode)
+	if !ok {
+		return
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kf-ipc-worker: bad %s=%q: %v\n", ipcEnvNode, nodeStr, err)
+		os.Exit(1)
+	}
+	os.Exit(runIPCWorker(node, os.Getenv(ipcEnvNet), os.Getenv(ipcEnvAddr)))
+}
+
+// runIPCWorker dials the coordinator and runs the node daemon loop,
+// returning the process exit code: 0 for an orderly end (Shutdown frame,
+// coordinator EOF, or a write error — both mean the coordinator is gone,
+// and a dead coordinator must never leave orphans hanging or stderr
+// noise), 1 for a protocol violation, 2 for a FIFO sequence gap.
+func runIPCWorker(node int, network, addr string) int {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kf-ipc-worker: node %d: dial %s %s: %v\n", node, network, addr, err)
+		return 1
+	}
+	defer conn.Close()
+	w := &ipcWorker{
+		node: node,
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}
+	if err := wire.WriteFrame(w.bw, &w.wscratch, &wire.Frame{Kind: wire.KindHello, Seq: uint64(node)}); err != nil {
+		return 1
+	}
+	if err := w.bw.Flush(); err != nil {
+		return 1
+	}
+	return w.loop()
+}
+
+// ipcWorker is one node's network daemon: it reflects Data frames back to
+// the coordinator as Deliver frames (raw byte passthrough — only the kind
+// byte changes, so the hot path never decodes a payload) and answers the
+// control protocol (stall probes, reset fences, shutdown).
+type ipcWorker struct {
+	node     int
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	body     []byte // reused frame body buffer
+	wscratch []byte // reused control-frame encode buffer
+
+	recvSeq uint64 // Data frames received since the last reset fence
+	fwdSeq  uint64 // Deliver frames written back since the last reset fence
+	barGen  uint64 // latest host-barrier generation announced
+}
+
+func (w *ipcWorker) fail(code int, format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "kf-ipc-worker: node %d: %s\n", w.node, fmt.Sprintf(format, args...))
+	return code
+}
+
+// flushIfIdle flushes the write buffer only when no further input is already
+// buffered, so a burst of Data frames is reflected in one socket write but
+// the last frame of a burst is never left sitting in the buffer.
+func (w *ipcWorker) flushIfIdle() error {
+	if w.br.Buffered() == 0 {
+		return w.bw.Flush()
+	}
+	return nil
+}
+
+func (w *ipcWorker) loop() int {
+	var prefix [4]byte
+	for {
+		if _, err := io.ReadFull(w.br, prefix[:]); err != nil {
+			// EOF, connection reset, or any other socket-level failure: the
+			// coordinator is gone. Exit quietly — don't linger as an orphan.
+			return 0
+		}
+		n := binary.LittleEndian.Uint32(prefix[:])
+		if n < wire.HeaderLen || n > wire.MaxBody {
+			return w.fail(1, "frame body of %d bytes out of range", n)
+		}
+		if cap(w.body) < int(n) {
+			w.body = make([]byte, n)
+		}
+		body := w.body[:n]
+		if _, err := io.ReadFull(w.br, body); err != nil {
+			return 0 // socket died mid-frame: coordinator is gone
+		}
+		kind := wire.Kind(body[0])
+		switch kind {
+		case wire.KindData:
+			// Hot path: verify the per-socket FIFO sequence, flip the kind
+			// byte, and reflect the identical bytes back.
+			seq := binary.LittleEndian.Uint64(body[17:25])
+			if seq != w.recvSeq+1 {
+				return w.fail(2, "FIFO gap: data frame seq %d after %d", seq, w.recvSeq)
+			}
+			w.recvSeq++
+			body[0] = byte(wire.KindDeliver)
+			if _, err := w.bw.Write(prefix[:]); err != nil {
+				return 0 // write failed: coordinator is gone
+			}
+			if _, err := w.bw.Write(body); err != nil {
+				return 0
+			}
+			w.fwdSeq++
+			if err := w.flushIfIdle(); err != nil {
+				return 0
+			}
+		case wire.KindProbe:
+			var f wire.Frame
+			if err := w.decode(prefix[:], body, &f); err != nil {
+				return w.fail(1, "probe: %v", err)
+			}
+			ack := wire.Frame{Kind: wire.KindProbeAck, Src: int32(w.node), Seq: f.Seq, A: w.recvSeq, B: w.fwdSeq}
+			if err := wire.WriteFrame(w.bw, &w.wscratch, &ack); err != nil {
+				return 0
+			}
+			if err := w.bw.Flush(); err != nil {
+				return 0
+			}
+		case wire.KindReset:
+			var f wire.Frame
+			if err := w.decode(prefix[:], body, &f); err != nil {
+				return w.fail(1, "reset: %v", err)
+			}
+			seen := w.recvSeq
+			w.recvSeq, w.fwdSeq = 0, 0
+			ack := wire.Frame{Kind: wire.KindResetAck, Src: int32(w.node), Seq: f.Seq, A: seen}
+			if err := wire.WriteFrame(w.bw, &w.wscratch, &ack); err != nil {
+				return 0
+			}
+			if err := w.bw.Flush(); err != nil {
+				return 0
+			}
+		case wire.KindBarrier:
+			var f wire.Frame
+			if err := w.decode(prefix[:], body, &f); err != nil {
+				return w.fail(1, "barrier: %v", err)
+			}
+			w.barGen = f.Seq
+		case wire.KindAbort:
+			// The abort is between the coordinator's ranks; the daemon just
+			// keeps relaying whatever still drains (then sees Reset or EOF).
+		case wire.KindShutdown:
+			return 0
+		default:
+			return w.fail(1, "unexpected %v frame", kind)
+		}
+	}
+}
+
+// decode re-assembles the already-read prefix and body into a full decode
+// for control frames (the Data hot path never pays for this).
+func (w *ipcWorker) decode(prefix, body []byte, f *wire.Frame) error {
+	buf := append(append(w.wscratch[:0], prefix...), body...)
+	_, err := wire.DecodeFrame(buf, f, nil)
+	w.wscratch = buf
+	return err
+}

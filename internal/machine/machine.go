@@ -111,6 +111,52 @@ func (c *coordinator) ConfirmStall() int {
 	return -1
 }
 
+// RecheckStall re-runs the stall decision on behalf of a transport whose
+// delivery pipeline just drained (the IPC transport's watcher; see
+// stallRechecker): the rank whose Blocked() ran the previous check could
+// not see frames still in flight, so the drain gets another look. Unlike
+// Blocked, the trigger is not gated on the parking engine being absent —
+// under a parking engine, blocked >= live is the steady state, but the
+// transport's CheckStalled re-confirms every condition (including the
+// engine's own quiescence through ConfirmStall's counters), so a false
+// trigger is a no-op. Routing through m.tr enters at the top of the
+// transport stack: with a chaos wrapper, the recheck drives fault recovery
+// too.
+func (c *coordinator) RecheckStall() {
+	m := c.m
+	m.dmu.Lock()
+	suspicious := m.live > 0 && m.blocked >= m.live
+	m.dmu.Unlock()
+	if suspicious {
+		m.tr.CheckStalled()
+	}
+}
+
+// acquirePooled and releasePooled expose the machine-wide buffer pool tier
+// to the transport (see bufPool): a transport that serializes payloads onto
+// a wire returns the sender's buffer here on encode and draws the
+// receiver's buffer on decode, keeping the two-process round trip as
+// allocation-free as the in-memory handoff it replaces.
+func (c *coordinator) acquirePooled(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	cl := sizeClass(n)
+	if cl < numClasses {
+		if buf, ok := c.m.bufs.take(cl); ok {
+			return buf[:n]
+		}
+		return make([]float64, n, 1<<cl)
+	}
+	return make([]float64, n)
+}
+
+func (c *coordinator) releasePooled(buf []float64) {
+	if cl := capClass(cap(buf)); cl >= 0 {
+		c.m.bufs.put(cl, buf[:0])
+	}
+}
+
 // New returns a machine with n processors governed by the given cost model,
 // communicating over a shared-memory mailbox transport.
 func New(n int, cost CostModel) *Machine {

@@ -127,6 +127,11 @@ type hostBarrier struct {
 	// worker, a cond-blocked waiter would hold the only token and no
 	// later endpoint could ever arrive.
 	waiters []int
+	// onRelease, when set, is invoked by the releasing arrival with the
+	// new generation, under the barrier lock — the hook a networked
+	// transport uses to announce epoch boundaries to its peers. It must
+	// not call back into the barrier.
+	onRelease func(gen uint64)
 }
 
 func (b *hostBarrier) init(size int) {
@@ -150,6 +155,9 @@ func (b *hostBarrier) await(rank int, down *atomic.Bool, pk Parker) bool {
 	if b.arrived == b.size {
 		b.arrived = 0
 		b.gen++
+		if b.onRelease != nil {
+			b.onRelease(b.gen)
+		}
 		b.cond.Broadcast()
 		// Waking under b.mu keeps this generation's waiter list intact:
 		// a woken rank cannot re-enter await (and append to waiters)

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"errors"
+	"io"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -44,6 +45,12 @@ func conformanceRows(tb testing.TB, n int) []transportRow {
 			tr, err := NewTransportByName(name, n, shape.nodes)
 			if err != nil {
 				continue // this transport rejects the federation shape
+			}
+			// Transports holding external resources (the IPC transport's
+			// worker processes) release them when the test ends, so a
+			// battery of many rows never accumulates stray processes.
+			if c, ok := tr.(io.Closer); ok {
+				tb.Cleanup(func() { c.Close() })
 			}
 			accepted = append(accepted, transportRow{name: name + "/" + shape.label, tr: tr})
 		}

@@ -1,0 +1,60 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzFrameRoundTrip throws arbitrary bytes at the decoder and checks the
+// codec's whole contract: decoding never panics; a failure is always one of
+// the four structured sentinel errors and never sizes a payload buffer from
+// an unvalidated count; a success consumes exactly the frame it decoded and,
+// because the encoding is canonical, re-encoding the decoded frame must
+// reproduce the consumed bytes bit-for-bit (which also re-checks every field
+// survived the trip). The committed corpus under testdata/fuzz seeds one
+// encoding of every frame kind plus truncation, oversize, bad-kind and
+// length-mismatch shapes.
+func FuzzFrameRoundTrip(f *testing.F) {
+	for _, s := range sampleFrames() {
+		s := s
+		f.Add(AppendFrame(nil, &s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr Frame
+		acquired := -1
+		n, err := DecodeFrame(data, &fr, func(n int) []float64 {
+			acquired = n
+			return make([]float64, n)
+		})
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrOversize) &&
+				!errors.Is(err, ErrBadKind) && !errors.Is(err, ErrLengthMismatch) {
+				t.Fatalf("unstructured decode error: %v", err)
+			}
+			if n != 0 {
+				t.Fatalf("error path consumed %d bytes", n)
+			}
+			if acquired > 0 && acquired > (len(data)-4-HeaderLen)/8 {
+				t.Fatalf("decoder acquired %d words from %d input bytes", acquired, len(data))
+			}
+			return
+		}
+		if n < 4+HeaderLen || n > len(data) {
+			t.Fatalf("decoded %d bytes from %d input bytes", n, len(data))
+		}
+		re := AppendFrame(nil, &fr)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode differs from consumed bytes:\n in: %x\nout: %x", data[:n], re)
+		}
+		// And the re-encoded bytes must decode to the same frame again.
+		var fr2 Frame
+		n2, err := DecodeFrame(re, &fr2, nil)
+		if err != nil || n2 != len(re) {
+			t.Fatalf("re-decode failed: n=%d err=%v", n2, err)
+		}
+		if !framesEqual(&fr, &fr2) {
+			t.Fatalf("re-decode mismatch: %+v vs %+v", fr, fr2)
+		}
+	})
+}
