@@ -185,6 +185,11 @@ func BenchmarkJacobi256Proc(b *testing.B) { benchkit.Jacobi256Proc(b) }
 // pooled and driven by the calendar executor.
 func BenchmarkJacobi1024ProcPriced(b *testing.B) { benchkit.Jacobi1024ProcPriced(b) }
 
+// BenchmarkJacobi1024ProcIPC4Node measures a whole fixed-work Jacobi run at
+// 1024 simulated processors executed inside 4 ipc worker processes, sockets
+// carrying only the inter-node halo edges.
+func BenchmarkJacobi1024ProcIPC4Node(b *testing.B) { benchkit.Jacobi1024ProcIPC4Node(b) }
+
 // BenchmarkJacobi16384Proc measures a whole fixed-work Jacobi run at 16384
 // simulated processors multiplexed over the calendar executor's worker pool.
 func BenchmarkJacobi16384Proc(b *testing.B) { benchkit.Jacobi16384Proc(b) }

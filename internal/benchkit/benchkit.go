@@ -22,6 +22,7 @@ import (
 	"repro/internal/jacobi"
 	"repro/internal/kf"
 	"repro/internal/machine"
+	"repro/internal/progs"
 )
 
 // Result is one benchmark's snapshot entry.
@@ -39,11 +40,14 @@ type Result struct {
 // worker pool scale with it, so a compare across differing parallelism is
 // flagged (see ParallelismWarning) rather than trusted blindly.
 type SnapshotFile struct {
-	Date       string   `json:"date"`
-	GoVersion  string   `json:"go_version"`
-	GoMaxProcs int      `json:"go_maxprocs,omitempty"`
-	NumCPU     int      `json:"num_cpu,omitempty"`
-	Results    []Result `json:"results"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"go_maxprocs,omitempty"`
+	NumCPU     int    `json:"num_cpu,omitempty"`
+	// Note carries free-form context for the snapshot — e.g. which change
+	// the numbers bracket — surviving alongside the data it explains.
+	Note    string   `json:"note,omitempty"`
+	Results []Result `json:"results"`
 }
 
 // HostParallelism returns the GOMAXPROCS and CPU count a snapshot taken on
@@ -227,6 +231,7 @@ func Snapshot() []Bench {
 		{"Jacobi64Proc", Jacobi64Proc},
 		{"Jacobi256Proc", Jacobi256Proc},
 		{"Jacobi1024ProcPriced", Jacobi1024ProcPriced},
+		{"Jacobi1024ProcIPC4Node", Jacobi1024ProcIPC4Node},
 		{"Jacobi16384Proc", Jacobi16384Proc},
 	}
 }
@@ -455,6 +460,39 @@ func Jacobi1024ProcPriced(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := jacobi.KF1(sys.Machine, sys.Procs, x0, f, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Jacobi1024ProcIPC4Node measures a whole distributed KF1 Jacobi run (1
+// iteration, n=256) at 1024 simulated processors executed inside 4 ipc
+// worker processes: each node's 256 ranks run as a calendar-driven
+// sub-machine in its worker, and the coordinator's sockets carry only the
+// genuinely inter-node halo edges (batched per flush). The gap to
+// Jacobi1024ProcPriced is the real price of crossing process boundaries
+// for the same machine shape; each op is one whole run on the warmed
+// system, fleet spawn excluded.
+func Jacobi1024ProcIPC4Node(b *testing.B) {
+	b.ReportAllocs()
+	prog, err := progs.Jacobi(256, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := core.MustSystem(core.Grid(32, 32), core.Transport("ipc"), core.Nodes(4),
+		core.Cost(machine.ZeroComm()), core.Executor("calendar"))
+	defer sys.Close()
+	// Two warm runs: spawn the worker fleet and let each worker's
+	// sub-machine install its scratch caches, so every timed op is a pure
+	// cache hit on both sides of the sockets.
+	for i := 0; i < 2; i++ {
+		if _, err := sys.RunProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.RunProgram(prog); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -88,6 +88,7 @@ type settings struct {
 	links     []LinkSpec
 	chaosSet  bool
 	chaosSc   chaos.Scenario
+	listen    string
 }
 
 // Option configures a System under construction. Options are applied in
@@ -197,6 +198,22 @@ func LinkCosts(latency, bytePeriod float64, links ...LinkSpec) Option {
 	}
 }
 
+// ListenAddr sets an explicit TCP listen address (host:port, port 0 for an
+// ephemeral port) for the ipc transport's worker listener, replacing the
+// default Unix domain socket — for hosts where UDS is unavailable or a
+// fixed port must be allowed through a filter. It requires the ipc
+// transport (bare or chaos-wrapped); the KF_IPC_ADDR environment variable
+// sets the same default without a code change.
+func ListenAddr(addr string) Option {
+	return func(cfg *settings) error {
+		if addr == "" {
+			return fmt.Errorf("core: ListenAddr needs a non-empty TCP address")
+		}
+		cfg.listen = addr
+		return nil
+	}
+}
+
 // Chaos installs a fault-injection scenario (see internal/chaos) on the
 // system's transport. It requires a chaos-wrapped transport — select one
 // with Transport("chaos:<base>"), e.g. Transport("chaos:federated") — and
@@ -296,6 +313,13 @@ func NewSystem(opts ...Option) (*System, error) {
 		if err := ct.SetScenario(cfg.chaosSc); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.listen != "" {
+		ipc, ok := unwrapTransport(tr).(*machine.IPCTransport)
+		if !ok {
+			return nil, fmt.Errorf("core: ListenAddr set but transport %q spawns no workers: it requires the ipc transport", cfg.transport)
+		}
+		ipc.SetListenAddr(cfg.listen)
 	}
 	m := machine.NewWithTransport(tr, cost)
 	if cfg.executor != "" {

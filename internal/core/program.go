@@ -19,6 +19,17 @@ type Program struct {
 	// Body is the per-processor computation. Each processor returns an
 	// Output; see Output for how per-rank outputs combine into a Run.
 	Body func(c *kf.Ctx) (Output, error)
+
+	// key and args identify a registry-built program (see RegisterProgram
+	// and BuildProgram): key is the registered factory name and args its
+	// construction arguments, together enough for any process linking the
+	// same registrations to rebuild an equivalent program. They are what
+	// lets a run cross a process boundary — the ipc execution plane ships
+	// (key, args) to its workers instead of the unserializable Body.
+	// Programs constructed literally (key == "") run coordinator-side on
+	// every transport.
+	key  string
+	args []float64
 }
 
 // Output is one processor's contribution to a Run.
@@ -138,6 +149,9 @@ func (s *System) linkCensus() *LinkCensus {
 func (s *System) RunProgram(p *Program) (Run, error) {
 	if p == nil || p.Body == nil {
 		return Run{}, fmt.Errorf("core: RunProgram needs a program with a body")
+	}
+	if t := s.distributedTransport(p); t != nil {
+		return s.runDistributed(p, t)
 	}
 	outs := make([]Output, s.Procs.Size())
 	restore := s.applyScheduling()

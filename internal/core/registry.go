@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The program registry maps stable names to program factories, so a program
+// can be identified by (name, args) instead of its Go closure. That pair is
+// serializable, which is what the ipc execution plane needs: the
+// coordinator ships it in the run spec, and each worker process — linking
+// the same registrations — rebuilds the identical program locally and runs
+// its node's ranks against it. Registration happens in init functions (see
+// internal/progs), so coordinator and workers, being the same binary,
+// always agree on the table.
+var (
+	progMu  sync.RWMutex
+	progReg = map[string]func(args []float64) (*Program, error){}
+)
+
+// RegisterProgram installs a program factory under a stable name. The
+// factory must be deterministic: given equal args it must build programs
+// with bit-identical behaviour, because different processes will each build
+// their own copy and the model's transport-invariance promise extends to
+// them. Registering a duplicate name panics (registries are wired in init
+// functions, where a collision is a programming error).
+func RegisterProgram(name string, mk func(args []float64) (*Program, error)) {
+	if name == "" || mk == nil {
+		panic("core: RegisterProgram needs a name and a factory")
+	}
+	progMu.Lock()
+	defer progMu.Unlock()
+	if _, dup := progReg[name]; dup {
+		panic(fmt.Sprintf("core: program %q registered twice", name))
+	}
+	progReg[name] = mk
+}
+
+// BuildProgram constructs a registered program from its name and arguments,
+// stamping the pair into the program so eligible systems can execute it
+// inside ipc workers (see RunProgram). Unknown names report the registered
+// set.
+func BuildProgram(name string, args ...float64) (*Program, error) {
+	progMu.RLock()
+	mk := progReg[name]
+	progMu.RUnlock()
+	if mk == nil {
+		return nil, fmt.Errorf("core: no program registered as %q (registered: %v)", name, ProgramNames())
+	}
+	p, err := mk(args)
+	if err != nil {
+		return nil, fmt.Errorf("core: build program %q: %w", name, err)
+	}
+	if p == nil || p.Body == nil {
+		return nil, fmt.Errorf("core: program factory %q built no body", name)
+	}
+	p.key = name
+	p.args = append([]float64(nil), args...)
+	return p, nil
+}
+
+// ProgramNames returns the registered program names, sorted.
+func ProgramNames() []string {
+	progMu.RLock()
+	defer progMu.RUnlock()
+	names := make([]string, 0, len(progReg))
+	for name := range progReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -3,42 +3,35 @@ package experiments
 import (
 	"repro/internal/adi"
 	"repro/internal/core"
-	"repro/internal/jacobi"
-	"repro/internal/kf"
+	"repro/internal/progs"
 )
 
 // The scaling experiments (S1-S4) all ask the same question — does the
 // same program mean the same thing on a different machine? — so their
-// workloads are declared once here as core.Programs and run on whatever
-// System each experiment builds, replacing the per-experiment jacobiOn /
-// adiOn wrappers that used to hand-wire machines.
+// workloads come from the shared program registry (internal/progs): one
+// declaration serves every experiment, and because the programs are
+// registry-built they carry the (name, args) identity that lets an ipc
+// System execute them inside its worker processes.
 
-// jacobiProgram declares the KF1 Jacobi iteration (len(x0) x len(x0)
-// points, iters sweeps) as a core.Program: values are the gathered
-// solution from rank 0, elapsed is the iteration loop's finish time
-// (excluding the verification gather).
-func jacobiProgram(x0, f [][]float64, iters int) *core.Program {
-	return &core.Program{
-		Name: keyf("jacobi-n%d-x%d", len(x0), iters),
-		Body: func(c *kf.Ctx) (core.Output, error) {
-			flat, elapsed := jacobi.KF1Ctx(c, x0, f, iters)
-			return core.Output{Values: flat, Elapsed: elapsed}, nil
-		},
+// jacobiProgram builds the registered KF1 Jacobi iteration (n x n points
+// over jacobi.Problem, iters sweeps): values are the gathered solution
+// from rank 0, elapsed is the iteration loop's finish time (excluding the
+// verification gather).
+func jacobiProgram(n, iters int) *core.Program {
+	p, err := progs.Jacobi(n, iters)
+	if err != nil {
+		panic(err)
 	}
+	return p
 }
 
-// adiProgram declares the ADI iteration (pipelined = the paper's madi) as
-// a core.Program; values are the gathered final interior solution.
-func adiProgram(par adi.Params, f [][]float64, pipelined bool) *core.Program {
-	name := "adi"
-	if pipelined {
-		name = "madi"
+// adiProgram builds the registered ADI iteration (pipelined = the paper's
+// madi) over adi.TestProblem(par.N); values are the gathered final
+// interior solution.
+func adiProgram(par adi.Params, pipelined bool) *core.Program {
+	p, err := progs.ADI(par, pipelined)
+	if err != nil {
+		panic(err)
 	}
-	return &core.Program{
-		Name: keyf("%s-n%d-x%d", name, par.N, par.Iters),
-		Body: func(c *kf.Ctx) (core.Output, error) {
-			flat, _, elapsed := adi.ParallelCtx(c, par, f, pipelined)
-			return core.Output{Values: flat, Elapsed: elapsed}, nil
-		},
-	}
+	return p
 }

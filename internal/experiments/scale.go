@@ -3,7 +3,6 @@ package experiments
 import (
 	"repro/internal/adi"
 	"repro/internal/core"
-	"repro/internal/jacobi"
 	"repro/internal/report"
 )
 
@@ -16,8 +15,7 @@ import (
 // message counts, byte counts and results.
 func S1Scale64() Result {
 	const n, iters = 128, 4
-	x0, f := jacobi.Problem(n)
-	prog := jacobiProgram(x0, f, iters)
+	prog := jacobiProgram(n, iters)
 	tbl := report.NewTable("Jacobi n=128, 4 iterations (iPSC/2 costs), compiled schedules",
 		"grid", "procs", "time (s)", "speedup vs 2x2", "msgs", "bytes")
 	metrics := map[string]float64{}
@@ -46,7 +44,7 @@ func S1Scale64() Result {
 	// 64-processor pipelined ADI (madi): every 8-processor grid slice
 	// pipelines its lines through the substructured solver.
 	par := adi.Params{N: 64, A: 1, B: 1, Iters: 2}
-	aprog := adiProgram(par, adi.TestProblem(par.N), true)
+	aprog := adiProgram(par, true)
 	acmp, err := core.Compare(aprog,
 		mustSys(core.Grid(8, 8)),
 		mustSys(core.Grid(8, 8), core.DirectScheduling()))

@@ -3,7 +3,6 @@ package experiments
 import (
 	"repro/internal/adi"
 	"repro/internal/core"
-	"repro/internal/jacobi"
 	"repro/internal/machine"
 	"repro/internal/perfest"
 	"repro/internal/report"
@@ -47,8 +46,7 @@ func S3Hierarchical1024() Result {
 	}
 
 	// Jacobi across the node sweep.
-	x0, f := jacobi.Problem(n)
-	jp := jacobiProgram(x0, f, iters)
+	jp := jacobiProgram(n, iters)
 	shared := runProg(mustSys(core.Grid(p, p), core.Cost(cost)), jp)
 	tbl.AddRow("jacobi 32x32", "shared", shared.Elapsed, 1.0, 0.0, true)
 	metrics["s3_jacobi_time_shared"] = shared.Elapsed
@@ -115,7 +113,7 @@ func S3Hierarchical1024() Result {
 	// estimator's exact enumeration — including the intra-row seams that
 	// only exist past the whole-row regime.
 	censusMatch := 1.0
-	jpLong := jacobiProgram(x0, f, iters+2)
+	jpLong := jacobiProgram(n, iters+2)
 	for _, nodes := range []int{4, 64} {
 		sys := fedSys(nodes)
 		runA := runProg(sys, jp)
@@ -134,7 +132,7 @@ func S3Hierarchical1024() Result {
 
 	// Pipelined ADI (madi) across the node sweep.
 	par := adi.Params{N: adiN, A: 1, B: 1, Iters: 2}
-	ap := adiProgram(par, adi.TestProblem(par.N), true)
+	ap := adiProgram(par, true)
 	adiShared := runProg(mustSys(core.Grid(p, p), core.Cost(cost)), ap)
 	tbl.AddRow("madi 32x32", "shared", adiShared.Elapsed, 1.0, 0.0, true)
 	metrics["s3_adi_time_shared"] = adiShared.Elapsed

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"repro/internal/core"
-	"repro/internal/jacobi"
 	"repro/internal/machine"
 	"repro/internal/report"
 )
@@ -29,8 +28,7 @@ func S6Calendar16384() Result {
 	tbl := report.NewTable("16384 virtual processors on the calendar executor (iPSC/2 costs)",
 		"grid", "engine", "time (s)", "msgs", "identical")
 
-	x0, f := jacobi.Problem(n)
-	jp := jacobiProgram(x0, f, iters)
+	jp := jacobiProgram(n, iters)
 
 	// Engine parity at 1024 processors: goroutine reference vs calendar
 	// (default worker pool) vs calendar pinned to one worker.
@@ -58,7 +56,7 @@ func S6Calendar16384() Result {
 	// The 16384-processor run, on both engines: the calendar engine must
 	// reproduce the goroutine engine's run bit-identically at full scale,
 	// one iteration to keep the host cost proportionate.
-	jpBig := jacobiProgram(x0, f, 1)
+	jpBig := jacobiProgram(n, 1)
 	refBig := runProg(mustSys(core.Grid(pBig, pBig), core.Cost(machine.ZeroComm())), jpBig)
 	tbl.AddRow("128x128", "goroutine", refBig.Elapsed, refBig.Stats.MsgsSent, true)
 	calBig := runProg(mustSys(core.Grid(pBig, pBig), core.Cost(machine.ZeroComm()),

@@ -3,7 +3,6 @@ package experiments
 import (
 	"repro/internal/adi"
 	"repro/internal/core"
-	"repro/internal/jacobi"
 	"repro/internal/perfest"
 	"repro/internal/report"
 )
@@ -21,7 +20,6 @@ import (
 // combinatorial prediction of the node-interconnect traffic.
 func S2Transport256() Result {
 	const n, p, nodes, iters = 256, 16, 4, 3
-	x0, f := jacobi.Problem(n)
 	metrics := map[string]float64{}
 
 	shared := mustSys(core.Grid(p, p))
@@ -36,7 +34,7 @@ func S2Transport256() Result {
 		"program", "transport", "time (s)", "msgs", "bytes")
 
 	// Jacobi across transports.
-	jp := jacobiProgram(x0, f, iters)
+	jp := jacobiProgram(n, iters)
 	cmpJ, err := core.Compare(jp, shared, fed)
 	if err != nil {
 		panic(err)
@@ -52,13 +50,13 @@ func S2Transport256() Result {
 
 	// Pipelined ADI (the paper's madi) across transports.
 	par := adi.Params{N: 64, A: 1, B: 1, Iters: 2}
-	cmpA, err := core.Compare(adiProgram(par, adi.TestProblem(par.N), true), shared, fed)
+	cmpA, err := core.Compare(adiProgram(par, true), shared, fed)
 	if err != nil {
 		panic(err)
 	}
 	tbl.AddRow("madi 16x16", "shared", cmpA.A.Elapsed, cmpA.A.Stats.MsgsSent, cmpA.A.Stats.BytesSent)
 	tbl.AddRow("madi 16x16", "federated 4x64", cmpA.B.Elapsed, cmpA.B.Stats.MsgsSent, cmpA.B.Stats.BytesSent)
-	cmpAI := core.CompareRuns(cmpA.A, runProg(ipc, adiProgram(par, adi.TestProblem(par.N), true)))
+	cmpAI := core.CompareRuns(cmpA.A, runProg(ipc, adiProgram(par, true)))
 	tbl.AddRow("madi 16x16", "ipc 4x64", cmpAI.B.Elapsed, cmpAI.B.Stats.MsgsSent, cmpAI.B.Stats.BytesSent)
 	metrics["s2_adi_ipc_identical"] = sameRun(cmpAI)
 	metrics["s2_adi_identical"] = sameRun(cmpA)
@@ -75,7 +73,7 @@ func S2Transport256() Result {
 	// inter-node traffic from the one-off reduction/gather epilogue; the
 	// result must match perfest's combinatorial prediction exactly.
 	runA := runProg(fed, jp)
-	runB := runProg(fed, jacobiProgram(x0, f, iters+2))
+	runB := runProg(fed, jacobiProgram(n, iters+2))
 	diff := runB.Links.Sub(runA.Links)
 	dMsgs, dBytes := diff.Total()
 	gotMsgs := int(dMsgs) / 2

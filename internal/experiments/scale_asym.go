@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"repro/internal/core"
-	"repro/internal/jacobi"
 	"repro/internal/machine"
 	"repro/internal/perfest"
 	"repro/internal/report"
@@ -31,8 +30,7 @@ func S4LinkAsymmetry() Result {
 		n, p, nodes, iters = 128, 8, 4, 3
 		linkLat, linkByte  = 4.0, 8.0
 	)
-	x0, f := jacobi.Problem(n)
-	prog := jacobiProgram(x0, f, iters)
+	prog := jacobiProgram(n, iters)
 	sharedSys := mustSys(core.Grid(p, p))
 	metrics := map[string]float64{}
 	tbl := report.NewTable("link asymmetry at 64 processors, 4 nodes (iPSC/2 costs, uniform inter-node 4x/8x)",

@@ -6,7 +6,6 @@ import (
 	"repro/internal/adi"
 	"repro/internal/chaos"
 	"repro/internal/core"
-	"repro/internal/jacobi"
 	"repro/internal/report"
 )
 
@@ -24,8 +23,7 @@ import (
 // second report and values to reproduce the first exactly.
 func S5ChaosRecovery() Result {
 	const p, n, nodes, iters = 16, 256, 4, 3
-	x0, f := jacobi.Problem(n)
-	jp := jacobiProgram(x0, f, iters)
+	jp := jacobiProgram(n, iters)
 	metrics := map[string]float64{}
 
 	// Fault-free federated baseline.
@@ -82,7 +80,7 @@ func S5ChaosRecovery() Result {
 	// Pipelined ADI (madi) under the storm scenario: the tightly pipelined
 	// wavefront must also ride out drops, duplicates and the outage.
 	par := adi.Params{N: 64, A: 1, B: 1, Iters: 2}
-	ap := adiProgram(par, adi.TestProblem(par.N), true)
+	ap := adiProgram(par, true)
 	baseADI := runProg(fed, ap)
 	sysADI := mustSys(core.Grid(p, p), core.Transport("chaos:federated"), core.Nodes(nodes), core.Chaos(scenarios[len(scenarios)-1]))
 	runADI := runProg(sysADI, ap)

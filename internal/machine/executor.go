@@ -135,8 +135,8 @@ func (goroutineExecutor) Name() string { return "goroutine" }
 
 func (goroutineExecutor) Execute(m *Machine, body func(p *Proc) error, errs []error) {
 	var wg sync.WaitGroup
-	wg.Add(m.n)
-	for i := 0; i < m.n; i++ {
+	wg.Add(m.hi - m.lo)
+	for i := m.lo; i < m.hi; i++ {
 		p := m.procs[i]
 		go func() {
 			defer wg.Done()
@@ -204,7 +204,8 @@ type calendarExecutor struct {
 	workers  int
 	free     int
 	finished int
-	n        int
+	n        int       // rank-space size (arrays are rank-indexed)
+	nl       int       // local rank count actually executing here (m.hi - m.lo)
 	heap     []int32   // calendar: rank indices ordered by keys
 	keys     []float64 // keys[r] = r's clock when it became runnable
 	pos      []int32   // pos[r] = index of r in heap, -1 if absent
@@ -229,15 +230,16 @@ func (e *calendarExecutor) Workers() int { return e.req }
 
 func (e *calendarExecutor) Execute(m *Machine, body func(p *Proc) error, errs []error) {
 	n := m.n
+	nl := m.hi - m.lo
 	w := e.req
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if w > n {
-		w = n
+	if w > nl {
+		w = nl
 	}
 	e.m, e.body, e.errs = m, body, errs
-	e.workers, e.n = w, n
+	e.workers, e.n, e.nl = w, n, nl
 	e.free = w
 	e.finished = 0
 	if len(e.gates) != n {
@@ -264,14 +266,16 @@ func (e *calendarExecutor) Execute(m *Machine, body func(p *Proc) error, errs []
 	// route every blocking wait of this run through the calendar.
 	m.setParker(e)
 
-	e.wg.Add(n)
-	for r := 0; r < n; r++ {
+	e.wg.Add(nl)
+	for r := m.lo; r < m.hi; r++ {
 		go e.rankLoop(r)
 	}
-	// Seed the calendar with every rank at clock zero (rank order breaks
-	// the tie) and grant the first w tokens.
+	// Seed the calendar with every local rank at clock zero (rank order
+	// breaks the tie) and grant the first w tokens. Ranks outside the
+	// machine's local window (the IPC worker's remote peers) never run
+	// here: they are message endpoints, not continuations.
 	e.mu.Lock()
-	for r := 0; r < n; r++ {
+	for r := m.lo; r < m.hi; r++ {
 		e.pushLocked(r)
 	}
 	e.dispatchLocked()
@@ -378,9 +382,9 @@ func (e *calendarExecutor) finish(rank int) {
 }
 
 // quietLocked reports true quiescence: every token free, no runnable rank,
-// and unfinished ranks remaining. Caller holds e.mu.
+// and unfinished local ranks remaining. Caller holds e.mu.
 func (e *calendarExecutor) quietLocked() bool {
-	return e.free == e.workers && len(e.heap) == 0 && e.finished < e.n
+	return e.free == e.workers && len(e.heap) == 0 && e.finished < e.nl
 }
 
 // dispatchLocked grants free tokens to the earliest-clock runnable ranks.

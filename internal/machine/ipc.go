@@ -33,6 +33,14 @@ type stallRechecker interface {
 	RecheckStall()
 }
 
+// Worker probe-ack status flags (the Tag field of a wire.KindProbeAck
+// frame) and the distinguished abort sequence of the execution protocol.
+const (
+	probeStalled       uint64 = 1 << 0 // every live local rank blocked, no pending message matches
+	probeFinished      uint64 = 1 << 1 // every local rank finished; results streamed or streaming
+	abortStallDeclared uint64 = 1      // KindAbort Seq: coordinator declared a distributed stall
+)
+
 // bufPool is the optional coordinator extension giving transports access to
 // the machine-wide message buffer pool, so a transport that unpacks
 // payloads off a wire (rather than handing over the sender's own buffer)
@@ -77,13 +85,21 @@ type IPCTransport struct {
 	down    atomic.Bool
 	bar     hostBarrier
 
-	startMu   sync.Mutex // serializes start; guards startDone/startErr/cmds
-	startDone bool
-	startErr  error
-	started   atomic.Bool // true once workers are up; read on hot paths
-	dir       string
-	conns     []*ipcConn
-	cmds      []*exec.Cmd
+	startMu    sync.Mutex // serializes start; guards startDone/startErr/cmds/listenAddr
+	startDone  bool
+	startErr   error
+	started    atomic.Bool // true once workers are up; read on hot paths
+	dir        string
+	listenAddr string // explicit TCP listen address (SetListenAddr / KF_IPC_ADDR)
+	conns      []*ipcConn
+	cmds       []*exec.Cmd
+
+	// Distributed-execution state (see RunDistributed): runMu serializes
+	// runs, execGen numbers them, and exec publishes the in-flight run to
+	// the read loops and the watcher.
+	runMu   sync.Mutex
+	execGen uint64
+	exec    atomic.Pointer[execRun]
 
 	// pmu guards the ack/fence/liveness fields of every ipcConn and pairs
 	// with pcond for the probe and reset fence waits.
@@ -116,11 +132,18 @@ type ipcConn struct {
 
 	// wmu serializes frame writes; sent is the per-socket Data sequence
 	// (incremented under wmu, read atomically by the in-flight check) and
-	// delivered counts Deliver frames already inserted into mailboxes
-	// (incremented by the reader). sent-delivered is the socket's
-	// in-flight frame count: Data and Deliver frames map one to one.
+	// delivered counts frames this worker originated that the coordinator
+	// has fully absorbed — Deliver frames inserted into mailboxes in relay
+	// mode, worker Data frames routed onward in execution mode
+	// (incremented by the reader). Writes go through the buffered writer
+	// bw and batch: a writer that drains wpending to zero flushes, so a
+	// burst of small Data frames coalesces into one socket write while the
+	// last frame of any burst never sits in the buffer (control frames
+	// flush immediately, pushing any batched frames ahead of them).
 	wmu       sync.Mutex
+	bw        *bufio.Writer
 	wscratch  []byte
+	wpending  atomic.Int32
 	sent      atomic.Uint64
 	delivered atomic.Uint64
 
@@ -128,8 +151,50 @@ type ipcConn struct {
 	ackEpoch uint64 // latest probe epoch acknowledged
 	ackRecv  uint64 // worker's received-frame counter at that epoch
 	ackFwd   uint64 // worker's forwarded-frame counter at that epoch
+	ackFlags uint64 // worker's run status flags at that epoch (probeStalled/probeFinished)
 	resetAck uint64 // latest reset generation acknowledged
 	dead     bool   // socket lost; skip fences, fail probes
+}
+
+// writeData writes one Data frame, stamping the per-socket sequence under
+// the write lock so the FIFO carries each (src, tag) stream in program
+// order; the wpending protocol coalesces concurrent writers' frames into
+// one flush.
+func (cn *ipcConn) writeData(f *wire.Frame) error {
+	cn.wpending.Add(1)
+	cn.wmu.Lock()
+	f.Seq = cn.sent.Add(1)
+	err := wire.WriteFrame(cn.bw, &cn.wscratch, f)
+	cn.wmu.Unlock()
+	if cn.wpending.Add(-1) == 0 && err == nil {
+		cn.wmu.Lock()
+		err = cn.bw.Flush()
+		cn.wmu.Unlock()
+	}
+	return err
+}
+
+// writeCtrl writes one control frame and flushes immediately — along with
+// any batched Data frames ahead of it in the buffer, which keeps every
+// control exchange consistent with the data stream it rides. A nonzero
+// deadline bounds the write (abort and shutdown paths must not hang on a
+// wedged socket).
+func (cn *ipcConn) writeCtrl(f *wire.Frame, deadline time.Duration) error {
+	cn.wpending.Add(1)
+	cn.wmu.Lock()
+	if deadline > 0 {
+		cn.c.SetWriteDeadline(time.Now().Add(deadline))
+	}
+	err := wire.WriteFrame(cn.bw, &cn.wscratch, f)
+	if err == nil {
+		err = cn.bw.Flush()
+	}
+	if deadline > 0 {
+		cn.c.SetWriteDeadline(time.Time{})
+	}
+	cn.wmu.Unlock()
+	cn.wpending.Add(-1)
+	return err
 }
 
 // NewIPCTransport returns a cross-process transport with n endpoints
@@ -288,18 +353,15 @@ func (t *IPCTransport) Send(src, dst int, tag Tag, data []float64, arrival float
 	l.mu.Unlock()
 
 	cn := t.conns[dn]
-	cn.wmu.Lock()
 	f := wire.Frame{
 		Kind:    wire.KindData,
 		Src:     int32(src),
 		Dst:     int32(dst),
 		Tag:     uint64(tag),
-		Seq:     cn.sent.Add(1),
 		Arrival: arrival,
 		Payload: data,
 	}
-	err := wire.WriteFrame(cn.c, &cn.wscratch, &f)
-	cn.wmu.Unlock()
+	err := cn.writeData(&f)
 	if err != nil {
 		if !t.closed.Load() {
 			t.workerFailed(cn, fmt.Errorf("send to node %d: %w", dn, err))
@@ -382,9 +444,7 @@ func (t *IPCTransport) announceBarrier(gen uint64) {
 	}
 	f := wire.Frame{Kind: wire.KindBarrier, Seq: gen}
 	for _, cn := range t.conns {
-		cn.wmu.Lock()
-		_ = wire.WriteFrame(cn.c, &cn.wscratch, &f)
-		cn.wmu.Unlock()
+		_ = cn.writeCtrl(&f, 0)
 	}
 }
 
@@ -407,10 +467,7 @@ func (t *IPCTransport) Reset() {
 			if dead {
 				continue
 			}
-			cn.wmu.Lock()
-			err := wire.WriteFrame(cn.c, &cn.wscratch, &f)
-			cn.wmu.Unlock()
-			if err != nil && !t.closed.Load() {
+			if err := cn.writeCtrl(&f, 0); err != nil && !t.closed.Load() {
 				t.workerFailed(cn, fmt.Errorf("reset fence to node %d: %w", cn.node, err))
 			}
 		}
@@ -423,7 +480,7 @@ func (t *IPCTransport) Reset() {
 		for _, cn := range t.conns {
 			cn.sent.Store(0)
 			cn.delivered.Store(0)
-			cn.ackEpoch, cn.ackRecv, cn.ackFwd = 0, 0, 0
+			cn.ackEpoch, cn.ackRecv, cn.ackFwd, cn.ackFlags = 0, 0, 0, 0
 		}
 		t.pmu.Unlock()
 		t.probeMu.Unlock()
@@ -465,11 +522,7 @@ func (t *IPCTransport) Abort() {
 	if t.started.Load() {
 		f := wire.Frame{Kind: wire.KindAbort}
 		for _, cn := range t.conns {
-			cn.wmu.Lock()
-			cn.c.SetWriteDeadline(time.Now().Add(time.Second))
-			_ = wire.WriteFrame(cn.c, &cn.wscratch, &f)
-			cn.c.SetWriteDeadline(time.Time{})
-			cn.wmu.Unlock()
+			_ = cn.writeCtrl(&f, time.Second)
 		}
 	}
 	t.pmu.Lock()
@@ -554,8 +607,10 @@ func (t *IPCTransport) stalledCheck(declare bool) bool {
 
 // probeSnapshot runs one probe round: a Probe frame to every worker, a wait
 // for every acknowledgement, then a counter cut appended to dst — per
-// worker, the socket's sent/delivered counters and the worker's
-// received/forwarded counters. ok is false when the cut is not quiescent
+// worker, the socket's sent/delivered counters, the worker's
+// received/forwarded counters and its run status flags (five values per
+// connection; see execProbe for how the flags decide the distributed
+// verdict). ok is false when the cut is not quiescent
 // (some frame was in flight at ack time) or when a worker is unreachable,
 // the transport went down, or it was closed. Callers hold probeMu.
 func (t *IPCTransport) probeSnapshot(dst []uint64) ([]uint64, bool) {
@@ -569,10 +624,7 @@ func (t *IPCTransport) probeSnapshot(dst []uint64) ([]uint64, bool) {
 		if dead {
 			return dst, false
 		}
-		cn.wmu.Lock()
-		err := wire.WriteFrame(cn.c, &cn.wscratch, &f)
-		cn.wmu.Unlock()
-		if err != nil {
+		if err := cn.writeCtrl(&f, 0); err != nil {
 			if !t.closed.Load() {
 				t.workerFailed(cn, fmt.Errorf("stall probe to node %d: %w", cn.node, err))
 			}
@@ -593,7 +645,7 @@ func (t *IPCTransport) probeSnapshot(dst []uint64) ([]uint64, bool) {
 		if sent != cn.ackRecv || delivered != cn.ackFwd {
 			quiescent = false
 		}
-		dst = append(dst, sent, delivered, cn.ackRecv, cn.ackFwd)
+		dst = append(dst, sent, delivered, cn.ackRecv, cn.ackFwd, cn.ackFlags)
 	}
 	t.pmu.Unlock()
 	return dst, quiescent
@@ -643,6 +695,22 @@ func (t *IPCTransport) localStall(declare bool) bool {
 	return stalled
 }
 
+// SetListenAddr selects an explicit TCP address (host:port, port 0 for
+// ephemeral) for the coordinator's worker listener instead of the default
+// Unix domain socket — the deployment knob for hosts where UDS is
+// unavailable or a fixed port must be allowed through. The KF_IPC_ADDR
+// environment variable sets the same default for processes that are not
+// themselves IPC workers. It must be called before the workers spawn (the
+// first inter-node send or distributed run).
+func (t *IPCTransport) SetListenAddr(addr string) {
+	t.startMu.Lock()
+	defer t.startMu.Unlock()
+	if t.startDone {
+		panic("machine: SetListenAddr after the ipc workers started")
+	}
+	t.listenAddr = addr
+}
+
 // ensureStarted spawns the worker processes exactly once; a failed start is
 // sticky (the environment is not going to improve between sends).
 func (t *IPCTransport) ensureStarted() error {
@@ -677,32 +745,58 @@ func (t *IPCTransport) start() (err error) {
 	if err != nil {
 		return fmt.Errorf("ipc socket dir: %w", err)
 	}
-	network, addr := "unix", filepath.Join(dir, "coord.sock")
-	ln, err := net.Listen(network, addr)
-	if err != nil {
+	laddr := t.listenAddr
+	if laddr == "" && os.Getenv(ipcEnvNode) == "" {
+		// The env default is ignored inside worker processes: there
+		// KF_IPC_ADDR is the coordinator's address to dial, not a listen
+		// address for a nested transport.
+		laddr = os.Getenv(ipcEnvAddr)
+	}
+	var network, addr string
+	var ln net.Listener
+	if laddr != "" {
 		network = "tcp"
-		ln, err = net.Listen(network, "127.0.0.1:0")
+		ln, err = net.Listen(network, laddr)
 		if err != nil {
 			os.RemoveAll(dir)
-			return fmt.Errorf("ipc listener: %w", err)
+			return fmt.Errorf("ipc listener on %q: %w", laddr, err)
 		}
 		addr = ln.Addr().String()
+	} else {
+		network, addr = "unix", filepath.Join(dir, "coord.sock")
+		ln, err = net.Listen(network, addr)
+		if err != nil {
+			network = "tcp"
+			ln, err = net.Listen(network, "127.0.0.1:0")
+			if err != nil {
+				os.RemoveAll(dir)
+				return fmt.Errorf("ipc listener: %w", err)
+			}
+			addr = ln.Addr().String()
+		}
 	}
 	t.dir = dir
 
 	// Scrub any inherited worker coordinates (a worker can itself host an
 	// ipc machine in tests) before installing ours.
-	env := make([]string, 0, len(os.Environ())+3)
+	env := make([]string, 0, len(os.Environ())+4)
 	for _, kv := range os.Environ() {
 		switch {
 		case len(kv) > len(ipcEnvNet) && kv[:len(ipcEnvNet)+1] == ipcEnvNet+"=",
 			len(kv) > len(ipcEnvAddr) && kv[:len(ipcEnvAddr)+1] == ipcEnvAddr+"=",
-			len(kv) > len(ipcEnvNode) && kv[:len(ipcEnvNode)+1] == ipcEnvNode+"=":
+			len(kv) > len(ipcEnvNode) && kv[:len(ipcEnvNode)+1] == ipcEnvNode+"=",
+			len(kv) > len(ipcEnvExec) && kv[:len(ipcEnvExec)+1] == ipcEnvExec+"=":
 		default:
 			env = append(env, kv)
 		}
 	}
 	env = append(env, ipcEnvNet+"="+network, ipcEnvAddr+"="+addr)
+	if WorkerExecEnabled() {
+		// Exec-armed coordinators spawn exec-capable workers: the worker
+		// defers its daemon entry until its own EnableWorkerExec runs, so
+		// the program registry it will build runs from is fully populated.
+		env = append(env, ipcEnvExec+"=1")
+	}
 
 	t.cmds = make([]*exec.Cmd, 0, t.nnodes)
 	t.conns = make([]*ipcConn, t.nnodes)
@@ -758,7 +852,7 @@ func (t *IPCTransport) start() (err error) {
 			c.Close()
 			return fail(fmt.Errorf("worker handshake: bad or duplicate node %d", node))
 		}
-		t.conns[node] = &ipcConn{node: node, c: c}
+		t.conns[node] = &ipcConn{node: node, c: c, bw: bufio.NewWriterSize(c, 1<<16)}
 	}
 	ln.Close() // all workers connected; nothing else may dial in
 	for _, cn := range t.conns {
@@ -770,16 +864,25 @@ func (t *IPCTransport) start() (err error) {
 	return nil
 }
 
-// readLoop drains one worker's socket: Deliver frames complete inter-node
-// message crossings into the local mailboxes; ProbeAck and ResetAck frames
-// feed the waiters under pmu. It never evaluates the stall condition
-// itself — a reader blocked in a stall check could not drain the very acks
-// the check's probe waits for — delegating re-checks to the watcher.
+// readLoop drains one worker's socket. Relay mode: Deliver frames complete
+// inter-node message crossings into the local mailboxes. Execution mode:
+// Data frames are worker-originated inter-node sends routed onward to the
+// destination node's socket (the coordinator never opens their payloads),
+// and RunAck/RankResult/StallHint/Barrier frames drive the in-flight
+// execRun. ProbeAck and ResetAck frames feed the waiters under pmu either
+// way. It never evaluates the stall condition itself — a reader blocked in
+// a stall check could not drain the very acks the check's probe waits
+// for — delegating re-checks to the watcher.
 func (t *IPCTransport) readLoop(cn *ipcConn) {
 	defer t.wg.Done()
 	br := bufio.NewReaderSize(cn.c, 1<<16)
 	var scratch []byte
 	var f wire.Frame
+	release := func(p []float64) {
+		if t.pool != nil && p != nil {
+			t.pool.releasePooled(p)
+		}
+	}
 	for {
 		if err := wire.ReadFrame(br, &f, &scratch, t.acquire); err != nil {
 			if !t.closed.Load() {
@@ -800,9 +903,161 @@ func (t *IPCTransport) readLoop(cn *ipcConn) {
 				default:
 				}
 			}
+		case wire.KindData:
+			// A worker rank's inter-node send (execution mode): route it to
+			// the destination node. Frames from a fenced or aborted run
+			// drain silently; outside those windows a stray Data frame is a
+			// protocol violation.
+			er := t.exec.Load()
+			if er == nil || f.A != er.gen {
+				release(f.Payload)
+				if !t.down.Load() && !t.closed.Load() {
+					t.workerFailed(cn, fmt.Errorf("unexpected data frame from node %d", cn.node))
+					return
+				}
+				break
+			}
+			src, dst := int(f.Src), int(f.Dst)
+			if src < 0 || src >= t.n || src/t.perNode != cn.node || dst < 0 || dst >= t.n || dst/t.perNode == cn.node {
+				release(f.Payload)
+				t.workerFailed(cn, fmt.Errorf("misrouted data frame (src=%d, dst=%d) from node %d", src, dst, cn.node))
+				return
+			}
+			dn := dst / t.perNode
+			l := &t.links[cn.node*t.nnodes+dn]
+			l.mu.Lock()
+			l.msgs++
+			l.bytes += int64(len(f.Payload) * wordBytes)
+			l.mu.Unlock()
+			out := wire.Frame{
+				Kind:    wire.KindData,
+				Src:     f.Src,
+				Dst:     f.Dst,
+				Tag:     f.Tag,
+				A:       er.gen,
+				Arrival: f.Arrival,
+				Payload: f.Payload,
+			}
+			cnDst := t.conns[dn]
+			err := cnDst.writeData(&out)
+			release(f.Payload)
+			// Count the frame absorbed only after the onward write holds
+			// its sequence slot: quiescence must never be observable with
+			// the routing half-done.
+			cn.delivered.Add(1)
+			if err != nil && !t.closed.Load() {
+				t.workerFailed(cnDst, fmt.Errorf("route to node %d: %w", dn, err))
+				return
+			}
+		case wire.KindRunAck:
+			er := t.exec.Load()
+			if er == nil || f.Seq != er.gen {
+				release(f.Payload)
+				break // straggler from a fenced run
+			}
+			if f.A != 0 {
+				text, _ := wire.UnpackBytes(f.Payload, int(f.B))
+				release(f.Payload)
+				er.failWith(fmt.Errorf("machine: ipc node %d rejected run spec: %s", cn.node, text))
+				break
+			}
+			er.mu.Lock()
+			er.acks++
+			ready := er.acks == t.nnodes
+			er.mu.Unlock()
+			if ready {
+				close(er.ackDone)
+			}
+		case wire.KindRankResult:
+			er := t.exec.Load()
+			if er == nil || f.Seq != er.gen {
+				release(f.Payload)
+				if !t.down.Load() && !t.closed.Load() {
+					t.workerFailed(cn, fmt.Errorf("unexpected rank result from node %d", cn.node))
+					return
+				}
+				break
+			}
+			rank := int(f.Src)
+			payload := f.Payload
+			var errText string
+			if errLen := int(f.A); errLen > 0 {
+				errWords := (errLen + 7) / 8
+				if errWords > len(payload) {
+					release(f.Payload)
+					t.workerFailed(cn, fmt.Errorf("rank result error text overruns payload (node %d)", cn.node))
+					return
+				}
+				b, err := wire.UnpackBytes(payload[len(payload)-errWords:], errLen)
+				if err != nil {
+					release(f.Payload)
+					t.workerFailed(cn, fmt.Errorf("rank result from node %d: %v", cn.node, err))
+					return
+				}
+				errText = string(b)
+				payload = payload[:len(payload)-errWords]
+			}
+			if rank < 0 || rank >= t.n || rank/t.perNode != cn.node {
+				release(f.Payload)
+				t.workerFailed(cn, fmt.Errorf("rank result for rank %d from node %d", rank, cn.node))
+				return
+			}
+			rec := make([]float64, len(payload))
+			copy(rec, payload)
+			release(f.Payload)
+			er.mu.Lock()
+			complete := false
+			if !er.got[rank] {
+				er.got[rank] = true
+				er.results[rank] = RankResult{Rank: rank, Payload: rec, ErrClass: f.B, ErrText: errText}
+				er.count++
+				complete = er.count == len(er.results)
+			}
+			er.mu.Unlock()
+			if complete {
+				close(er.done)
+			} else if er.hint.Load() {
+				// A node finishing can complete the stall condition (every
+				// other node already blocked): give the armed probe another
+				// look, since no further hint will arrive — workers hint on
+				// stalling, not on finishing.
+				select {
+				case t.watch <- struct{}{}:
+				default:
+				}
+			}
+		case wire.KindStallHint:
+			if er := t.exec.Load(); er != nil && f.Seq == er.gen {
+				er.hint.Store(true)
+				select {
+				case t.watch <- struct{}{}:
+				default:
+				}
+			}
+		case wire.KindBarrier:
+			// A worker node announcing that all its local ranks reached
+			// host-barrier generation f.Seq; the last node's arrival
+			// releases the generation on every node.
+			er := t.exec.Load()
+			if er == nil || f.A != er.gen {
+				break // straggler from a fenced run
+			}
+			er.mu.Lock()
+			er.barArr[f.Seq]++
+			full := er.barArr[f.Seq] == t.nnodes
+			er.mu.Unlock()
+			if full {
+				rel := wire.Frame{Kind: wire.KindBarrier, Seq: f.Seq}
+				for _, c2 := range t.conns {
+					if err := c2.writeCtrl(&rel, 0); err != nil && !t.closed.Load() {
+						t.workerFailed(c2, fmt.Errorf("barrier release to node %d: %w", c2.node, err))
+						return
+					}
+				}
+			}
 		case wire.KindProbeAck:
 			t.pmu.Lock()
-			cn.ackEpoch, cn.ackRecv, cn.ackFwd = f.Seq, f.A, f.B
+			cn.ackEpoch, cn.ackRecv, cn.ackFwd, cn.ackFlags = f.Seq, f.A, f.B, f.Tag
 			t.pcond.Broadcast()
 			t.pmu.Unlock()
 		case wire.KindResetAck:
@@ -830,7 +1085,12 @@ func (t *IPCTransport) watchLoop() {
 		case <-t.stopc:
 			return
 		case <-t.watch:
-			if t.recheck != nil {
+			if er := t.exec.Load(); er != nil {
+				// Execution mode: the ranks run inside the workers, so the
+				// machine-side recheck has nothing to look at — the
+				// coordinator drives the distributed verdict itself.
+				t.execProbe(er)
+			} else if t.recheck != nil {
 				t.recheck.RecheckStall()
 			}
 		}
@@ -850,24 +1110,33 @@ func (t *IPCTransport) workerFailed(cn *ipcConn, cause error) {
 	}
 	t.reasonMu.Unlock()
 	t.Abort()
+	if er := t.exec.Load(); er != nil {
+		er.failWith(t.DownReason())
+	}
 }
 
 // Close shuts the worker fleet down (Shutdown frames, then socket close —
 // either is sufficient for a worker to exit; EOF alone covers a killed
 // coordinator) and releases sockets, goroutines and the temp directory.
-// The transport must not be used after Close. Close is idempotent.
+// The transport must not be used after Close. Close is idempotent and safe
+// to call concurrently with an in-flight Run or abort: it first takes the
+// transport down, so ranks blocked in Recv or Barrier unwind instead of
+// hanging on sockets that are about to disappear.
 func (t *IPCTransport) Close() error {
 	if !t.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	t.reasonMu.Lock()
+	if t.reason == nil {
+		t.reason = errors.New("machine: ipc transport closed")
+	}
+	t.reasonMu.Unlock()
+	t.Abort()
 	close(t.stopc)
 	if t.started.Load() {
 		f := wire.Frame{Kind: wire.KindShutdown}
 		for _, cn := range t.conns {
-			cn.wmu.Lock()
-			cn.c.SetWriteDeadline(time.Now().Add(time.Second))
-			_ = wire.WriteFrame(cn.c, &cn.wscratch, &f)
-			cn.wmu.Unlock()
+			_ = cn.writeCtrl(&f, time.Second)
 			cn.c.Close()
 		}
 		t.pmu.Lock()

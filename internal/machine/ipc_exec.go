@@ -1,0 +1,206 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// This file is the coordinator half of the IPC execution plane. In relay
+// mode (ipc.go's default) every rank runs in the coordinator and each
+// inter-node message crosses two sockets; in execution mode each worker
+// process hosts its node's ranks as a real sub-machine (WorkerTransport +
+// Machine over the node's rank window), so intra-node sends never leave the
+// worker and sockets carry only genuinely inter-node edges. The coordinator
+// stops simulating and starts orchestrating: it broadcasts the run spec,
+// routes worker-to-worker frames, arbitrates host barriers, drives the
+// distributed stall verdict, and gathers per-rank results.
+//
+// The protocol, over the same framed sockets as relay mode:
+//
+//	coordinator                            workers
+//	  Reset ─────────────────────────────▶   (fence: join stale run, zero counters)
+//	  RunSpec{gen, spec} ────────────────▶   build run via the exec hook, install transport
+//	  ◀──────────────────────── RunAck{gen}  (all nodes; a rejection fails the run)
+//	  RunStart{gen} ─────────────────────▶   execute ranks
+//	  ◀─ Data{A:gen} ─▶ routed onward ───▶   inter-node sends, batched per socket
+//	  ◀──────────────────── StallHint{gen}   local quiescence; arms execProbe
+//	  Abort{Seq:1} (verdict) ────────────▶   declareStall: ranks unwind with ErrDeadlock
+//	  ◀─────────────────── RankResult{gen}   one per rank; completes the run
+//
+// The RunSpec/RunStart split closes a write-order race: a worker that
+// acknowledged the spec has its mailboxes installed, so Data frames another
+// node's ranks emit the instant they start can never arrive before the
+// transport exists.
+type execRun struct {
+	gen uint64
+
+	mu      sync.Mutex
+	results []RankResult // indexed by rank
+	got     []bool
+	count   int
+	acks    int
+	barArr  map[uint64]int // host-barrier generation -> nodes arrived
+
+	ackDone chan struct{} // every node acknowledged the spec
+	done    chan struct{} // every rank's result arrived
+
+	failOnce sync.Once
+	failErr  error
+	fail     chan struct{}
+
+	// hint arms the watcher's execProbe: at least one worker reported all
+	// its live ranks blocked since the last failed verdict.
+	hint atomic.Bool
+}
+
+// failWith records the run's terminal failure; first cause wins.
+func (er *execRun) failWith(err error) {
+	er.failOnce.Do(func() {
+		er.failErr = err
+		close(er.fail)
+	})
+}
+
+// RunDistributed executes one run inside the worker fleet: spec is an
+// opaque description of the program (the core layer serializes program
+// name, grid, cost model and executor) that every worker's execution hook
+// (EnableWorkerExec) turns into a local sub-machine over its rank window.
+// It returns one RankResult per rank of the whole machine, in rank order,
+// or the structured failure (a wrapped ErrWorkerLost when a worker process
+// died mid-run). Runs are serialized; the transport may be reused for
+// further runs, distributed or relay, afterwards.
+func (t *IPCTransport) RunDistributed(spec []byte) ([]RankResult, error) {
+	if !WorkerExecEnabled() {
+		return nil, errors.New("machine: distributed run needs an exec-armed binary (EnableWorkerExec)")
+	}
+	t.runMu.Lock()
+	defer t.runMu.Unlock()
+	if t.closed.Load() {
+		return nil, errors.New("machine: ipc transport closed")
+	}
+	if err := t.ensureStarted(); err != nil {
+		return nil, fmt.Errorf("machine: ipc transport failed to start workers: %v", err)
+	}
+	// The fence: stale frames drained, counters zeroed on both sides, any
+	// leftover run from a failed predecessor joined and discarded.
+	t.Reset()
+
+	t.execGen++
+	er := &execRun{
+		gen:     t.execGen,
+		results: make([]RankResult, t.n),
+		got:     make([]bool, t.n),
+		barArr:  make(map[uint64]int),
+		ackDone: make(chan struct{}),
+		done:    make(chan struct{}),
+		fail:    make(chan struct{}),
+	}
+	t.exec.Store(er)
+	defer t.exec.Store(nil)
+
+	f := wire.Frame{Kind: wire.KindRunSpec, Seq: er.gen, A: uint64(len(spec)), Payload: wire.PackBytes(spec)}
+	for _, cn := range t.conns {
+		if err := cn.writeCtrl(&f, 0); err != nil {
+			if !t.closed.Load() {
+				t.workerFailed(cn, fmt.Errorf("run spec to node %d: %w", cn.node, err))
+			}
+			break // the failure lands on er.fail below
+		}
+	}
+	select {
+	case <-er.ackDone:
+	case <-er.fail:
+		return nil, er.failErr
+	case <-t.stopc:
+		return nil, errors.New("machine: ipc transport closed during distributed run")
+	}
+
+	start := wire.Frame{Kind: wire.KindRunStart, Seq: er.gen}
+	for _, cn := range t.conns {
+		if err := cn.writeCtrl(&start, 0); err != nil {
+			if !t.closed.Load() {
+				t.workerFailed(cn, fmt.Errorf("run start to node %d: %w", cn.node, err))
+			}
+			break
+		}
+	}
+	select {
+	case <-er.done:
+		// A worker loss can race the last result onto er.done; the
+		// structured failure must win over a result set assembled from a
+		// fleet that was falling apart.
+		select {
+		case <-er.fail:
+			return nil, er.failErr
+		default:
+		}
+	case <-er.fail:
+		return nil, er.failErr
+	case <-t.stopc:
+		return nil, errors.New("machine: ipc transport closed during distributed run")
+	}
+	return er.results, nil
+}
+
+// execProbe is the execution-mode distributed stall verdict, run by the
+// watcher when a StallHint armed it. The frame counters alone cannot
+// distinguish "deadlocked" from "every rank computing locally" — sockets
+// are quiet either way — so quiescence is combined with the per-worker
+// status flags the probe acks carry: two identical quiescent snapshots
+// whose flags show every node either stalled or finished, with at least one
+// stalled, bracket a cut where no frame was in flight anywhere and no rank
+// could ever proceed. The verdict is broadcast as Abort{Seq:1}; each worker
+// unwinds its blocked ranks with the exact ErrDeadlock cause the
+// single-process transports produce, and the run completes through the
+// normal RankResult path.
+func (t *IPCTransport) execProbe(er *execRun) {
+	if !er.hint.Load() || t.down.Load() || t.closed.Load() {
+		return
+	}
+	t.probeMu.Lock()
+	var ok bool
+	t.snap1, ok = t.probeSnapshot(t.snap1[:0])
+	if !ok {
+		t.probeMu.Unlock()
+		return
+	}
+	t.snap2, ok = t.probeSnapshot(t.snap2[:0])
+	if !ok || len(t.snap1) != len(t.snap2) {
+		t.probeMu.Unlock()
+		return
+	}
+	for i := range t.snap1 {
+		if t.snap1[i] != t.snap2[i] {
+			t.probeMu.Unlock()
+			return
+		}
+	}
+	// Five values per connection; flags are the fifth (see probeSnapshot).
+	anyStalled, allSettled := false, true
+	for i := 4; i < len(t.snap2); i += 5 {
+		switch {
+		case t.snap2[i]&probeStalled != 0:
+			anyStalled = true
+		case t.snap2[i]&probeFinished == 0:
+			allSettled = false
+		}
+	}
+	t.probeMu.Unlock()
+	if !allSettled || !anyStalled {
+		// Not a deadlock (some node is still computing, or everything
+		// finished). Leave the hint armed: the next delivery or hint
+		// re-triggers the probe, and a finished fleet completes through
+		// RankResult frames regardless.
+		return
+	}
+	er.hint.Store(false)
+	verdict := wire.Frame{Kind: wire.KindAbort, Seq: abortStallDeclared}
+	for _, cn := range t.conns {
+		_ = cn.writeCtrl(&verdict, time.Second)
+	}
+}

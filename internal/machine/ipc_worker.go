@@ -8,6 +8,8 @@ import (
 	"net"
 	"os"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/wire"
 )
@@ -19,15 +21,27 @@ import (
 // startup before main (or the test runner) ever runs.
 const (
 	ipcEnvNet  = "KF_IPC_NET"  // listener network: "unix" or "tcp"
-	ipcEnvAddr = "KF_IPC_ADDR" // listener address the worker dials back to
+	ipcEnvAddr = "KF_IPC_ADDR" // listener address the worker dials back to (or, on a coordinator, the TCP address to listen on — see SetListenAddr)
 	ipcEnvNode = "KF_IPC_NODE" // this worker's node index
+	ipcEnvExec = "KF_IPC_EXEC" // non-empty: defer worker entry until EnableWorkerExec (program registrations must run first)
 )
 
 func init() { maybeRunIPCWorker() }
 
+// pendingIPCWorker holds a deferred worker entry: an exec-capable
+// coordinator spawns its workers with KF_IPC_EXEC set, telling the worker
+// process to finish package initialization (program registrations live in
+// init functions of packages initialized after this one) before entering
+// the daemon loop via EnableWorkerExec.
+var pendingIPCWorker *struct {
+	node          int
+	network, addr string
+}
+
 // maybeRunIPCWorker turns the process into an IPC node worker when the
 // coordinator's environment variables are present; it never returns in that
-// case. A plain process (no KF_IPC_NODE) returns immediately.
+// case (with KF_IPC_EXEC set, entry is deferred to EnableWorkerExec, which
+// then never returns). A plain process (no KF_IPC_NODE) returns immediately.
 func maybeRunIPCWorker() {
 	nodeStr, ok := os.LookupEnv(ipcEnvNode)
 	if !ok {
@@ -38,7 +52,112 @@ func maybeRunIPCWorker() {
 		fmt.Fprintf(os.Stderr, "kf-ipc-worker: bad %s=%q: %v\n", ipcEnvNode, nodeStr, err)
 		os.Exit(1)
 	}
+	if os.Getenv(ipcEnvExec) != "" {
+		pendingIPCWorker = &struct {
+			node          int
+			network, addr string
+		}{node, os.Getenv(ipcEnvNet), os.Getenv(ipcEnvAddr)}
+		return
+	}
 	os.Exit(runIPCWorker(node, os.Getenv(ipcEnvNet), os.Getenv(ipcEnvAddr)))
+}
+
+// RankResult is one rank's outcome of a distributed run, as shipped from
+// the worker that executed it to the coordinator in a RankResult frame.
+// Payload is an opaque record the execution hook composes worker-side and
+// its counterpart decodes coordinator-side (the core layer packs output
+// values, stats and clocks); ErrClass coarsely classifies Err for
+// structured reconstruction across the process boundary (see the
+// RankErr* constants) with ErrText carrying the exact message.
+type RankResult struct {
+	Rank     int
+	Payload  []float64
+	ErrClass uint64
+	ErrText  string
+}
+
+// The RankResult error classes.
+const (
+	RankErrNone     uint64 = 0 // rank finished cleanly
+	RankErrGeneric  uint64 = 1 // opaque failure; only the text survives the wire
+	RankErrDeadlock uint64 = 2 // error wraps ErrDeadlock (errors.Is must keep holding after reconstruction)
+)
+
+// WorkerRun is what the execution hook hands the worker for one distributed
+// run: the transport the worker delivers routed frames into (installed
+// before the run is acknowledged, so early-routed traffic has a home), and
+// Execute, which runs the node's ranks to completion and returns one
+// RankResult per local rank.
+type WorkerRun interface {
+	Transport() *WorkerTransport
+	Execute() []RankResult
+}
+
+// WorkerHost is the worker's face toward the execution hook while it
+// constructs a run from a RunSpec.
+type WorkerHost struct {
+	w   *ipcWorker
+	gen uint64
+}
+
+// Node returns the worker's node index.
+func (h *WorkerHost) Node() int { return h.w.node }
+
+// NewTransport builds the WorkerTransport for this node's window of an
+// n-rank, nnodes-node machine, bound to the worker's socket and the
+// current run generation.
+func (h *WorkerHost) NewTransport(n, nnodes int) (*WorkerTransport, error) {
+	return newWorkerTransport(h.w, h.w.node, n, nnodes, h.gen)
+}
+
+// WorkerExecHook builds a WorkerRun from a coordinator's serialized run
+// spec. The hook must install every resource a run needs (transport via
+// h.NewTransport, machine, executor) before returning: the worker
+// acknowledges the spec the moment the hook returns, and inter-node frames
+// may arrive immediately after.
+type WorkerExecHook func(h *WorkerHost, spec []byte) (WorkerRun, error)
+
+var (
+	workerExecMu   sync.Mutex
+	workerExecHook WorkerExecHook
+)
+
+// EnableWorkerExec arms worker-side execution: coordinators in this process
+// spawn exec-capable workers, and worker processes build runs through hook.
+// It must be called at most once, from an init path that runs after every
+// RegisterProgram-style registration the hook depends on — in a process
+// spawned as an exec worker, EnableWorkerExec enters the daemon loop and
+// never returns.
+func EnableWorkerExec(hook WorkerExecHook) {
+	if hook == nil {
+		panic("machine: EnableWorkerExec with nil hook")
+	}
+	workerExecMu.Lock()
+	if workerExecHook != nil {
+		workerExecMu.Unlock()
+		panic("machine: EnableWorkerExec called twice")
+	}
+	workerExecHook = hook
+	p := pendingIPCWorker
+	pendingIPCWorker = nil
+	workerExecMu.Unlock()
+	if p != nil {
+		os.Exit(runIPCWorker(p.node, p.network, p.addr))
+	}
+}
+
+// WorkerExecEnabled reports whether this process can host (and therefore
+// spawn) execution-plane workers.
+func WorkerExecEnabled() bool {
+	workerExecMu.Lock()
+	defer workerExecMu.Unlock()
+	return workerExecHook != nil
+}
+
+func loadWorkerExecHook() WorkerExecHook {
+	workerExecMu.Lock()
+	defer workerExecMu.Unlock()
+	return workerExecHook
 }
 
 // runIPCWorker dials the coordinator and runs the node daemon loop,
@@ -67,20 +186,42 @@ func runIPCWorker(node int, network, addr string) int {
 	return w.loop()
 }
 
-// ipcWorker is one node's network daemon: it reflects Data frames back to
-// the coordinator as Deliver frames (raw byte passthrough — only the kind
-// byte changes, so the hot path never decodes a payload) and answers the
+// ipcWorker is one node's daemon. With no active run it is a relay: Data
+// frames reflect back to the coordinator as Deliver frames (raw byte
+// passthrough — only the kind byte changes, so that hot path never decodes
+// a payload). With a run active (RunSpec accepted, see the exec protocol
+// in ipc.go) it is an execution host: routed Data frames deliver into the
+// run's WorkerTransport, the node's ranks execute locally, and their
+// inter-node sends leave through sendRemote. Either way it answers the
 // control protocol (stall probes, reset fences, shutdown).
+//
+// Writes are shared between the read loop and the run's rank goroutines,
+// so they serialize under wmu and batch through the buffered writer: a
+// writer that decrements wpending to zero flushes, so concurrent sends
+// coalesce into one socket write while the last frame of any burst never
+// sits in the buffer (control frames flush immediately).
 type ipcWorker struct {
-	node     int
-	br       *bufio.Reader
-	bw       *bufio.Writer
-	body     []byte // reused frame body buffer
-	wscratch []byte // reused control-frame encode buffer
+	node int
+	br   *bufio.Reader
+	body []byte // read-loop frame body buffer
+	rbuf []byte // read-loop full-decode buffer
 
-	recvSeq uint64 // Data frames received since the last reset fence
-	fwdSeq  uint64 // Deliver frames written back since the last reset fence
-	barGen  uint64 // latest host-barrier generation announced
+	wmu      sync.Mutex
+	bw       *bufio.Writer
+	wscratch []byte       // frame encode buffer, under wmu
+	txData   uint64       // Data/Deliver frames written since the last reset fence, under wmu
+	wpending atomic.Int32 // writers mid-frame; the one that drains it to zero flushes
+
+	rxData uint64 // Data frames received since the last reset fence (read loop only)
+	barGen uint64 // relay mode: latest host-barrier generation announced
+
+	// Exec-mode run state, owned by the read loop.
+	active     *WorkerTransport
+	runner     WorkerRun
+	activeGen  uint64
+	runStarted bool // RunStart seen; executeRun is (or was) in flight
+	runDone    chan struct{}
+	finished   atomic.Bool // all local ranks done; results written or being written
 }
 
 func (w *ipcWorker) fail(code int, format string, args ...any) int {
@@ -88,14 +229,135 @@ func (w *ipcWorker) fail(code int, format string, args ...any) int {
 	return code
 }
 
-// flushIfIdle flushes the write buffer only when no further input is already
-// buffered, so a burst of Data frames is reflected in one socket write but
-// the last frame of a burst is never left sitting in the buffer.
-func (w *ipcWorker) flushIfIdle() error {
-	if w.br.Buffered() == 0 {
-		return w.bw.Flush()
+// writeBatched writes one frame under wmu without flushing; the wpending
+// protocol flushes when the last concurrent writer drains.
+func (w *ipcWorker) writeBatched(f *wire.Frame) error {
+	w.wpending.Add(1)
+	w.wmu.Lock()
+	err := wire.WriteFrame(w.bw, &w.wscratch, f)
+	w.wmu.Unlock()
+	if w.wpending.Add(-1) == 0 && err == nil {
+		w.wmu.Lock()
+		err = w.bw.Flush()
+		w.wmu.Unlock()
 	}
-	return nil
+	return err
+}
+
+// writeControl writes one frame and flushes immediately (acks, hints,
+// results-complete boundaries — anything the coordinator blocks on).
+func (w *ipcWorker) writeControl(f *wire.Frame) error {
+	w.wpending.Add(1)
+	w.wmu.Lock()
+	err := wire.WriteFrame(w.bw, &w.wscratch, f)
+	if err == nil {
+		err = w.bw.Flush()
+	}
+	w.wmu.Unlock()
+	w.wpending.Add(-1)
+	return err
+}
+
+// flushIfIdle flushes the write buffer only when no further input is already
+// buffered, so a burst of reflected Data frames leaves in one socket write
+// but the last frame of a burst is never left sitting in the buffer.
+func (w *ipcWorker) flushIfIdle() error {
+	if w.br.Buffered() != 0 {
+		return nil
+	}
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return w.bw.Flush()
+}
+
+// sendRemote implements workerIO: one local rank's inter-node send becomes
+// a Data frame on the coordinator socket, sequence-stamped under wmu so the
+// per-socket FIFO carries each (src, tag) stream in program order. A write
+// error is deliberately swallowed: it means the coordinator is gone, the
+// read loop is about to hit the same broken socket and exit the process.
+func (w *ipcWorker) sendRemote(gen uint64, src, dst int, tag Tag, data []float64, arrival float64) {
+	w.wpending.Add(1)
+	w.wmu.Lock()
+	w.txData++
+	f := wire.Frame{
+		Kind:    wire.KindData,
+		Src:     int32(src),
+		Dst:     int32(dst),
+		Tag:     uint64(tag),
+		Seq:     w.txData,
+		A:       gen,
+		Arrival: arrival,
+		Payload: data,
+	}
+	err := wire.WriteFrame(w.bw, &w.wscratch, &f)
+	w.wmu.Unlock()
+	if w.wpending.Add(-1) == 0 && err == nil {
+		w.wmu.Lock()
+		w.bw.Flush()
+		w.wmu.Unlock()
+	}
+}
+
+// sendStallHint implements workerIO: report local quiescence. The flush
+// pushes out any batched Data frames first (same buffer, FIFO), so the
+// coordinator's probe sees counters consistent with everything this node
+// has sent.
+func (w *ipcWorker) sendStallHint(gen uint64) {
+	_ = w.writeControl(&wire.Frame{Kind: wire.KindStallHint, Src: int32(w.node), Seq: gen})
+}
+
+// sendBarrierArrive implements workerIO: every local rank reached
+// host-barrier generation barGen.
+func (w *ipcWorker) sendBarrierArrive(gen, barGen uint64) {
+	_ = w.writeControl(&wire.Frame{Kind: wire.KindBarrier, Src: int32(w.node), Seq: barGen, A: gen})
+}
+
+// executeRun drives one distributed run to completion off the read loop:
+// run the node's ranks, then stream one RankResult frame per local rank
+// and flush. Closing done lets a reset fence join in-flight runs.
+func (w *ipcWorker) executeRun(run WorkerRun, gen uint64, done chan struct{}) {
+	defer close(done)
+	results := run.Execute()
+	w.finished.Store(true)
+	for i := range results {
+		r := &results[i]
+		payload := r.Payload
+		if r.ErrText != "" {
+			payload = append(payload, wire.PackBytes([]byte(r.ErrText))...)
+		}
+		f := wire.Frame{
+			Kind:    wire.KindRankResult,
+			Src:     int32(r.Rank),
+			Seq:     gen,
+			A:       uint64(len(r.ErrText)),
+			B:       r.ErrClass,
+			Payload: payload,
+		}
+		if err := w.writeBatched(&f); err != nil {
+			return
+		}
+	}
+	w.wmu.Lock()
+	w.bw.Flush()
+	w.wmu.Unlock()
+}
+
+// endRun aborts and joins the active run (reset fence, shutdown): take the
+// transport down with the given reason, wait for every local rank to unwind
+// and the result stream to complete. Any frames the dying run wrote reach
+// the socket before whatever the caller writes next.
+func (w *ipcWorker) endRun(reason error) {
+	if w.active == nil {
+		return
+	}
+	w.active.hostDown(reason)
+	if w.runStarted {
+		// Only a started run has an executeRun goroutine to join; a spec
+		// that was accepted but never started (another node rejected it)
+		// is simply discarded.
+		<-w.runDone
+	}
+	w.active, w.runner, w.runDone, w.runStarted = nil, nil, nil, false
 }
 
 func (w *ipcWorker) loop() int {
@@ -120,59 +382,164 @@ func (w *ipcWorker) loop() int {
 		kind := wire.Kind(body[0])
 		switch kind {
 		case wire.KindData:
-			// Hot path: verify the per-socket FIFO sequence, flip the kind
-			// byte, and reflect the identical bytes back.
 			seq := binary.LittleEndian.Uint64(body[17:25])
-			if seq != w.recvSeq+1 {
-				return w.fail(2, "FIFO gap: data frame seq %d after %d", seq, w.recvSeq)
+			if seq != w.rxData+1 {
+				return w.fail(2, "FIFO gap: data frame seq %d after %d", seq, w.rxData)
 			}
-			w.recvSeq++
+			w.rxData++
+			if w.active != nil {
+				// Exec mode: a routed inter-node message for one of this
+				// node's ranks. Full decode (payload from the sub-machine's
+				// pool), then the mailbox delivery every intra-node send
+				// uses.
+				var f wire.Frame
+				if err := w.decode(prefix[:], body, &f, w.active.acquire); err != nil {
+					return w.fail(1, "routed data: %v", err)
+				}
+				if err := w.active.deliverRemote(int(f.Src), int(f.Dst), Tag(f.Tag), f.Payload, f.Arrival); err != nil {
+					return w.fail(1, "%v", err)
+				}
+				break
+			}
+			// Relay mode hot path: flip the kind byte and reflect the
+			// identical bytes back.
 			body[0] = byte(wire.KindDeliver)
-			if _, err := w.bw.Write(prefix[:]); err != nil {
+			w.wmu.Lock()
+			_, err1 := w.bw.Write(prefix[:])
+			_, err2 := w.bw.Write(body)
+			w.txData++
+			w.wmu.Unlock()
+			if err1 != nil || err2 != nil {
 				return 0 // write failed: coordinator is gone
 			}
-			if _, err := w.bw.Write(body); err != nil {
-				return 0
-			}
-			w.fwdSeq++
 			if err := w.flushIfIdle(); err != nil {
 				return 0
 			}
 		case wire.KindProbe:
 			var f wire.Frame
-			if err := w.decode(prefix[:], body, &f); err != nil {
+			if err := w.decode(prefix[:], body, &f, nil); err != nil {
 				return w.fail(1, "probe: %v", err)
 			}
-			ack := wire.Frame{Kind: wire.KindProbeAck, Src: int32(w.node), Seq: f.Seq, A: w.recvSeq, B: w.fwdSeq}
-			if err := wire.WriteFrame(w.bw, &w.wscratch, &ack); err != nil {
-				return 0
+			var flags uint64
+			if w.active != nil {
+				if w.finished.Load() {
+					flags |= probeFinished
+				} else if w.active.stallStatus() {
+					flags |= probeStalled
+				}
 			}
-			if err := w.bw.Flush(); err != nil {
+			w.wpending.Add(1)
+			w.wmu.Lock()
+			// txData is read under wmu: rank goroutines stamp sends there.
+			ack := wire.Frame{Kind: wire.KindProbeAck, Src: int32(w.node), Seq: f.Seq, A: w.rxData, B: w.txData, Tag: flags}
+			err := wire.WriteFrame(w.bw, &w.wscratch, &ack)
+			if err == nil {
+				err = w.bw.Flush()
+			}
+			w.wmu.Unlock()
+			w.wpending.Add(-1)
+			if err != nil {
 				return 0
 			}
 		case wire.KindReset:
 			var f wire.Frame
-			if err := w.decode(prefix[:], body, &f); err != nil {
+			if err := w.decode(prefix[:], body, &f, nil); err != nil {
 				return w.fail(1, "reset: %v", err)
 			}
-			seen := w.recvSeq
-			w.recvSeq, w.fwdSeq = 0, 0
+			// A fence joins any in-flight run first: its ranks unwind, its
+			// last frames reach the socket, and only then do the counters
+			// rewind and the ack release the coordinator.
+			w.endRun(fmt.Errorf("machine: ipc run fenced by coordinator reset"))
+			w.finished.Store(false)
+			seen := w.rxData
+			w.rxData = 0
 			ack := wire.Frame{Kind: wire.KindResetAck, Src: int32(w.node), Seq: f.Seq, A: seen}
-			if err := wire.WriteFrame(w.bw, &w.wscratch, &ack); err != nil {
-				return 0
+			w.wpending.Add(1)
+			w.wmu.Lock()
+			w.txData = 0
+			err := wire.WriteFrame(w.bw, &w.wscratch, &ack)
+			if err == nil {
+				err = w.bw.Flush()
 			}
-			if err := w.bw.Flush(); err != nil {
+			w.wmu.Unlock()
+			w.wpending.Add(-1)
+			if err != nil {
 				return 0
 			}
 		case wire.KindBarrier:
 			var f wire.Frame
-			if err := w.decode(prefix[:], body, &f); err != nil {
+			if err := w.decode(prefix[:], body, &f, nil); err != nil {
 				return w.fail(1, "barrier: %v", err)
 			}
-			w.barGen = f.Seq
+			if w.active != nil {
+				w.active.releaseBarrier(f.Seq)
+			} else {
+				w.barGen = f.Seq
+			}
 		case wire.KindAbort:
-			// The abort is between the coordinator's ranks; the daemon just
-			// keeps relaying whatever still drains (then sees Reset or EOF).
+			// Exec mode: the coordinator's verdict on the active run —
+			// Seq 1 is a declared distributed stall (ranks unwind with the
+			// deadlock cause), anything else a generic abort. The run is
+			// not joined here: its ranks unwind concurrently and the
+			// results still stream back. Relay mode: the abort is between
+			// the coordinator's ranks; the daemon just keeps relaying.
+			var f wire.Frame
+			if err := w.decode(prefix[:], body, &f, nil); err != nil {
+				return w.fail(1, "abort: %v", err)
+			}
+			if w.active != nil {
+				if f.Seq == abortStallDeclared {
+					w.active.declareStall()
+				} else {
+					w.active.hostDown(fmt.Errorf("machine: ipc run aborted by coordinator"))
+				}
+			}
+		case wire.KindRunSpec:
+			var f wire.Frame
+			if err := w.decode(prefix[:], body, &f, nil); err != nil {
+				return w.fail(1, "run spec: %v", err)
+			}
+			if w.active != nil {
+				return w.fail(1, "run spec while a run is active")
+			}
+			ack := wire.Frame{Kind: wire.KindRunAck, Src: int32(w.node), Seq: f.Seq}
+			spec, err := wire.UnpackBytes(f.Payload, int(f.A))
+			if err == nil {
+				if hook := loadWorkerExecHook(); hook == nil {
+					err = fmt.Errorf("worker binary is not armed for execution (EnableWorkerExec never ran)")
+				} else {
+					var run WorkerRun
+					run, err = hook(&WorkerHost{w: w, gen: f.Seq}, spec)
+					if err == nil && (run == nil || run.Transport() == nil) {
+						err = fmt.Errorf("execution hook returned no transport")
+					}
+					if err == nil {
+						// Install before acking: any Data frame the
+						// coordinator routes after this ack finds its
+						// mailboxes ready.
+						w.active, w.runner, w.activeGen = run.Transport(), run, f.Seq
+						w.finished.Store(false)
+						w.runDone = make(chan struct{})
+					}
+				}
+			}
+			if err != nil {
+				text := err.Error()
+				ack.A, ack.B, ack.Payload = 1, uint64(len(text)), wire.PackBytes([]byte(text))
+			}
+			if werr := w.writeControl(&ack); werr != nil {
+				return 0
+			}
+		case wire.KindRunStart:
+			var f wire.Frame
+			if err := w.decode(prefix[:], body, &f, nil); err != nil {
+				return w.fail(1, "run start: %v", err)
+			}
+			if w.active == nil || f.Seq != w.activeGen || w.runStarted {
+				return w.fail(1, "run start for generation %d without a matching accepted spec", f.Seq)
+			}
+			w.runStarted = true
+			go w.executeRun(w.runner, w.activeGen, w.runDone)
 		case wire.KindShutdown:
 			return 0
 		default:
@@ -182,10 +549,10 @@ func (w *ipcWorker) loop() int {
 }
 
 // decode re-assembles the already-read prefix and body into a full decode
-// for control frames (the Data hot path never pays for this).
-func (w *ipcWorker) decode(prefix, body []byte, f *wire.Frame) error {
-	buf := append(append(w.wscratch[:0], prefix...), body...)
-	_, err := wire.DecodeFrame(buf, f, nil)
-	w.wscratch = buf
+// for control frames and routed Data (the relay hot path never pays for
+// this).
+func (w *ipcWorker) decode(prefix, body []byte, f *wire.Frame, acquire func(n int) []float64) error {
+	w.rbuf = append(append(w.rbuf[:0], prefix...), body...)
+	_, err := wire.DecodeFrame(w.rbuf, f, acquire)
 	return err
 }

@@ -34,12 +34,13 @@ var ErrDeadlock = errors.New("machine: deadlock: all live processors blocked in 
 
 // Machine is a simulated multicomputer with a fixed number of processors.
 type Machine struct {
-	n     int
-	cost  CostModel
-	sink  Sink
-	procs []*Proc
-	tr    Transport
-	bufs  sharedPool // machine-wide tier of the message buffer pool
+	n      int
+	lo, hi int // the window of ranks this machine executes (see localRanker)
+	cost   CostModel
+	sink   Sink
+	procs  []*Proc
+	tr     Transport
+	bufs   sharedPool // machine-wide tier of the message buffer pool
 
 	dmu     sync.Mutex // guards blocked and live
 	blocked int        // processors currently waiting in Recv
@@ -175,6 +176,16 @@ func NewFederated(n, nodes int, cost CostModel) *Machine {
 	return NewWithTransport(NewFederatedTransport(n, nodes), cost)
 }
 
+// localRanker is implemented by transports that host only a window of the
+// machine's rank space locally (the IPC worker's sub-machine): ranks in
+// [lo, hi) execute here, the rest exist only as message endpoints reached
+// through the transport. Executors then drive only the local window, and
+// the deadlock live-count covers local ranks alone — remote progress is
+// the transport's to observe.
+type localRanker interface {
+	LocalRanks() (lo, hi int)
+}
+
 // NewWithTransport returns a machine over an explicit transport; the
 // processor count is the transport's endpoint count. The transport must be
 // exclusive to this machine (Bind is called here).
@@ -183,7 +194,14 @@ func NewWithTransport(t Transport, cost CostModel) *Machine {
 	if n <= 0 {
 		panic(fmt.Sprintf("machine: processor count must be positive, got %d", n))
 	}
-	m := &Machine{n: n, cost: cost, tr: t, exec: goroutineExecutor{}}
+	m := &Machine{n: n, lo: 0, hi: n, cost: cost, tr: t, exec: goroutineExecutor{}}
+	if lr, ok := t.(localRanker); ok {
+		lo, hi := lr.LocalRanks()
+		if lo < 0 || hi > n || lo >= hi {
+			panic(fmt.Sprintf("machine: transport's local rank window [%d, %d) invalid for %d processors", lo, hi, n))
+		}
+		m.lo, m.hi = lo, hi
+	}
 	m.coord.m = m
 	t.Bind(&m.coord)
 	m.procs = make([]*Proc, n)
@@ -246,7 +264,7 @@ func (m *Machine) setParker(p Parker) {
 func (m *Machine) Run(body func(p *Proc) error) error {
 	m.dmu.Lock()
 	m.blocked = 0
-	m.live = m.n
+	m.live = m.hi - m.lo
 	m.dmu.Unlock()
 	m.tr.Reset()
 	for _, p := range m.procs {
@@ -303,6 +321,15 @@ func (m *Machine) ProcStats(rank int) Stats { return m.procs[rank].stats }
 // ProcClock returns the final clock of processor rank from the most recent
 // Run.
 func (m *Machine) ProcClock(rank int) float64 { return m.procs[rank].clock }
+
+// RankErrors returns the per-rank error slice of the most recent Run
+// (index = rank; nil for ranks that finished cleanly and for ranks
+// outside the machine's local window). The slice is owned by the machine
+// and reused across runs: callers must not retain it past the next Run.
+// Run itself surfaces only the first error by rank order; a host that
+// reports per-rank outcomes — the IPC worker shipping one RankResult per
+// local rank — reads the rest from here.
+func (m *Machine) RankErrors() []error { return m.errs }
 
 // retire marks the calling processor's body as finished and re-checks the
 // deadlock condition: processors still blocked can never be satisfied by a

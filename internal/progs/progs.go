@@ -1,0 +1,190 @@
+// Package progs is the process-wide program table: it registers the
+// repo's benchmark programs (Jacobi, ADI, pipelined MADI) with the core
+// registry and then arms worker-side execution. Importing it — anywhere in
+// a binary — is what makes that binary exec-capable: coordinators ship
+// (name, args) pairs to their ipc workers, and the workers, running this
+// same init, rebuild bit-identical programs from the same table.
+//
+// The ordering inside init matters and is guaranteed by Go initialization:
+// every RegisterProgram call runs before core.EnableWorkerExec, so a
+// process re-entered as a worker daemon (KF_IPC_EXEC) has the full table
+// before it starts accepting run specs.
+package progs
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/adi"
+	"repro/internal/core"
+	"repro/internal/jacobi"
+	"repro/internal/kf"
+)
+
+func init() {
+	core.RegisterProgram("jacobi", func(args []float64) (*core.Program, error) {
+		n, err := intArg(args, 0, 2, "jacobi", "n")
+		if err != nil {
+			return nil, err
+		}
+		iters, err := intArg(args, 1, 2, "jacobi", "iters")
+		if err != nil {
+			return nil, err
+		}
+		return jacobiProgram(n, iters), nil
+	})
+	core.RegisterProgram("adi", adiFactory(false))
+	core.RegisterProgram("madi", adiFactory(true))
+	registerDiagnostics()
+	core.EnableWorkerExec()
+}
+
+// The diagnostic programs exercise the execution plane itself rather than
+// a numerical method: where does each rank run, what does a distributed
+// stall look like, what happens when a host dies mid-run. They are
+// registered here — not in a test file — because worker processes enter
+// their daemon loop during this package's init, before any test-file init
+// could add to the table; a program the workers cannot rebuild is a
+// program the coordinator cannot ship.
+func registerDiagnostics() {
+	// hostpid: every rank reports the pid of the process hosting it. On a
+	// single-process transport all values equal the caller's pid; on the
+	// ipc execution plane each node's ranks report that node's worker.
+	core.RegisterProgram("hostpid", func(args []float64) (*core.Program, error) {
+		if len(args) != 0 {
+			return nil, fmt.Errorf("hostpid takes no args, got %d", len(args))
+		}
+		return &core.Program{
+			Name: "hostpid",
+			Body: func(c *kf.Ctx) (core.Output, error) {
+				return core.Output{Values: []float64{float64(os.Getpid())}}, nil
+			},
+		}, nil
+	})
+	// stall: rank 0 waits forever on a message the last rank never sends —
+	// a deliberate deadlock, for exercising stall detection. The error
+	// every transport reports must be identical.
+	core.RegisterProgram("stall", func(args []float64) (*core.Program, error) {
+		if len(args) != 0 {
+			return nil, fmt.Errorf("stall takes no args, got %d", len(args))
+		}
+		return &core.Program{
+			Name: "stall",
+			Body: func(c *kf.Ctx) (core.Output, error) {
+				if c.P.Rank() == 0 && c.G.Size() > 1 {
+					c.P.Recv(c.G.Size()-1, 0x57)
+				}
+				return core.Output{Values: []float64{1}}, nil
+			},
+		}, nil
+	})
+	// crash: the victim rank kills its host process mid-run while rank 0
+	// blocks on it — fault injection for the worker-loss path. It refuses
+	// to run outside an ipc worker (it would kill the coordinator).
+	core.RegisterProgram("crash", func(args []float64) (*core.Program, error) {
+		victim, err := intArg(args, 0, 1, "crash", "victim")
+		if err != nil {
+			return nil, err
+		}
+		return &core.Program{
+			Name: fmt.Sprintf("crash-r%d", victim),
+			Body: func(c *kf.Ctx) (core.Output, error) {
+				if os.Getenv("KF_IPC_NODE") == "" {
+					return core.Output{}, fmt.Errorf("crash diagnostic must run inside an ipc worker")
+				}
+				switch c.P.Rank() {
+				case victim:
+					os.Exit(3)
+				case 0:
+					c.P.Recv(victim, 1)
+				}
+				return core.Output{Values: []float64{1}}, nil
+			},
+		}, nil
+	})
+}
+
+// intArg extracts args[i] as a non-negative integer; every registered
+// factory validates this way so a malformed run spec is rejected on the
+// worker with a message naming the argument, not a panic mid-run.
+func intArg(args []float64, i, want int, prog, name string) (int, error) {
+	if len(args) != want {
+		return 0, fmt.Errorf("%s takes %d args, got %d", prog, want, len(args))
+	}
+	v := args[i]
+	if v != math.Trunc(v) || v < 0 || v > 1<<31 {
+		return 0, fmt.Errorf("%s arg %s = %v is not a small non-negative integer", prog, name, v)
+	}
+	return int(v), nil
+}
+
+// jacobiProgram builds the KF1 Jacobi iteration over the standard n x n
+// test problem (jacobi.Problem): values are the gathered solution from
+// rank 0, elapsed the iteration loop's finish time. The name is the
+// metrics key the experiments have always used.
+func jacobiProgram(n, iters int) *core.Program {
+	x0, f := jacobi.Problem(n)
+	return &core.Program{
+		Name: fmt.Sprintf("jacobi-n%d-x%d", n, iters),
+		Body: func(c *kf.Ctx) (core.Output, error) {
+			flat, elapsed := jacobi.KF1Ctx(c, x0, f, iters)
+			return core.Output{Values: flat, Elapsed: elapsed}, nil
+		},
+	}
+}
+
+// adiFactory returns the registry factory for the ADI iteration
+// (pipelined = the paper's madi) over the standard smooth right-hand side
+// (adi.TestProblem). Args are [N, A, B, Rho, Iters]; the diffusion
+// coefficients and the Peaceman-Rachford parameter cross the wire as raw
+// float64s, so coordinator and workers price the identical problem.
+func adiFactory(pipelined bool) func(args []float64) (*core.Program, error) {
+	name := "adi"
+	if pipelined {
+		name = "madi"
+	}
+	return func(args []float64) (*core.Program, error) {
+		n, err := intArg(args, 0, 5, name, "N")
+		if err != nil {
+			return nil, err
+		}
+		iters, err := intArg(args, 4, 5, name, "Iters")
+		if err != nil {
+			return nil, err
+		}
+		par := adi.Params{N: n, A: args[1], B: args[2], Rho: args[3], Iters: iters}
+		return adiProgram(par, pipelined), nil
+	}
+}
+
+func adiProgram(par adi.Params, pipelined bool) *core.Program {
+	name := "adi"
+	if pipelined {
+		name = "madi"
+	}
+	f := adi.TestProblem(par.N)
+	return &core.Program{
+		Name: fmt.Sprintf("%s-n%d-x%d", name, par.N, par.Iters),
+		Body: func(c *kf.Ctx) (core.Output, error) {
+			flat, _, elapsed := adi.ParallelCtx(c, par, f, pipelined)
+			return core.Output{Values: flat, Elapsed: elapsed}, nil
+		},
+	}
+}
+
+// Jacobi builds the registered Jacobi program (n x n points, iters
+// sweeps). Registry-built, so eligible systems execute it inside their ipc
+// workers.
+func Jacobi(n, iters int) (*core.Program, error) {
+	return core.BuildProgram("jacobi", float64(n), float64(iters))
+}
+
+// ADI builds the registered ADI program (pipelined = madi) for par.
+func ADI(par adi.Params, pipelined bool) (*core.Program, error) {
+	name := "adi"
+	if pipelined {
+		name = "madi"
+	}
+	return core.BuildProgram(name, float64(par.N), par.A, par.B, par.Rho, float64(par.Iters))
+}

@@ -8,8 +8,11 @@
 // (HeaderLen + 8*plen). Data/Deliver frames carry one simulated message —
 // (src, dst, tag, arrival, []float64) — and the remaining kinds are the
 // control vocabulary of the transport: session hello, host-barrier epoch
-// announcements, reset fencing, abort broadcast, the two-phase stall probe
-// and shutdown. The encoding is canonical: any frame that decodes
+// announcements, reset fencing, abort broadcast, the two-phase stall
+// probe, shutdown, and the execution-plane run protocol (RunSpec/RunAck/
+// RunStart out to the workers, RankResult/StallHint back). Opaque bytes —
+// run specs, error texts — ride in the float64 payload via PackBytes/
+// UnpackBytes. The encoding is canonical: any frame that decodes
 // re-encodes to exactly the same bytes, which is what lets the round-trip
 // fuzzer compare raw bytes instead of trusting the decoder twice.
 //
@@ -34,22 +37,33 @@ import (
 // Kind discriminates the frame vocabulary.
 type Kind uint8
 
-// The frame kinds. Data is a coordinator-to-worker message frame; Deliver
-// is the same message reflected back off the destination node's worker
-// (the two differ only in the kind byte, so a worker routes without
-// re-encoding). The rest are control frames.
+// The frame kinds. Data carries one simulated message in either direction:
+// coordinator -> worker it is an inter-node edge being routed toward the
+// destination node, worker -> coordinator it is an inter-node send leaving
+// a worker-hosted rank. Deliver is a Data frame reflected back off a relay
+// worker (the two differ only in the kind byte, so a relay worker routes
+// without re-encoding). RunSpec through StallHint are the execution-plane
+// control vocabulary: the coordinator ships a serialized run request to
+// every worker, each worker instantiates the named program over its local
+// ranks and streams back one RankResult per rank. The rest are session
+// control frames.
 const (
-	KindInvalid  Kind = iota
-	KindHello         // worker session opener; Seq = node id
-	KindData          // simulated message, coordinator -> worker; Seq = per-socket FIFO sequence
-	KindDeliver       // simulated message, worker -> coordinator; same fields as the Data it reflects
-	KindBarrier       // host-barrier epoch announcement; Seq = generation
-	KindReset         // run fence, coordinator -> worker; Seq = reset generation
-	KindResetAck      // run fence acknowledgement; Seq echoes the generation, A = data frames seen before the fence
-	KindAbort         // abort broadcast, coordinator -> worker
-	KindProbe         // stall probe, coordinator -> worker; Seq = probe epoch
-	KindProbeAck      // stall probe reply; Seq echoes the epoch, A = frames received, B = frames forwarded
-	KindShutdown      // orderly teardown, coordinator -> worker
+	KindInvalid    Kind = iota
+	KindHello           // worker session opener; Seq = node id
+	KindData            // simulated message; Seq = per-socket FIFO sequence, A = run generation on worker->coordinator frames
+	KindDeliver         // simulated message, relay worker -> coordinator; same fields as the Data it reflects
+	KindBarrier         // host-barrier epoch announcement; Seq = generation, A = run generation on worker->coordinator arrivals
+	KindReset           // run fence, coordinator -> worker; Seq = reset generation
+	KindResetAck        // run fence acknowledgement; Seq echoes the generation, A = data frames seen before the fence
+	KindAbort           // abort broadcast, coordinator -> worker; Seq = 1 when a distributed stall was declared (ranks unwind with the deadlock cause)
+	KindProbe           // stall probe, coordinator -> worker; Seq = probe epoch
+	KindProbeAck        // stall probe reply; Seq echoes the epoch, A = frames received, B = frames forwarded, Tag = worker status flags (bit 0 locally stalled, bit 1 all local ranks finished)
+	KindShutdown        // orderly teardown, coordinator -> worker
+	KindRunSpec         // distributed run request, coordinator -> worker; Seq = run generation, A = spec byte length, payload = PackBytes(spec JSON)
+	KindRunAck          // run request acknowledgement; Seq echoes the generation, A = 0 ok / 1 rejected, B = error byte length, payload = PackBytes(error text)
+	KindRunStart        // run start, coordinator -> worker after all acks; Seq = run generation
+	KindRankResult      // one rank's results, worker -> coordinator; Src = rank, Seq = run generation, A = error byte length, B = error class, payload = result record + PackBytes(error text)
+	KindStallHint       // worker -> coordinator: the node's live ranks are all blocked; Seq = run generation
 	kindEnd
 )
 
@@ -79,8 +93,49 @@ func (k Kind) String() string {
 		return "probe-ack"
 	case KindShutdown:
 		return "shutdown"
+	case KindRunSpec:
+		return "run-spec"
+	case KindRunAck:
+		return "run-ack"
+	case KindRunStart:
+		return "run-start"
+	case KindRankResult:
+		return "rank-result"
+	case KindStallHint:
+		return "stall-hint"
 	}
 	return fmt.Sprintf("wire.Kind(%d)", uint8(k))
+}
+
+// PackBytes packs b into the frame payload unit — float64 words holding
+// the bytes little-endian, the final word zero-padded. The words are pure
+// bit containers (never arithmetic operands), so the round trip through
+// Float64bits is exact for any input. The byte length travels separately
+// in a frame header field (see KindRunSpec/KindRankResult).
+func PackBytes(b []byte) []float64 {
+	words := make([]float64, (len(b)+7)/8)
+	for i := range words {
+		var chunk [8]byte
+		copy(chunk[:], b[8*i:])
+		words[i] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[:]))
+	}
+	return words
+}
+
+// UnpackBytes recovers n bytes from the tail-aligned words produced by
+// PackBytes. It errors rather than panics on an n the words cannot hold,
+// since both travel over the wire and may disagree under corruption.
+func UnpackBytes(words []float64, n int) ([]byte, error) {
+	if n < 0 || (n+7)/8 > len(words) {
+		return nil, fmt.Errorf("wire: %d bytes do not fit in %d payload words", n, len(words))
+	}
+	b := make([]byte, n)
+	for i := 0; i < n; i += 8 {
+		var chunk [8]byte
+		binary.LittleEndian.PutUint64(chunk[:], math.Float64bits(words[i/8]))
+		copy(b[i:], chunk[:])
+	}
+	return b, nil
 }
 
 const (

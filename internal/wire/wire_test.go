@@ -27,6 +27,72 @@ func sampleFrames() []Frame {
 		{Kind: KindProbeAck, Seq: 5, A: 123, B: 122},
 		{Kind: KindShutdown},
 		{Kind: KindData, Src: 3, Dst: 4, Tag: 9, Seq: 10, Arrival: 0.25, Payload: make([]float64, 1000)},
+		{Kind: KindRunSpec, Seq: 1, A: 27, Payload: PackBytes([]byte(`{"program":"jacobi","n":64}`))},
+		{Kind: KindRunAck, Seq: 1, A: 1, B: 9, Payload: PackBytes([]byte("no such p"))},
+		{Kind: KindRunStart, Seq: 1},
+		{Kind: KindRankResult, Src: 12, Seq: 1, A: 0, B: 0,
+			Payload: []float64{1.25, 2.5, math.Float64frombits(300), math.Float64frombits(12), 0, 0, 0.5, 0.25, 1, 3.75}},
+		{Kind: KindStallHint, Seq: 2},
+	}
+}
+
+// TestPackBytesRoundTrip pins the byte<->payload-word packing used by the
+// run protocol for opaque content (specs, error texts), including lengths
+// that straddle word boundaries and high-bit bytes whose packed words look
+// like NaNs.
+func TestPackBytesRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte("exactly8"),
+		[]byte("nine long"),
+		[]byte(`{"program":"adi","args":[64,1,1,0,2]}`),
+		{0xFF, 0xF8, 0, 0, 0, 0, 0, 0x7F, 0xFF}, // packs into a NaN-patterned word
+	}
+	for _, b := range cases {
+		words := PackBytes(b)
+		if len(words) != (len(b)+7)/8 {
+			t.Fatalf("%q: packed into %d words, want %d", b, len(words), (len(b)+7)/8)
+		}
+		got, err := UnpackBytes(words, len(b))
+		if err != nil {
+			t.Fatalf("%q: unpack: %v", b, err)
+		}
+		if !bytes.Equal(got, b) {
+			t.Fatalf("round trip mismatch: %q -> %q", b, got)
+		}
+	}
+	if _, err := UnpackBytes(PackBytes([]byte("short")), 9); err == nil {
+		t.Fatal("unpacking more bytes than the words hold did not error")
+	}
+	if _, err := UnpackBytes(nil, -1); err == nil {
+		t.Fatal("negative length did not error")
+	}
+}
+
+// TestDecodeConcatenatedFrames pins the property frame batching relies on:
+// many frames coalesced into one socket write decode back one by one, each
+// consuming exactly its own bytes, with no framing drift across the batch.
+func TestDecodeConcatenatedFrames(t *testing.T) {
+	frames := sampleFrames()
+	var batch []byte
+	for i := range frames {
+		batch = AppendFrame(batch, &frames[i])
+	}
+	rest := batch
+	for i := range frames {
+		var got Frame
+		n, err := DecodeFrame(rest, &got, nil)
+		if err != nil {
+			t.Fatalf("frame %d in batch: %v", i, err)
+		}
+		if !framesEqual(&frames[i], &got) {
+			t.Fatalf("frame %d in batch mismatch:\n in: %+v\nout: %+v", i, frames[i], got)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over after decoding the batch", len(rest))
 	}
 }
 
