@@ -194,6 +194,14 @@ func BenchmarkJacobi1024ProcIPC4Node(b *testing.B) { benchkit.Jacobi1024ProcIPC4
 // simulated processors multiplexed over the calendar executor's worker pool.
 func BenchmarkJacobi16384Proc(b *testing.B) { benchkit.Jacobi16384Proc(b) }
 
+// BenchmarkServeWarmJacobi8x8 and BenchmarkServeColdJacobi8x8 measure one
+// kfserve request with and without the warmed-System pool: checkout, one
+// distributed Jacobi run inside 4 ipc workers, return — versus spawning
+// and discarding the worker fleet every request. Their ratio is what the
+// pool amortizes.
+func BenchmarkServeWarmJacobi8x8(b *testing.B) { benchkit.ServeWarmJacobi8x8(b) }
+func BenchmarkServeColdJacobi8x8(b *testing.B) { benchkit.ServeColdJacobi8x8(b) }
+
 func BenchmarkA1MappingAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.A1Mapping()

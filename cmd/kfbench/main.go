@@ -15,6 +15,7 @@
 //	kfbench -bench -o B.json               # run the perf snapshot and write JSON
 //	kfbench -bench -o B.json -compare A.json   # ... and fail on regressions
 //	kfbench -bench -o B.json -compare latest   # ... against the highest BENCH_<n>.json
+//	kfbench -serve-bench localhost:7070    # mixed-tenant load against a live kfserve
 //
 // -transport selects, by registry name (machine.RegisterTransport), the
 // message-delivery substrate the experiments' systems are built on, and
@@ -56,6 +57,13 @@
 // given the literal value "latest", so CI need never name one — and the
 // command exits nonzero when any benchmark's allocs/op grew, or its ns/op
 // grew by more than 25%.
+//
+// The -serve-bench mode is a load generator for a live kfserve daemon: for
+// -serve-duration, -serve-conc concurrent workers POST a rotation of
+// mixed-tenant /v1/run requests (distinct grids and transports, so the
+// server juggles several pool keys at once) and the report aggregates
+// throughput, latency quantiles and the server-observed pool hit rate. Any
+// failed request fails the bench.
 package main
 
 import (
@@ -93,7 +101,22 @@ func run() int {
 	chaosFile := flag.String("chaos", "", "fault-injection scenario JSON; experiments run on the chaos-wrapped transport")
 	seed := flag.Int64("seed", 0, "override the -chaos scenario's seed")
 	chaosReport := flag.String("chaos-report", "", "write the aggregated fault/recovery report JSON here after the run ('-' for stdout)")
+	serveAddr := flag.String("serve-bench", "", "host:port of a live kfserve; drive the mixed-tenant load benchmark against it instead of running experiments")
+	serveDur := flag.Duration("serve-duration", 10*time.Second, "how long -serve-bench sustains load")
+	serveConc := flag.Int("serve-conc", 4, "concurrent -serve-bench workers")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		if *bench || *chaosFile != "" || *transport != "" || *executor != "" {
+			fmt.Fprintln(os.Stderr, "kfbench: -serve-bench runs against a live server and combines only with -serve-duration and -serve-conc")
+			return 1
+		}
+		if err := serveBench(*serveAddr, *serveDur, *serveConc); err != nil {
+			fmt.Fprintf(os.Stderr, "kfbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	if *nodes != 0 && *transport == "" {
 		fmt.Fprintln(os.Stderr, "kfbench: -nodes requires -transport")

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// serveTenants is the mixed-tenant request rotation -serve-bench drives:
+// distinct pool keys (grid and transport differ), so a live server fields
+// the interleaved checkouts, per-key warmth and eviction pressure a real
+// multi-tenant deployment produces rather than one key hammered in a loop.
+var serveTenants = []serve.RunRequest{
+	{Program: "jacobi", Args: []float64{8, 1}, Grid: []int{8, 8}, Transport: "ipc", Nodes: 4},
+	{Program: "jacobi", Args: []float64{8, 1}, Grid: []int{8, 8}},
+	{Program: "jacobi", Args: []float64{8, 2}, Grid: []int{4, 4}},
+}
+
+// serveBench measures sustained mixed-tenant load against a live kfserve
+// at addr: conc workers each POST the tenant rotation back to back for
+// dur, and the report aggregates throughput, latency quantiles and the
+// server-observed pool hit rate. Any failed request fails the bench —
+// a load generator that shrugs off errors measures nothing.
+func serveBench(addr string, dur time.Duration, conc int) error {
+	base := "http://" + addr
+	client := &http.Client{Timeout: 30 * time.Second}
+	if _, err := serveGet(client, base+"/healthz"); err != nil {
+		return fmt.Errorf("serve-bench: %v (is kfserve running at %s?)", err, addr)
+	}
+
+	type sample struct {
+		d   time.Duration
+		hit bool
+	}
+	var (
+		mu      sync.Mutex
+		samples []sample
+		firstEr error
+	)
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i++ {
+				if time.Now().After(deadline) {
+					return
+				}
+				mu.Lock()
+				stop := firstEr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				req := serveTenants[i%len(serveTenants)]
+				t0 := time.Now()
+				resp, err := servePost(client, base+"/v1/run", req)
+				d := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					if firstEr == nil {
+						firstEr = err
+					}
+				} else {
+					samples = append(samples, sample{d, resp.PoolHit})
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return fmt.Errorf("serve-bench: %v", firstEr)
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("serve-bench: no requests completed in %v", dur)
+	}
+
+	ds := make([]time.Duration, len(samples))
+	hits := 0
+	for i, s := range samples {
+		ds[i] = s.d
+		if s.hit {
+			hits++
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	q := func(p float64) time.Duration { return ds[int(p*float64(len(ds)-1))] }
+	fmt.Fprintf(os.Stdout, "serve-bench: %d tenants, %d workers, %v\n", len(serveTenants), conc, dur)
+	fmt.Fprintf(os.Stdout, "  runs        %d (%.1f runs/sec)\n", len(samples), float64(len(samples))/dur.Seconds())
+	fmt.Fprintf(os.Stdout, "  latency     p50=%v p95=%v max=%v\n", q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond), ds[len(ds)-1].Round(time.Microsecond))
+	fmt.Fprintf(os.Stdout, "  pool hits   %d/%d (%.1f%%)\n", hits, len(samples), 100*float64(hits)/float64(len(samples)))
+	return nil
+}
+
+func serveGet(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+	}
+	return body, nil
+}
+
+func servePost(client *http.Client, url string, req serve.RunRequest) (*serve.RunResponse, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST %s (%s): %s: %s", url, req.Program, resp.Status, bytes.TrimSpace(body))
+	}
+	var out serve.RunResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("POST %s: decoding response: %v", url, err)
+	}
+	return &out, nil
+}

@@ -1,0 +1,98 @@
+// Command kfserve is the long-lived multi-tenant simulation server: an
+// HTTP/JSON daemon running registered programs (internal/progs keys with
+// schema-validated args) on a bounded pool of warmed core.Systems, so a
+// tenant's Nth request reuses the machine, transport, compiled schedules
+// and — for the ipc transport — the live worker-process fleet its first
+// request paid to build. See README "Serving" for the endpoint reference
+// and internal/serve for the pool/scheduler/server layering.
+//
+// Usage:
+//
+//	kfserve                                # listen on 127.0.0.1:7070
+//	kfserve -addr :8080 -pool 16           # wider pool, all interfaces
+//	curl -s localhost:7070/v1/programs     # what can run
+//	curl -s -X POST localhost:7070/v1/run -d \
+//	  '{"program":"jacobi","args":[8,1],"grid":[8,8],"transport":"ipc","nodes":4}'
+//	curl -s localhost:7070/metrics         # pool, queue and latency counters
+//
+// On SIGTERM or SIGINT the server drains: new runs are rejected with 503,
+// queued requests are bounced, in-flight runs complete (bounded by
+// -drain-timeout), and every pooled System is Closed — tearing down ipc
+// worker processes, so a drained kfserve leaves no orphans.
+//
+// The binary is its own worker: ipc Systems spawn workers by re-executing
+// /proc/self/exe, and internal/progs's init (pulled in via internal/serve)
+// arms the worker entry before main runs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	poolSize := flag.Int("pool", 0, "idle warmed-System pool capacity (default 8)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "simultaneously executing runs (default GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "admission queue bound (default 4x max-concurrent)")
+	timeout := flag.Duration("timeout", 0, "default queue-wait deadline for requests without timeout_ms (default 30s)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight runs when draining on SIGTERM/SIGINT")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "kfserve: unexpected arguments: %v\n", flag.Args())
+		return 2
+	}
+
+	s := serve.New(serve.Config{
+		PoolSize:       *poolSize,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *timeout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kfserve: %v\n", err)
+		return 1
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	// The listen line goes to stdout so scripts (CI's smoke job, kfbench
+	// -serve-bench wrappers) can scrape the bound address under -addr :0.
+	fmt.Printf("kfserve: listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "kfserve: %v\n", err)
+		return 1
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "kfserve: %v: draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	derr := s.Drain(ctx)
+	if serr := hs.Shutdown(ctx); serr != nil && derr == nil {
+		derr = serr
+	}
+	if derr != nil {
+		fmt.Fprintf(os.Stderr, "kfserve: drain: %v\n", derr)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "kfserve: drained")
+	return 0
+}

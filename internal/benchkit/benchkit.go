@@ -23,6 +23,7 @@ import (
 	"repro/internal/kf"
 	"repro/internal/machine"
 	"repro/internal/progs"
+	"repro/internal/serve"
 )
 
 // Result is one benchmark's snapshot entry.
@@ -233,6 +234,8 @@ func Snapshot() []Bench {
 		{"Jacobi1024ProcPriced", Jacobi1024ProcPriced},
 		{"Jacobi1024ProcIPC4Node", Jacobi1024ProcIPC4Node},
 		{"Jacobi16384Proc", Jacobi16384Proc},
+		{"ServeWarmJacobi8x8", ServeWarmJacobi8x8},
+		{"ServeColdJacobi8x8", ServeColdJacobi8x8},
 	}
 }
 
@@ -520,5 +523,88 @@ func Jacobi16384Proc(b *testing.B) {
 		if _, err := jacobi.KF1(sys.Machine, sys.Procs, x0, f, 1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// serveJacobiBench is the shared setup for the serve-path pair below: the
+// registry Jacobi program on the repository's standard 8x8 grid, executed
+// distributed inside 4 ipc worker processes — the configuration a kfserve
+// tenant requesting {"program": "jacobi", "grid": [8,8], "transport":
+// "ipc", "nodes": 4} lands on.
+func serveJacobiBench(b *testing.B) (*core.Program, string, func() (*core.System, error)) {
+	prog, err := progs.Jacobi(8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := core.PoolKey([]int{8, 8}, "ipc", 4, "", machine.CostModel{})
+	build := func() (*core.System, error) {
+		return core.NewSystem(core.Grid(8, 8), core.Transport("ipc"), core.Nodes(4))
+	}
+	return prog, key, build
+}
+
+// ServeWarmJacobi8x8 measures one request on kfserve's warm path: an
+// exclusive pool checkout that hits a warmed System, one distributed
+// Jacobi run inside the resident ipc worker fleet, and the return that
+// files the System back as most-recently-used. The gap to
+// ServeColdJacobi8x8 is what the pool saves every request: respawning the
+// worker processes and rebuilding machine, transport and plan caches.
+func ServeWarmJacobi8x8(b *testing.B) {
+	b.ReportAllocs()
+	prog, key, build := serveJacobiBench(b)
+	pool := serve.NewPool(1)
+	defer pool.Close()
+	// Warm off the clock: the first checkout builds and the next two runs
+	// settle the worker-side run caches, so every timed op is a pool hit.
+	for i := 0; i < 3; i++ {
+		lease, err := pool.Checkout(key, build)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := lease.Sys.RunProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+		lease.Return()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lease, err := pool.Checkout(key, build)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !lease.Hit() {
+			b.Fatal("warm bench missed the pool")
+		}
+		if _, err := lease.Sys.RunProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+		lease.Return()
+	}
+}
+
+// ServeColdJacobi8x8 measures the same request without the pool's help —
+// the cold-construct-per-request baseline a server with no System reuse
+// pays: every checkout misses, builds a fresh System (for ipc, spawning 4
+// worker processes), runs once, and discards it (closing the fleet). The
+// warm/cold ratio is the pool's amortization, recorded side by side in the
+// perf snapshots.
+func ServeColdJacobi8x8(b *testing.B) {
+	b.ReportAllocs()
+	prog, key, build := serveJacobiBench(b)
+	pool := serve.NewPool(1)
+	defer pool.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lease, err := pool.Checkout(key, build)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if lease.Hit() {
+			b.Fatal("cold bench hit the pool")
+		}
+		if _, err := lease.Sys.RunProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+		lease.Discard()
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/chaos"
 	"repro/internal/darray"
@@ -70,6 +71,7 @@ type System struct {
 	transport string
 	executor  string
 	direct    bool
+	runs      atomic.Int64 // completed runs; see Warmed
 }
 
 // settings accumulates option state before validation.
@@ -433,6 +435,7 @@ func (s *System) Run(body func(c *kf.Ctx) error) (float64, error) {
 	if err := kf.Exec(s.Machine, s.Procs, body); err != nil {
 		return 0, err
 	}
+	s.runs.Add(1)
 	return s.Machine.Elapsed(), nil
 }
 
@@ -460,42 +463,3 @@ func (s *System) applyScheduling() func() {
 
 // Stats returns the aggregate machine counters from the last Run.
 func (s *System) Stats() machine.Stats { return s.Machine.TotalStats() }
-
-// Config is the pre-options configuration struct.
-//
-// Deprecated: use NewSystem with functional options (Grid, Cost, Trace,
-// ...). Config covers only the flat shared-memory case and is kept for one
-// release as a shim; NewSystemFromConfig adapts it.
-type Config struct {
-	// GridShape is the processor array shape, e.g. [4] or [2, 4].
-	GridShape []int
-	// Cost is the virtual-time cost model; the zero value selects the
-	// iPSC/2-like preset.
-	Cost machine.CostModel
-	// EnableTrace attaches a trace recorder.
-	EnableTrace bool
-}
-
-// Options translates the legacy Config into the equivalent option list.
-//
-// Deprecated: pass options to NewSystem directly.
-func (cfg Config) Options() []Option {
-	opts := []Option{Grid(cfg.GridShape...)}
-	if !cfg.Cost.IsZero() {
-		opts = append(opts, Cost(cfg.Cost))
-	}
-	if cfg.EnableTrace {
-		opts = append(opts, Trace())
-	}
-	return opts
-}
-
-// NewSystemFromConfig builds a system from the legacy Config struct.
-//
-// Deprecated: use NewSystem(core.Grid(...), ...) directly.
-func NewSystemFromConfig(cfg Config) (*System, error) {
-	if len(cfg.GridShape) == 0 {
-		return nil, fmt.Errorf("core: empty grid shape")
-	}
-	return NewSystem(cfg.Options()...)
-}

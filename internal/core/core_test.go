@@ -137,16 +137,72 @@ func TestLaterOptionsWin(t *testing.T) {
 	}
 }
 
-func TestConfigShim(t *testing.T) {
-	sys, err := NewSystemFromConfig(Config{GridShape: []int{4}, Cost: machine.Uniform(), EnableTrace: true})
+func TestPoolKeyIdentityAndDivergence(t *testing.T) {
+	base := PoolKey([]int{4, 4}, "federated", 4, "calendar", machine.IPSC2())
+	if again := PoolKey([]int{4, 4}, "federated", 4, "calendar", machine.IPSC2()); again != base {
+		t.Errorf("equal configurations got distinct keys:\n%s\n%s", base, again)
+	}
+	// Defaults normalize the way NewSystem applies them: an omitted field
+	// and its spelled-out default share a key.
+	if PoolKey([]int{2}, "", 0, "", machine.CostModel{}) !=
+		PoolKey([]int{2}, "shared", 1, "goroutine", machine.IPSC2()) {
+		t.Error("normalized defaults should share a pool key")
+	}
+	variants := []string{
+		PoolKey([]int{4, 4}, "shared", 1, "calendar", machine.IPSC2()),
+		PoolKey([]int{16}, "federated", 4, "calendar", machine.IPSC2()),
+		PoolKey([]int{4, 4}, "federated", 2, "calendar", machine.IPSC2()),
+		PoolKey([]int{4, 4}, "federated", 4, "goroutine", machine.IPSC2()),
+		PoolKey([]int{4, 4}, "federated", 4, "calendar", machine.Uniform()),
+		PoolKey([]int{4, 4}, "federated", 4, "calendar", machine.IPSC2().WithInterNode(4, 8)),
+		PoolKey([]int{4, 4}, "federated", 4, "calendar",
+			machine.IPSC2().WithInterNode(4, 8).WithLink(0, 1, machine.LinkCost{Latency: 2, Byte: 2})),
+	}
+	seen := map[string]bool{base: true}
+	for i, v := range variants {
+		if seen[v] {
+			t.Errorf("variant %d collides with another configuration's key", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSystemPoolKeyMatchesConfiguration(t *testing.T) {
+	sys, err := NewSystem(Grid(4, 2), Transport("federated"), Nodes(2),
+		Executor("calendar"), LinkCosts(4, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sys.Machine.Size() != 4 || sys.Machine.Cost() != machine.Uniform() || sys.Trace == nil {
-		t.Error("Config shim did not reproduce the options path")
+	want := PoolKey([]int{4, 2}, "federated", 2, "calendar", machine.IPSC2().WithInterNode(4, 8))
+	if got := sys.PoolKey(); got != want {
+		t.Errorf("system key\n%s\nwant\n%s", got, want)
 	}
-	if _, err := NewSystemFromConfig(Config{}); err == nil {
-		t.Fatal("empty shape accepted")
+	// A default-everything system keys identically to the normalized form.
+	plain := MustSystem(Grid(3))
+	if plain.PoolKey() != PoolKey([]int{3}, "", 0, "", machine.CostModel{}) {
+		t.Error("default system key does not normalize")
+	}
+}
+
+func TestWarmedCountsCompletedRuns(t *testing.T) {
+	sys := MustSystem(Grid(2), Cost(machine.Uniform()))
+	if sys.Warmed() || sys.RunCount() != 0 {
+		t.Error("fresh system should not report warmed")
+	}
+	prog := &Program{Name: "noop", Body: func(c *kf.Ctx) (Output, error) {
+		return Output{Values: []float64{float64(c.P.Rank())}}, nil
+	}}
+	if _, err := sys.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Warmed() || sys.RunCount() != 1 {
+		t.Errorf("after one run: warmed=%v count=%d", sys.Warmed(), sys.RunCount())
+	}
+	if _, err := sys.Run(func(c *kf.Ctx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sys.RunCount() != 2 {
+		t.Errorf("run count %d, want 2", sys.RunCount())
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/kf"
 	"repro/internal/machine"
@@ -199,6 +200,7 @@ func (s *System) runDistributed(p *Program, t *machine.IPCTransport) (Run, error
 		run.Elapsed = run.MachineElapsed
 	}
 	run.Links = s.linkCensus()
+	s.runs.Add(1)
 	return run, nil
 }
 
@@ -262,10 +264,71 @@ func (r *workerRun) Execute() []machine.RankResult {
 	return results
 }
 
+// workerRunCache keeps recently built sub-machines warm inside a worker
+// process. The raw spec bytes are the cache key — they carry everything
+// that shaped the build (program, args, shape, nodes, executor, cost), so
+// equal bytes mean an interchangeable sub-machine; the node number keeps
+// in-process worker fleets from colliding. A cached hit skips program
+// construction, grid and transport setup and machine allocation, which is
+// what makes a warm pooled System's runs cheap on the worker side too:
+// the coordinator's reset fence already tore the cached transport down,
+// and Rebind rewinds it for the new run generation. Entries are plain
+// memory (no processes, no sockets), so eviction is just forgetting.
+const workerRunCacheCap = 4
+
+type runCache struct {
+	sync.Mutex
+	runs  map[string]*workerRun
+	order []string // LRU first
+}
+
+var workerRunCache runCache
+
+func (c *runCache) get(key string) *workerRun {
+	c.Lock()
+	defer c.Unlock()
+	r := c.runs[key]
+	if r != nil {
+		c.touch(key)
+	}
+	return r
+}
+
+func (c *runCache) put(key string, r *workerRun) {
+	c.Lock()
+	defer c.Unlock()
+	if c.runs == nil {
+		c.runs = make(map[string]*workerRun)
+	}
+	if _, ok := c.runs[key]; !ok && len(c.order) >= workerRunCacheCap {
+		delete(c.runs, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.runs[key] = r
+	c.touch(key)
+}
+
+func (c *runCache) touch(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.order = append(c.order, key)
+}
+
 // buildWorkerRun is the worker-side execution hook: parse the spec, rebuild
 // the program from the registry, and stand up the sub-machine over this
-// node's rank window.
+// node's rank window — or rebind a cached one when this worker has run the
+// identical spec before.
 func buildWorkerRun(h *machine.WorkerHost, raw []byte) (machine.WorkerRun, error) {
+	key := fmt.Sprintf("%d\x00%s", h.Node(), raw)
+	if r := workerRunCache.get(key); r != nil {
+		if err := h.Rebind(r.wt); err == nil {
+			return r, nil
+		}
+	}
 	var spec runSpec
 	if err := json.Unmarshal(raw, &spec); err != nil {
 		return nil, fmt.Errorf("decode run spec: %v", err)
@@ -295,7 +358,9 @@ func buildWorkerRun(h *machine.WorkerHost, raw []byte) (machine.WorkerRun, error
 		}
 		m.SetExecutor(ex)
 	}
-	return &workerRun{p: p, g: g, wt: wt, m: m}, nil
+	r := &workerRun{p: p, g: g, wt: wt, m: m}
+	workerRunCache.put(key, r)
+	return r, nil
 }
 
 // EnableWorkerExec arms the process for worker-side execution: ipc

@@ -183,6 +183,7 @@ func (s *System) RunProgram(p *Program) (Run, error) {
 	if run.Elapsed == 0 {
 		run.Elapsed = run.MachineElapsed
 	}
+	s.runs.Add(1)
 	return run, nil
 }
 

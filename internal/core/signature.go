@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// This file is the identity half of warmed-System pooling: a long-lived
+// server (internal/serve) reuses constructed Systems across requests, and
+// two requests may share one only when every ingredient that shapes a
+// run's meaning or price is equal — the grid, the transport, the
+// federation shape, the execution engine, and the full cost model down to
+// each per-link override. PoolKey collapses that tuple into one canonical
+// string; CostSignature is the cost-model component on its own.
+
+// CostSignature returns a canonical, deterministic string form of a cost
+// model: equal models yield equal signatures, and any difference — a flop
+// time, an inter-node default, one directed link override — changes it.
+// The encoding is the same shortest-round-trip JSON the ipc execution
+// plane ships to its workers (link overrides in sorted order), so two
+// systems with equal signatures price every message bit-identically.
+func CostSignature(cm machine.CostModel) string {
+	raw, err := json.Marshal(encodeCost(cm))
+	if err != nil {
+		// specCost is plain numbers and bools; Marshal cannot fail.
+		panic(fmt.Sprintf("core: encode cost signature: %v", err))
+	}
+	return string(raw)
+}
+
+// PoolKey returns the canonical pool identity of a System configuration:
+// two configurations with equal keys build Systems that are
+// interchangeable for running programs (same values, censuses and virtual
+// times), which is the contract a warmed-System pool needs before it may
+// serve one request's run from a System another request constructed.
+// Defaults are normalized the way NewSystem applies them — empty
+// transport means "shared", a zero cost model means the iPSC/2 preset,
+// empty executor the goroutine engine — so a caller spelling a default
+// out and one omitting it share a pool slot.
+func PoolKey(shape []int, transport string, nodes int, executor string, cm machine.CostModel) string {
+	if transport == "" {
+		transport = "shared"
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	if executor == "" {
+		executor = "goroutine"
+	}
+	if cm.IsZero() {
+		cm = machine.IPSC2()
+	}
+	dims := make([]string, len(shape))
+	for i, e := range shape {
+		dims[i] = strconv.Itoa(e)
+	}
+	return fmt.Sprintf("g=%s t=%s n=%d e=%s c=%s",
+		strings.Join(dims, "x"), transport, nodes, executor, CostSignature(cm))
+}
+
+// PoolKey returns the system's own pool identity — the key under which a
+// warmed-System pool would file it.
+func (s *System) PoolKey() string {
+	return PoolKey(s.Procs.Shape(), s.transport, s.Nodes(), s.executor, s.Machine.Cost())
+}
+
+// RunCount returns how many runs (Run or RunProgram) have completed
+// successfully on this system.
+func (s *System) RunCount() int64 { return s.runs.Load() }
+
+// Warmed reports whether the system has completed at least one run — its
+// compiled schedules, loop plans and size-classed buffer pools are
+// populated, so the next run replays instead of compiling. The warmed-pool
+// hit metrics in internal/serve are counted off this.
+func (s *System) Warmed() bool { return s.runs.Load() > 0 }

@@ -2,12 +2,16 @@ package machine
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -96,10 +100,14 @@ type IPCTransport struct {
 
 	// Distributed-execution state (see RunDistributed): runMu serializes
 	// runs, execGen numbers them, and exec publishes the in-flight run to
-	// the read loops and the watcher.
-	runMu   sync.Mutex
-	execGen uint64
-	exec    atomic.Pointer[execRun]
+	// the read loops and the watcher. execClean records that the previous
+	// distributed run completed cleanly and nothing touched the transport
+	// since — the precondition for folding the next run's fence into its
+	// spec broadcast (see fastFence).
+	runMu     sync.Mutex
+	execGen   uint64
+	exec      atomic.Pointer[execRun]
+	execClean atomic.Bool
 
 	// pmu guards the ack/fence/liveness fields of every ipcConn and pairs
 	// with pcond for the probe and reset fence waits.
@@ -135,15 +143,20 @@ type ipcConn struct {
 	// delivered counts frames this worker originated that the coordinator
 	// has fully absorbed — Deliver frames inserted into mailboxes in relay
 	// mode, worker Data frames routed onward in execution mode
-	// (incremented by the reader). Writes go through the buffered writer
-	// bw and batch: a writer that drains wpending to zero flushes, so a
-	// burst of small Data frames coalesces into one socket write while the
-	// last frame of any burst never sits in the buffer (control frames
-	// flush immediately, pushing any batched frames ahead of them).
+	// (incremented by the reader). Data writes go through the buffered
+	// writer bw without flushing: each write kicks the connection's flusher
+	// goroutine (fch), which flushes whatever accumulated once it gets the
+	// CPU — so a burst of small Data frames coalesces into one socket write
+	// even when the writers run strictly one after another, the common case
+	// on a small host. Control frames flush inline, pushing any batched
+	// frames ahead of them on the FIFO, which is what keeps every control
+	// exchange (probes, fences) consistent with the data stream it rides.
 	wmu       sync.Mutex
 	bw        *bufio.Writer
 	wscratch  []byte
-	wpending  atomic.Int32
+	dirty     bool // unflushed frames in bw, under wmu
+	wclosed   bool // fch closed, under wmu
+	fch       chan struct{}
 	sent      atomic.Uint64
 	delivered atomic.Uint64
 
@@ -158,20 +171,30 @@ type ipcConn struct {
 
 // writeData writes one Data frame, stamping the per-socket sequence under
 // the write lock so the FIFO carries each (src, tag) stream in program
-// order; the wpending protocol coalesces concurrent writers' frames into
-// one flush.
+// order. The frame stays in the buffered writer; the flusher goroutine
+// pushes it out once the writing goroutine yields, coalescing bursts.
 func (cn *ipcConn) writeData(f *wire.Frame) error {
-	cn.wpending.Add(1)
 	cn.wmu.Lock()
 	f.Seq = cn.sent.Add(1)
 	err := wire.WriteFrame(cn.bw, &cn.wscratch, f)
+	cn.dirty = true
+	cn.kick()
 	cn.wmu.Unlock()
-	if cn.wpending.Add(-1) == 0 && err == nil {
-		cn.wmu.Lock()
-		err = cn.bw.Flush()
-		cn.wmu.Unlock()
-	}
 	return err
+}
+
+// kick schedules a flush; the single-slot channel never blocks the writer
+// and never loses a wakeup (the kick follows the frame into the buffer, so
+// the flusher's next pass sees it). Callers hold wmu, which excludes the
+// channel close in Close.
+func (cn *ipcConn) kick() {
+	if cn.wclosed {
+		return
+	}
+	select {
+	case cn.fch <- struct{}{}:
+	default:
+	}
 }
 
 // writeCtrl writes one control frame and flushes immediately — along with
@@ -180,7 +203,6 @@ func (cn *ipcConn) writeData(f *wire.Frame) error {
 // deadline bounds the write (abort and shutdown paths must not hang on a
 // wedged socket).
 func (cn *ipcConn) writeCtrl(f *wire.Frame, deadline time.Duration) error {
-	cn.wpending.Add(1)
 	cn.wmu.Lock()
 	if deadline > 0 {
 		cn.c.SetWriteDeadline(time.Now().Add(deadline))
@@ -188,13 +210,39 @@ func (cn *ipcConn) writeCtrl(f *wire.Frame, deadline time.Duration) error {
 	err := wire.WriteFrame(cn.bw, &cn.wscratch, f)
 	if err == nil {
 		err = cn.bw.Flush()
+		cn.dirty = false
 	}
 	if deadline > 0 {
 		cn.c.SetWriteDeadline(time.Time{})
 	}
 	cn.wmu.Unlock()
-	cn.wpending.Add(-1)
 	return err
+}
+
+// flushLoop drains one connection's flush kicks. A flush failure means the
+// socket is gone; report it and stop (the read loop is about to hit the
+// same broken socket).
+func (t *IPCTransport) flushLoop(cn *ipcConn) {
+	defer t.wg.Done()
+	for range cn.fch {
+		// Yield once before draining so a read loop mid-burst can route
+		// the rest of the burst into the buffer first; the burst then
+		// leaves in one socket write.
+		runtime.Gosched()
+		cn.wmu.Lock()
+		var err error
+		if cn.dirty {
+			cn.dirty = false
+			err = cn.bw.Flush()
+		}
+		cn.wmu.Unlock()
+		if err != nil {
+			if !t.closed.Load() {
+				t.workerFailed(cn, fmt.Errorf("flush to node %d: %w", cn.node, err))
+			}
+			return
+		}
+	}
 }
 
 // NewIPCTransport returns a cross-process transport with n endpoints
@@ -455,6 +503,7 @@ func (t *IPCTransport) announceBarrier(gen uint64) {
 // clearing the mailboxes after the fence leaves no stale message anywhere
 // in the pipeline and the counters on both sides restart aligned.
 func (t *IPCTransport) Reset() {
+	t.execClean.Store(false)
 	if t.started.Load() {
 		t.probeMu.Lock() // exclude stall probes while counters rewind
 		t.resetGen++
@@ -485,6 +534,45 @@ func (t *IPCTransport) Reset() {
 		t.pmu.Unlock()
 		t.probeMu.Unlock()
 	}
+	for i := range t.boxes {
+		mb := &t.boxes[i]
+		mb.mu.Lock()
+		mb.reset()
+		mb.mu.Unlock()
+	}
+	for i := range t.links {
+		l := &t.links[i]
+		l.mu.Lock()
+		l.msgs = 0
+		l.bytes = 0
+		l.mu.Unlock()
+	}
+	t.bar.reset()
+	t.down.Store(false)
+	t.reasonMu.Lock()
+	t.reason = nil
+	t.reasonMu.Unlock()
+}
+
+// fastFence is the no-round-trip fence for back-to-back distributed runs:
+// when the previous run completed cleanly (execClean), every socket is
+// provably drained — each worker wrote nothing after its last RankResult,
+// which the coordinator has read, and the coordinator routed nothing since
+// — so both sides' frame counters can rewind without the Reset exchange.
+// The workers rewind theirs on receiving the RunSpec itself (the spec
+// FIFO-follows any residue, so the cuts align), and the worker-side fence
+// duties (ending the previous run, taking its transport down) move into
+// the RunSpec handler too. Callers hold runMu.
+func (t *IPCTransport) fastFence() {
+	t.probeMu.Lock()
+	t.pmu.Lock()
+	for _, cn := range t.conns {
+		cn.sent.Store(0)
+		cn.delivered.Store(0)
+		cn.ackEpoch, cn.ackRecv, cn.ackFwd, cn.ackFlags = 0, 0, 0, 0
+	}
+	t.pmu.Unlock()
+	t.probeMu.Unlock()
 	for i := range t.boxes {
 		mb := &t.boxes[i]
 		mb.mu.Lock()
@@ -852,12 +940,13 @@ func (t *IPCTransport) start() (err error) {
 			c.Close()
 			return fail(fmt.Errorf("worker handshake: bad or duplicate node %d", node))
 		}
-		t.conns[node] = &ipcConn{node: node, c: c, bw: bufio.NewWriterSize(c, 1<<16)}
+		t.conns[node] = &ipcConn{node: node, c: c, bw: bufio.NewWriterSize(c, 1<<16), fch: make(chan struct{}, 1)}
 	}
 	ln.Close() // all workers connected; nothing else may dial in
 	for _, cn := range t.conns {
-		t.wg.Add(1)
+		t.wg.Add(2)
 		go t.readLoop(cn)
+		go t.flushLoop(cn)
 	}
 	t.wg.Add(1)
 	go t.watchLoop()
@@ -867,16 +956,21 @@ func (t *IPCTransport) start() (err error) {
 // readLoop drains one worker's socket. Relay mode: Deliver frames complete
 // inter-node message crossings into the local mailboxes. Execution mode:
 // Data frames are worker-originated inter-node sends routed onward to the
-// destination node's socket (the coordinator never opens their payloads),
-// and RunAck/RankResult/StallHint/Barrier frames drive the in-flight
-// execRun. ProbeAck and ResetAck frames feed the waiters under pmu either
-// way. It never evaluates the stall condition itself — a reader blocked in
-// a stall check could not drain the very acks the check's probe waits
-// for — delegating re-checks to the watcher.
+// destination node's socket — the coordinator never opens their payloads,
+// and never even decodes them: the routing fields live at fixed header
+// offsets, so the raw body is forwarded as read, with only the per-socket
+// sequence restamped in place (the same pass-through idiom the relay
+// worker uses for the reflected direction). Control frames —
+// RunAck/RankResult/StallHint/Barrier driving the in-flight execRun,
+// ProbeAck and ResetAck feeding the waiters under pmu — are rare enough to
+// pay for a full decode. It never evaluates the stall condition itself — a
+// reader blocked in a stall check could not drain the very acks the
+// check's probe waits for — delegating re-checks to the watcher.
 func (t *IPCTransport) readLoop(cn *ipcConn) {
 	defer t.wg.Done()
 	br := bufio.NewReaderSize(cn.c, 1<<16)
-	var scratch []byte
+	var prefix [4]byte
+	var body, rbuf []byte
 	var f wire.Frame
 	release := func(p []float64) {
 		if t.pool != nil && p != nil {
@@ -884,7 +978,77 @@ func (t *IPCTransport) readLoop(cn *ipcConn) {
 		}
 	}
 	for {
-		if err := wire.ReadFrame(br, &f, &scratch, t.acquire); err != nil {
+		if _, err := io.ReadFull(br, prefix[:]); err != nil {
+			if !t.closed.Load() {
+				t.workerFailed(cn, err)
+			}
+			return
+		}
+		n := binary.LittleEndian.Uint32(prefix[:])
+		if n < wire.HeaderLen || n > wire.MaxBody {
+			t.workerFailed(cn, fmt.Errorf("frame body of %d bytes out of range from node %d", n, cn.node))
+			return
+		}
+		if cap(body) < int(n) {
+			body = make([]byte, n)
+		}
+		b := body[:n]
+		if _, err := io.ReadFull(br, b); err != nil {
+			if !t.closed.Load() {
+				t.workerFailed(cn, fmt.Errorf("%w: connection closed inside frame body", wire.ErrTruncated))
+			}
+			return
+		}
+		if wire.Kind(b[0]) == wire.KindData {
+			// A worker rank's inter-node send (execution mode): route it to
+			// the destination node without decoding. Stale generations drain
+			// silently — a run one node rejected leaves the other nodes
+			// executing (and emitting) until the next spec or reset fences
+			// them, so an off-generation frame is expected traffic, not a
+			// protocol violation.
+			er := t.exec.Load()
+			if er == nil || binary.LittleEndian.Uint64(b[25:33]) != er.gen {
+				continue
+			}
+			src := int(int32(binary.LittleEndian.Uint32(b[1:5])))
+			dst := int(int32(binary.LittleEndian.Uint32(b[5:9])))
+			if src < 0 || src >= t.n || src/t.perNode != cn.node || dst < 0 || dst >= t.n || dst/t.perNode == cn.node {
+				t.workerFailed(cn, fmt.Errorf("misrouted data frame (src=%d, dst=%d) from node %d", src, dst, cn.node))
+				return
+			}
+			// Per-link traffic accounting stays message-exact without a
+			// payload walk: a routed frame carries its message count in B
+			// and the messages' summed payload bytes in Tag (see the
+			// worker's pendBatch).
+			dn := dst / t.perNode
+			l := &t.links[cn.node*t.nnodes+dn]
+			l.mu.Lock()
+			l.msgs += int64(binary.LittleEndian.Uint64(b[33:41]))
+			l.bytes += int64(binary.LittleEndian.Uint64(b[9:17]))
+			l.mu.Unlock()
+			cnDst := t.conns[dn]
+			cnDst.wmu.Lock()
+			binary.LittleEndian.PutUint64(b[17:25], cnDst.sent.Add(1))
+			_, err1 := cnDst.bw.Write(prefix[:])
+			_, err2 := cnDst.bw.Write(b)
+			cnDst.dirty = true
+			cnDst.kick()
+			cnDst.wmu.Unlock()
+			// Count the frame absorbed only after the onward write holds
+			// its sequence slot: quiescence must never be observable with
+			// the routing half-done.
+			cn.delivered.Add(1)
+			if err1 == nil {
+				err1 = err2
+			}
+			if err1 != nil && !t.closed.Load() {
+				t.workerFailed(cnDst, fmt.Errorf("route to node %d: %w", dn, err1))
+				return
+			}
+			continue
+		}
+		rbuf = append(append(rbuf[:0], prefix[:]...), b...)
+		if _, err := wire.DecodeFrame(rbuf, &f, t.acquire); err != nil {
 			if !t.closed.Load() {
 				t.workerFailed(cn, err)
 			}
@@ -903,117 +1067,75 @@ func (t *IPCTransport) readLoop(cn *ipcConn) {
 				default:
 				}
 			}
-		case wire.KindData:
-			// A worker rank's inter-node send (execution mode): route it to
-			// the destination node. Frames from a fenced or aborted run
-			// drain silently; outside those windows a stray Data frame is a
-			// protocol violation.
-			er := t.exec.Load()
-			if er == nil || f.A != er.gen {
-				release(f.Payload)
-				if !t.down.Load() && !t.closed.Load() {
-					t.workerFailed(cn, fmt.Errorf("unexpected data frame from node %d", cn.node))
-					return
-				}
-				break
-			}
-			src, dst := int(f.Src), int(f.Dst)
-			if src < 0 || src >= t.n || src/t.perNode != cn.node || dst < 0 || dst >= t.n || dst/t.perNode == cn.node {
-				release(f.Payload)
-				t.workerFailed(cn, fmt.Errorf("misrouted data frame (src=%d, dst=%d) from node %d", src, dst, cn.node))
-				return
-			}
-			dn := dst / t.perNode
-			l := &t.links[cn.node*t.nnodes+dn]
-			l.mu.Lock()
-			l.msgs++
-			l.bytes += int64(len(f.Payload) * wordBytes)
-			l.mu.Unlock()
-			out := wire.Frame{
-				Kind:    wire.KindData,
-				Src:     f.Src,
-				Dst:     f.Dst,
-				Tag:     f.Tag,
-				A:       er.gen,
-				Arrival: f.Arrival,
-				Payload: f.Payload,
-			}
-			cnDst := t.conns[dn]
-			err := cnDst.writeData(&out)
-			release(f.Payload)
-			// Count the frame absorbed only after the onward write holds
-			// its sequence slot: quiescence must never be observable with
-			// the routing half-done.
-			cn.delivered.Add(1)
-			if err != nil && !t.closed.Load() {
-				t.workerFailed(cnDst, fmt.Errorf("route to node %d: %w", dn, err))
-				return
-			}
 		case wire.KindRunAck:
+			// Only rejections are acked; a worker that accepts a spec goes
+			// straight to executing it.
 			er := t.exec.Load()
-			if er == nil || f.Seq != er.gen {
+			if er == nil || f.Seq != er.gen || f.A == 0 {
 				release(f.Payload)
 				break // straggler from a fenced run
 			}
-			if f.A != 0 {
-				text, _ := wire.UnpackBytes(f.Payload, int(f.B))
-				release(f.Payload)
-				er.failWith(fmt.Errorf("machine: ipc node %d rejected run spec: %s", cn.node, text))
-				break
-			}
-			er.mu.Lock()
-			er.acks++
-			ready := er.acks == t.nnodes
-			er.mu.Unlock()
-			if ready {
-				close(er.ackDone)
-			}
+			text, _ := wire.UnpackBytes(f.Payload, int(f.B))
+			release(f.Payload)
+			er.failWith(fmt.Errorf("machine: ipc node %d rejected run spec: %s", cn.node, text))
 		case wire.KindRankResult:
 			er := t.exec.Load()
 			if er == nil || f.Seq != er.gen {
 				release(f.Payload)
-				if !t.down.Load() && !t.closed.Load() {
-					t.workerFailed(cn, fmt.Errorf("unexpected rank result from node %d", cn.node))
-					return
-				}
-				break
+				break // straggler from a fenced or abandoned run
 			}
-			rank := int(f.Src)
-			payload := f.Payload
-			var errText string
-			if errLen := int(f.A); errLen > 0 {
-				errWords := (errLen + 7) / 8
-				if errWords > len(payload) {
-					release(f.Payload)
-					t.workerFailed(cn, fmt.Errorf("rank result error text overruns payload (node %d)", cn.node))
-					return
-				}
-				b, err := wire.UnpackBytes(payload[len(payload)-errWords:], errLen)
-				if err != nil {
-					release(f.Payload)
-					t.workerFailed(cn, fmt.Errorf("rank result from node %d: %v", cn.node, err))
-					return
-				}
-				errText = string(b)
-				payload = payload[:len(payload)-errWords]
-			}
-			if rank < 0 || rank >= t.n || rank/t.perNode != cn.node {
-				release(f.Payload)
-				t.workerFailed(cn, fmt.Errorf("rank result for rank %d from node %d", rank, cn.node))
-				return
-			}
-			rec := make([]float64, len(payload))
-			copy(rec, payload)
-			release(f.Payload)
-			er.mu.Lock()
+			// One frame carries all (or a maxResultBatchWords-bounded span
+			// of) the node's rank records; see executeRun for the layout.
+			p := f.Payload
 			complete := false
-			if !er.got[rank] {
-				er.got[rank] = true
-				er.results[rank] = RankResult{Rank: rank, Payload: rec, ErrClass: f.B, ErrText: errText}
-				er.count++
-				complete = er.count == len(er.results)
+			er.mu.Lock()
+			for rec := uint64(0); rec < f.A; rec++ {
+				if len(p) < 4 {
+					er.mu.Unlock()
+					release(f.Payload)
+					t.workerFailed(cn, fmt.Errorf("rank result batch truncated (node %d)", cn.node))
+					return
+				}
+				rank := int(int64(math.Float64bits(p[0])))
+				errClass := math.Float64bits(p[1])
+				errLen := math.Float64bits(p[2])
+				plen := math.Float64bits(p[3])
+				errWords := (errLen + 7) / 8
+				if plen > uint64(len(p)-4) || errWords > uint64(len(p)-4)-plen {
+					er.mu.Unlock()
+					release(f.Payload)
+					t.workerFailed(cn, fmt.Errorf("rank result record overruns batch (node %d)", cn.node))
+					return
+				}
+				if rank < 0 || rank >= t.n || rank/t.perNode != cn.node {
+					er.mu.Unlock()
+					release(f.Payload)
+					t.workerFailed(cn, fmt.Errorf("rank result for rank %d from node %d", rank, cn.node))
+					return
+				}
+				var errText string
+				if errLen > 0 {
+					b, err := wire.UnpackBytes(p[4+plen:4+plen+errWords], int(errLen))
+					if err != nil {
+						er.mu.Unlock()
+						release(f.Payload)
+						t.workerFailed(cn, fmt.Errorf("rank result from node %d: %v", cn.node, err))
+						return
+					}
+					errText = string(b)
+				}
+				if !er.got[rank] {
+					recPayload := make([]float64, plen)
+					copy(recPayload, p[4:4+plen])
+					er.got[rank] = true
+					er.results[rank] = RankResult{Rank: rank, Payload: recPayload, ErrClass: errClass, ErrText: errText}
+					er.count++
+					complete = er.count == len(er.results)
+				}
+				p = p[4+plen+errWords:]
 			}
 			er.mu.Unlock()
+			release(f.Payload)
 			if complete {
 				close(er.done)
 			} else if er.hint.Load() {
@@ -1138,6 +1260,10 @@ func (t *IPCTransport) Close() error {
 		for _, cn := range t.conns {
 			_ = cn.writeCtrl(&f, time.Second)
 			cn.c.Close()
+			cn.wmu.Lock()
+			cn.wclosed = true
+			close(cn.fch)
+			cn.wmu.Unlock()
 		}
 		t.pmu.Lock()
 		t.pcond.Broadcast()

@@ -24,18 +24,25 @@ import (
 //
 //	coordinator                            workers
 //	  Reset ─────────────────────────────▶   (fence: join stale run, zero counters)
-//	  RunSpec{gen, spec} ────────────────▶   build run via the exec hook, install transport
-//	  ◀──────────────────────── RunAck{gen}  (all nodes; a rejection fails the run)
-//	  RunStart{gen} ─────────────────────▶   execute ranks
+//	  RunSpec{gen, spec} ────────────────▶   build run via the exec hook, execute ranks
+//	  ◀────────────────── RunAck{gen, A:1}   only on rejection; fails the run
 //	  ◀─ Data{A:gen} ─▶ routed onward ───▶   inter-node sends, batched per socket
 //	  ◀──────────────────── StallHint{gen}   local quiescence; arms execProbe
 //	  Abort{Seq:1} (verdict) ────────────▶   declareStall: ranks unwind with ErrDeadlock
 //	  ◀─────────────────── RankResult{gen}   one per rank; completes the run
 //
-// The RunSpec/RunStart split closes a write-order race: a worker that
-// acknowledged the spec has its mailboxes installed, so Data frames another
-// node's ranks emit the instant they start can never arrive before the
-// transport exists.
+// The spec doubles as the start signal. What keeps a Data frame from ever
+// reaching a worker before its spec — the write-order race a RunSpec/
+// RunStart split with an ack barrier used to close — is the broadcast
+// discipline: the coordinator holds every socket's write lock while it
+// writes and flushes all the specs, so the read loops, which route
+// worker-to-worker frames into those same sockets, cannot interleave an
+// early starter's sends ahead of a later socket's spec. Per-socket FIFO
+// does the rest. Success is never acknowledged; a rejection (RunAck{A:1})
+// fails the run, and any nodes already executing are fenced by the next
+// run's spec or reset — which is why the read loop drains stale-generation
+// Data and RankResult frames silently instead of treating them as
+// protocol violations.
 type execRun struct {
 	gen uint64
 
@@ -43,11 +50,9 @@ type execRun struct {
 	results []RankResult // indexed by rank
 	got     []bool
 	count   int
-	acks    int
 	barArr  map[uint64]int // host-barrier generation -> nodes arrived
 
-	ackDone chan struct{} // every node acknowledged the spec
-	done    chan struct{} // every rank's result arrived
+	done chan struct{} // every rank's result arrived
 
 	failOnce sync.Once
 	failErr  error
@@ -87,8 +92,15 @@ func (t *IPCTransport) RunDistributed(spec []byte) ([]RankResult, error) {
 		return nil, fmt.Errorf("machine: ipc transport failed to start workers: %v", err)
 	}
 	// The fence: stale frames drained, counters zeroed on both sides, any
-	// leftover run from a failed predecessor joined and discarded.
-	t.Reset()
+	// leftover run from a failed predecessor joined and discarded. After a
+	// clean run the sockets are already drained and the fence needs no
+	// round trip (fastFence); anything else — first run, failed run, relay
+	// traffic in between — pays for the full Reset exchange.
+	if t.execClean.CompareAndSwap(true, false) {
+		t.fastFence()
+	} else {
+		t.Reset()
+	}
 
 	t.execGen++
 	er := &execRun{
@@ -96,39 +108,41 @@ func (t *IPCTransport) RunDistributed(spec []byte) ([]RankResult, error) {
 		results: make([]RankResult, t.n),
 		got:     make([]bool, t.n),
 		barArr:  make(map[uint64]int),
-		ackDone: make(chan struct{}),
 		done:    make(chan struct{}),
 		fail:    make(chan struct{}),
 	}
 	t.exec.Store(er)
 	defer t.exec.Store(nil)
 
+	// Broadcast the spec while holding every socket's write lock: each
+	// worker starts executing the moment it reads its spec, and its
+	// inter-node sends are routed by the read loops into these same
+	// sockets — blocking those writers until every spec is flushed is what
+	// guarantees spec-before-data on every FIFO (see the protocol comment
+	// above).
 	f := wire.Frame{Kind: wire.KindRunSpec, Seq: er.gen, A: uint64(len(spec)), Payload: wire.PackBytes(spec)}
+	var werr error
+	var wconn *ipcConn
 	for _, cn := range t.conns {
-		if err := cn.writeCtrl(&f, 0); err != nil {
-			if !t.closed.Load() {
-				t.workerFailed(cn, fmt.Errorf("run spec to node %d: %w", cn.node, err))
-			}
-			break // the failure lands on er.fail below
+		cn.wmu.Lock()
+	}
+	for _, cn := range t.conns {
+		err := wire.WriteFrame(cn.bw, &cn.wscratch, &f)
+		if err == nil {
+			err = cn.bw.Flush()
+			cn.dirty = false
+		}
+		if err != nil && werr == nil {
+			werr, wconn = err, cn
 		}
 	}
-	select {
-	case <-er.ackDone:
-	case <-er.fail:
-		return nil, er.failErr
-	case <-t.stopc:
-		return nil, errors.New("machine: ipc transport closed during distributed run")
+	for _, cn := range t.conns {
+		cn.wmu.Unlock()
+	}
+	if werr != nil && !t.closed.Load() {
+		t.workerFailed(wconn, fmt.Errorf("run spec to node %d: %w", wconn.node, werr))
 	}
 
-	start := wire.Frame{Kind: wire.KindRunStart, Seq: er.gen}
-	for _, cn := range t.conns {
-		if err := cn.writeCtrl(&start, 0); err != nil {
-			if !t.closed.Load() {
-				t.workerFailed(cn, fmt.Errorf("run start to node %d: %w", cn.node, err))
-			}
-			break
-		}
-	}
 	select {
 	case <-er.done:
 		// A worker loss can race the last result onto er.done; the
@@ -144,6 +158,7 @@ func (t *IPCTransport) RunDistributed(spec []byte) ([]RankResult, error) {
 	case <-t.stopc:
 		return nil, errors.New("machine: ipc transport closed during distributed run")
 	}
+	t.execClean.Store(true)
 	return er.results, nil
 }
 

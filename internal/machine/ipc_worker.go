@@ -3,10 +3,13 @@ package machine
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -110,6 +113,20 @@ func (h *WorkerHost) NewTransport(n, nnodes int) (*WorkerTransport, error) {
 	return newWorkerTransport(h.w, h.w.node, n, nnodes, h.gen)
 }
 
+// Rebind readies a transport this worker built in an earlier run
+// (NewTransport) for the current run generation, so an execution hook can
+// hand back a cached sub-machine instead of rebuilding one per run — the
+// worker-side half of warm-pool serving: a pooled coordinator System
+// keeps its worker processes alive, and rebinding keeps their
+// sub-machines warm too. The transport must belong to this worker.
+func (h *WorkerHost) Rebind(t *WorkerTransport) error {
+	if t == nil || t.host != workerIO(h.w) {
+		return fmt.Errorf("machine: Rebind of a transport from another worker")
+	}
+	t.rebind(h.gen)
+	return nil
+}
+
 // WorkerExecHook builds a WorkerRun from a coordinator's serialized run
 // spec. The hook must install every resource a run needs (transport via
 // h.NewTransport, machine, executor) before returning: the worker
@@ -176,6 +193,7 @@ func runIPCWorker(node int, network, addr string) int {
 		node: node,
 		br:   bufio.NewReaderSize(conn, 1<<16),
 		bw:   bufio.NewWriterSize(conn, 1<<16),
+		fch:  make(chan struct{}, 1),
 	}
 	if err := wire.WriteFrame(w.bw, &w.wscratch, &wire.Frame{Kind: wire.KindHello, Seq: uint64(node)}); err != nil {
 		return 1
@@ -183,6 +201,7 @@ func runIPCWorker(node int, network, addr string) int {
 	if err := w.bw.Flush(); err != nil {
 		return 1
 	}
+	go w.flushLoop()
 	return w.loop()
 }
 
@@ -196,10 +215,12 @@ func runIPCWorker(node int, network, addr string) int {
 // control protocol (stall probes, reset fences, shutdown).
 //
 // Writes are shared between the read loop and the run's rank goroutines,
-// so they serialize under wmu and batch through the buffered writer: a
-// writer that decrements wpending to zero flushes, so concurrent sends
-// coalesce into one socket write while the last frame of any burst never
-// sits in the buffer (control frames flush immediately).
+// so they serialize under wmu and batch through the buffered writer: data
+// and result frames stay in the buffer and kick the flusher goroutine,
+// which pushes whatever accumulated once it gets the CPU — back-to-back
+// sends coalesce into one socket write even from a single goroutine.
+// Control frames (acks, hints) flush inline, carrying any batched frames
+// ahead of them on the FIFO.
 type ipcWorker struct {
 	node int
 	br   *bufio.Reader
@@ -208,9 +229,11 @@ type ipcWorker struct {
 
 	wmu      sync.Mutex
 	bw       *bufio.Writer
-	wscratch []byte       // frame encode buffer, under wmu
-	txData   uint64       // Data/Deliver frames written since the last reset fence, under wmu
-	wpending atomic.Int32 // writers mid-frame; the one that drains it to zero flushes
+	wscratch []byte // frame encode buffer, under wmu
+	txData   uint64 // Data/Deliver frames written since the last reset fence, under wmu
+	dirty    bool   // unflushed frames in bw, under wmu
+	fch      chan struct{}
+	pend     []pendBatch // per-destination-node queued sends, under wmu (index = node)
 
 	rxData uint64 // Data frames received since the last reset fence (read loop only)
 	barGen uint64 // relay mode: latest host-barrier generation announced
@@ -219,42 +242,98 @@ type ipcWorker struct {
 	active     *WorkerTransport
 	runner     WorkerRun
 	activeGen  uint64
-	runStarted bool // RunStart seen; executeRun is (or was) in flight
+	runStarted bool // spec accepted; executeRun is (or was) in flight
 	runDone    chan struct{}
 	finished   atomic.Bool // all local ranks done; results written or being written
 }
+
+// errFencedBySpec is the fixed reason an in-flight run is unwound when a
+// new run spec arrives (hoisted: it is on the per-run warm path).
+var errFencedBySpec = errors.New("machine: ipc run fenced by new run spec")
+
+// pendBatch accumulates one destination node's queued inter-node sends
+// between flush points. Each message contributes five header words — src,
+// dst, tag, arrival, payload word count; all but arrival are bit
+// containers in the PackBytes sense — followed by its payload words. The
+// batch leaves as a single Data frame: Src/Dst carry the first message's
+// ranks (the coordinator routes on Dst and sanity-checks Src against the
+// sending node), B the message count, Tag the summed payload bytes so the
+// coordinator's per-link traffic accounting stays message-exact without
+// walking the payload.
+type pendBatch struct {
+	words    []float64
+	msgs     uint64
+	bytes    uint64
+	gen      uint64
+	src, dst int32
+}
+
+// maxDataBatchWords bounds one batch frame's payload; a fuller batch is
+// encoded early. One oversized message still fits in its own frame (the
+// wire codec allows 1<<24 words).
+const maxDataBatchWords = 1 << 20
 
 func (w *ipcWorker) fail(code int, format string, args ...any) int {
 	fmt.Fprintf(os.Stderr, "kf-ipc-worker: node %d: %s\n", w.node, fmt.Sprintf(format, args...))
 	return code
 }
 
-// writeBatched writes one frame under wmu without flushing; the wpending
-// protocol flushes when the last concurrent writer drains.
+// writeBatched writes one frame under wmu without flushing; the kicked
+// flusher goroutine coalesces the burst into one socket write. Pending
+// sends encode first so the frame (a result record) never overtakes the
+// run's own data on the FIFO.
 func (w *ipcWorker) writeBatched(f *wire.Frame) error {
-	w.wpending.Add(1)
 	w.wmu.Lock()
+	w.encodePendingLocked()
 	err := wire.WriteFrame(w.bw, &w.wscratch, f)
+	w.dirty = true
+	w.kick()
 	w.wmu.Unlock()
-	if w.wpending.Add(-1) == 0 && err == nil {
+	return err
+}
+
+// kick schedules a flush (single-slot, never blocks, never loses a wakeup:
+// the kick follows the frame into the buffer). Callers hold wmu.
+func (w *ipcWorker) kick() {
+	select {
+	case w.fch <- struct{}{}:
+	default:
+	}
+}
+
+// flushLoop drains flush kicks for the worker's socket. Flush errors are
+// swallowed for the same reason sendRemote swallows them: a dead socket
+// means the coordinator is gone and the read loop is about to exit.
+func (w *ipcWorker) flushLoop() {
+	for range w.fch {
+		// Step to the back of the run queue once before draining: the
+		// kick usually comes from the first rank of a burst, and the
+		// yield lets the node's remaining runnable ranks add their sends
+		// so the whole burst leaves as one batch in one socket write.
+		runtime.Gosched()
 		w.wmu.Lock()
-		err = w.bw.Flush()
+		w.encodePendingLocked()
+		if w.dirty {
+			w.dirty = false
+			w.bw.Flush()
+		}
 		w.wmu.Unlock()
 	}
-	return err
 }
 
 // writeControl writes one frame and flushes immediately (acks, hints,
 // results-complete boundaries — anything the coordinator blocks on).
+// Pending sends encode first: a barrier announcement or stall hint must
+// ride behind every message this node emitted before it.
 func (w *ipcWorker) writeControl(f *wire.Frame) error {
-	w.wpending.Add(1)
 	w.wmu.Lock()
+	w.encodePendingLocked()
 	err := wire.WriteFrame(w.bw, &w.wscratch, f)
 	if err == nil {
 		err = w.bw.Flush()
+		w.dirty = false
 	}
 	w.wmu.Unlock()
-	w.wpending.Add(-1)
 	return err
 }
 
@@ -267,34 +346,84 @@ func (w *ipcWorker) flushIfIdle() error {
 	}
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
+	w.encodePendingLocked()
+	w.dirty = false
 	return w.bw.Flush()
 }
 
-// sendRemote implements workerIO: one local rank's inter-node send becomes
-// a Data frame on the coordinator socket, sequence-stamped under wmu so the
-// per-socket FIFO carries each (src, tag) stream in program order. A write
-// error is deliberately swallowed: it means the coordinator is gone, the
-// read loop is about to hit the same broken socket and exit the process.
-func (w *ipcWorker) sendRemote(gen uint64, src, dst int, tag Tag, data []float64, arrival float64) {
-	w.wpending.Add(1)
+// sendRemote implements workerIO: one local rank's inter-node send joins
+// the destination node's pending batch under wmu (so the per-socket FIFO
+// carries each (src, tag) stream in program order) and kicks the flusher,
+// which turns each pending batch into a single multi-message Data frame.
+// A burst of fine-grained sends to one neighbor node thus costs one frame
+// and one socket write instead of one per message. Write errors on the
+// eventual encode are deliberately swallowed: they mean the coordinator
+// is gone and the read loop is about to hit the same broken socket.
+func (w *ipcWorker) sendRemote(gen uint64, src, dst, dstNode int, tag Tag, data []float64, arrival float64) {
 	w.wmu.Lock()
+	if dstNode >= len(w.pend) {
+		w.pend = append(w.pend, make([]pendBatch, dstNode+1-len(w.pend))...)
+	}
+	b := &w.pend[dstNode]
+	if b.msgs > 0 && len(b.words)+5+len(data) > maxDataBatchWords {
+		w.encodeBatchLocked(b)
+	}
+	if b.msgs == 0 {
+		b.gen, b.src, b.dst = gen, int32(src), int32(dst)
+	}
+	b.words = append(b.words,
+		math.Float64frombits(uint64(src)),
+		math.Float64frombits(uint64(dst)),
+		math.Float64frombits(uint64(tag)),
+		arrival,
+		math.Float64frombits(uint64(len(data))))
+	b.words = append(b.words, data...)
+	b.msgs++
+	b.bytes += uint64(len(data) * wordBytes)
+	w.kick()
+	w.wmu.Unlock()
+}
+
+// encodeBatchLocked turns one pending batch into a Data frame in the write
+// buffer and rearms it. Callers hold wmu.
+func (w *ipcWorker) encodeBatchLocked(b *pendBatch) {
 	w.txData++
 	f := wire.Frame{
 		Kind:    wire.KindData,
-		Src:     int32(src),
-		Dst:     int32(dst),
-		Tag:     uint64(tag),
+		Src:     b.src,
+		Dst:     b.dst,
+		Tag:     b.bytes,
 		Seq:     w.txData,
-		A:       gen,
-		Arrival: arrival,
-		Payload: data,
+		A:       b.gen,
+		B:       b.msgs,
+		Payload: b.words,
 	}
-	err := wire.WriteFrame(w.bw, &w.wscratch, &f)
-	w.wmu.Unlock()
-	if w.wpending.Add(-1) == 0 && err == nil {
-		w.wmu.Lock()
-		w.bw.Flush()
-		w.wmu.Unlock()
+	_ = wire.WriteFrame(w.bw, &w.wscratch, &f)
+	w.dirty = true
+	b.words = b.words[:0]
+	b.msgs, b.bytes = 0, 0
+}
+
+// encodePendingLocked drains every pending batch into the write buffer —
+// the step every flush point takes first, so queued sends always precede
+// whatever control frame or flush triggered it on the FIFO. Callers hold
+// wmu.
+func (w *ipcWorker) encodePendingLocked() {
+	for i := range w.pend {
+		if b := &w.pend[i]; b.msgs > 0 {
+			w.encodeBatchLocked(b)
+		}
+	}
+}
+
+// clearPendingLocked drops queued sends (reset and spec fences: the run
+// they belong to is being unwound and its traffic must not leak into the
+// next epoch's counters). Callers hold wmu.
+func (w *ipcWorker) clearPendingLocked() {
+	for i := range w.pend {
+		b := &w.pend[i]
+		b.words = b.words[:0]
+		b.msgs, b.bytes = 0, 0
 	}
 }
 
@@ -312,33 +441,61 @@ func (w *ipcWorker) sendBarrierArrive(gen, barGen uint64) {
 	_ = w.writeControl(&wire.Frame{Kind: wire.KindBarrier, Src: int32(w.node), Seq: barGen, A: gen})
 }
 
+// maxResultBatchWords bounds one result frame's payload so a node with
+// huge per-rank records splits into several frames well short of the wire
+// codec's MaxPayloadWords guard.
+const maxResultBatchWords = 1 << 20
+
 // executeRun drives one distributed run to completion off the read loop:
-// run the node's ranks, then stream one RankResult frame per local rank
-// and flush. Closing done lets a reset fence join in-flight runs.
+// run the node's ranks, then ship the results and flush. All local ranks'
+// records pack into one RankResult frame (split only past
+// maxResultBatchWords), so a node's results cost one encode and one decode
+// instead of one frame per rank. Record layout: four header words — rank,
+// error class, error byte length, payload word count, each a bit container
+// in the PackBytes sense — then the payload words, then the packed error
+// text. Closing done lets a reset fence join in-flight runs.
 func (w *ipcWorker) executeRun(run WorkerRun, gen uint64, done chan struct{}) {
 	defer close(done)
 	results := run.Execute()
 	w.finished.Store(true)
+	var words []float64
+	var count uint64
+	ship := func() error {
+		if count == 0 {
+			return nil
+		}
+		f := wire.Frame{Kind: wire.KindRankResult, Src: int32(w.node), Seq: gen, A: count, Payload: words}
+		err := w.writeBatched(&f)
+		words, count = nil, 0
+		return err
+	}
 	for i := range results {
 		r := &results[i]
-		payload := r.Payload
+		var errWords []float64
 		if r.ErrText != "" {
-			payload = append(payload, wire.PackBytes([]byte(r.ErrText))...)
+			errWords = wire.PackBytes([]byte(r.ErrText))
 		}
-		f := wire.Frame{
-			Kind:    wire.KindRankResult,
-			Src:     int32(r.Rank),
-			Seq:     gen,
-			A:       uint64(len(r.ErrText)),
-			B:       r.ErrClass,
-			Payload: payload,
+		if len(words) > 0 && len(words)+4+len(r.Payload)+len(errWords) > maxResultBatchWords {
+			if err := ship(); err != nil {
+				return
+			}
 		}
-		if err := w.writeBatched(&f); err != nil {
-			return
-		}
+		words = append(words,
+			math.Float64frombits(uint64(r.Rank)),
+			math.Float64frombits(r.ErrClass),
+			math.Float64frombits(uint64(len(r.ErrText))),
+			math.Float64frombits(uint64(len(r.Payload))))
+		words = append(words, r.Payload...)
+		words = append(words, errWords...)
+		count++
+	}
+	if err := ship(); err != nil {
+		return
 	}
 	w.wmu.Lock()
+	w.encodePendingLocked()
 	w.bw.Flush()
+	w.dirty = false
 	w.wmu.Unlock()
 }
 
@@ -388,17 +545,36 @@ func (w *ipcWorker) loop() int {
 			}
 			w.rxData++
 			if w.active != nil {
-				// Exec mode: a routed inter-node message for one of this
-				// node's ranks. Full decode (payload from the sub-machine's
-				// pool), then the mailbox delivery every intra-node send
-				// uses.
+				// Exec mode: a routed multi-message Data frame holding
+				// another node's batched inter-node sends (B messages; see
+				// pendBatch for the record layout). Decode once, then peel
+				// each message into its own pooled buffer and make the
+				// mailbox delivery every intra-node send uses.
 				var f wire.Frame
 				if err := w.decode(prefix[:], body, &f, w.active.acquire); err != nil {
 					return w.fail(1, "routed data: %v", err)
 				}
-				if err := w.active.deliverRemote(int(f.Src), int(f.Dst), Tag(f.Tag), f.Payload, f.Arrival); err != nil {
-					return w.fail(1, "%v", err)
+				p := f.Payload
+				for m := uint64(0); m < f.B; m++ {
+					if len(p) < 5 {
+						return w.fail(1, "routed data batch truncated")
+					}
+					src := int(int64(math.Float64bits(p[0])))
+					dst := int(int64(math.Float64bits(p[1])))
+					tag := Tag(math.Float64bits(p[2]))
+					arrival := p[3]
+					plen := math.Float64bits(p[4])
+					if plen > uint64(len(p)-5) {
+						return w.fail(1, "routed data message overruns batch")
+					}
+					data := w.active.acquire(int(plen))
+					copy(data, p[5:5+plen])
+					if err := w.active.deliverRemote(src, dst, tag, data, arrival); err != nil {
+						return w.fail(1, "%v", err)
+					}
+					p = p[5+plen:]
 				}
+				w.active.release(f.Payload)
 				break
 			}
 			// Relay mode hot path: flip the kind byte and reflect the
@@ -408,6 +584,7 @@ func (w *ipcWorker) loop() int {
 			_, err1 := w.bw.Write(prefix[:])
 			_, err2 := w.bw.Write(body)
 			w.txData++
+			w.dirty = true
 			w.wmu.Unlock()
 			if err1 != nil || err2 != nil {
 				return 0 // write failed: coordinator is gone
@@ -428,16 +605,19 @@ func (w *ipcWorker) loop() int {
 					flags |= probeStalled
 				}
 			}
-			w.wpending.Add(1)
 			w.wmu.Lock()
-			// txData is read under wmu: rank goroutines stamp sends there.
+			// Queued sends encode first so the counters the ack reports are
+			// settled: a probe that lands between a rank's send and the
+			// flusher's pass must not see "quiescent" with messages still
+			// waiting in a pending batch. txData is read under wmu.
+			w.encodePendingLocked()
 			ack := wire.Frame{Kind: wire.KindProbeAck, Src: int32(w.node), Seq: f.Seq, A: w.rxData, B: w.txData, Tag: flags}
 			err := wire.WriteFrame(w.bw, &w.wscratch, &ack)
 			if err == nil {
 				err = w.bw.Flush()
+				w.dirty = false
 			}
 			w.wmu.Unlock()
-			w.wpending.Add(-1)
 			if err != nil {
 				return 0
 			}
@@ -454,15 +634,15 @@ func (w *ipcWorker) loop() int {
 			seen := w.rxData
 			w.rxData = 0
 			ack := wire.Frame{Kind: wire.KindResetAck, Src: int32(w.node), Seq: f.Seq, A: seen}
-			w.wpending.Add(1)
 			w.wmu.Lock()
+			w.clearPendingLocked()
 			w.txData = 0
 			err := wire.WriteFrame(w.bw, &w.wscratch, &ack)
 			if err == nil {
 				err = w.bw.Flush()
+				w.dirty = false
 			}
 			w.wmu.Unlock()
-			w.wpending.Add(-1)
 			if err != nil {
 				return 0
 			}
@@ -499,10 +679,19 @@ func (w *ipcWorker) loop() int {
 			if err := w.decode(prefix[:], body, &f, nil); err != nil {
 				return w.fail(1, "run spec: %v", err)
 			}
-			if w.active != nil {
-				return w.fail(1, "run spec while a run is active")
-			}
-			ack := wire.Frame{Kind: wire.KindRunAck, Src: int32(w.node), Seq: f.Seq}
+			// The spec doubles as the fence for back-to-back runs (the
+			// coordinator skips the Reset exchange when the previous run
+			// completed cleanly): join any prior run and rewind the frame
+			// counters exactly here — everything earlier in the FIFO was
+			// counted in the old epoch on both sides, so the cuts align
+			// with the coordinator's pre-broadcast rewind.
+			w.endRun(errFencedBySpec)
+			w.finished.Store(false)
+			w.rxData = 0
+			w.wmu.Lock()
+			w.clearPendingLocked()
+			w.txData = 0
+			w.wmu.Unlock()
 			spec, err := wire.UnpackBytes(f.Payload, int(f.A))
 			if err == nil {
 				if hook := loadWorkerExecHook(); hook == nil {
@@ -514,32 +703,28 @@ func (w *ipcWorker) loop() int {
 						err = fmt.Errorf("execution hook returned no transport")
 					}
 					if err == nil {
-						// Install before acking: any Data frame the
-						// coordinator routes after this ack finds its
-						// mailboxes ready.
+						// Install, then execute straight away: the spec is
+						// also the start signal (the coordinator broadcasts
+						// it under every socket's write lock, so any Data
+						// frame another node's ranks emit is routed behind
+						// this node's spec on the FIFO and finds the
+						// mailboxes ready). Success is never acked — the
+						// first RankResult says it all.
 						w.active, w.runner, w.activeGen = run.Transport(), run, f.Seq
 						w.finished.Store(false)
 						w.runDone = make(chan struct{})
+						w.runStarted = true
+						go w.executeRun(w.runner, w.activeGen, w.runDone)
+						break
 					}
 				}
 			}
-			if err != nil {
-				text := err.Error()
-				ack.A, ack.B, ack.Payload = 1, uint64(len(text)), wire.PackBytes([]byte(text))
-			}
+			text := err.Error()
+			ack := wire.Frame{Kind: wire.KindRunAck, Src: int32(w.node), Seq: f.Seq,
+				A: 1, B: uint64(len(text)), Payload: wire.PackBytes([]byte(text))}
 			if werr := w.writeControl(&ack); werr != nil {
 				return 0
 			}
-		case wire.KindRunStart:
-			var f wire.Frame
-			if err := w.decode(prefix[:], body, &f, nil); err != nil {
-				return w.fail(1, "run start: %v", err)
-			}
-			if w.active == nil || f.Seq != w.activeGen || w.runStarted {
-				return w.fail(1, "run start for generation %d without a matching accepted spec", f.Seq)
-			}
-			w.runStarted = true
-			go w.executeRun(w.runner, w.activeGen, w.runDone)
 		case wire.KindShutdown:
 			return 0
 		default:

@@ -7,16 +7,18 @@ import (
 )
 
 // workerIO is the WorkerTransport's face toward the IPC worker hosting it:
-// the three frame emissions a worker-local run needs. sendRemote writes one
-// Data frame carrying an inter-node send (stamping the per-socket sequence
-// under the worker's write lock, so each (src, tag) stream keeps program
-// order on the wire); sendStallHint tells the coordinator this node's live
-// ranks are all blocked (the distributed probe's trigger); sendBarrierArrive
-// announces that every local rank reached host-barrier generation barGen.
-// All three stamp gen, the run generation, so the coordinator can discard
-// stragglers from an aborted run.
+// the three frame emissions a worker-local run needs. sendRemote queues an
+// inter-node send for the destination node dstNode — the worker batches
+// queued sends per destination into multi-message Data frames at its next
+// flush point, appending under its write lock so each (src, tag) stream
+// keeps program order on the wire; sendStallHint tells the coordinator
+// this node's live ranks are all blocked (the distributed probe's
+// trigger); sendBarrierArrive announces that every local rank reached
+// host-barrier generation barGen. All three stamp gen, the run
+// generation, so the coordinator can discard stragglers from an aborted
+// run.
 type workerIO interface {
-	sendRemote(gen uint64, src, dst int, tag Tag, data []float64, arrival float64)
+	sendRemote(gen uint64, src, dst, dstNode int, tag Tag, data []float64, arrival float64)
 	sendStallHint(gen uint64)
 	sendBarrierArrive(gen, barGen uint64)
 }
@@ -31,11 +33,14 @@ type workerIO interface {
 // loop (the coordinator routes each inter-node frame to the destination
 // node) into the same mailboxes.
 //
-// A WorkerTransport is built fresh for each distributed run and lives
-// exactly as long as it: Reset is therefore a no-op (the machine's
-// unconditional start-of-run Reset must not discard inter-node frames the
-// coordinator routed ahead of the run-start signal), and the run
-// generation is fixed at construction. Stall handling is split: the local
+// A WorkerTransport serves one run at a time: built fresh via
+// WorkerHost.NewTransport, or rebound to a new run generation
+// (WorkerHost.Rebind) when the execution hook reuses a cached
+// sub-machine. Reset is a no-op either way — the machine's unconditional
+// start-of-run Reset must not discard inter-node frames the coordinator
+// routed ahead of the run-start signal; the between-runs rewind happens
+// in rebind, before the worker acknowledges the spec. Stall handling is
+// split: the local
 // quiescence triggers (executor quiescence, blocked-count crossings) call
 // CheckStalled here, which never declares anything — a single node cannot
 // distinguish "deadlocked" from "waiting on a frame another node has yet
@@ -149,6 +154,15 @@ func (t *WorkerTransport) acquire(n int) []float64 {
 	return make([]float64, n)
 }
 
+// release recycles a buffer acquire supplied once its contents have been
+// copied out (the batch container of a multi-message Data frame; the
+// per-message buffers are owned by the mailboxes they are delivered to).
+func (t *WorkerTransport) release(buf []float64) {
+	if t.pool != nil && buf != nil {
+		t.pool.releasePooled(buf)
+	}
+}
+
 // deliverLocal places a message in a local rank's mailbox and wakes the
 // owner if it waits on exactly this stream — SharedTransport's delivery
 // step over the windowed mailbox array.
@@ -195,7 +209,7 @@ func (t *WorkerTransport) Send(src, dst int, tag Tag, data []float64, arrival fl
 		t.deliverLocal(src, dst, tag, data, arrival)
 		return
 	}
-	t.host.sendRemote(t.gen, src, dst, tag, data, arrival)
+	t.host.sendRemote(t.gen, src, dst, dst/t.perNode, tag, data, arrival)
 	if t.pool != nil && data != nil {
 		t.pool.releasePooled(data)
 	}
@@ -314,12 +328,37 @@ func (t *WorkerTransport) releaseBarrier(g uint64) {
 	t.bmu.Unlock()
 }
 
-// Reset is a no-op: a WorkerTransport serves exactly one run, and the
-// coordinator may route inter-node frames here between the run's
+// rebind readies a cached transport for another run at a new generation.
+// The fence that ended the previous run took the transport down
+// (hostDown), so the down flag, reason, mailboxes and barrier ladder all
+// rewind here. Called from the worker's read loop between the
+// coordinator's RunSpec and its ack — no rank goroutine is live and the
+// coordinator routes no Data frame before the ack, so nothing races the
+// rewind, and frames routed after the ack land in the cleared mailboxes
+// exactly as they would in a freshly built transport.
+func (t *WorkerTransport) rebind(gen uint64) {
+	t.gen = gen
+	t.down.Store(false)
+	t.reasonMu.Lock()
+	t.reason = nil
+	t.reasonMu.Unlock()
+	for i := range t.boxes {
+		mb := &t.boxes[i]
+		mb.mu.Lock()
+		mb.reset()
+		mb.mu.Unlock()
+	}
+	t.bmu.Lock()
+	t.arrived, t.localGen, t.released = 0, 0, 0
+	t.waiters = t.waiters[:0]
+	t.bmu.Unlock()
+}
+
+// Reset is a no-op: a WorkerTransport serves one run per (re)bind, and
+// the coordinator may route inter-node frames here between the run's
 // installation and the machine's Run call — the machine's unconditional
 // start-of-run Reset must not discard them. Fence semantics between runs
-// belong to the coordinator's reset protocol, which replaces the whole
-// transport instead.
+// belong to the coordinator's reset protocol plus rebind.
 func (t *WorkerTransport) Reset() {}
 
 // Abort marks the transport down and wakes every blocked receiver, barrier

@@ -1,0 +1,127 @@
+// Argument schemas for the registered programs. The registry's (name,
+// args) pairs arrive from two untrusted directions — run specs shipped to
+// ipc workers, and HTTP request bodies fed to kfserve — so every factory
+// validates against a declared schema and rejects malformed input with a
+// structured *ArgError naming the argument and its allowed range, never a
+// panic and never a silently absurd allocation (a 10^9-point Jacobi grid
+// is a denial of service, not a computation).
+package progs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+)
+
+// ArgSpec declares one argument of a registered program: its name, its
+// closed allowed range, and whether it must be integral. Serving layers
+// surface schemas to clients (see Schemas), so the names here are API.
+type ArgSpec struct {
+	Name    string  `json:"name"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Integer bool    `json:"integer,omitempty"`
+}
+
+// ArgError is the structured rejection of a malformed argument list. Arg
+// is empty for an arity mismatch; otherwise it names the offending
+// argument and carries its allowed range, so callers (and HTTP clients)
+// learn what would have been accepted, not just that something was not.
+type ArgError struct {
+	Prog     string  `json:"prog"`
+	Arg      string  `json:"arg,omitempty"`
+	Index    int     `json:"index"`
+	Got      float64 `json:"got"`
+	Min      float64 `json:"min"`
+	Max      float64 `json:"max"`
+	Integer  bool    `json:"integer,omitempty"`
+	WantArgs int     `json:"want_args"`
+	GotArgs  int     `json:"got_args"`
+}
+
+func (e *ArgError) Error() string {
+	if e.Arg == "" {
+		names, _ := Schema(e.Prog)
+		parts := make([]string, len(names))
+		for i, s := range names {
+			parts[i] = s.Name
+		}
+		if len(parts) == 0 {
+			return fmt.Sprintf("%s takes no args, got %d", e.Prog, e.GotArgs)
+		}
+		return fmt.Sprintf("%s takes %d args (%s), got %d",
+			e.Prog, e.WantArgs, strings.Join(parts, ", "), e.GotArgs)
+	}
+	kind := "a value"
+	if e.Integer {
+		kind = "an integer"
+	}
+	return fmt.Sprintf("%s: arg %s (index %d) = %v: want %s in [%g, %g]",
+		e.Prog, e.Arg, e.Index, e.Got, kind, e.Min, e.Max)
+}
+
+var (
+	schemaMu sync.RWMutex
+	schemas  = map[string][]ArgSpec{}
+)
+
+// registerSchema records a program's argument schema alongside its
+// RegisterProgram call; like the program table, collisions are a
+// programming error caught at init.
+func registerSchema(prog string, specs ...ArgSpec) {
+	schemaMu.Lock()
+	defer schemaMu.Unlock()
+	if _, dup := schemas[prog]; dup {
+		panic(fmt.Sprintf("progs: schema for %q registered twice", prog))
+	}
+	schemas[prog] = specs
+}
+
+// Schema returns the declared argument schema of a registered program and
+// whether the program has one.
+func Schema(prog string) ([]ArgSpec, bool) {
+	schemaMu.RLock()
+	defer schemaMu.RUnlock()
+	specs, ok := schemas[prog]
+	return append([]ArgSpec(nil), specs...), ok
+}
+
+// Schemas returns a copy of every registered program's argument schema,
+// for listing endpoints.
+func Schemas() map[string][]ArgSpec {
+	schemaMu.RLock()
+	defer schemaMu.RUnlock()
+	out := make(map[string][]ArgSpec, len(schemas))
+	for prog, specs := range schemas {
+		out[prog] = append([]ArgSpec(nil), specs...)
+	}
+	return out
+}
+
+// ValidateArgs checks an untrusted argument list against prog's declared
+// schema: exact arity, every value finite and inside its closed range,
+// integral where the schema says so. The error is always a *ArgError (so
+// callers can errors.As it back out of wrapped build errors), except for
+// programs with no schema at all, which are rejected outright.
+func ValidateArgs(prog string, args []float64) error {
+	specs, ok := Schema(prog)
+	if !ok {
+		return fmt.Errorf("progs: program %q has no argument schema", prog)
+	}
+	if len(args) != len(specs) {
+		return &ArgError{Prog: prog, WantArgs: len(specs), GotArgs: len(args)}
+	}
+	for i, spec := range specs {
+		v := args[i]
+		// The negated comparison catches NaN along with out-of-range.
+		if !(v >= spec.Min && v <= spec.Max) || (spec.Integer && v != math.Trunc(v)) {
+			return &ArgError{
+				Prog: prog, Arg: spec.Name, Index: i, Got: v,
+				Min: spec.Min, Max: spec.Max, Integer: spec.Integer,
+				WantArgs: len(specs), GotArgs: len(args),
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package progs_test
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/progs"
+)
+
+// Malformed argument lists must come back as structured *ArgError values
+// naming the argument and its allowed range — kfserve feeds this path
+// untrusted request bodies — and the structure must survive the registry's
+// error wrapping so servers can errors.As it back out.
+func TestValidateArgsStructuredErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		prog    string
+		args    []float64
+		wantArg string // "" for an arity error
+	}{
+		{"jacobi arity", "jacobi", []float64{8}, ""},
+		{"jacobi n zero", "jacobi", []float64{0, 2}, "n"},
+		{"jacobi n fractional", "jacobi", []float64{8.5, 2}, "n"},
+		{"jacobi n huge", "jacobi", []float64{1e9, 2}, "n"},
+		{"jacobi n NaN", "jacobi", []float64{math.NaN(), 2}, "n"},
+		{"jacobi iters negative", "jacobi", []float64{8, -1}, "iters"},
+		{"jacobi iters inf", "jacobi", []float64{8, math.Inf(1)}, "iters"},
+		{"adi arity", "adi", []float64{32, 1, 1}, ""},
+		{"adi N below min", "adi", []float64{1, 1, 1, 0, 2}, "N"},
+		{"madi A negative", "madi", []float64{32, -1, 1, 0, 2}, "A"},
+		{"madi Rho NaN", "madi", []float64{32, 1, 1, math.NaN(), 2}, "Rho"},
+		{"hostpid extra arg", "hostpid", []float64{1}, ""},
+		{"crash fractional victim", "crash", []float64{0.5}, "victim"},
+	}
+	for _, tc := range cases {
+		err := progs.ValidateArgs(tc.prog, tc.args)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var ae *progs.ArgError
+		if !errors.As(err, &ae) {
+			t.Errorf("%s: error %T is not a *ArgError", tc.name, err)
+			continue
+		}
+		if ae.Prog != tc.prog || ae.Arg != tc.wantArg {
+			t.Errorf("%s: ArgError names (%q, %q), want (%q, %q)", tc.name, ae.Prog, ae.Arg, tc.prog, tc.wantArg)
+		}
+		if tc.wantArg != "" && !strings.Contains(err.Error(), "[") {
+			t.Errorf("%s: error %q does not state the allowed range", tc.name, err)
+		}
+	}
+}
+
+func TestBuildProgramWrapsArgError(t *testing.T) {
+	_, err := core.BuildProgram("jacobi", -3, 2)
+	if err == nil {
+		t.Fatal("malformed args accepted")
+	}
+	var ae *progs.ArgError
+	if !errors.As(err, &ae) {
+		t.Fatalf("registry error %v does not unwrap to *ArgError", err)
+	}
+	if ae.Arg != "n" || ae.Min != 1 {
+		t.Errorf("ArgError = %+v, want arg n with min 1", ae)
+	}
+}
+
+func TestValidateArgsAcceptsSuiteShapes(t *testing.T) {
+	ok := []struct {
+		prog string
+		args []float64
+	}{
+		{"jacobi", []float64{8, 0}},
+		{"jacobi", []float64{2048, 1 << 20}},
+		{"adi", []float64{64, 1, 1, 0, 2}},
+		{"madi", []float64{24, 1, 1, 0, 8}},
+		{"hostpid", nil},
+		{"stall", nil},
+		{"crash", []float64{3}},
+	}
+	for _, tc := range ok {
+		if err := progs.ValidateArgs(tc.prog, tc.args); err != nil {
+			t.Errorf("%s %v rejected: %v", tc.prog, tc.args, err)
+		}
+	}
+}
+
+func TestSchemasListEveryProgram(t *testing.T) {
+	all := progs.Schemas()
+	for _, name := range core.ProgramNames() {
+		if _, ok := all[name]; !ok {
+			t.Errorf("registered program %q has no argument schema", name)
+		}
+	}
+	if specs, ok := progs.Schema("jacobi"); !ok || len(specs) != 2 || specs[0].Name != "n" {
+		t.Errorf("jacobi schema = %v, %v", specs, ok)
+	}
+	if err := progs.ValidateArgs("no-such-program", nil); err == nil {
+		t.Error("schema-less program accepted")
+	}
+}

@@ -3,7 +3,10 @@
 // registry and then arms worker-side execution. Importing it — anywhere in
 // a binary — is what makes that binary exec-capable: coordinators ship
 // (name, args) pairs to their ipc workers, and the workers, running this
-// same init, rebuild bit-identical programs from the same table.
+// same init, rebuild bit-identical programs from the same table. The same
+// property makes it the serving surface: kfserve accepts (name, args)
+// pairs from HTTP request bodies, so every factory validates its args
+// against a declared schema (see args.go) before touching them.
 //
 // The ordering inside init matters and is guaranteed by Go initialization:
 // every RegisterProgram call runs before core.EnableWorkerExec, so a
@@ -13,7 +16,6 @@ package progs
 
 import (
 	"fmt"
-	"math"
 	"os"
 
 	"repro/internal/adi"
@@ -22,18 +24,36 @@ import (
 	"repro/internal/kf"
 )
 
+// Schema bounds. The ranges are generous — they cover every experiment in
+// the suite (the largest uses n = 128) with an order of magnitude to
+// spare — but finite and small enough that the problem arrays a single
+// request can demand stay tens of megabytes, not gigabytes: these args
+// arrive from untrusted HTTP bodies.
+const (
+	maxN     = 2048    // points per problem dimension
+	maxIters = 1 << 20 // iteration sweeps
+)
+
 func init() {
+	registerSchema("jacobi",
+		ArgSpec{Name: "n", Min: 1, Max: maxN, Integer: true},
+		ArgSpec{Name: "iters", Min: 0, Max: maxIters, Integer: true})
 	core.RegisterProgram("jacobi", func(args []float64) (*core.Program, error) {
-		n, err := intArg(args, 0, 2, "jacobi", "n")
-		if err != nil {
+		if err := ValidateArgs("jacobi", args); err != nil {
 			return nil, err
 		}
-		iters, err := intArg(args, 1, 2, "jacobi", "iters")
-		if err != nil {
-			return nil, err
-		}
-		return jacobiProgram(n, iters), nil
+		return jacobiProgram(int(args[0]), int(args[1])), nil
 	})
+
+	adiSchema := []ArgSpec{
+		{Name: "N", Min: 2, Max: maxN, Integer: true},
+		{Name: "A", Min: 0, Max: 1e6},
+		{Name: "B", Min: 0, Max: 1e6},
+		{Name: "Rho", Min: 0, Max: 1e6},
+		{Name: "Iters", Min: 0, Max: maxIters, Integer: true},
+	}
+	registerSchema("adi", adiSchema...)
+	registerSchema("madi", adiSchema...)
 	core.RegisterProgram("adi", adiFactory(false))
 	core.RegisterProgram("madi", adiFactory(true))
 	registerDiagnostics()
@@ -51,9 +71,10 @@ func registerDiagnostics() {
 	// hostpid: every rank reports the pid of the process hosting it. On a
 	// single-process transport all values equal the caller's pid; on the
 	// ipc execution plane each node's ranks report that node's worker.
+	registerSchema("hostpid")
 	core.RegisterProgram("hostpid", func(args []float64) (*core.Program, error) {
-		if len(args) != 0 {
-			return nil, fmt.Errorf("hostpid takes no args, got %d", len(args))
+		if err := ValidateArgs("hostpid", args); err != nil {
+			return nil, err
 		}
 		return &core.Program{
 			Name: "hostpid",
@@ -65,9 +86,10 @@ func registerDiagnostics() {
 	// stall: rank 0 waits forever on a message the last rank never sends —
 	// a deliberate deadlock, for exercising stall detection. The error
 	// every transport reports must be identical.
+	registerSchema("stall")
 	core.RegisterProgram("stall", func(args []float64) (*core.Program, error) {
-		if len(args) != 0 {
-			return nil, fmt.Errorf("stall takes no args, got %d", len(args))
+		if err := ValidateArgs("stall", args); err != nil {
+			return nil, err
 		}
 		return &core.Program{
 			Name: "stall",
@@ -82,11 +104,12 @@ func registerDiagnostics() {
 	// crash: the victim rank kills its host process mid-run while rank 0
 	// blocks on it — fault injection for the worker-loss path. It refuses
 	// to run outside an ipc worker (it would kill the coordinator).
+	registerSchema("crash", ArgSpec{Name: "victim", Min: 0, Max: 1 << 24, Integer: true})
 	core.RegisterProgram("crash", func(args []float64) (*core.Program, error) {
-		victim, err := intArg(args, 0, 1, "crash", "victim")
-		if err != nil {
+		if err := ValidateArgs("crash", args); err != nil {
 			return nil, err
 		}
+		victim := int(args[0])
 		return &core.Program{
 			Name: fmt.Sprintf("crash-r%d", victim),
 			Body: func(c *kf.Ctx) (core.Output, error) {
@@ -103,20 +126,6 @@ func registerDiagnostics() {
 			},
 		}, nil
 	})
-}
-
-// intArg extracts args[i] as a non-negative integer; every registered
-// factory validates this way so a malformed run spec is rejected on the
-// worker with a message naming the argument, not a panic mid-run.
-func intArg(args []float64, i, want int, prog, name string) (int, error) {
-	if len(args) != want {
-		return 0, fmt.Errorf("%s takes %d args, got %d", prog, want, len(args))
-	}
-	v := args[i]
-	if v != math.Trunc(v) || v < 0 || v > 1<<31 {
-		return 0, fmt.Errorf("%s arg %s = %v is not a small non-negative integer", prog, name, v)
-	}
-	return int(v), nil
 }
 
 // jacobiProgram builds the KF1 Jacobi iteration over the standard n x n
@@ -145,15 +154,10 @@ func adiFactory(pipelined bool) func(args []float64) (*core.Program, error) {
 		name = "madi"
 	}
 	return func(args []float64) (*core.Program, error) {
-		n, err := intArg(args, 0, 5, name, "N")
-		if err != nil {
+		if err := ValidateArgs(name, args); err != nil {
 			return nil, err
 		}
-		iters, err := intArg(args, 4, 5, name, "Iters")
-		if err != nil {
-			return nil, err
-		}
-		par := adi.Params{N: n, A: args[1], B: args[2], Rho: args[3], Iters: iters}
+		par := adi.Params{N: int(args[0]), A: args[1], B: args[2], Rho: args[3], Iters: int(args[4])}
 		return adiProgram(par, pipelined), nil
 	}
 }

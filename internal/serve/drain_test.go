@@ -1,0 +1,126 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Graceful drain, end to end: with an ipc System warm in the pool (live
+// worker processes) and a run in flight, Drain must let the in-flight run
+// complete with 200, reject new work with 503 draining, and then Close
+// every pooled System — for ipc that tears down the worker fleet, so a
+// drained server leaves no orphan processes. cmd/kfserve wires SIGTERM to
+// exactly this Drain call; the CI smoke job exercises the signal path.
+func TestDrainCompletesInflightRejectsNewClosesWorkers(t *testing.T) {
+	s := serve.New(serve.Config{MaxConcurrent: 1, PoolSize: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Warm an ipc System: hostpid reports the pid hosting each rank, which
+	// is the worker fleet this test must later prove dead.
+	resp, data := postRun(t, ts, serve.RunRequest{
+		Program: "hostpid", Grid: []int{2, 2}, Transport: "ipc", Nodes: 2,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ipc hostpid run: %d %s", resp.StatusCode, data)
+	}
+	coord := float64(os.Getpid())
+	pidset := map[int]bool{}
+	for rank, v := range decodeRun(t, data).Values {
+		if v == coord {
+			t.Fatalf("rank %d ran in the coordinator, not a worker", rank)
+		}
+		pidset[int(v)] = true
+	}
+	if len(pidset) != 2 {
+		t.Fatalf("worker pids %v, want 2 distinct", pidset)
+	}
+	for pid := range pidset {
+		if err := syscall.Kill(pid, 0); err != nil {
+			t.Fatalf("worker %d not alive before drain: %v", pid, err)
+		}
+	}
+
+	// A deliberately heavy run occupies the single slot while we drain.
+	slow := make(chan *http.Response, 1)
+	slowBody := make(chan []byte, 1)
+	go func() {
+		resp, data := postRun(t, ts, serve.RunRequest{
+			Program: "jacobi", Args: []float64{256, 24}, Grid: []int{2, 2},
+		})
+		slow <- resp
+		slowBody <- data
+	}()
+	waitFor(t, func() bool { return s.Scheduler().Inflight() == 1 })
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	waitFor(t, func() bool { return s.Scheduler().Draining() })
+
+	// New work is turned away while the in-flight run continues.
+	resp, data = postRun(t, ts, serve.RunRequest{
+		Program: "jacobi", Args: []float64{8, 1}, Grid: []int{2, 2},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("run during drain: %d %s", resp.StatusCode, data)
+	}
+	var eb serve.ErrorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Code != serve.CodeDraining {
+		t.Errorf("drain rejection body %s (%v)", data, err)
+	}
+	if hresp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Error(err)
+	} else {
+		hresp.Body.Close()
+		if hresp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("healthz during drain: %d", hresp.StatusCode)
+		}
+	}
+
+	// The in-flight run completes normally; only then does drain finish.
+	if resp := <-slow; resp.StatusCode != http.StatusOK {
+		t.Errorf("in-flight run during drain: %d %s", resp.StatusCode, <-slowBody)
+	} else {
+		<-slowBody
+	}
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("drain never completed")
+	}
+
+	// The pooled ipc System was Closed: its workers must be gone. Reaping
+	// is asynchronous, so poll for ESRCH.
+	for pid := range pidset {
+		waitFor(t, func() bool { return syscall.Kill(pid, 0) == syscall.ESRCH })
+	}
+	if st := s.Pool().Stats(); st.Idle != 0 {
+		t.Errorf("%d idle systems survived drain", st.Idle)
+	}
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Scheduler bounds concurrent runs to a fixed slot count (host cores, by
+// default) with a fair FIFO admission queue: a request that cannot get a
+// slot immediately waits in arrival order, and a freed slot always goes
+// to the head of the queue — no barging. Deadlines bound only the queue
+// wait (a simulation run, once started, always completes; cancelling one
+// mid-flight would leave a half-run System no pool should reuse). Drain
+// flips the scheduler into shutdown: queued and future requests are
+// rejected with ErrDraining, in-flight runs complete, and the returned
+// channel closes when the last one does.
+type Scheduler struct {
+	mu        sync.Mutex
+	slots     int // free execution slots
+	maxQueue  int
+	queue     *list.List // of *waiter, front = oldest
+	inflight  int
+	draining  bool
+	drainDone chan struct{}
+}
+
+// waiter.ready is buffered so grants and rejections never block the
+// scheduler: a grant (nil) or rejection (error) is deposited under the
+// lock, and exactly one of Release/Drain/the waiter's own ctx branch
+// consumes it.
+type waiter struct {
+	ready chan error
+}
+
+// NewScheduler builds a scheduler with the given concurrency and queue
+// bounds (minimums 1 and 0).
+func NewScheduler(maxConcurrent, maxQueue int) *Scheduler {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Scheduler{slots: maxConcurrent, maxQueue: maxQueue, queue: list.New()}
+}
+
+// Acquire takes an execution slot, waiting in FIFO order when all are
+// busy. It fails with ErrDraining during shutdown, ErrQueueFull when the
+// queue is at capacity, and ErrDeadline when ctx expires before a slot
+// frees.
+func (s *Scheduler) Acquire(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrDraining
+	}
+	if s.slots > 0 {
+		s.slots--
+		s.inflight++
+		s.mu.Unlock()
+		return nil
+	}
+	if s.queue.Len() >= s.maxQueue {
+		s.mu.Unlock()
+		return ErrQueueFull
+	}
+	w := &waiter{ready: make(chan error, 1)}
+	el := s.queue.PushBack(w)
+	s.mu.Unlock()
+	select {
+	case err := <-w.ready:
+		return err
+	case <-ctx.Done():
+		s.mu.Lock()
+		// The grant may have raced the deadline: Release deposits it
+		// under the lock, so checking the channel here is decisive. An
+		// already-granted slot is taken (returning it would barge past
+		// the queue), and the run proceeds — the deadline bounds the
+		// wait, not the run.
+		select {
+		case err := <-w.ready:
+			s.mu.Unlock()
+			return err
+		default:
+		}
+		s.queue.Remove(el)
+		s.mu.Unlock()
+		return ErrDeadline
+	}
+}
+
+// Release frees a slot, handing it directly to the oldest queued waiter
+// if any. It must be called exactly once per successful Acquire.
+func (s *Scheduler) Release() {
+	s.mu.Lock()
+	s.inflight--
+	if el := s.queue.Front(); el != nil {
+		w := s.queue.Remove(el).(*waiter)
+		s.inflight++
+		w.ready <- nil
+		s.mu.Unlock()
+		return
+	}
+	s.slots++
+	if s.draining && s.inflight == 0 && s.drainDone != nil {
+		close(s.drainDone)
+		s.drainDone = nil
+	}
+	s.mu.Unlock()
+}
+
+// Drain flips the scheduler into shutdown: every queued waiter is
+// rejected with ErrDraining, future Acquires fail the same way, and the
+// returned channel closes once every in-flight run has Released. Calling
+// Drain again returns a channel that is already closed if the first drain
+// has completed.
+func (s *Scheduler) Drain() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.draining {
+		s.draining = true
+		s.drainDone = make(chan struct{})
+		for el := s.queue.Front(); el != nil; el = el.Next() {
+			el.Value.(*waiter).ready <- ErrDraining
+		}
+		s.queue.Init()
+	}
+	if s.drainDone == nil { // drain already completed
+		done := make(chan struct{})
+		close(done)
+		return done
+	}
+	if s.inflight == 0 {
+		close(s.drainDone)
+		done := s.drainDone
+		s.drainDone = nil
+		return done
+	}
+	return s.drainDone
+}
+
+// Draining reports whether the scheduler is in shutdown.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// QueueDepth returns the number of requests waiting for a slot.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queue.Len()
+}
+
+// Inflight returns the number of runs currently holding slots.
+func (s *Scheduler) Inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSchedulerImmediateSlots(t *testing.T) {
+	s := NewScheduler(2, 4)
+	ctx := context.Background()
+	if err := s.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Inflight(); got != 2 {
+		t.Errorf("inflight %d, want 2", got)
+	}
+	s.Release()
+	s.Release()
+	if got := s.Inflight(); got != 0 {
+		t.Errorf("inflight %d after releases, want 0", got)
+	}
+}
+
+func TestSchedulerFIFOOrder(t *testing.T) {
+	s := NewScheduler(1, 16)
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 8
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	enqueued := make(chan int, waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Serialize arrival so queue order is the loop order.
+			<-enqueued
+			if err := s.Acquire(context.Background()); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			s.Release()
+		}()
+		enqueued <- i
+		waitFor(t, func() bool { return s.QueueDepth() == i+1 })
+	}
+	s.Release() // free the seed slot; grants must drain in FIFO order
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order %v is not FIFO", order)
+		}
+	}
+}
+
+func TestSchedulerQueueFull(t *testing.T) {
+	s := NewScheduler(1, 1)
+	ctx := context.Background()
+	if err := s.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- s.Acquire(ctx) }()
+	waitFor(t, func() bool { return s.QueueDepth() == 1 })
+	if err := s.Acquire(ctx); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("queue-full acquire returned %v", err)
+	}
+	s.Release()
+	if err := <-errc; err != nil {
+		t.Errorf("queued waiter: %v", err)
+	}
+	s.Release()
+}
+
+func TestSchedulerDeadlineWhileQueued(t *testing.T) {
+	s := NewScheduler(1, 4)
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Acquire(ctx); !errors.Is(err, ErrDeadline) {
+		t.Errorf("expired acquire returned %v", err)
+	}
+	if s.QueueDepth() != 0 {
+		t.Error("expired waiter left in queue")
+	}
+	// The slot must still be whole: release and re-acquire.
+	s.Release()
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Errorf("slot lost after deadline: %v", err)
+	}
+	s.Release()
+}
+
+func TestSchedulerDrain(t *testing.T) {
+	s := NewScheduler(1, 4)
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() { queued <- s.Acquire(context.Background()) }()
+	waitFor(t, func() bool { return s.QueueDepth() == 1 })
+
+	done := s.Drain()
+	if err := <-queued; !errors.Is(err, ErrDraining) {
+		t.Errorf("queued waiter got %v during drain", err)
+	}
+	if err := s.Acquire(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Errorf("new acquire got %v during drain", err)
+	}
+	select {
+	case <-done:
+		t.Fatal("drain completed with a run in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Release()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("drain did not complete after the last release")
+	}
+	// Drain after completion returns an already-closed channel.
+	select {
+	case <-s.Drain():
+	default:
+		t.Error("second Drain channel not closed")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

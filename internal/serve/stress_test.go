@@ -1,0 +1,115 @@
+package serve_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/serve"
+)
+
+// The pool's whole premise is that a Reset-reused System is
+// indistinguishable from a fresh one. This stress test hammers that claim
+// under -race: N goroutines funnel through a size-1 pool — checkout, run,
+// return — on every transport, and every run's values and virtual times
+// must be bit-identical to a fresh System's. A size-1 pool maximizes
+// churn: concurrent checkouts miss and build, returns beyond capacity
+// evict and Close, so the same test also races construction, eviction and
+// teardown against live runs.
+func TestPoolReuseBitIdenticalUnderStress(t *testing.T) {
+	cases := []struct {
+		name       string
+		opts       []core.Option
+		key        string
+		goroutines int
+		iters      int
+	}{
+		{
+			name:       "shared",
+			opts:       []core.Option{core.Grid(2, 2)},
+			key:        core.PoolKey([]int{2, 2}, "", 0, "", machine.CostModel{}),
+			goroutines: 8,
+			iters:      6,
+		},
+		{
+			name:       "federated",
+			opts:       []core.Option{core.Grid(2, 2), core.Transport("federated"), core.Nodes(2)},
+			key:        core.PoolKey([]int{2, 2}, "federated", 2, "", machine.CostModel{}),
+			goroutines: 6,
+			iters:      4,
+		},
+		{
+			name:       "ipc",
+			opts:       []core.Option{core.Grid(2, 2), core.Transport("ipc"), core.Nodes(2)},
+			key:        core.PoolKey([]int{2, 2}, "ipc", 2, "", machine.CostModel{}),
+			goroutines: 3,
+			iters:      2,
+		},
+	}
+	prog, err := core.BuildProgram("jacobi", 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			// The truth: one run on a fresh, never-pooled System.
+			fresh, err := core.NewSystem(tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.RunProgram(prog)
+			fresh.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			pool := serve.NewPool(1)
+			defer pool.Close()
+			var wg sync.WaitGroup
+			errs := make(chan error, tc.goroutines*tc.iters)
+			for g := 0; g < tc.goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < tc.iters; i++ {
+						lease, err := pool.Checkout(tc.key, func() (*core.System, error) {
+							return core.NewSystem(tc.opts...)
+						})
+						if err != nil {
+							errs <- err
+							return
+						}
+						run, err := lease.Sys.RunProgram(prog)
+						if err != nil {
+							lease.Discard()
+							errs <- err
+							return
+						}
+						lease.Return()
+						cmp := core.CompareRuns(want, run)
+						if !cmp.Identical || !cmp.TimesIdentical {
+							errs <- fmt.Errorf("pooled run diverged from fresh: values=%v census=%v times=%v",
+								cmp.ValuesIdentical, cmp.CensusIdentical, cmp.TimesIdentical)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+			st := pool.Stats()
+			if st.Idle > 1 {
+				t.Errorf("size-1 pool holds %d idle systems", st.Idle)
+			}
+			if st.Hits == 0 {
+				t.Error("stress run never reused a warmed system")
+			}
+		})
+	}
+}

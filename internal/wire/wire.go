@@ -9,8 +9,8 @@
 // (src, dst, tag, arrival, []float64) — and the remaining kinds are the
 // control vocabulary of the transport: session hello, host-barrier epoch
 // announcements, reset fencing, abort broadcast, the two-phase stall
-// probe, shutdown, and the execution-plane run protocol (RunSpec/RunAck/
-// RunStart out to the workers, RankResult/StallHint back). Opaque bytes —
+// probe, shutdown, and the execution-plane run protocol (RunSpec out to
+// the workers; RunAck, RankResult and StallHint back). Opaque bytes —
 // run specs, error texts — ride in the float64 payload via PackBytes/
 // UnpackBytes. The encoding is canonical: any frame that decodes
 // re-encodes to exactly the same bytes, which is what lets the round-trip
@@ -59,10 +59,10 @@ const (
 	KindProbe           // stall probe, coordinator -> worker; Seq = probe epoch
 	KindProbeAck        // stall probe reply; Seq echoes the epoch, A = frames received, B = frames forwarded, Tag = worker status flags (bit 0 locally stalled, bit 1 all local ranks finished)
 	KindShutdown        // orderly teardown, coordinator -> worker
-	KindRunSpec         // distributed run request, coordinator -> worker; Seq = run generation, A = spec byte length, payload = PackBytes(spec JSON)
-	KindRunAck          // run request acknowledgement; Seq echoes the generation, A = 0 ok / 1 rejected, B = error byte length, payload = PackBytes(error text)
-	KindRunStart        // run start, coordinator -> worker after all acks; Seq = run generation
-	KindRankResult      // one rank's results, worker -> coordinator; Src = rank, Seq = run generation, A = error byte length, B = error class, payload = result record + PackBytes(error text)
+	KindRunSpec         // distributed run request (and start signal), coordinator -> worker; Seq = run generation, A = spec byte length, payload = PackBytes(spec JSON)
+	KindRunAck          // run request rejection, worker -> coordinator; Seq echoes the generation, A = 1, B = error byte length, payload = PackBytes(error text). Acceptance is not acked.
+	KindRunStart        // retired: run start, coordinator -> worker (the spec now doubles as the start signal); kept in the vocabulary for frame-log compatibility
+	KindRankResult      // a node's rank results, worker -> coordinator; Src = node, Seq = run generation, A = record count, payload = packed per-rank records (rank, error class, error byte length, payload word count header words — pure bit containers — then payload words, then PackBytes(error text))
 	KindStallHint       // worker -> coordinator: the node's live ranks are all blocked; Seq = run generation
 	kindEnd
 )
